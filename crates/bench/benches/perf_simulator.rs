@@ -1,0 +1,91 @@
+//! Criterion performance benches for the simulation substrate: state-vector
+//! gate application, density-matrix channels, sampling, energy estimation,
+//! SPSA proposals, and the QISMET controller decision.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use qismet::{decide, TransientEstimate};
+use qismet_mathkit::rng_from_seed;
+use qismet_optim::{GainSchedule, Proposer, Spsa};
+use qismet_qsim::{Circuit, DensityMatrix, KrausChannel, StateVector};
+use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, Tfim};
+
+fn ghz_circuit(n: usize) -> Circuit {
+    let mut c = Circuit::new(n);
+    c.h(0);
+    for q in 0..n - 1 {
+        c.cx(q, q + 1);
+    }
+    c
+}
+
+fn bench_statevector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("statevector");
+    for n in [6usize, 10] {
+        let ansatz = Ansatz::new(AnsatzKind::EfficientSu2, n, 4, Entanglement::Linear);
+        let params: Vec<f64> = (0..ansatz.n_params()).map(|k| 0.1 * k as f64).collect();
+        let bound = ansatz.bind(&params).unwrap();
+        group.bench_function(format!("su2_reps4_{n}q"), |b| {
+            b.iter(|| StateVector::from_circuit(&bound).unwrap())
+        });
+    }
+    let h = Tfim::paper_6q().hamiltonian();
+    let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 4, Entanglement::Linear);
+    let bound = ansatz.bind(&vec![0.3; ansatz.n_params()]).unwrap();
+    let sv = StateVector::from_circuit(&bound).unwrap();
+    group.bench_function("tfim6_expectation", |b| b.iter(|| sv.expectation(&h)));
+    let mut rng = rng_from_seed(1);
+    group.bench_function("sample_8192_shots_6q", |b| {
+        b.iter(|| sv.sample_counts(&mut rng, 8192))
+    });
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density_matrix");
+    let circuit = ghz_circuit(6);
+    group.bench_function("ghz6_unitary", |b| {
+        b.iter(|| DensityMatrix::from_circuit(&circuit).unwrap())
+    });
+    let ch = KrausChannel::thermal_relaxation(300.0, 100_000.0, 80_000.0).unwrap();
+    group.bench_function("thermal_channel_6q", |b| {
+        b.iter_batched(
+            || DensityMatrix::from_circuit(&circuit).unwrap(),
+            |mut rho| {
+                rho.apply_channel(&ch, &[3]).unwrap();
+                rho
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_vqa_stack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vqa_stack");
+    let h = Tfim::paper_6q().hamiltonian();
+    group.bench_function("tfim6_ground_energy_dense", |b| {
+        b.iter(|| h.ground_energy().unwrap())
+    });
+    let mut spsa = Spsa::new(30, GainSchedule::vqa_paper(), 3);
+    let theta = vec![0.2; 30];
+    group.bench_function("spsa_proposal_quadratic", |b| {
+        b.iter(|| {
+            let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+            spsa.propose(&theta, &mut f)
+        })
+    });
+    group.bench_function("controller_decision", |b| {
+        b.iter(|| {
+            let est = TransientEstimate::new(-1.0, -0.7, -0.5);
+            decide(&est, 0.05)
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
+    targets = bench_statevector, bench_density, bench_vqa_stack
+}
+criterion_main!(benches);

@@ -1,0 +1,358 @@
+//! Shared harness utilities for the per-figure/table benchmark binaries.
+//!
+//! Every figure and table in the paper's evaluation has a bench target in
+//! `benches/` that prints the corresponding series/rows and writes a CSV
+//! under `target/paper_results/`. This crate hosts the common machinery:
+//! scheme runners, table printing, CSV output, and the iteration-scale
+//! control (`QISMET_BENCH_SCALE`) for quick smoke runs.
+
+use qismet::{run_filtered_baseline, run_only_transients_budgeted, run_qismet_budgeted, QismetConfig};
+use qismet_filters::{KalmanFilter, OnlyTransientsPolicy};
+use qismet_optim::{BlockingPolicy, GainSchedule, SecondOrderSpsa, Spsa};
+use qismet_vqa::{run_tuning, AppInstance, AppSpec, NoisyObjective, TuningScheme};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Scale factor for iteration counts, read from `QISMET_BENCH_SCALE`
+/// (e.g. `0.1` for a 10x faster smoke run). Defaults to 1.
+pub fn bench_scale() -> f64 {
+    std::env::var("QISMET_BENCH_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|v| *v > 0.0)
+        .unwrap_or(1.0)
+}
+
+/// Applies the bench scale to an iteration count (minimum 20).
+pub fn scaled(iterations: usize) -> usize {
+    ((iterations as f64 * bench_scale()) as usize).max(20)
+}
+
+/// Trailing window used for "final expectation" summaries: 5% of the run,
+/// at least 10 iterations.
+pub fn final_window(iterations: usize) -> usize {
+    (iterations / 20).max(10)
+}
+
+/// The comparison schemes of Section 6.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// Traditional VQA (measurement-error-mitigated, no transient handling).
+    Baseline,
+    /// QISMET at the paper's default 90p threshold.
+    Qismet,
+    /// QISMET-conservative (99p).
+    QismetConservative,
+    /// QISMET-aggressive (75p).
+    QismetAggressive,
+    /// Blocking SPSA.
+    Blocking,
+    /// Resampling SPSA (2 gradient samples).
+    Resampling,
+    /// 2nd-order SPSA.
+    SecondOrder,
+    /// Best Kalman instance from the Fig. 16 grid (oracle-tuned).
+    KalmanBest,
+    /// Only-Transients skipping at a percentile.
+    OnlyTransients(u32),
+}
+
+impl Scheme {
+    /// Display name.
+    pub fn name(self) -> String {
+        match self {
+            Scheme::Baseline => "Baseline".into(),
+            Scheme::Qismet => "QISMET".into(),
+            Scheme::QismetConservative => "QISMET-conservative (99p)".into(),
+            Scheme::QismetAggressive => "QISMET-aggressive (75p)".into(),
+            Scheme::Blocking => "Blocking".into(),
+            Scheme::Resampling => "Resampling".into(),
+            Scheme::SecondOrder => "2nd-order".into(),
+            Scheme::KalmanBest => "Kalman (Best)".into(),
+            Scheme::OnlyTransients(p) => format!("Only-transients {p}p"),
+        }
+    }
+}
+
+/// Outcome of one scheme run.
+#[derive(Debug, Clone)]
+pub struct SchemeOutcome {
+    /// Scheme identity.
+    pub scheme: Scheme,
+    /// Per-iteration measured (or filtered, for Kalman) energies.
+    pub series: Vec<f64>,
+    /// Final energy (trailing-window mean of `series`).
+    pub final_energy: f64,
+    /// Quantum jobs consumed.
+    pub jobs: usize,
+    /// Circuit-level evaluations consumed.
+    pub evals: u64,
+    /// Skipped/rejected attempts.
+    pub skips: usize,
+}
+
+fn fresh_app(spec: &AppSpec, iterations: usize, magnitude: Option<f64>, seed: u64) -> AppInstance {
+    // Trace capacity: every iteration may burn 1 + retry_budget jobs.
+    let capacity = iterations * 7 + 16;
+    spec.build(capacity, magnitude, seed)
+}
+
+fn spsa_for(app: &AppInstance, seed: u64) -> Spsa {
+    Spsa::new(app.theta0.len(), GainSchedule::vqa_paper(), seed)
+}
+
+/// Runs one scheme on a fresh instance of `spec` (same seed => same
+/// transient trace and theta0 across schemes, so results are directly
+/// comparable).
+pub fn run_scheme(
+    spec: &AppSpec,
+    scheme: Scheme,
+    iterations: usize,
+    magnitude: Option<f64>,
+    seed: u64,
+) -> SchemeOutcome {
+    let window = final_window(iterations);
+    let mut app = fresh_app(spec, iterations, magnitude, seed);
+    let opt_seed = qismet_mathkit::derive_seed(seed, 0xa11);
+    match scheme {
+        Scheme::Baseline => {
+            let mut spsa = spsa_for(&app, opt_seed);
+            let rec = run_tuning(
+                &mut spsa,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                TuningScheme::Baseline,
+            );
+            outcome(scheme, rec.measured.clone(), window, rec.jobs, rec.evals, 0)
+        }
+        Scheme::Qismet | Scheme::QismetConservative | Scheme::QismetAggressive => {
+            let cfg = match scheme {
+                Scheme::QismetConservative => QismetConfig::conservative(),
+                Scheme::QismetAggressive => QismetConfig::aggressive(),
+                _ => QismetConfig::paper_default(),
+            };
+            let mut spsa = spsa_for(&app, opt_seed);
+            // Job-budgeted: skipped (repeated) jobs consume the same device
+            // budget as productive iterations, as in the paper's accounting.
+            let rec = run_qismet_budgeted(
+                &mut spsa,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                iterations + 1,
+                cfg,
+            );
+            outcome(
+                scheme,
+                rec.record.measured.clone(),
+                window,
+                rec.record.jobs,
+                rec.record.evals,
+                rec.skips,
+            )
+        }
+        Scheme::Blocking => {
+            let mut spsa = spsa_for(&app, opt_seed);
+            let rec = run_tuning(
+                &mut spsa,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                TuningScheme::Blocking(BlockingPolicy::adaptive(0.05)),
+            );
+            outcome(
+                scheme,
+                rec.measured.clone(),
+                window,
+                rec.jobs,
+                rec.evals,
+                rec.rejected,
+            )
+        }
+        Scheme::Resampling => {
+            let mut spsa = Spsa::with_resampling(
+                app.theta0.len(),
+                GainSchedule::vqa_paper(),
+                opt_seed,
+                2,
+            );
+            let rec = run_tuning(
+                &mut spsa,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                TuningScheme::Baseline,
+            );
+            outcome(scheme, rec.measured.clone(), window, rec.jobs, rec.evals, 0)
+        }
+        Scheme::SecondOrder => {
+            let mut opt =
+                SecondOrderSpsa::new(app.theta0.len(), GainSchedule::vqa_paper(), opt_seed);
+            let rec = run_tuning(
+                &mut opt,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                TuningScheme::Baseline,
+            );
+            outcome(scheme, rec.measured.clone(), window, rec.jobs, rec.evals, 0)
+        }
+        Scheme::KalmanBest => {
+            let mut best: Option<SchemeOutcome> = None;
+            for filter in KalmanFilter::fig16_grid() {
+                let out = run_kalman_instance(spec, filter, iterations, magnitude, seed);
+                if best
+                    .as_ref()
+                    .map(|b| out.final_energy < b.final_energy)
+                    .unwrap_or(true)
+                {
+                    best = Some(out);
+                }
+            }
+            let mut b = best.expect("non-empty grid");
+            b.scheme = Scheme::KalmanBest;
+            b
+        }
+        Scheme::OnlyTransients(pct) => {
+            let mut spsa = spsa_for(&app, opt_seed);
+            let rec = run_only_transients_budgeted(
+                &mut spsa,
+                &mut app.objective,
+                app.theta0.clone(),
+                iterations,
+                iterations + 1,
+                OnlyTransientsPolicy::new(pct as f64),
+                5,
+            );
+            outcome(
+                scheme,
+                rec.record.measured.clone(),
+                window,
+                rec.record.jobs,
+                rec.record.evals,
+                rec.skips,
+            )
+        }
+    }
+}
+
+/// Runs one specific Kalman instance (for the Fig. 16 grid plot).
+pub fn run_kalman_instance(
+    spec: &AppSpec,
+    mut filter: KalmanFilter,
+    iterations: usize,
+    magnitude: Option<f64>,
+    seed: u64,
+) -> SchemeOutcome {
+    let window = final_window(iterations);
+    let mut app = fresh_app(spec, iterations, magnitude, seed);
+    let opt_seed = qismet_mathkit::derive_seed(seed, 0xa11);
+    let mut spsa = spsa_for(&app, opt_seed);
+    let (rec, filtered) = run_filtered_baseline(
+        &mut spsa,
+        &mut app.objective,
+        app.theta0.clone(),
+        iterations,
+        &mut filter,
+    );
+    outcome(Scheme::KalmanBest, filtered, window, rec.jobs, rec.evals, 0)
+}
+
+fn outcome(
+    scheme: Scheme,
+    series: Vec<f64>,
+    window: usize,
+    jobs: usize,
+    evals: u64,
+    skips: usize,
+) -> SchemeOutcome {
+    let n = series.len();
+    let final_energy = qismet_mathkit::mean(&series[n.saturating_sub(window)..]);
+    SchemeOutcome {
+        scheme,
+        series,
+        final_energy,
+        jobs,
+        evals,
+        skips,
+    }
+}
+
+/// Exposes the underlying noisy objective for custom harnesses.
+pub fn build_objective(
+    spec: &AppSpec,
+    iterations: usize,
+    magnitude: Option<f64>,
+    seed: u64,
+) -> NoisyObjective {
+    fresh_app(spec, iterations, magnitude, seed).objective
+}
+
+/// Directory where harnesses drop their CSV artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/paper_results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file under [`results_dir`].
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("[csv] wrote {}", path.display());
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Downsamples a series to at most ~`points` entries for compact printing.
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let stride = (series.len() / points).max(1);
+    series
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == series.len() - 1)
+        .map(|(i, &v)| (i, v))
+        .collect()
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a ratio with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}

@@ -1,0 +1,141 @@
+//! STO-3G basis functions for hydrogen.
+//!
+//! Each atomic orbital is a contraction of three s-type Gaussian primitives.
+//! The exponents/coefficients below are the standard STO-3G hydrogen values
+//! (zeta = 1.24), the same basis the quantum-chemistry references for the
+//! H2-on-a-quantum-computer experiments use.
+
+/// One s-type Gaussian primitive `N * exp(-alpha * r^2)` with its
+/// normalization constant folded in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Primitive {
+    /// Gaussian exponent (bohr^-2).
+    pub alpha: f64,
+    /// Contraction coefficient times the primitive normalization constant.
+    pub coeff: f64,
+}
+
+/// A contracted s-type Gaussian basis function centered on an atom.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BasisFunction {
+    /// Center in bohr (3D).
+    pub center: [f64; 3],
+    /// The contracted primitives, each with normalization folded in.
+    pub primitives: Vec<Primitive>,
+}
+
+/// Standard STO-3G exponents for hydrogen (zeta = 1.24).
+pub const STO3G_H_EXPONENTS: [f64; 3] = [3.425_250_91, 0.623_913_73, 0.168_855_40];
+
+/// Standard STO-3G contraction coefficients for hydrogen.
+pub const STO3G_H_COEFFS: [f64; 3] = [0.154_328_97, 0.535_328_14, 0.444_634_54];
+
+impl BasisFunction {
+    /// Builds the STO-3G hydrogen 1s function at `center` (bohr).
+    ///
+    /// Primitives are individually normalized ((2a/pi)^(3/4)) and the
+    /// contraction is renormalized so `<chi|chi> = 1`.
+    pub fn sto3g_hydrogen(center: [f64; 3]) -> Self {
+        let mut primitives: Vec<Primitive> = STO3G_H_EXPONENTS
+            .iter()
+            .zip(STO3G_H_COEFFS.iter())
+            .map(|(&alpha, &c)| Primitive {
+                alpha,
+                coeff: c * (2.0 * alpha / std::f64::consts::PI).powf(0.75),
+            })
+            .collect();
+        // Renormalize the contraction.
+        let mut s = 0.0;
+        for a in &primitives {
+            for b in &primitives {
+                s += a.coeff * b.coeff * primitive_overlap(a.alpha, b.alpha, 0.0);
+            }
+        }
+        let norm = 1.0 / s.sqrt();
+        for p in &mut primitives {
+            p.coeff *= norm;
+        }
+        BasisFunction { center, primitives }
+    }
+
+    /// Squared distance to another function's center.
+    pub fn dist_sqr(&self, other: &BasisFunction) -> f64 {
+        dist_sqr(self.center, other.center)
+    }
+}
+
+/// Squared Euclidean distance between two points.
+pub fn dist_sqr(a: [f64; 3], b: [f64; 3]) -> f64 {
+    (a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)
+}
+
+/// Gaussian product center `P = (alpha A + beta B) / (alpha + beta)`.
+pub fn gaussian_product_center(
+    alpha: f64,
+    a: [f64; 3],
+    beta: f64,
+    b: [f64; 3],
+) -> [f64; 3] {
+    let p = alpha + beta;
+    [
+        (alpha * a[0] + beta * b[0]) / p,
+        (alpha * a[1] + beta * b[1]) / p,
+        (alpha * a[2] + beta * b[2]) / p,
+    ]
+}
+
+/// Unnormalized overlap of two s-primitives separated by `r2 = |A-B|^2`:
+/// `(pi / (alpha+beta))^(3/2) * exp(-alpha*beta/(alpha+beta) * r2)`.
+pub fn primitive_overlap(alpha: f64, beta: f64, r2: f64) -> f64 {
+    let p = alpha + beta;
+    let mu = alpha * beta / p;
+    (std::f64::consts::PI / p).powf(1.5) * (-mu * r2).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn contracted_function_is_normalized() {
+        let chi = BasisFunction::sto3g_hydrogen([0.0; 3]);
+        let mut s = 0.0;
+        for a in &chi.primitives {
+            for b in &chi.primitives {
+                s += a.coeff * b.coeff * primitive_overlap(a.alpha, b.alpha, 0.0);
+            }
+        }
+        assert!((s - 1.0).abs() < 1e-12, "self-overlap {s}");
+    }
+
+    #[test]
+    fn product_center_between_atoms() {
+        let p = gaussian_product_center(1.0, [0.0; 3], 1.0, [0.0, 0.0, 2.0]);
+        assert_eq!(p, [0.0, 0.0, 1.0]);
+        let p = gaussian_product_center(3.0, [0.0; 3], 1.0, [0.0, 0.0, 4.0]);
+        assert_eq!(p, [0.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn distance_helper() {
+        assert_eq!(dist_sqr([0.0; 3], [3.0, 4.0, 0.0]), 25.0);
+        let a = BasisFunction::sto3g_hydrogen([0.0; 3]);
+        let b = BasisFunction::sto3g_hydrogen([0.0, 0.0, 1.4]);
+        assert!((a.dist_sqr(&b) - 1.96).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_decays_with_distance() {
+        let near = primitive_overlap(0.5, 0.5, 1.0);
+        let far = primitive_overlap(0.5, 0.5, 9.0);
+        assert!(near > far);
+        assert!(far > 0.0);
+    }
+
+    #[test]
+    fn sto3g_constants_match_reference() {
+        // Guard against accidental edits to the tabulated basis.
+        assert!((STO3G_H_EXPONENTS[0] - 3.42525091).abs() < 1e-8);
+        assert!((STO3G_H_COEFFS[2] - 0.44463454).abs() < 1e-8);
+    }
+}

@@ -1,0 +1,231 @@
+//! Full configuration interaction for H2 in a minimal basis.
+//!
+//! Two electrons in two molecular orbitals: the Sz = 0 determinant space is
+//! four-dimensional and FCI is a 4x4 symmetric eigenproblem. This provides
+//! the exact (within the basis) ground energy that both the Jordan-Wigner
+//! qubit Hamiltonian and the VQE must reproduce.
+
+use crate::integrals::H2Integrals;
+use crate::scf::{run_rhf, ScfError, ScfSolution};
+use qismet_mathkit::{sym_eig, RMatrix};
+
+/// Molecular-orbital integrals for the 2-orbital problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoIntegrals {
+    /// One-electron integrals `h_pq` in the MO basis.
+    pub h: [[f64; 2]; 2],
+    /// Two-electron integrals `(pq|rs)` (chemist notation) in the MO basis.
+    pub eri: [[[[f64; 2]; 2]; 2]; 2],
+    /// Nuclear repulsion.
+    pub e_nuc: f64,
+}
+
+/// Transforms AO integrals into the MO basis using SCF coefficients.
+pub fn transform_to_mo(ints: &H2Integrals, scf: &ScfSolution) -> MoIntegrals {
+    let c = scf.mo_coeffs;
+    let mut h = [[0.0; 2]; 2];
+    for p in 0..2 {
+        for q in 0..2 {
+            let mut acc = 0.0;
+            for mu in 0..2 {
+                for nu in 0..2 {
+                    acc += c[mu][p] * c[nu][q] * ints.hcore[mu][nu];
+                }
+            }
+            h[p][q] = acc;
+        }
+    }
+    let mut eri = [[[[0.0; 2]; 2]; 2]; 2];
+    for p in 0..2 {
+        for q in 0..2 {
+            for r in 0..2 {
+                for s in 0..2 {
+                    let mut acc = 0.0;
+                    for mu in 0..2 {
+                        for nu in 0..2 {
+                            for la in 0..2 {
+                                for si in 0..2 {
+                                    acc += c[mu][p]
+                                        * c[nu][q]
+                                        * c[la][r]
+                                        * c[si][s]
+                                        * ints.eri[mu][nu][la][si];
+                                }
+                            }
+                        }
+                    }
+                    eri[p][q][r][s] = acc;
+                }
+            }
+        }
+    }
+    MoIntegrals {
+        h,
+        eri,
+        e_nuc: ints.e_nuc,
+    }
+}
+
+/// FCI solution for the 2-electron / 2-orbital problem.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FciSolution {
+    /// Total ground-state energy (electronic + nuclear), hartree.
+    pub energy: f64,
+    /// All four Sz = 0 eigenvalues (total energies), ascending.
+    pub spectrum: [f64; 4],
+    /// Correlation energy relative to the provided SCF solution.
+    pub correlation: f64,
+}
+
+/// Runs FCI on top of a converged SCF solution.
+///
+/// Determinant basis (spin orbitals `1a, 1b, 2a, 2b`):
+/// `D1 = |1a 1b|`, `D2 = |1a 2b|`, `D3 = |2a 1b|`, `D4 = |2a 2b|`.
+/// Matrix elements follow the Slater-Condon rules; for the homonuclear H2
+/// case the `h_12`-type couplings vanish by symmetry and the spectrum is
+/// insensitive to the determinant phase convention.
+pub fn run_fci(mo: &MoIntegrals, scf: &ScfSolution) -> FciSolution {
+    let h = &mo.h;
+    let g = &mo.eri;
+    let j11 = g[0][0][0][0];
+    let j22 = g[1][1][1][1];
+    let j12 = g[0][0][1][1];
+    let k12 = g[0][1][0][1];
+    let s12 = h[0][1] + g[0][1][0][0]; // single-excitation coupling, beta
+    let s12p = h[0][1] + g[0][1][1][1];
+
+    let d1 = 2.0 * h[0][0] + j11;
+    let d2 = h[0][0] + h[1][1] + j12;
+    let d4 = 2.0 * h[1][1] + j22;
+
+    let m = RMatrix::from_rows(&[
+        &[d1, s12, s12, k12],
+        &[s12, d2, k12, s12p],
+        &[s12, k12, d2, s12p],
+        &[k12, s12p, s12p, d4],
+    ]);
+    let eig = sym_eig(&m).expect("4x4 symmetric CI matrix");
+    let spectrum = [
+        eig.values[0] + mo.e_nuc,
+        eig.values[1] + mo.e_nuc,
+        eig.values[2] + mo.e_nuc,
+        eig.values[3] + mo.e_nuc,
+    ];
+    FciSolution {
+        energy: spectrum[0],
+        spectrum,
+        correlation: spectrum[0] - scf.energy,
+    }
+}
+
+/// Convenience: integrals -> SCF -> FCI in one call.
+///
+/// # Errors
+///
+/// Propagates SCF failures.
+pub fn fci_from_integrals(ints: &H2Integrals) -> Result<(ScfSolution, MoIntegrals, FciSolution), ScfError> {
+    let scf = run_rhf(ints)?;
+    let mo = transform_to_mo(ints, &scf);
+    let fci = run_fci(&mo, &scf);
+    Ok((scf, mo, fci))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrals::h2_integrals;
+
+    #[test]
+    fn mo_one_electron_offdiagonal_vanishes_by_symmetry() {
+        let ints = h2_integrals(1.4);
+        let scf = run_rhf(&ints).unwrap();
+        let mo = transform_to_mo(&ints, &scf);
+        // Bonding/antibonding have opposite parity: h12 = 0.
+        assert!(mo.h[0][1].abs() < 1e-8, "h12 = {}", mo.h[0][1]);
+        // Odd ERIs vanish too.
+        assert!(mo.eri[0][1][0][0].abs() < 1e-8);
+        assert!(mo.eri[0][1][1][1].abs() < 1e-8);
+    }
+
+    #[test]
+    fn fci_energy_at_equilibrium() {
+        // Literature: E_FCI(H2, STO-3G, R = 1.4 bohr) ~ -1.1372 Ha
+        // (correlation ~ -20.5 mHa on top of RHF -1.1167).
+        let ints = h2_integrals(1.4);
+        let (scf, mo, fci) = fci_from_integrals(&ints).unwrap();
+        assert!(
+            (fci.energy + 1.1372).abs() < 2e-3,
+            "E_FCI = {}",
+            fci.energy
+        );
+        assert!(fci.correlation < 0.0, "correlation must lower the energy");
+        assert!(
+            (fci.correlation + 0.0205).abs() < 3e-3,
+            "E_corr = {}",
+            fci.correlation
+        );
+        assert!(fci.energy < scf.energy);
+        let _ = mo;
+    }
+
+    #[test]
+    fn fci_dissociates_to_two_hydrogen_atoms() {
+        // STO-3G hydrogen atom energy is -0.4666 Ha; FCI H2 at large R must
+        // approach 2 * -0.4666 = -0.9332 Ha (RHF famously does not).
+        let ints = h2_integrals(12.0);
+        let (scf, _, fci) = fci_from_integrals(&ints).unwrap();
+        assert!(
+            (fci.energy + 0.9332).abs() < 3e-3,
+            "E_FCI(inf) = {}",
+            fci.energy
+        );
+        assert!(scf.energy > fci.energy + 0.1, "RHF should overshoot");
+    }
+
+    #[test]
+    fn spectrum_is_sorted_and_contains_triplet() {
+        let ints = h2_integrals(1.4);
+        let (scf, mo, fci) = fci_from_integrals(&ints).unwrap();
+        for k in 1..4 {
+            assert!(fci.spectrum[k] >= fci.spectrum[k - 1]);
+        }
+        // The triplet energy h11 + h22 + J12 - K12 must appear in the
+        // spectrum (as an eigenvalue of the middle block).
+        let expected_triplet = mo.h[0][0] + mo.h[1][1] + mo.eri[0][0][1][1]
+            - mo.eri[0][1][0][1]
+            + mo.e_nuc;
+        let found = fci
+            .spectrum
+            .iter()
+            .any(|&e| (e - expected_triplet).abs() < 1e-8);
+        assert!(found, "triplet {expected_triplet} not in {:?}", fci.spectrum);
+        let _ = scf;
+    }
+
+    #[test]
+    fn correlation_grows_with_bond_stretch() {
+        let short = fci_from_integrals(&h2_integrals(1.0)).unwrap().2;
+        let long = fci_from_integrals(&h2_integrals(3.0)).unwrap().2;
+        assert!(long.correlation < short.correlation, "stretch increases correlation");
+    }
+
+    #[test]
+    fn fci_minimum_near_equilibrium_bond() {
+        let rs = [1.1, 1.2, 1.3, 1.35, 1.4, 1.45, 1.5, 1.7, 2.0];
+        let es: Vec<f64> = rs
+            .iter()
+            .map(|&r| fci_from_integrals(&h2_integrals(r)).unwrap().2.energy)
+            .collect();
+        let (imin, _) = es
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Minimum near 1.35-1.45 bohr (~0.71-0.77 angstrom).
+        assert!(
+            (1.3..=1.5).contains(&rs[imin]),
+            "minimum at {} bohr",
+            rs[imin]
+        );
+    }
+}

@@ -1,0 +1,110 @@
+//! QISMET configuration.
+
+use crate::threshold::SkipTarget;
+use serde::{Deserialize, Serialize};
+
+/// Tunable parameters of the QISMET framework (Section 8.1 names exactly
+/// two: the error threshold and the retry budget).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QismetConfig {
+    /// Target skip rate, realized as a |Tm| percentile threshold.
+    pub skip_target: SkipTarget,
+    /// Maximum repetitions of a rejected iteration before force-accepting
+    /// ("max-out"); the paper fixes this to 5.
+    pub retry_budget: usize,
+    /// Controller warmup: iterations accepted unconditionally while the
+    /// threshold calibrates.
+    pub warmup: usize,
+}
+
+impl QismetConfig {
+    /// The paper's evaluated configuration: skip at most 10% (`90p`), retry
+    /// budget 5.
+    pub fn paper_default() -> Self {
+        QismetConfig {
+            skip_target: SkipTarget::Best,
+            retry_budget: 5,
+            warmup: 16,
+        }
+    }
+
+    /// QISMET-conservative (`99p`, at most ~1% skips).
+    pub fn conservative() -> Self {
+        QismetConfig {
+            skip_target: SkipTarget::Conservative,
+            ..Self::paper_default()
+        }
+    }
+
+    /// QISMET-aggressive (`75p`, at most ~25% skips).
+    pub fn aggressive() -> Self {
+        QismetConfig {
+            skip_target: SkipTarget::Aggressive,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Validates ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.retry_budget == 0 {
+            return Err("retry_budget must be at least 1".into());
+        }
+        if let SkipTarget::Custom(f) = self.skip_target {
+            if !(0.0..1.0).contains(&f) || f <= 0.0 {
+                return Err("custom skip fraction must be in (0, 1)".into());
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for QismetConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_values() {
+        let c = QismetConfig::paper_default();
+        assert_eq!(c.retry_budget, 5);
+        assert_eq!(c.skip_target, SkipTarget::Best);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn presets_differ_in_target_only() {
+        let a = QismetConfig::conservative();
+        let b = QismetConfig::aggressive();
+        assert_eq!(a.retry_budget, b.retry_budget);
+        assert_ne!(a.skip_target, b.skip_target);
+    }
+
+    #[test]
+    fn validation() {
+        let mut c = QismetConfig::paper_default();
+        c.retry_budget = 0;
+        assert!(c.validate().is_err());
+        let mut c = QismetConfig::paper_default();
+        c.skip_target = SkipTarget::Custom(1.5);
+        assert!(c.validate().is_err());
+        c.skip_target = SkipTarget::Custom(0.1);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = QismetConfig::aggressive();
+        let json = serde_json::to_string(&c).unwrap();
+        let back: QismetConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(c, back);
+    }
+}

@@ -1,0 +1,193 @@
+//! The gradient-faithful QISMET controller (paper Fig. 9).
+//!
+//! An iteration is accepted only when the machine-observed gradient `Gm` and
+//! the predicted transient-free gradient `Gp` point the same way — scenarios
+//! (a), (b), (d), (e) of Fig. 9 — or when both gradients sit inside the
+//! error-threshold band (the shaded region, which "avoids frequent skipping
+//! on less impacting transients"). Direction flips — scenarios (c) and (f) —
+//! are rejected: they would let a truly bad configuration be perceived as
+//! good, or vice versa.
+
+use crate::estimator::TransientEstimate;
+
+/// Why the controller decided the way it did (Fig. 9 scenario labels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecisionReason {
+    /// (a)/(b): both gradients positive — direction preserved.
+    BothPositive,
+    /// (d)/(e): both gradients negative — direction preserved.
+    BothNegative,
+    /// Shaded band: both gradients within the threshold region.
+    WithinThreshold,
+    /// (c): machine says worse, prediction says better — a good
+    /// configuration would be discarded.
+    FlipGoodHiddenAsBad,
+    /// (f): machine says better, prediction says worse — a bad
+    /// configuration would be adopted.
+    FlipBadDisguisedAsGood,
+}
+
+/// The controller's verdict on one iteration attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decision {
+    /// Accept the iteration?
+    pub accept: bool,
+    /// Which Fig. 9 scenario produced the verdict.
+    pub reason: DecisionReason,
+    /// The transient estimate magnitude that informed the verdict.
+    pub tm: f64,
+}
+
+/// Decides acceptance for a transient estimate under an error threshold.
+///
+/// `threshold` is the half-width of the always-accept band: gradients with
+/// magnitude at most `threshold` are treated as direction-neutral. A
+/// non-finite threshold (calibration warmup) accepts everything.
+///
+/// # Examples
+///
+/// ```
+/// use qismet::{decide, TransientEstimate};
+/// // Machine sees +0.5, prediction says -0.3: scenario (f), reject.
+/// let est = TransientEstimate::new(-1.0, -0.2, -0.5);
+/// let d = decide(&est, 0.05);
+/// assert!(!d.accept);
+/// ```
+pub fn decide(est: &TransientEstimate, threshold: f64) -> Decision {
+    let gm = est.gm();
+    let gp = est.gp();
+    let tm = est.tm();
+    if !threshold.is_finite() {
+        return Decision {
+            accept: true,
+            reason: DecisionReason::WithinThreshold,
+            tm,
+        };
+    }
+    let thr = threshold.max(0.0);
+    // Classify each gradient: positive / negative / inside the band.
+    let gm_pos = gm > thr;
+    let gm_neg = gm < -thr;
+    let gp_pos = gp > thr;
+    let gp_neg = gp < -thr;
+
+    if !gm_pos && !gm_neg && !gp_pos && !gp_neg {
+        return Decision {
+            accept: true,
+            reason: DecisionReason::WithinThreshold,
+            tm,
+        };
+    }
+    if gm_pos && gp_neg {
+        // Machine perceives worsening but prediction says the candidate is
+        // truly good: accepting the *energy estimate* would mislabel a good
+        // configuration — Fig. 9 (c).
+        return Decision {
+            accept: false,
+            reason: DecisionReason::FlipGoodHiddenAsBad,
+            tm,
+        };
+    }
+    if gm_neg && gp_pos {
+        // Fig. 9 (f): a truly bad configuration perceived as good.
+        return Decision {
+            accept: false,
+            reason: DecisionReason::FlipBadDisguisedAsGood,
+            tm,
+        };
+    }
+    // Directions agree (one of them may be inside the band, which counts as
+    // agreement).
+    let reason = if gm_pos || gp_pos {
+        DecisionReason::BothPositive
+    } else {
+        DecisionReason::BothNegative
+    };
+    Decision {
+        accept: true,
+        reason,
+        tm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn est(gm: f64, tm: f64) -> TransientEstimate {
+        // Construct measurements with Em(i) = -1 that produce the requested
+        // Gm and Tm (then Gp = Gm - Tm).
+        TransientEstimate::new(-1.0, -1.0 + tm, -1.0 + gm)
+    }
+
+    #[test]
+    fn scenario_a_b_both_positive_accepted() {
+        // Gm = +0.5, Tm = +0.1 -> Gp = +0.4: accept.
+        let d = decide(&est(0.5, 0.1), 0.05);
+        assert!(d.accept);
+        assert_eq!(d.reason, DecisionReason::BothPositive);
+    }
+
+    #[test]
+    fn scenario_d_e_both_negative_accepted() {
+        let d = decide(&est(-0.5, -0.1), 0.05);
+        assert!(d.accept);
+        assert_eq!(d.reason, DecisionReason::BothNegative);
+    }
+
+    #[test]
+    fn scenario_c_rejected() {
+        // Machine positive, prediction negative: Gm = +0.3, Tm = +0.7 ->
+        // Gp = -0.4.
+        let d = decide(&est(0.3, 0.7), 0.05);
+        assert!(!d.accept);
+        assert_eq!(d.reason, DecisionReason::FlipGoodHiddenAsBad);
+    }
+
+    #[test]
+    fn scenario_f_rejected() {
+        // Machine negative, prediction positive: Gm = -0.3, Tm = -0.7 ->
+        // Gp = +0.4.
+        let d = decide(&est(-0.3, -0.7), 0.05);
+        assert!(!d.accept);
+        assert_eq!(d.reason, DecisionReason::FlipBadDisguisedAsGood);
+    }
+
+    #[test]
+    fn threshold_band_always_accepts() {
+        // Tiny opposing swings inside the band.
+        let d = decide(&est(0.03, 0.05), 0.1);
+        assert!(d.accept);
+        assert_eq!(d.reason, DecisionReason::WithinThreshold);
+    }
+
+    #[test]
+    fn band_edge_behavior() {
+        // Gm just above the band, Gp just below -band: reject.
+        let d = decide(&est(0.11, 0.23), 0.1);
+        assert!(!d.accept);
+        // Gm above band, Gp inside band: counts as agreement -> accept.
+        let d = decide(&est(0.2, 0.15), 0.1);
+        assert!(d.accept);
+    }
+
+    #[test]
+    fn warmup_threshold_accepts_everything() {
+        let d = decide(&est(5.0, -10.0), f64::NAN);
+        assert!(d.accept);
+    }
+
+    #[test]
+    fn larger_threshold_skips_less() {
+        // The same flip scenario, tolerated at a coarse threshold.
+        let e = est(0.3, 0.7);
+        assert!(!decide(&e, 0.05).accept);
+        assert!(decide(&e, 0.5).accept);
+    }
+
+    #[test]
+    fn decision_reports_tm() {
+        let d = decide(&est(0.2, 0.6), 0.05);
+        assert!((d.tm - 0.6).abs() < 1e-12);
+    }
+}

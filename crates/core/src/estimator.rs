@@ -1,0 +1,119 @@
+//! Transient estimation and transient-free prediction (paper Fig. 8).
+//!
+//! Job `beta` re-runs the previous iteration's circuit alongside the new
+//! iteration's circuit. With
+//!
+//! * `Em(i)`   — iteration `i`'s energy measured in its own (earlier) job,
+//! * `EmR(i)`  — the same circuit re-measured in the current job,
+//! * `Em(i+1)` — the new iteration's energy in the current job,
+//!
+//! QISMET computes
+//!
+//! ```text
+//! Gm(i+1) = Em(i+1) - Em(i)      // machine-observed gradient
+//! Tm(i+1) = EmR(i)  - Em(i)      // transient estimate
+//! Ep(i+1) = Em(i+1) - Tm(i+1)    // transient-free energy prediction
+//! Gp(i+1) = Ep(i+1) - Em(i)      // transient-free gradient prediction
+//! ```
+//!
+//! The key assumption (Section 5.1): the transient hitting the rerun of
+//! iteration `i` is (approximately) the transient hitting iteration `i+1`,
+//! because both execute in the same job — circuit `i` is "the closest
+//! possible reference circuit".
+
+/// The three energy measurements feeding one controller decision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientEstimate {
+    /// `Em(i)`: previous iteration's energy from its own job.
+    pub em_prev: f64,
+    /// `EmR(i)`: previous iteration's circuit re-measured in the current job.
+    pub em_rerun: f64,
+    /// `Em(i+1)`: current iteration's energy in the current job.
+    pub em_curr: f64,
+}
+
+impl TransientEstimate {
+    /// Bundles the three measurements.
+    pub fn new(em_prev: f64, em_rerun: f64, em_curr: f64) -> Self {
+        TransientEstimate {
+            em_prev,
+            em_rerun,
+            em_curr,
+        }
+    }
+
+    /// Machine-observed gradient `Gm(i+1) = Em(i+1) - Em(i)`.
+    pub fn gm(&self) -> f64 {
+        self.em_curr - self.em_prev
+    }
+
+    /// Transient-error estimate `Tm(i+1) = EmR(i) - Em(i)`.
+    pub fn tm(&self) -> f64 {
+        self.em_rerun - self.em_prev
+    }
+
+    /// Transient-free energy prediction `Ep(i+1) = Em(i+1) - Tm(i+1)`.
+    pub fn ep(&self) -> f64 {
+        self.em_curr - self.tm()
+    }
+
+    /// Transient-free gradient prediction `Gp(i+1) = Ep(i+1) - Em(i)`.
+    pub fn gp(&self) -> f64 {
+        self.ep() - self.em_prev
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig8_identities() {
+        let est = TransientEstimate::new(-1.0, -0.7, -0.5);
+        // Tm = EmR - Em = 0.3 (an adverse transient raised the rerun).
+        assert!((est.tm() - 0.3).abs() < 1e-12);
+        // Gm = Em(i+1) - Em(i) = 0.5.
+        assert!((est.gm() - 0.5).abs() < 1e-12);
+        // Ep = Em(i+1) - Tm = -0.8.
+        assert!((est.ep() + 0.8).abs() < 1e-12);
+        // Gp = Ep - Em(i) = 0.2.
+        assert!((est.gp() - 0.2).abs() < 1e-12);
+        // Identity: Gp = Gm - Tm.
+        assert!((est.gp() - (est.gm() - est.tm())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn no_transient_means_gm_equals_gp() {
+        let est = TransientEstimate::new(-1.0, -1.0, -1.2);
+        assert_eq!(est.tm(), 0.0);
+        assert_eq!(est.gm(), est.gp());
+    }
+
+    #[test]
+    fn transient_flips_perceived_gradient() {
+        // True improvement of -0.1 masked by a +0.4 transient: the machine
+        // sees the candidate as worse (+0.3) while the prediction recovers
+        // the improvement.
+        let em_prev = -1.0;
+        let true_improvement = -0.1;
+        let transient = 0.4;
+        let est = TransientEstimate::new(
+            em_prev,
+            em_prev + transient,
+            em_prev + true_improvement + transient,
+        );
+        assert!(est.gm() > 0.0, "machine sees worsening");
+        assert!(est.gp() < 0.0, "prediction recovers improvement");
+        assert!((est.gp() - true_improvement).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constructive_transient_detected_symmetrically() {
+        // A transient that *lowers* energies (negative Tm) can make a bad
+        // candidate look good; the predictor strips it.
+        let est = TransientEstimate::new(-1.0, -1.3, -1.2);
+        assert!(est.tm() < 0.0);
+        assert!(est.gm() < 0.0, "machine sees improvement");
+        assert!(est.gp() > 0.0, "prediction reveals worsening");
+    }
+}

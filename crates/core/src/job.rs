@@ -1,0 +1,162 @@
+//! The quantum-job model of Fig. 7.
+//!
+//! A *job* is the unit of submission to the quantum machine: a batch of
+//! independent circuits that execute close together in time and therefore
+//! share a noise environment. QISMET structures each job as
+//!
+//! * **primary** circuits — the new VQA iteration's evaluations,
+//! * **repeat** circuits — the previous iteration's circuit, re-run as the
+//!   transient reference,
+//! * **support** circuits — error-mitigation calibration circuits
+//!   (e.g. readout calibration), present in both baseline and QISMET runs.
+
+use serde::{Deserialize, Serialize};
+
+/// Role of a circuit inside a job (the colored boxes of Fig. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CircuitRole {
+    /// New iteration's circuits (orange/blue boxes).
+    Primary,
+    /// Previous iteration's repeated circuits (yellow boxes).
+    Repeat,
+    /// Error-mitigation support circuits (dark gray boxes).
+    Support,
+}
+
+/// One circuit slot in a job: the parameters it binds and its role.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitSpec {
+    /// Role inside the job.
+    pub role: CircuitRole,
+    /// Bound parameter vector (empty for parameterless support circuits).
+    pub params: Vec<f64>,
+    /// VQA iteration index this circuit belongs to.
+    pub iteration: usize,
+}
+
+/// A quantum job: an indexed batch of circuit specs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Job {
+    /// Global job index (the transient-trace key).
+    pub index: usize,
+    /// The circuits, in submission order.
+    pub circuits: Vec<CircuitSpec>,
+}
+
+impl Job {
+    /// Creates an empty job.
+    pub fn new(index: usize) -> Self {
+        Job {
+            index,
+            circuits: Vec::new(),
+        }
+    }
+
+    /// Adds a circuit and returns `self` for chaining.
+    pub fn with_circuit(mut self, role: CircuitRole, params: Vec<f64>, iteration: usize) -> Self {
+        self.circuits.push(CircuitSpec {
+            role,
+            params,
+            iteration,
+        });
+        self
+    }
+
+    /// Number of circuits with a given role.
+    pub fn count(&self, role: CircuitRole) -> usize {
+        self.circuits.iter().filter(|c| c.role == role).count()
+    }
+
+    /// Total circuits in the job.
+    pub fn len(&self) -> usize {
+        self.circuits.len()
+    }
+
+    /// `true` when the job carries no circuits.
+    pub fn is_empty(&self) -> bool {
+        self.circuits.is_empty()
+    }
+
+    /// Builds the QISMET job layout for one iteration attempt:
+    /// `n_primary` primary circuits for `iteration`, one repeat circuit for
+    /// `iteration - 1`, and `n_support` support circuits.
+    pub fn qismet_layout(
+        index: usize,
+        iteration: usize,
+        primary_params: &[Vec<f64>],
+        repeat_params: Vec<f64>,
+        n_support: usize,
+    ) -> Self {
+        let mut job = Job::new(index);
+        for p in primary_params {
+            job.circuits.push(CircuitSpec {
+                role: CircuitRole::Primary,
+                params: p.clone(),
+                iteration,
+            });
+        }
+        job.circuits.push(CircuitSpec {
+            role: CircuitRole::Repeat,
+            params: repeat_params,
+            iteration: iteration.saturating_sub(1),
+        });
+        for _ in 0..n_support {
+            job.circuits.push(CircuitSpec {
+                role: CircuitRole::Support,
+                params: Vec::new(),
+                iteration,
+            });
+        }
+        job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_counts() {
+        let job = Job::qismet_layout(
+            7,
+            3,
+            &[vec![0.1], vec![0.2], vec![0.3]],
+            vec![0.0],
+            4,
+        );
+        assert_eq!(job.index, 7);
+        assert_eq!(job.count(CircuitRole::Primary), 3);
+        assert_eq!(job.count(CircuitRole::Repeat), 1);
+        assert_eq!(job.count(CircuitRole::Support), 4);
+        assert_eq!(job.len(), 8);
+        assert!(!job.is_empty());
+    }
+
+    #[test]
+    fn repeat_points_to_previous_iteration() {
+        let job = Job::qismet_layout(0, 5, &[vec![1.0]], vec![2.0], 0);
+        let repeat = job
+            .circuits
+            .iter()
+            .find(|c| c.role == CircuitRole::Repeat)
+            .unwrap();
+        assert_eq!(repeat.iteration, 4);
+        assert_eq!(repeat.params, vec![2.0]);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let job = Job::new(1)
+            .with_circuit(CircuitRole::Primary, vec![0.5], 0)
+            .with_circuit(CircuitRole::Support, vec![], 0);
+        assert_eq!(job.len(), 2);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let job = Job::qismet_layout(2, 1, &[vec![0.1]], vec![0.2], 1);
+        let json = serde_json::to_string(&job).unwrap();
+        let back: Job = serde_json::from_str(&json).unwrap();
+        assert_eq!(job, back);
+    }
+}

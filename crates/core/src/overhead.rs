@@ -1,0 +1,111 @@
+//! Execution-overhead accounting (Section 8.3).
+//!
+//! QISMET re-runs the previous iteration's circuit in every job and repeats
+//! whole jobs on rejection, so its circuit-execution cost exceeds the
+//! baseline's. The paper's observation: the *relative* overhead shrinks when
+//! error-mitigation support circuits (which both configurations carry)
+//! dominate the job, and in transient-rich settings the avoided lost
+//! iterations more than pay for it.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-job circuit composition for overhead analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobComposition {
+    /// Circuits the optimizer itself needs per iteration (gradient
+    /// evaluations plus the candidate evaluation).
+    pub vqa_circuits: usize,
+    /// Error-mitigation support circuits per job.
+    pub support_circuits: usize,
+}
+
+/// Overhead report comparing QISMET to the baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OverheadReport {
+    /// Circuits per baseline job.
+    pub baseline_per_job: usize,
+    /// Circuits per QISMET job (adds the repeat circuit).
+    pub qismet_per_job: usize,
+    /// Total baseline circuits over the run.
+    pub baseline_total: usize,
+    /// Total QISMET circuits over the run (including retried jobs).
+    pub qismet_total: usize,
+    /// QISMET / baseline circuit ratio.
+    pub ratio: f64,
+}
+
+/// Computes the overhead for a run of `iterations` accepted iterations with
+/// `retried_jobs` extra (rejected and re-executed) jobs.
+pub fn overhead_report(
+    comp: JobComposition,
+    iterations: usize,
+    retried_jobs: usize,
+) -> OverheadReport {
+    let baseline_per_job = comp.vqa_circuits + comp.support_circuits;
+    // QISMET adds one repeat circuit per job.
+    let qismet_per_job = baseline_per_job + 1;
+    let baseline_total = baseline_per_job * iterations;
+    let qismet_total = qismet_per_job * (iterations + retried_jobs);
+    OverheadReport {
+        baseline_per_job,
+        qismet_per_job,
+        baseline_total,
+        qismet_total,
+        ratio: if baseline_total == 0 {
+            f64::NAN
+        } else {
+            qismet_total as f64 / baseline_total as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_vqa_overhead_matches_paper_bound() {
+        // Section 8.3: with a single VQA circuit and no support circuits,
+        // no skips, overhead is exactly 2x.
+        let comp = JobComposition {
+            vqa_circuits: 1,
+            support_circuits: 0,
+        };
+        let r = overhead_report(comp, 100, 0);
+        assert_eq!(r.baseline_per_job, 1);
+        assert_eq!(r.qismet_per_job, 2);
+        assert!((r.ratio - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn support_circuits_dilute_the_overhead() {
+        // With many mitigation circuits per job the relative cost drops.
+        let comp = JobComposition {
+            vqa_circuits: 3,
+            support_circuits: 64,
+        };
+        let r = overhead_report(comp, 100, 0);
+        assert!(r.ratio < 1.05, "ratio {}", r.ratio);
+    }
+
+    #[test]
+    fn retries_increase_total() {
+        let comp = JobComposition {
+            vqa_circuits: 3,
+            support_circuits: 0,
+        };
+        let none = overhead_report(comp, 100, 0);
+        let some = overhead_report(comp, 100, 10);
+        assert!(some.qismet_total > none.qismet_total);
+        assert!((some.ratio - none.ratio * 1.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_iterations_is_nan_ratio() {
+        let comp = JobComposition {
+            vqa_circuits: 1,
+            support_circuits: 0,
+        };
+        assert!(overhead_report(comp, 0, 0).ratio.is_nan());
+    }
+}

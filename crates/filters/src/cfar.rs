@@ -1,0 +1,131 @@
+//! Constant False Alarm Rate (CFAR) detection.
+//!
+//! Section 8.4 mentions CFAR — a radar technique that flags samples standing
+//! out against a locally estimated noise floor — as another classical
+//! filtering approach with the same limitation as Kalman: it detects
+//! *outliers*, not *harmful* outliers. Implemented here as a cell-averaging
+//! CFAR over a sliding window with guard cells, used by the extension
+//! benches.
+
+use std::collections::VecDeque;
+
+/// Cell-averaging CFAR detector over a trailing window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CfarDetector {
+    /// Number of training cells used to estimate the noise floor.
+    pub training_cells: usize,
+    /// Guard cells between the cell under test and the training cells.
+    pub guard_cells: usize,
+    /// Threshold multiplier over the estimated floor.
+    pub scale: f64,
+    buffer: VecDeque<f64>,
+}
+
+impl CfarDetector {
+    /// Creates a detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `training_cells == 0` or `scale <= 0`.
+    pub fn new(training_cells: usize, guard_cells: usize, scale: f64) -> Self {
+        assert!(training_cells > 0, "need at least one training cell");
+        assert!(scale > 0.0, "scale must be positive");
+        CfarDetector {
+            training_cells,
+            guard_cells,
+            scale,
+            buffer: VecDeque::new(),
+        }
+    }
+
+    /// Feeds one |sample| magnitude; returns `true` when the sample exceeds
+    /// `scale x` the trailing training-cell average (a detection).
+    pub fn detect(&mut self, magnitude: f64) -> bool {
+        let m = magnitude.abs();
+        // Noise floor from cells older than the guard region.
+        let floor = if self.buffer.len() > self.guard_cells {
+            let usable = self.buffer.len() - self.guard_cells;
+            let take = usable.min(self.training_cells);
+            let sum: f64 = self.buffer.iter().take(take).sum();
+            Some(sum / take as f64)
+        } else {
+            None
+        };
+        // Record (oldest at front, newest at back).
+        self.buffer.push_back(m);
+        let cap = self.training_cells + self.guard_cells + 1;
+        while self.buffer.len() > cap {
+            self.buffer.pop_front();
+        }
+        match floor {
+            Some(f) if f > 0.0 => m > self.scale * f,
+            _ => false,
+        }
+    }
+
+    /// Clears all history.
+    pub fn reset(&mut self) {
+        self.buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::rng_from_seed;
+    use rand::Rng;
+
+    #[test]
+    fn detects_spike_over_flat_floor() {
+        let mut cfar = CfarDetector::new(16, 2, 4.0);
+        for _ in 0..32 {
+            assert!(!cfar.detect(1.0));
+        }
+        assert!(cfar.detect(10.0));
+        // The spike sits in the guard region now; floor still ~1.
+        assert!(!cfar.detect(1.2));
+    }
+
+    #[test]
+    fn false_alarm_rate_is_low_on_uniform_noise() {
+        let mut cfar = CfarDetector::new(24, 2, 5.0);
+        let mut rng = rng_from_seed(8);
+        let mut alarms = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if cfar.detect(rng.gen::<f64>()) {
+                alarms += 1;
+            }
+        }
+        let rate = alarms as f64 / n as f64;
+        assert!(rate < 0.01, "false alarm rate {rate}");
+    }
+
+    #[test]
+    fn adapts_to_floor_level() {
+        let mut cfar = CfarDetector::new(16, 2, 3.0);
+        // High floor: a value of 10 is not anomalous.
+        for _ in 0..32 {
+            cfar.detect(8.0);
+        }
+        assert!(!cfar.detect(10.0));
+        cfar.reset();
+        // Low floor: 10 is anomalous.
+        for _ in 0..32 {
+            cfar.detect(0.5);
+        }
+        assert!(cfar.detect(10.0));
+    }
+
+    #[test]
+    fn no_detection_before_history() {
+        let mut cfar = CfarDetector::new(8, 2, 3.0);
+        assert!(!cfar.detect(100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "training cell")]
+    fn zero_training_rejected() {
+        let _ = CfarDetector::new(0, 1, 3.0);
+    }
+}

@@ -1,0 +1,223 @@
+//! Scalar Kalman filter — the classical-filtering comparison of
+//! Sections 5.3 / 7.4.
+//!
+//! The paper parameterizes the filter by a **Transition Coefficient (T)** —
+//! "a linear estimation of the slope of the noise-free curve" — and a
+//! **Measurement Variance (MV)**. The state is the (unknown) transient-free
+//! objective value; each VQA iteration's measured energy is a noisy
+//! observation. As the paper argues, the filter treats all measurement
+//! variance identically — it cannot distinguish a harmful gradient-flipping
+//! transient from a benign one, which is why it underperforms QISMET.
+
+use crate::traits::SeriesFilter;
+
+/// Scalar Kalman filter with the paper's (T, MV) hyper-parameters.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_filters::{KalmanFilter, SeriesFilter};
+/// let mut k = KalmanFilter::new(1.0, 0.1, 1e-4);
+/// let mut est = 0.0;
+/// for _ in 0..50 {
+///     est = k.update(-1.0); // constant noisy-free signal
+/// }
+/// assert!((est + 1.0).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KalmanFilter {
+    /// Transition coefficient (paper's `T`).
+    pub transition: f64,
+    /// Measurement variance (paper's `MV`).
+    pub measurement_variance: f64,
+    /// Process noise variance `Q`.
+    pub process_variance: f64,
+    estimate: f64,
+    covariance: f64,
+    initialized: bool,
+}
+
+impl KalmanFilter {
+    /// Creates a filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `measurement_variance` or `process_variance` is not
+    /// strictly positive.
+    pub fn new(transition: f64, measurement_variance: f64, process_variance: f64) -> Self {
+        assert!(
+            measurement_variance > 0.0,
+            "measurement variance must be positive"
+        );
+        assert!(process_variance > 0.0, "process variance must be positive");
+        KalmanFilter {
+            transition,
+            measurement_variance,
+            process_variance,
+            estimate: 0.0,
+            covariance: 1.0,
+            initialized: false,
+        }
+    }
+
+    /// The paper's Fig. 16 hyper-parameter grid:
+    /// `MV in {0.01, 0.1} x T in {0.9, 0.99, 1.0}`.
+    pub fn fig16_grid() -> Vec<KalmanFilter> {
+        let mut grid = Vec::new();
+        for &mv in &[0.01, 0.1] {
+            for &t in &[0.9, 0.99, 1.0] {
+                grid.push(KalmanFilter::new(t, mv, 1e-4));
+            }
+        }
+        grid
+    }
+
+    /// Label like `"Kal (MV=.01 T=.9)"` matching the paper's legend.
+    pub fn label(&self) -> String {
+        format!(
+            "Kal (MV={} T={})",
+            trim(self.measurement_variance),
+            trim(self.transition)
+        )
+    }
+
+    /// Current state estimate.
+    pub fn estimate(&self) -> f64 {
+        self.estimate
+    }
+
+    /// Current error covariance.
+    pub fn covariance(&self) -> f64 {
+        self.covariance
+    }
+}
+
+fn trim(v: f64) -> String {
+    let s = format!("{v}");
+    if let Some(stripped) = s.strip_prefix("0.") {
+        format!(".{stripped}")
+    } else {
+        s
+    }
+}
+
+impl SeriesFilter for KalmanFilter {
+    fn update(&mut self, measurement: f64) -> f64 {
+        if !self.initialized {
+            self.estimate = measurement;
+            self.covariance = self.measurement_variance;
+            self.initialized = true;
+            return self.estimate;
+        }
+        // Predict.
+        let x_pred = self.transition * self.estimate;
+        let p_pred = self.transition * self.transition * self.covariance + self.process_variance;
+        // Update.
+        let gain = p_pred / (p_pred + self.measurement_variance);
+        self.estimate = x_pred + gain * (measurement - x_pred);
+        self.covariance = (1.0 - gain) * p_pred;
+        self.estimate
+    }
+
+    fn reset(&mut self) {
+        self.estimate = 0.0;
+        self.covariance = 1.0;
+        self.initialized = false;
+    }
+
+    fn name(&self) -> String {
+        self.label()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::{normal, rng_from_seed};
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut k = KalmanFilter::new(1.0, 0.5, 1e-5);
+        let mut rng = rng_from_seed(1);
+        let mut last = 0.0;
+        for _ in 0..500 {
+            last = k.update(-2.0 + normal(&mut rng, 0.0, 0.3));
+        }
+        assert!((last + 2.0).abs() < 0.1, "estimate {last}");
+    }
+
+    #[test]
+    fn smooths_transient_spikes() {
+        let mut k = KalmanFilter::new(1.0, 0.5, 1e-4);
+        // Settle on -1.
+        for _ in 0..100 {
+            k.update(-1.0);
+        }
+        // One huge spike.
+        let after_spike = k.update(2.0);
+        assert!(
+            after_spike < -0.5,
+            "filter should absorb the spike, got {after_spike}"
+        );
+    }
+
+    #[test]
+    fn low_mv_trusts_measurements() {
+        let mut trusting = KalmanFilter::new(1.0, 0.01, 1e-4);
+        let mut skeptical = KalmanFilter::new(1.0, 1.0, 1e-4);
+        for _ in 0..50 {
+            trusting.update(-1.0);
+            skeptical.update(-1.0);
+        }
+        let t_spike = trusting.update(1.0);
+        // Reset to compare fairly.
+        let s_spike = skeptical.update(1.0);
+        assert!(
+            t_spike > s_spike,
+            "low MV follows the spike more: {t_spike} vs {s_spike}"
+        );
+    }
+
+    #[test]
+    fn transition_below_one_decays_estimate_toward_zero() {
+        let mut k = KalmanFilter::new(0.9, 10.0, 1e-6);
+        // Feed a constant -1; huge MV means predictions dominate.
+        let mut last = 0.0;
+        for _ in 0..3 {
+            last = k.update(-1.0);
+        }
+        let settled = last;
+        // With T = 0.9 and weak measurement influence, the estimate cannot
+        // hold at -1: it is pulled toward zero each prediction.
+        assert!(settled > -1.0, "estimate {settled}");
+    }
+
+    #[test]
+    fn first_sample_initializes() {
+        let mut k = KalmanFilter::new(0.9, 0.1, 1e-4);
+        assert_eq!(k.update(-3.0), -3.0);
+    }
+
+    #[test]
+    fn reset_restores_uninitialized_state() {
+        let mut k = KalmanFilter::new(1.0, 0.1, 1e-4);
+        k.update(-5.0);
+        k.reset();
+        assert_eq!(k.update(-1.0), -1.0);
+    }
+
+    #[test]
+    fn fig16_grid_has_six_instances() {
+        let grid = KalmanFilter::fig16_grid();
+        assert_eq!(grid.len(), 6);
+        let labels: Vec<String> = grid.iter().map(|k| k.label()).collect();
+        assert!(labels.contains(&"Kal (MV=.01 T=.9)".to_string()));
+        assert!(labels.contains(&"Kal (MV=.1 T=1)".to_string()));
+    }
+
+    #[test]
+    #[should_panic(expected = "measurement variance")]
+    fn zero_mv_rejected() {
+        let _ = KalmanFilter::new(1.0, 0.0, 1e-4);
+    }
+}

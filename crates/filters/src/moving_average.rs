@@ -1,0 +1,84 @@
+//! Trailing moving-average filter (extension baseline).
+
+use crate::traits::SeriesFilter;
+use std::collections::VecDeque;
+
+/// Simple trailing moving average over a fixed window.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MovingAverageFilter {
+    window: usize,
+    buffer: VecDeque<f64>,
+    sum: f64,
+}
+
+impl MovingAverageFilter {
+    /// Creates a filter with the given window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        MovingAverageFilter {
+            window,
+            buffer: VecDeque::with_capacity(window),
+            sum: 0.0,
+        }
+    }
+}
+
+impl SeriesFilter for MovingAverageFilter {
+    fn update(&mut self, measurement: f64) -> f64 {
+        self.buffer.push_back(measurement);
+        self.sum += measurement;
+        if self.buffer.len() > self.window {
+            self.sum -= self.buffer.pop_front().expect("non-empty");
+        }
+        self.sum / self.buffer.len() as f64
+    }
+
+    fn reset(&mut self) {
+        self.buffer.clear();
+        self.sum = 0.0;
+    }
+
+    fn name(&self) -> String {
+        format!("MA({})", self.window)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averages_trailing_window() {
+        let mut f = MovingAverageFilter::new(2);
+        assert_eq!(f.update(1.0), 1.0);
+        assert_eq!(f.update(3.0), 2.0);
+        assert_eq!(f.update(5.0), 4.0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut f = MovingAverageFilter::new(3);
+        f.update(10.0);
+        f.reset();
+        assert_eq!(f.update(2.0), 2.0);
+    }
+
+    #[test]
+    fn damps_spikes_proportionally() {
+        let mut f = MovingAverageFilter::new(10);
+        for _ in 0..10 {
+            f.update(-1.0);
+        }
+        let with_spike = f.update(9.0);
+        assert!((with_spike - 0.0).abs() < 1e-12, "got {with_spike}");
+    }
+
+    #[test]
+    fn name_contains_window() {
+        assert_eq!(MovingAverageFilter::new(7).name(), "MA(7)");
+    }
+}

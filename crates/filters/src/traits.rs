@@ -1,0 +1,42 @@
+//! Shared interface for streaming series filters.
+
+/// A causal filter over a scalar measurement stream.
+pub trait SeriesFilter {
+    /// Consumes one measurement and returns the current filtered estimate.
+    fn update(&mut self, measurement: f64) -> f64;
+
+    /// Clears all state.
+    fn reset(&mut self);
+
+    /// Human-readable instance name (appears in harness legends).
+    fn name(&self) -> String;
+
+    /// Filters a whole series, returning the per-step estimates.
+    fn filter_series(&mut self, series: &[f64]) -> Vec<f64> {
+        series.iter().map(|&z| self.update(z)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Passthrough;
+
+    impl SeriesFilter for Passthrough {
+        fn update(&mut self, m: f64) -> f64 {
+            m
+        }
+        fn reset(&mut self) {}
+        fn name(&self) -> String {
+            "passthrough".into()
+        }
+    }
+
+    #[test]
+    fn filter_series_maps_updates() {
+        let mut f = Passthrough;
+        assert_eq!(f.filter_series(&[1.0, 2.0]), vec![1.0, 2.0]);
+        assert_eq!(f.name(), "passthrough");
+    }
+}

@@ -1,0 +1,360 @@
+//! A minimal, dependency-free double-precision complex number.
+//!
+//! The QISMET reproduction deliberately avoids external numeric crates; this
+//! module provides the small slice of complex arithmetic the quantum
+//! simulators need (field operations, conjugation, polar form, exponentials).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` real and imaginary parts.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_mathkit::Complex64;
+///
+/// let i = Complex64::I;
+/// assert_eq!(i * i, Complex64::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex64 {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex64 {
+    /// The additive identity `0 + 0i`.
+    pub const ZERO: Complex64 = Complex64 { re: 0.0, im: 0.0 };
+    /// The multiplicative identity `1 + 0i`.
+    pub const ONE: Complex64 = Complex64 { re: 1.0, im: 0.0 };
+    /// The imaginary unit `0 + 1i`.
+    pub const I: Complex64 = Complex64 { re: 0.0, im: 1.0 };
+
+    /// Creates a complex number from Cartesian parts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qismet_mathkit::Complex64;
+    /// let z = Complex64::new(3.0, -4.0);
+    /// assert_eq!(z.abs(), 5.0);
+    /// ```
+    #[inline]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex64 { re, im }
+    }
+
+    /// Creates a purely real complex number.
+    #[inline]
+    pub const fn from_re(re: f64) -> Self {
+        Complex64 { re, im: 0.0 }
+    }
+
+    /// Creates a complex number from polar form `r * exp(i * theta)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qismet_mathkit::Complex64;
+    /// let z = Complex64::from_polar(2.0, std::f64::consts::FRAC_PI_2);
+    /// assert!((z.re).abs() < 1e-15);
+    /// assert!((z.im - 2.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn from_polar(r: f64, theta: f64) -> Self {
+        Complex64 {
+            re: r * theta.cos(),
+            im: r * theta.sin(),
+        }
+    }
+
+    /// Returns `exp(i * theta)`, a unit phase.
+    #[inline]
+    pub fn cis(theta: f64) -> Self {
+        Self::from_polar(1.0, theta)
+    }
+
+    /// The complex conjugate.
+    #[inline]
+    pub fn conj(self) -> Self {
+        Complex64 {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// The squared modulus `re^2 + im^2`.
+    #[inline]
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// The modulus (absolute value).
+    #[inline]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// The argument (phase angle) in `(-pi, pi]`.
+    #[inline]
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// The complex exponential `exp(z)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qismet_mathkit::Complex64;
+    /// let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+    /// assert!((z.re + 1.0).abs() < 1e-15);
+    /// ```
+    #[inline]
+    pub fn exp(self) -> Self {
+        Self::from_polar(self.re.exp(), self.im)
+    }
+
+    /// Multiplies by a real scalar.
+    #[inline]
+    pub fn scale(self, k: f64) -> Self {
+        Complex64 {
+            re: self.re * k,
+            im: self.im * k,
+        }
+    }
+
+    /// The multiplicative inverse `1 / z`.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; division by zero yields non-finite parts, mirroring
+    /// `f64` semantics.
+    #[inline]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sqr();
+        Complex64 {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` when both parts are finite.
+    #[inline]
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+
+    /// Fused multiply-add: `self * b + c`, evaluated with ordinary arithmetic.
+    ///
+    /// Exists to keep hot simulator loops terse rather than for extra
+    /// precision.
+    #[inline]
+    pub fn mul_add(self, b: Complex64, c: Complex64) -> Self {
+        self * b + c
+    }
+
+    /// Approximate equality within an absolute tolerance on both parts.
+    #[inline]
+    pub fn approx_eq(self, other: Complex64, tol: f64) -> bool {
+        (self.re - other.re).abs() <= tol && (self.im - other.im).abs() <= tol
+    }
+}
+
+impl From<f64> for Complex64 {
+    #[inline]
+    fn from(re: f64) -> Self {
+        Complex64::from_re(re)
+    }
+}
+
+impl Add for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn add(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl Sub for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn sub(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        Complex64::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Div for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: Complex64) -> Complex64 {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn neg(self) -> Complex64 {
+        Complex64::new(-self.re, -self.im)
+    }
+}
+
+impl Mul<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: f64) -> Complex64 {
+        self.scale(rhs)
+    }
+}
+
+impl Mul<Complex64> for f64 {
+    type Output = Complex64;
+    #[inline]
+    fn mul(self, rhs: Complex64) -> Complex64 {
+        rhs.scale(self)
+    }
+}
+
+impl Div<f64> for Complex64 {
+    type Output = Complex64;
+    #[inline]
+    fn div(self, rhs: f64) -> Complex64 {
+        Complex64::new(self.re / rhs, self.im / rhs)
+    }
+}
+
+impl AddAssign for Complex64 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Complex64) {
+        self.re += rhs.re;
+        self.im += rhs.im;
+    }
+}
+
+impl SubAssign for Complex64 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Complex64) {
+        self.re -= rhs.re;
+        self.im -= rhs.im;
+    }
+}
+
+impl MulAssign for Complex64 {
+    #[inline]
+    fn mul_assign(&mut self, rhs: Complex64) {
+        *self = *self * rhs;
+    }
+}
+
+impl DivAssign for Complex64 {
+    #[inline]
+    fn div_assign(&mut self, rhs: Complex64) {
+        *self = *self / rhs;
+    }
+}
+
+impl Sum for Complex64 {
+    fn sum<I: Iterator<Item = Complex64>>(iter: I) -> Self {
+        iter.fold(Complex64::ZERO, |acc, z| acc + z)
+    }
+}
+
+impl fmt::Display for Complex64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn field_ops_match_hand_computation() {
+        let a = Complex64::new(1.0, 2.0);
+        let b = Complex64::new(3.0, -1.0);
+        assert_eq!(a + b, Complex64::new(4.0, 1.0));
+        assert_eq!(a - b, Complex64::new(-2.0, 3.0));
+        assert_eq!(a * b, Complex64::new(5.0, 5.0));
+        let q = a / b;
+        assert!(q.approx_eq(Complex64::new(0.1, 0.7), TOL));
+    }
+
+    #[test]
+    fn conjugation_and_modulus() {
+        let z = Complex64::new(3.0, 4.0);
+        assert_eq!(z.conj(), Complex64::new(3.0, -4.0));
+        assert_eq!(z.norm_sqr(), 25.0);
+        assert_eq!(z.abs(), 5.0);
+        assert!((z * z.conj()).approx_eq(Complex64::from_re(25.0), TOL));
+    }
+
+    #[test]
+    fn polar_roundtrip() {
+        let z = Complex64::new(-0.3, 0.8);
+        let back = Complex64::from_polar(z.abs(), z.arg());
+        assert!(z.approx_eq(back, TOL));
+    }
+
+    #[test]
+    fn euler_identity() {
+        let z = Complex64::new(0.0, std::f64::consts::PI).exp();
+        assert!(z.approx_eq(Complex64::from_re(-1.0), TOL));
+    }
+
+    #[test]
+    fn cis_is_unit_modulus() {
+        for k in 0..32 {
+            let theta = k as f64 * 0.41;
+            assert!((Complex64::cis(theta).abs() - 1.0).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn recip_inverts() {
+        let z = Complex64::new(0.7, -1.9);
+        assert!((z * z.recip()).approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn sum_folds() {
+        let total: Complex64 = (0..4).map(|k| Complex64::new(k as f64, 1.0)).sum();
+        assert_eq!(total, Complex64::new(6.0, 4.0));
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex64::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex64::new(1.0, 2.0).to_string(), "1+2i");
+    }
+
+    #[test]
+    fn scalar_ops() {
+        let z = Complex64::new(2.0, -4.0);
+        assert_eq!(z * 0.5, Complex64::new(1.0, -2.0));
+        assert_eq!(0.5 * z, Complex64::new(1.0, -2.0));
+        assert_eq!(z / 2.0, Complex64::new(1.0, -2.0));
+    }
+}

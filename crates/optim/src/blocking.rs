@@ -1,0 +1,107 @@
+//! The *Blocking* acceptance policy.
+//!
+//! Section 6.3's "Blocking" comparison: a Qiskit SPSA option that only
+//! accepts parameter updates whose measured objective does not worsen the
+//! best-so-far value by more than a tolerance (typically tied to observed
+//! noise). Blocking gives some robustness to adverse transients — a spiked
+//! candidate is rejected — but, as the paper notes (Section 7.2), it also
+//! blocks legitimate uphill moves and slows escape from local minima, which
+//! is why QISMET outperforms it.
+
+/// Decides whether candidate energies are accepted relative to the current
+/// energy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockingPolicy {
+    /// Allowed worsening before a candidate is rejected.
+    pub tolerance: f64,
+    /// When `true`, the tolerance adapts to an online estimate of the
+    /// objective's noise scale (twice the mean absolute step delta), like
+    /// Qiskit's `allowed_increase` calibration.
+    pub adaptive: bool,
+    deltas_seen: Vec<f64>,
+}
+
+impl BlockingPolicy {
+    /// Fixed-tolerance blocking.
+    pub fn fixed(tolerance: f64) -> Self {
+        BlockingPolicy {
+            tolerance,
+            adaptive: false,
+            deltas_seen: Vec::new(),
+        }
+    }
+
+    /// Adaptive-tolerance blocking starting from an initial tolerance.
+    pub fn adaptive(initial_tolerance: f64) -> Self {
+        BlockingPolicy {
+            tolerance: initial_tolerance,
+            adaptive: true,
+            deltas_seen: Vec::new(),
+        }
+    }
+
+    /// Current effective tolerance.
+    pub fn effective_tolerance(&self) -> f64 {
+        if self.adaptive && self.deltas_seen.len() >= 8 {
+            2.0 * qismet_mathkit::mean(&self.deltas_seen)
+        } else {
+            self.tolerance
+        }
+    }
+
+    /// Decides acceptance and updates the noise estimate.
+    pub fn accepts(&mut self, current_energy: f64, candidate_energy: f64) -> bool {
+        let delta = candidate_energy - current_energy;
+        if self.adaptive {
+            self.deltas_seen.push(delta.abs());
+            if self.deltas_seen.len() > 64 {
+                self.deltas_seen.remove(0);
+            }
+        }
+        delta <= self.effective_tolerance()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_policy_thresholds() {
+        let mut p = BlockingPolicy::fixed(0.1);
+        assert!(p.accepts(-1.0, -1.05)); // improvement
+        assert!(p.accepts(-1.0, -0.95)); // within tolerance
+        assert!(!p.accepts(-1.0, -0.8)); // worsens by 0.2 > 0.1
+    }
+
+    #[test]
+    fn zero_tolerance_blocks_any_increase() {
+        let mut p = BlockingPolicy::fixed(0.0);
+        assert!(p.accepts(0.5, 0.5));
+        assert!(!p.accepts(0.5, 0.5001));
+    }
+
+    #[test]
+    fn adaptive_policy_learns_noise_scale() {
+        let mut p = BlockingPolicy::adaptive(0.01);
+        // Feed consistent |delta| ~ 0.2 noise.
+        for k in 0..20 {
+            let sign = if k % 2 == 0 { 1.0 } else { -1.0 };
+            let _ = p.accepts(0.0, sign * 0.2);
+        }
+        // Tolerance should have grown to ~2 * 0.2.
+        let tol = p.effective_tolerance();
+        assert!((tol - 0.4).abs() < 0.05, "tolerance {tol}");
+        // A 0.3 increase is now acceptable.
+        assert!(p.accepts(0.0, 0.3));
+    }
+
+    #[test]
+    fn adaptive_window_is_bounded() {
+        let mut p = BlockingPolicy::adaptive(0.0);
+        for _ in 0..1000 {
+            let _ = p.accepts(0.0, 0.1);
+        }
+        assert!(p.deltas_seen.len() <= 64);
+    }
+}

@@ -1,0 +1,257 @@
+//! Finite-difference gradient descent and Adam.
+//!
+//! Extensions beyond the paper's comparison set: the paper's tuner is SPSA
+//! throughout, but a full VQA framework offers deterministic-gradient
+//! optimizers too, and they serve as additional baselines in the workspace's
+//! extension benches.
+
+use crate::schedule::GainSchedule;
+use crate::traits::{EvalRecord, Proposal, Proposer};
+
+/// Central finite-difference gradient descent (2 * dim evaluations per
+/// iteration).
+#[derive(Debug, Clone)]
+pub struct FiniteDiffGd {
+    dim: usize,
+    gains: GainSchedule,
+    k: usize,
+}
+
+impl FiniteDiffGd {
+    /// Creates the optimizer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the schedule is invalid.
+    pub fn new(dim: usize, gains: GainSchedule) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        gains.validate().expect("invalid gain schedule");
+        FiniteDiffGd { dim, gains, k: 0 }
+    }
+}
+
+impl Proposer for FiniteDiffGd {
+    fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        let eps = self.gains.perturbation(self.k);
+        let mut gradient = Vec::with_capacity(self.dim);
+        let mut evals = Vec::with_capacity(2 * self.dim);
+        for i in 0..self.dim {
+            let mut plus = theta.to_vec();
+            plus[i] += eps;
+            let mut minus = theta.to_vec();
+            minus[i] -= eps;
+            let fp = objective(&plus);
+            let fm = objective(&minus);
+            gradient.push((fp - fm) / (2.0 * eps));
+            evals.push(EvalRecord {
+                params: plus,
+                value: fp,
+            });
+            evals.push(EvalRecord {
+                params: minus,
+                value: fm,
+            });
+        }
+        let ak = self.gains.step_size(self.k);
+        let candidate = theta
+            .iter()
+            .zip(&gradient)
+            .map(|(t, g)| t - ak * g)
+            .collect();
+        Proposal {
+            candidate,
+            gradient,
+            evals,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.k += 1;
+    }
+
+    fn iteration(&self) -> usize {
+        self.k
+    }
+
+    fn evals_per_proposal(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "finite-diff-gd"
+    }
+}
+
+/// Adam over central finite-difference gradients.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    dim: usize,
+    step: f64,
+    eps_fd: f64,
+    beta1: f64,
+    beta2: f64,
+    epsilon: f64,
+    k: usize,
+    m: Vec<f64>,
+    v: Vec<f64>,
+    pending: Option<(Vec<f64>, Vec<f64>)>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults (`beta1 = 0.9`, `beta2 = 0.999`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`, or `step`/`eps_fd` are non-positive.
+    pub fn new(dim: usize, step: f64, eps_fd: f64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(step > 0.0 && eps_fd > 0.0, "step sizes must be positive");
+        Adam {
+            dim,
+            step,
+            eps_fd,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            k: 0,
+            m: vec![0.0; dim],
+            v: vec![0.0; dim],
+            pending: None,
+        }
+    }
+}
+
+impl Proposer for Adam {
+    fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        let mut gradient = Vec::with_capacity(self.dim);
+        let mut evals = Vec::with_capacity(2 * self.dim);
+        for i in 0..self.dim {
+            let mut plus = theta.to_vec();
+            plus[i] += self.eps_fd;
+            let mut minus = theta.to_vec();
+            minus[i] -= self.eps_fd;
+            let fp = objective(&plus);
+            let fm = objective(&minus);
+            gradient.push((fp - fm) / (2.0 * self.eps_fd));
+            evals.push(EvalRecord {
+                params: plus,
+                value: fp,
+            });
+            evals.push(EvalRecord {
+                params: minus,
+                value: fm,
+            });
+        }
+        // Compute the moment updates without committing them (retry safety).
+        let t = (self.k + 1) as f64;
+        let mut m_new = Vec::with_capacity(self.dim);
+        let mut v_new = Vec::with_capacity(self.dim);
+        let mut candidate = Vec::with_capacity(self.dim);
+        for i in 0..self.dim {
+            let m_i = self.beta1 * self.m[i] + (1.0 - self.beta1) * gradient[i];
+            let v_i = self.beta2 * self.v[i] + (1.0 - self.beta2) * gradient[i] * gradient[i];
+            let m_hat = m_i / (1.0 - self.beta1.powf(t));
+            let v_hat = v_i / (1.0 - self.beta2.powf(t));
+            candidate.push(theta[i] - self.step * m_hat / (v_hat.sqrt() + self.epsilon));
+            m_new.push(m_i);
+            v_new.push(v_i);
+        }
+        self.pending = Some((m_new, v_new));
+        Proposal {
+            candidate,
+            gradient,
+            evals,
+        }
+    }
+
+    fn advance(&mut self) {
+        if let Some((m, v)) = self.pending.take() {
+            self.m = m;
+            self.v = v;
+        }
+        self.k += 1;
+    }
+
+    fn iteration(&self) -> usize {
+        self.k
+    }
+
+    fn evals_per_proposal(&self) -> usize {
+        2 * self.dim
+    }
+
+    fn name(&self) -> &'static str {
+        "adam"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::run_baseline;
+
+    fn rosenbrock2(x: &[f64]) -> f64 {
+        let (a, b) = (1.0, 100.0);
+        (a - x[0]).powi(2) + b * (x[1] - x[0] * x[0]).powi(2)
+    }
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn gd_descends_sphere() {
+        let mut gd = FiniteDiffGd::new(3, GainSchedule::spall_default());
+        let mut f = |x: &[f64]| sphere(x);
+        let (theta, _) = run_baseline(&mut gd, vec![1.0, -2.0, 0.5], &mut f, 300);
+        assert!(sphere(&theta) < 1e-3, "residual {}", sphere(&theta));
+    }
+
+    #[test]
+    fn gd_eval_count() {
+        let mut gd = FiniteDiffGd::new(5, GainSchedule::spall_default());
+        assert_eq!(gd.evals_per_proposal(), 10);
+        let mut f = |x: &[f64]| sphere(x);
+        let p = gd.propose(&[0.0; 5], &mut f);
+        assert_eq!(p.n_evals(), 10);
+    }
+
+    #[test]
+    fn adam_descends_sphere() {
+        let mut adam = Adam::new(2, 0.05, 1e-4);
+        let mut f = |x: &[f64]| sphere(x);
+        let (theta, _) = run_baseline(&mut adam, vec![1.5, -0.5], &mut f, 400);
+        assert!(sphere(&theta) < 1e-3, "residual {}", sphere(&theta));
+    }
+
+    #[test]
+    fn adam_makes_progress_on_rosenbrock() {
+        let mut adam = Adam::new(2, 0.02, 1e-4);
+        let mut f = |x: &[f64]| rosenbrock2(x);
+        let start = rosenbrock2(&[-1.0, 1.0]);
+        let (theta, _) = run_baseline(&mut adam, vec![-1.0, 1.0], &mut f, 1500);
+        let end = rosenbrock2(&theta);
+        assert!(end < start * 0.1, "start {start}, end {end}");
+    }
+
+    #[test]
+    fn adam_retry_is_pure() {
+        let mut adam = Adam::new(2, 0.05, 1e-4);
+        let mut f = |x: &[f64]| sphere(x);
+        let p1 = adam.propose(&[1.0, 1.0], &mut f);
+        let p2 = adam.propose(&[1.0, 1.0], &mut f);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    fn fd_gradient_is_accurate() {
+        let mut gd = FiniteDiffGd::new(2, GainSchedule::spall_default());
+        let mut f = |x: &[f64]| sphere(x);
+        let p = gd.propose(&[1.0, -0.5], &mut f);
+        // True gradient is (2, -1).
+        assert!((p.gradient[0] - 2.0).abs() < 1e-2);
+        assert!((p.gradient[1] + 1.0).abs() < 1e-2);
+    }
+}

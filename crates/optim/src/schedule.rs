@@ -1,0 +1,129 @@
+//! Spall gain schedules for SPSA.
+//!
+//! `a_k = a / (A + k + 1)^alpha` controls step size and
+//! `c_k = c / (k + 1)^gamma` controls the perturbation magnitude, with the
+//! asymptotically optimal exponents `alpha = 0.602`, `gamma = 0.101`
+//! recommended by Spall and used by Qiskit's SPSA implementation (the
+//! paper's classical tuner, Section 2).
+
+/// Gain schedule parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GainSchedule {
+    /// Step-size numerator.
+    pub a: f64,
+    /// Perturbation numerator.
+    pub c: f64,
+    /// Step-size decay exponent.
+    pub alpha: f64,
+    /// Perturbation decay exponent.
+    pub gamma: f64,
+    /// Stability constant added to the step-size denominator.
+    pub stability: f64,
+}
+
+impl GainSchedule {
+    /// Spall's recommended exponents with step/perturbation scales suited to
+    /// radian-valued ansatz parameters.
+    pub fn spall_default() -> Self {
+        GainSchedule {
+            a: 0.2,
+            c: 0.15,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+        }
+    }
+
+    /// Gains matched to the paper's VQA runs: convergence "generally
+    /// beginning at around 1250 iterations" for the 6-qubit TFIM apps
+    /// (Section 7.2). Slower than [`Self::spall_default`].
+    pub fn vqa_paper() -> Self {
+        GainSchedule {
+            a: 0.2,
+            c: 0.08,
+            alpha: 0.602,
+            gamma: 0.101,
+            stability: 10.0,
+        }
+    }
+
+    /// Validates parameter ranges.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.a <= 0.0 {
+            return Err("a must be positive".into());
+        }
+        if self.c <= 0.0 {
+            return Err("c must be positive".into());
+        }
+        if !(0.0..=1.0).contains(&self.alpha) {
+            return Err("alpha must be in (0, 1]".into());
+        }
+        if !(0.0..=1.0).contains(&self.gamma) {
+            return Err("gamma must be in (0, 1]".into());
+        }
+        if self.stability < 0.0 {
+            return Err("stability must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Step size at iteration `k` (0-based).
+    pub fn step_size(&self, k: usize) -> f64 {
+        self.a / (self.stability + k as f64 + 1.0).powf(self.alpha)
+    }
+
+    /// Perturbation magnitude at iteration `k` (0-based).
+    pub fn perturbation(&self, k: usize) -> f64 {
+        self.c / (k as f64 + 1.0).powf(self.gamma)
+    }
+}
+
+impl Default for GainSchedule {
+    fn default() -> Self {
+        Self::spall_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gains_decay_monotonically() {
+        let g = GainSchedule::spall_default();
+        for k in 1..1000 {
+            assert!(g.step_size(k) < g.step_size(k - 1));
+            assert!(g.perturbation(k) < g.perturbation(k - 1));
+        }
+    }
+
+    #[test]
+    fn perturbation_decays_slower_than_step() {
+        let g = GainSchedule::spall_default();
+        let ratio_a = g.step_size(1000) / g.step_size(10);
+        let ratio_c = g.perturbation(1000) / g.perturbation(10);
+        assert!(ratio_c > ratio_a, "c must decay slower (gamma < alpha)");
+    }
+
+    #[test]
+    fn first_step_magnitudes() {
+        let g = GainSchedule::spall_default();
+        assert!((g.step_size(0) - 0.2 / 11f64.powf(0.602)).abs() < 1e-12);
+        assert!((g.perturbation(0) - 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(GainSchedule::spall_default().validate().is_ok());
+        let mut g = GainSchedule::spall_default();
+        g.a = 0.0;
+        assert!(g.validate().is_err());
+        let mut g = GainSchedule::spall_default();
+        g.alpha = 1.5;
+        assert!(g.validate().is_err());
+    }
+}

@@ -1,0 +1,264 @@
+//! Simultaneous Perturbation Stochastic Approximation (SPSA).
+//!
+//! The paper's primary classical tuner (Section 2): per iteration the
+//! gradient is approximated from just **two** objective evaluations at
+//! `theta +/- c_k Delta_k` with a random Rademacher direction `Delta_k`,
+//! regardless of dimension.
+//!
+//! Includes the *Resampling* variant of Section 6.3 (average multiple
+//! gradient samples per iteration, 2x evaluations for 2 samples).
+
+use crate::schedule::GainSchedule;
+use crate::traits::{EvalRecord, Proposal, Proposer};
+use qismet_mathkit::{derive_seed, rng_from_seed};
+use rand::Rng;
+
+/// SPSA proposer.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_optim::{GainSchedule, Proposer, Spsa};
+///
+/// let mut spsa = Spsa::new(2, GainSchedule::spall_default(), 42);
+/// let mut f = |x: &[f64]| x.iter().map(|v| v * v).sum::<f64>();
+/// let p = spsa.propose(&[1.0, -1.0], &mut f);
+/// assert_eq!(p.evals.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Spsa {
+    dim: usize,
+    gains: GainSchedule,
+    seed: u64,
+    k: usize,
+    n_gradient_samples: usize,
+}
+
+impl Spsa {
+    /// Creates a standard SPSA over `dim` parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0` or the schedule is invalid.
+    pub fn new(dim: usize, gains: GainSchedule, seed: u64) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        gains.validate().expect("invalid gain schedule");
+        Spsa {
+            dim,
+            gains,
+            seed,
+            k: 0,
+            n_gradient_samples: 1,
+        }
+    }
+
+    /// Creates the *Resampling* variant: the gradient is sampled
+    /// `n_samples` times (with independent directions) and averaged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_samples == 0`.
+    pub fn with_resampling(dim: usize, gains: GainSchedule, seed: u64, n_samples: usize) -> Self {
+        assert!(n_samples > 0, "need at least one gradient sample");
+        let mut s = Self::new(dim, gains, seed);
+        s.n_gradient_samples = n_samples;
+        s
+    }
+
+    /// The gain schedule.
+    pub fn gains(&self) -> &GainSchedule {
+        &self.gains
+    }
+
+    /// The Rademacher perturbation direction for (iteration, sample) —
+    /// deterministic, so retries reuse it.
+    pub fn delta(&self, k: usize, sample: usize) -> Vec<f64> {
+        let mut rng = rng_from_seed(derive_seed(
+            self.seed,
+            (k as u64) << 8 | sample as u64,
+        ));
+        (0..self.dim)
+            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .collect()
+    }
+
+    /// One gradient estimate at the current iteration.
+    fn gradient_sample(
+        &self,
+        sample: usize,
+        theta: &[f64],
+        objective: &mut dyn FnMut(&[f64]) -> f64,
+        evals: &mut Vec<EvalRecord>,
+    ) -> Vec<f64> {
+        let ck = self.gains.perturbation(self.k);
+        let delta = self.delta(self.k, sample);
+        let plus: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t + ck * d).collect();
+        let minus: Vec<f64> = theta.iter().zip(&delta).map(|(t, d)| t - ck * d).collect();
+        let f_plus = objective(&plus);
+        let f_minus = objective(&minus);
+        evals.push(EvalRecord {
+            params: plus,
+            value: f_plus,
+        });
+        evals.push(EvalRecord {
+            params: minus,
+            value: f_minus,
+        });
+        let scale = (f_plus - f_minus) / (2.0 * ck);
+        // Rademacher entries are +/-1, so 1/delta_i = delta_i.
+        delta.iter().map(|d| scale * d).collect()
+    }
+}
+
+impl Proposer for Spsa {
+    fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        let mut evals = Vec::new();
+        let mut gradient = vec![0.0; self.dim];
+        for sample in 0..self.n_gradient_samples {
+            let g = self.gradient_sample(sample, theta, objective, &mut evals);
+            for (acc, gi) in gradient.iter_mut().zip(g) {
+                *acc += gi / self.n_gradient_samples as f64;
+            }
+        }
+        let ak = self.gains.step_size(self.k);
+        let candidate: Vec<f64> = theta
+            .iter()
+            .zip(&gradient)
+            .map(|(t, g)| t - ak * g)
+            .collect();
+        Proposal {
+            candidate,
+            gradient,
+            evals,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.k += 1;
+    }
+
+    fn iteration(&self) -> usize {
+        self.k
+    }
+
+    fn evals_per_proposal(&self) -> usize {
+        2 * self.n_gradient_samples
+    }
+
+    fn name(&self) -> &'static str {
+        if self.n_gradient_samples > 1 {
+            "spsa-resampling"
+        } else {
+            "spsa"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traits::run_baseline;
+    use qismet_mathkit::normal;
+
+    fn sphere(x: &[f64]) -> f64 {
+        x.iter().map(|v| v * v).sum()
+    }
+
+    #[test]
+    fn converges_on_sphere() {
+        let mut spsa = Spsa::new(4, GainSchedule::spall_default(), 1);
+        let mut f = |x: &[f64]| sphere(x);
+        let (theta, _) = run_baseline(&mut spsa, vec![1.0, -0.8, 0.6, 1.2], &mut f, 500);
+        assert!(sphere(&theta) < 0.05, "residual {}", sphere(&theta));
+    }
+
+    #[test]
+    fn converges_under_observation_noise() {
+        let mut spsa = Spsa::new(3, GainSchedule::spall_default(), 2);
+        let mut rng = qismet_mathkit::rng_from_seed(99);
+        let mut f = |x: &[f64]| sphere(x) + normal(&mut rng, 0.0, 0.02);
+        let (theta, _) = run_baseline(&mut spsa, vec![1.5, -1.0, 0.7], &mut f, 800);
+        assert!(sphere(&theta) < 0.2, "residual {}", sphere(&theta));
+    }
+
+    #[test]
+    fn delta_is_deterministic_per_iteration() {
+        let spsa = Spsa::new(8, GainSchedule::spall_default(), 5);
+        assert_eq!(spsa.delta(3, 0), spsa.delta(3, 0));
+        assert_ne!(spsa.delta(3, 0), spsa.delta(4, 0));
+        assert_ne!(spsa.delta(3, 0), spsa.delta(3, 1));
+        assert!(spsa.delta(0, 0).iter().all(|&d| d == 1.0 || d == -1.0));
+    }
+
+    #[test]
+    fn retry_reuses_direction() {
+        // propose twice without advance: identical on a deterministic
+        // objective.
+        let mut spsa = Spsa::new(5, GainSchedule::spall_default(), 9);
+        let mut f = |x: &[f64]| sphere(x);
+        let theta = vec![0.4; 5];
+        let p1 = spsa.propose(&theta, &mut f);
+        let p2 = spsa.propose(&theta, &mut f);
+        assert_eq!(p1, p2);
+        // After advance the direction changes.
+        spsa.advance();
+        let p3 = spsa.propose(&theta, &mut f);
+        assert_ne!(p1.candidate, p3.candidate);
+    }
+
+    #[test]
+    fn resampling_doubles_evals() {
+        let mut spsa = Spsa::with_resampling(3, GainSchedule::spall_default(), 3, 2);
+        assert_eq!(spsa.evals_per_proposal(), 4);
+        assert_eq!(spsa.name(), "spsa-resampling");
+        let mut f = |x: &[f64]| sphere(x);
+        let p = spsa.propose(&[0.1, 0.2, 0.3], &mut f);
+        assert_eq!(p.n_evals(), 4);
+    }
+
+    #[test]
+    fn resampling_reduces_gradient_variance() {
+        let dims = 4;
+        let theta = vec![0.5; dims];
+        let grad_spread = |n_samples: usize| {
+            let mut grads = Vec::new();
+            for trial in 0..40 {
+                let mut spsa =
+                    Spsa::with_resampling(dims, GainSchedule::spall_default(), trial, n_samples);
+                let mut rng = qismet_mathkit::rng_from_seed(1000 + trial);
+                let mut f = |x: &[f64]| sphere(x) + normal(&mut rng, 0.0, 0.05);
+                let p = spsa.propose(&theta, &mut f);
+                grads.push(p.gradient[0]);
+            }
+            qismet_mathkit::stddev(&grads)
+        };
+        let single = grad_spread(1);
+        let quad = grad_spread(4);
+        assert!(
+            quad < single,
+            "4-sample spread {quad} should be below 1-sample {single}"
+        );
+    }
+
+    #[test]
+    fn gradient_points_uphill_on_average() {
+        // At theta = (1, 1, 1) the sphere gradient is positive in every
+        // coordinate; SPSA estimates should correlate.
+        let theta = vec![1.0; 3];
+        let mut dots = 0.0;
+        for seed in 0..50 {
+            let mut spsa = Spsa::new(3, GainSchedule::spall_default(), seed);
+            let mut f = |x: &[f64]| sphere(x);
+            let p = spsa.propose(&theta, &mut f);
+            dots += p.gradient.iter().sum::<f64>();
+        }
+        assert!(dots > 0.0, "mean gradient projection {dots}");
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension must be positive")]
+    fn zero_dim_rejected() {
+        let _ = Spsa::new(0, GainSchedule::spall_default(), 0);
+    }
+}

@@ -1,0 +1,259 @@
+//! Circuit-level impact of transient T1 fluctuations (the Fig. 4 study).
+//!
+//! Given a circuit and a machine profile, this module turns a fluctuating
+//! T1(t) trace into hourly batches of circuit-fidelity estimates: the ideal
+//! output distribution is computed once, the noisy distribution is modeled as
+//! the globally-depolarized mixture `f(t) * p_ideal + (1 - f(t)) * uniform`
+//! with `f(t)` the attenuation factor under the instantaneous T1, and the
+//! per-circuit fidelity estimate adds finite-shot scatter — reproducing both
+//! the hour-scale drift and the intra-batch variation the paper shows.
+
+use crate::machines::Machine;
+use crate::static_model::StaticNoiseModel;
+use qismet_qsim::{hellinger_fidelity, Circuit, GateError, StateVector};
+use rand::Rng;
+
+/// Fidelity study of one circuit on one machine under fluctuating T1.
+#[derive(Debug, Clone)]
+pub struct CircuitFidelityModel {
+    model: StaticNoiseModel,
+    ideal_probs: Vec<f64>,
+    circuit: Circuit,
+}
+
+/// Hourly batch statistics (one point of the Fig. 4 time series).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchFidelity {
+    /// Hour index.
+    pub hour: usize,
+    /// Mean fidelity across the batch.
+    pub mean: f64,
+    /// Minimum fidelity in the batch.
+    pub min: f64,
+    /// Maximum fidelity in the batch.
+    pub max: f64,
+    /// Every per-circuit sample (length = batch size).
+    pub samples: Vec<f64>,
+}
+
+impl CircuitFidelityModel {
+    /// Compiles the study for a bound circuit on a machine.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the circuit has free parameters.
+    pub fn new(machine: Machine, circuit: Circuit) -> Result<Self, GateError> {
+        let model = machine.static_model(circuit.n_qubits());
+        let ideal = StateVector::from_circuit(&circuit)?;
+        Ok(CircuitFidelityModel {
+            model,
+            ideal_probs: ideal.probabilities(),
+            circuit,
+        })
+    }
+
+    /// The static model in use.
+    pub fn static_model(&self) -> &StaticNoiseModel {
+        &self.model
+    }
+
+    /// Fidelity of one execution given instantaneous per-qubit T1 values,
+    /// with `shots` finite-sampling scatter.
+    pub fn fidelity_at<R: Rng + ?Sized>(
+        &self,
+        t1_us: &[f64],
+        shots: u64,
+        rng: &mut R,
+    ) -> f64 {
+        let f = self.model.attenuation_with_t1(&self.circuit, t1_us);
+        let dim = self.ideal_probs.len();
+        let uniform = 1.0 / dim as f64;
+        let noisy: Vec<f64> = self
+            .ideal_probs
+            .iter()
+            .map(|&p| f * p + (1.0 - f) * uniform)
+            .collect();
+        // Finite-shot estimate: sample counts from the noisy distribution.
+        let mut cdf = Vec::with_capacity(dim);
+        let mut acc = 0.0;
+        for p in &noisy {
+            acc += p;
+            cdf.push(acc);
+        }
+        let mut counts = vec![0u64; dim];
+        for _ in 0..shots {
+            let u = rng.gen::<f64>() * acc;
+            let idx = cdf.partition_point(|&c| c < u).min(dim - 1);
+            counts[idx] += 1;
+        }
+        let empirical: Vec<f64> = counts
+            .iter()
+            .map(|&k| k as f64 / shots as f64)
+            .collect();
+        hellinger_fidelity(&empirical, &self.ideal_probs)
+    }
+
+    /// Runs the full Fig. 4 protocol: `hours` hourly batches of
+    /// `batch_size` circuits, with T1 sampled from the machine's TLS bank
+    /// once per hour (all qubits share the hour's fluctuation state, plus
+    /// small per-qubit offsets).
+    pub fn hourly_batches<R: Rng + ?Sized>(
+        &self,
+        machine: Machine,
+        hours: usize,
+        batch_size: usize,
+        shots: u64,
+        rng: &mut R,
+    ) -> Vec<BatchFidelity> {
+        let bank = machine.tls_bank();
+        let n = self.circuit.n_qubits();
+        // One T1 trace per qubit, sampled hourly.
+        let traces: Vec<Vec<f64>> = (0..n)
+            .map(|_| bank.sample_t1_trace(rng, hours as f64, 1.0))
+            .collect();
+        let mut out = Vec::with_capacity(hours);
+        for hour in 0..hours {
+            let t1: Vec<f64> = traces.iter().map(|t| t[hour]).collect();
+            let mut samples = Vec::with_capacity(batch_size);
+            for _ in 0..batch_size {
+                // Within-batch T1 jitter models drift inside the hour; the paper's
+                // zoomed panel shows near-100% fidelity variation across one
+                // batch, so the jitter is substantial.
+                let jittered: Vec<f64> = t1
+                    .iter()
+                    .map(|&v| v * (1.0 + 0.12 * qismet_mathkit::standard_normal(rng)))
+                    .map(|v| v.max(0.4))
+                    .collect();
+                samples.push(self.fidelity_at(&jittered, shots, rng));
+            }
+            out.push(BatchFidelity {
+                hour,
+                mean: qismet_mathkit::mean(&samples),
+                min: qismet_mathkit::min(&samples),
+                max: qismet_mathkit::max(&samples),
+                samples,
+            });
+        }
+        out
+    }
+}
+
+/// The paper's Fig. 4 circuit shapes.
+pub mod fig4_circuits {
+    use qismet_qsim::Circuit;
+
+    /// The shallow circuit: 4 qubits, 6 CX gates (~83% average fidelity in
+    /// the paper).
+    pub fn shallow_4q() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.ry(0.5, 0).ry(0.7, 1).ry(1.1, 2).ry(0.4, 3);
+        c.cx(0, 1).cx(2, 3).cx(1, 2).cx(0, 1).cx(2, 3).cx(1, 2);
+        for q in 0..4 {
+            c.ry(0.3 + 0.2 * q as f64, q);
+        }
+        c
+    }
+
+    /// The deep circuit: 8 qubits, ~50 CX gates (~25% average fidelity in
+    /// the paper). Rotation angles are small so the ideal output
+    /// distribution stays concentrated — which is what makes depolarization
+    /// (mixing toward uniform) expensive in fidelity, as on hardware.
+    pub fn deep_8q() -> Circuit {
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.ry(0.15 + 0.05 * q as f64, q);
+        }
+        let mut cx = 0;
+        let mut layer = 0usize;
+        while cx < 50 {
+            let start = layer % 2;
+            let mut q = start;
+            while q + 1 < 8 && cx < 50 {
+                c.cx(q, q + 1);
+                cx += 1;
+                q += 2;
+            }
+            for q in 0..8 {
+                c.ry(0.08 + 0.02 * ((layer + q) % 5) as f64, q);
+            }
+            layer += 1;
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::rng_from_seed;
+
+    #[test]
+    fn fig4_circuit_shapes() {
+        let shallow = fig4_circuits::shallow_4q();
+        assert_eq!(shallow.n_qubits(), 4);
+        assert_eq!(shallow.cx_count(), 6);
+        let deep = fig4_circuits::deep_8q();
+        assert_eq!(deep.n_qubits(), 8);
+        assert_eq!(deep.cx_count(), 50);
+    }
+
+    #[test]
+    fn deep_circuit_has_lower_fidelity() {
+        // Fig. 4 contrast on the noisiest trace machine (Cairo): the 4q/6CX
+        // circuit stays high fidelity while the 8q/50CX circuit collapses.
+        let mut rng = rng_from_seed(1);
+        let shallow =
+            CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::shallow_4q()).unwrap();
+        let deep = CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::deep_8q()).unwrap();
+        let base_t1 = vec![85.0; 8];
+        let fs = shallow.fidelity_at(&base_t1[..4], 4096, &mut rng);
+        let fd = deep.fidelity_at(&base_t1, 4096, &mut rng);
+        assert!(fs > 0.7, "shallow fidelity {fs}");
+        assert!(fd < fs - 0.15, "deep fidelity {fd} vs shallow {fs}");
+    }
+
+    #[test]
+    fn t1_dips_reduce_fidelity() {
+        let model =
+            CircuitFidelityModel::new(Machine::Toronto, fig4_circuits::shallow_4q()).unwrap();
+        let mut rng = rng_from_seed(2);
+        let healthy = model.fidelity_at(&[100.0; 4], 8192, &mut rng);
+        let dipped = model.fidelity_at(&[100.0, 3.0, 100.0, 100.0], 8192, &mut rng);
+        assert!(healthy > dipped + 0.02, "healthy {healthy} dipped {dipped}");
+    }
+
+    #[test]
+    fn hourly_batches_shape_and_variation() {
+        let model =
+            CircuitFidelityModel::new(Machine::Guadalupe, fig4_circuits::shallow_4q()).unwrap();
+        let mut rng = rng_from_seed(3);
+        let batches = model.hourly_batches(Machine::Guadalupe, 12, 20, 2048, &mut rng);
+        assert_eq!(batches.len(), 12);
+        for b in &batches {
+            assert_eq!(b.samples.len(), 20);
+            assert!(b.min <= b.mean && b.mean <= b.max);
+            assert!((0.0..=1.0).contains(&b.mean));
+        }
+    }
+
+    #[test]
+    fn deep_circuit_shows_larger_relative_variation() {
+        // Fig. 4's key contrast: the 8q/50CX circuit varies much more than
+        // the 4q/6CX circuit over the same fluctuation landscape.
+        let mut rng_a = rng_from_seed(4);
+        let mut rng_b = rng_from_seed(4);
+        let shallow =
+            CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::shallow_4q()).unwrap();
+        let deep = CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::deep_8q()).unwrap();
+        let sb = shallow.hourly_batches(Machine::Cairo, 45, 8, 2048, &mut rng_a);
+        let db = deep.hourly_batches(Machine::Cairo, 45, 8, 2048, &mut rng_b);
+        let range = |bs: &[BatchFidelity]| {
+            let means: Vec<f64> = bs.iter().map(|b| b.mean).collect();
+            (qismet_mathkit::max(&means) - qismet_mathkit::min(&means))
+                / qismet_mathkit::mean(&means).max(1e-9)
+        };
+        let rs = range(&sb);
+        let rd = range(&db);
+        assert!(rd > rs, "deep rel-range {rd} should exceed shallow {rs}");
+    }
+}

@@ -1,0 +1,245 @@
+//! Synthetic device profiles standing in for the paper's IBMQ machines.
+//!
+//! The paper runs on IBM Quantum systems (Guadalupe, Toronto, Sydney,
+//! Casablanca, Jakarta, Mumbai) and generates simulation traces from four of
+//! them (Guadalupe, Toronto, Cairo, Casablanca). Those devices and their
+//! calibration archives are not available here, so each profile below is a
+//! **synthetic stand-in**: a static noise model plus a transient model and a
+//! TLS bank, parameterized distinctly per machine so the cross-machine
+//! spread of Fig. 13 and the per-machine behaviors of Figs. 5, 11, 12 are
+//! exercised. The substitution is documented in DESIGN.md.
+
+use crate::static_model::StaticNoiseModel;
+use crate::tls::TlsBank;
+use crate::transient::TransientModel;
+use serde::{Deserialize, Serialize};
+
+/// The machines referenced in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Machine {
+    /// 16-qubit Falcon, moderate noise, recurring moderate transient phases
+    /// (Fig. 11 behavior).
+    Guadalupe,
+    /// 27-qubit Falcon, noisier gates, moderate transients.
+    Toronto,
+    /// 27-qubit Falcon, smooth baseline with one sharp transient phase
+    /// (Fig. 12 behavior).
+    Sydney,
+    /// 7-qubit Falcon, small and comparatively quiet.
+    Casablanca,
+    /// 7-qubit Falcon, severe transient spikes (Fig. 5 behavior).
+    Jakarta,
+    /// 27-qubit Falcon, mid-tier everything.
+    Mumbai,
+    /// 27-qubit Falcon, noisy with strong TLS activity; used for trace
+    /// generation (Table 1 App5).
+    Cairo,
+}
+
+impl Machine {
+    /// All machines used in real-machine comparisons (Fig. 13 order).
+    pub const FIG13_SET: [Machine; 6] = [
+        Machine::Guadalupe,
+        Machine::Toronto,
+        Machine::Sydney,
+        Machine::Casablanca,
+        Machine::Jakarta,
+        Machine::Mumbai,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            Machine::Guadalupe => "Guadalupe",
+            Machine::Toronto => "Toronto",
+            Machine::Sydney => "Sydney",
+            Machine::Casablanca => "Casablanca",
+            Machine::Jakarta => "Jakarta",
+            Machine::Mumbai => "Mumbai",
+            Machine::Cairo => "Cairo",
+        }
+    }
+
+    /// Physical qubit count of the IBMQ namesake.
+    pub fn device_qubits(self) -> usize {
+        match self {
+            Machine::Guadalupe => 16,
+            Machine::Casablanca | Machine::Jakarta => 7,
+            _ => 27,
+        }
+    }
+
+    /// Deterministic per-machine seed stream label.
+    pub fn seed_stream(self) -> u64 {
+        match self {
+            Machine::Guadalupe => 0x47,
+            Machine::Toronto => 0x54,
+            Machine::Sydney => 0x53,
+            Machine::Casablanca => 0x43,
+            Machine::Jakarta => 0x4a,
+            Machine::Mumbai => 0x4d,
+            Machine::Cairo => 0x41,
+        }
+    }
+
+    /// The static (calibration-cycle) noise model restricted to the
+    /// `n_qubits` the application uses.
+    pub fn static_model(self, n_qubits: usize) -> StaticNoiseModel {
+        let (t1, t2, e1, e2, ro) = match self {
+            Machine::Guadalupe => (105.0, 95.0, 3.2e-4, 9.0e-3, 0.020),
+            Machine::Toronto => (90.0, 75.0, 4.5e-4, 1.3e-2, 0.035),
+            Machine::Sydney => (110.0, 90.0, 3.0e-4, 1.0e-2, 0.028),
+            Machine::Casablanca => (120.0, 100.0, 2.6e-4, 8.0e-3, 0.022),
+            Machine::Jakarta => (95.0, 60.0, 3.8e-4, 1.1e-2, 0.030),
+            Machine::Mumbai => (115.0, 100.0, 3.1e-4, 9.5e-3, 0.024),
+            Machine::Cairo => (85.0, 65.0, 5.0e-4, 1.5e-2, 0.038),
+        };
+        StaticNoiseModel::uniform(n_qubits, t1, t2, e1, e2, ro)
+    }
+
+    /// The machine's transient process at its native intensity.
+    ///
+    /// `magnitude` is the characteristic burst amplitude as a fraction of
+    /// the objective magnitude; machines scale and shape it differently.
+    pub fn transient_model(self, magnitude: f64) -> TransientModel {
+        match self {
+            // Recurring moderate phases.
+            Machine::Guadalupe => TransientModel {
+                burst_rate: 0.030,
+                ..TransientModel::moderate(magnitude)
+            },
+            Machine::Toronto => TransientModel::moderate(magnitude * 1.15),
+            // Smooth with one sharp phase: rare but strong.
+            Machine::Sydney => TransientModel::calm(magnitude * 1.5),
+            Machine::Casablanca => TransientModel::calm(magnitude * 0.9),
+            // Fig. 5: multiple sharp spikes.
+            Machine::Jakarta => TransientModel::severe(magnitude * 1.2),
+            Machine::Mumbai => TransientModel::moderate(magnitude * 0.95),
+            Machine::Cairo => TransientModel::severe(magnitude * 1.3),
+        }
+    }
+
+    /// Native transient intensity used when the caller does not sweep the
+    /// magnitude explicitly (fractions of objective magnitude).
+    ///
+    /// Calibrated so the per-machine baseline degradation and QISMET
+    /// improvement land in the paper's observed bands (Figs. 13/17);
+    /// machines the paper describes as turbulent (Jakarta Fig. 5, Cairo
+    /// traces) sit at the high end.
+    pub fn native_transient_magnitude(self) -> f64 {
+        match self {
+            Machine::Guadalupe => 0.45,
+            Machine::Toronto => 0.50,
+            Machine::Sydney => 0.45,
+            Machine::Casablanca => 0.30,
+            Machine::Jakarta => 0.60,
+            Machine::Mumbai => 0.40,
+            Machine::Cairo => 0.65,
+        }
+    }
+
+    /// TLS fluctuator bank for T1-trace generation (Figs. 3-4).
+    pub fn tls_bank(self) -> TlsBank {
+        let base_t1 = self.static_model(1).qubits[0].t1_us;
+        match self {
+            Machine::Cairo | Machine::Jakarta => {
+                // Stronger TLS activity: add an extra moderate defect.
+                let mut fl = TlsBank::figure3_bank(base_t1).fluctuators().to_vec();
+                fl.push(crate::tls::Fluctuator {
+                    activation_rate: 0.3,
+                    relaxation_rate: 1.5,
+                    coupling_strength: 1.2 / base_t1,
+                });
+                TlsBank::new(base_t1, fl).expect("valid parameters")
+            }
+            _ => TlsBank::figure3_bank(base_t1),
+        }
+    }
+}
+
+impl std::fmt::Display for Machine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::{derive_seed, rng_from_seed};
+
+    #[test]
+    fn all_machines_have_distinct_parameters() {
+        let models: Vec<StaticNoiseModel> = Machine::FIG13_SET
+            .iter()
+            .map(|m| m.static_model(6))
+            .collect();
+        for i in 0..models.len() {
+            for j in (i + 1)..models.len() {
+                assert_ne!(models[i], models[j], "machines {i} and {j} identical");
+            }
+        }
+    }
+
+    #[test]
+    fn names_and_widths() {
+        assert_eq!(Machine::Guadalupe.name(), "Guadalupe");
+        assert_eq!(Machine::Jakarta.device_qubits(), 7);
+        assert_eq!(Machine::Toronto.device_qubits(), 27);
+        assert_eq!(Machine::Sydney.to_string(), "Sydney");
+    }
+
+    #[test]
+    fn seed_streams_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for m in Machine::FIG13_SET {
+            assert!(seen.insert(m.seed_stream()));
+        }
+    }
+
+    #[test]
+    fn jakarta_is_more_transient_than_casablanca() {
+        let seed = derive_seed(1234, 0);
+        let jak = Machine::Jakarta
+            .transient_model(Machine::Jakarta.native_transient_magnitude())
+            .generate(&mut rng_from_seed(seed), 20_000);
+        let cas = Machine::Casablanca
+            .transient_model(Machine::Casablanca.native_transient_magnitude())
+            .generate(&mut rng_from_seed(seed), 20_000);
+        assert!(
+            jak.exceedance_fraction(0.1) > 2.0 * cas.exceedance_fraction(0.1),
+            "jakarta {} vs casablanca {}",
+            jak.exceedance_fraction(0.1),
+            cas.exceedance_fraction(0.1)
+        );
+    }
+
+    #[test]
+    fn cairo_noisiest_static_floor() {
+        let cairo = Machine::Cairo.static_model(6);
+        let casa = Machine::Casablanca.static_model(6);
+        assert!(cairo.gate_error_2q > casa.gate_error_2q);
+        assert!(cairo.qubits[0].t1_us < casa.qubits[0].t1_us);
+    }
+
+    #[test]
+    fn tls_banks_are_constructible() {
+        for m in [
+            Machine::Guadalupe,
+            Machine::Cairo,
+            Machine::Jakarta,
+            Machine::Sydney,
+        ] {
+            let bank = m.tls_bank();
+            assert!(bank.base_t1_us() > 0.0);
+            assert!(!bank.fluctuators().is_empty());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let json = serde_json::to_string(&Machine::Sydney).unwrap();
+        let back: Machine = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Machine::Sydney);
+    }
+}

@@ -1,0 +1,312 @@
+//! Two-level-system (TLS) defect fluctuators.
+//!
+//! Section 3.1 of the paper attributes the dominant transient T1
+//! fluctuations of transmon qubits to TLS defects that drift in and out of
+//! resonance. We model each defect as a random telegraph process: a two-state
+//! continuous-time Markov chain whose "active" state adds an extra relaxation
+//! rate to the qubit (suppressing T1), exactly the phenomenology of Fig. 3
+//! (long quiet stretches punctuated by deep dips).
+
+use qismet_mathkit::exponential;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One telegraph fluctuator coupled to a qubit.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fluctuator {
+    /// Rate (per hour) of switching from dormant to active.
+    pub activation_rate: f64,
+    /// Rate (per hour) of switching from active back to dormant.
+    pub relaxation_rate: f64,
+    /// Extra qubit relaxation rate (per microsecond) while active, i.e. the
+    /// added `1/T1` contribution.
+    pub coupling_strength: f64,
+}
+
+impl Fluctuator {
+    /// Validates parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.activation_rate <= 0.0 {
+            return Err("activation_rate must be positive".into());
+        }
+        if self.relaxation_rate <= 0.0 {
+            return Err("relaxation_rate must be positive".into());
+        }
+        if self.coupling_strength < 0.0 {
+            return Err("coupling_strength must be non-negative".into());
+        }
+        Ok(())
+    }
+
+    /// Long-run fraction of time the fluctuator is active.
+    pub fn duty_cycle(&self) -> f64 {
+        self.activation_rate / (self.activation_rate + self.relaxation_rate)
+    }
+}
+
+/// The dynamic state of one fluctuator during trace generation.
+#[derive(Debug, Clone, Copy)]
+struct FluctuatorState {
+    active: bool,
+    /// Hours until the next state toggle.
+    time_to_toggle: f64,
+}
+
+/// A bank of fluctuators coupled to one qubit, producing a T1(t) process.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_qnoise::{Fluctuator, TlsBank};
+/// use qismet_mathkit::rng_from_seed;
+///
+/// let bank = TlsBank::new(
+///     100.0,
+///     vec![Fluctuator {
+///         activation_rate: 0.05,
+///         relaxation_rate: 1.0,
+///         coupling_strength: 0.05,
+///     }],
+/// )
+/// .unwrap();
+/// let mut rng = rng_from_seed(1);
+/// let trace = bank.sample_t1_trace(&mut rng, 65.0, 0.25);
+/// assert_eq!(trace.len(), 260);
+/// assert!(trace.iter().all(|&t1| t1 > 0.0 && t1 <= 100.0 + 1e-9));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TlsBank {
+    /// Baseline T1 in microseconds with no fluctuator active.
+    base_t1_us: f64,
+    fluctuators: Vec<Fluctuator>,
+}
+
+impl TlsBank {
+    /// Creates a bank.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the base T1 is non-positive or any fluctuator is
+    /// invalid.
+    pub fn new(base_t1_us: f64, fluctuators: Vec<Fluctuator>) -> Result<Self, String> {
+        if base_t1_us <= 0.0 {
+            return Err("base_t1_us must be positive".into());
+        }
+        for f in &fluctuators {
+            f.validate()?;
+        }
+        Ok(TlsBank {
+            base_t1_us,
+            fluctuators,
+        })
+    }
+
+    /// Baseline T1 (microseconds).
+    pub fn base_t1_us(&self) -> f64 {
+        self.base_t1_us
+    }
+
+    /// The fluctuators.
+    pub fn fluctuators(&self) -> &[Fluctuator] {
+        &self.fluctuators
+    }
+
+    /// Samples the T1 process at fixed intervals.
+    ///
+    /// * `duration_hours` — total span (e.g. 65 h for Fig. 3).
+    /// * `dt_hours` — sampling interval.
+    ///
+    /// Returns T1 in microseconds at each sample time.
+    pub fn sample_t1_trace<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        duration_hours: f64,
+        dt_hours: f64,
+    ) -> Vec<f64> {
+        assert!(dt_hours > 0.0 && duration_hours > 0.0, "positive spans");
+        let steps = (duration_hours / dt_hours).round() as usize;
+        let mut states: Vec<FluctuatorState> = self
+            .fluctuators
+            .iter()
+            .map(|f| {
+                // Start from the stationary distribution.
+                let active = rng.gen::<f64>() < f.duty_cycle();
+                let rate = if active {
+                    f.relaxation_rate
+                } else {
+                    f.activation_rate
+                };
+                FluctuatorState {
+                    active,
+                    time_to_toggle: exponential(rng, rate),
+                }
+            })
+            .collect();
+        let mut out = Vec::with_capacity(steps);
+        for _ in 0..steps {
+            // Advance each fluctuator by dt, toggling as needed.
+            for (state, f) in states.iter_mut().zip(self.fluctuators.iter()) {
+                let mut remaining = dt_hours;
+                while state.time_to_toggle <= remaining {
+                    remaining -= state.time_to_toggle;
+                    state.active = !state.active;
+                    let rate = if state.active {
+                        f.relaxation_rate
+                    } else {
+                        f.activation_rate
+                    };
+                    state.time_to_toggle = exponential(rng, rate);
+                }
+                state.time_to_toggle -= remaining;
+            }
+            out.push(self.t1_of_states(&states));
+        }
+        out
+    }
+
+    fn t1_of_states(&self, states: &[FluctuatorState]) -> f64 {
+        let base_rate = 1.0 / self.base_t1_us;
+        let extra: f64 = states
+            .iter()
+            .zip(self.fluctuators.iter())
+            .filter(|(s, _)| s.active)
+            .map(|(_, f)| f.coupling_strength)
+            .sum();
+        1.0 / (base_rate + extra)
+    }
+
+    /// A Fig. 3-style bank: one strong rare defect producing deep dips plus
+    /// a couple of weak frequent wigglers.
+    pub fn figure3_bank(base_t1_us: f64) -> Self {
+        TlsBank::new(
+            base_t1_us,
+            vec![
+                // Strong, rare: deep outlier dips.
+                Fluctuator {
+                    activation_rate: 0.04,
+                    relaxation_rate: 1.2,
+                    coupling_strength: 3.0 / base_t1_us,
+                },
+                // Moderate occasional.
+                Fluctuator {
+                    activation_rate: 0.15,
+                    relaxation_rate: 2.0,
+                    coupling_strength: 0.8 / base_t1_us,
+                },
+                // Weak frequent jitter.
+                Fluctuator {
+                    activation_rate: 2.0,
+                    relaxation_rate: 4.0,
+                    coupling_strength: 0.15 / base_t1_us,
+                },
+            ],
+        )
+        .expect("hand-tuned parameters are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::{mean, min, rng_from_seed};
+
+    #[test]
+    fn duty_cycle_formula() {
+        let f = Fluctuator {
+            activation_rate: 1.0,
+            relaxation_rate: 3.0,
+            coupling_strength: 0.1,
+        };
+        assert!((f.duty_cycle() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validation_catches_bad_parameters() {
+        assert!(TlsBank::new(0.0, vec![]).is_err());
+        let bad = Fluctuator {
+            activation_rate: 0.0,
+            relaxation_rate: 1.0,
+            coupling_strength: 0.1,
+        };
+        assert!(TlsBank::new(100.0, vec![bad]).is_err());
+    }
+
+    #[test]
+    fn trace_without_fluctuators_is_constant() {
+        let bank = TlsBank::new(80.0, vec![]).unwrap();
+        let mut rng = rng_from_seed(2);
+        let trace = bank.sample_t1_trace(&mut rng, 10.0, 0.5);
+        assert!(trace.iter().all(|&t| (t - 80.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn active_fluctuator_suppresses_t1() {
+        // A fluctuator that is essentially always active.
+        let bank = TlsBank::new(
+            100.0,
+            vec![Fluctuator {
+                activation_rate: 1000.0,
+                relaxation_rate: 0.001,
+                coupling_strength: 0.09, // adds 9x the base rate
+            }],
+        )
+        .unwrap();
+        let mut rng = rng_from_seed(3);
+        let trace = bank.sample_t1_trace(&mut rng, 20.0, 0.5);
+        // 1 / (0.01 + 0.09) = 10 us.
+        assert!(mean(&trace) < 15.0, "mean {}", mean(&trace));
+    }
+
+    #[test]
+    fn figure3_bank_shows_rare_deep_dips() {
+        let bank = TlsBank::figure3_bank(90.0);
+        let mut rng = rng_from_seed(42);
+        let trace = bank.sample_t1_trace(&mut rng, 65.0, 0.1);
+        let m = mean(&trace);
+        let lo = min(&trace);
+        // Most of the time near base, occasional dips well below half.
+        assert!(m > 50.0, "mean {m}");
+        assert!(lo < 40.0, "min {lo}");
+        // Dips are the exception, not the norm (paper: "impactful transients
+        // are an exception rather than the norm").
+        let dip_fraction =
+            trace.iter().filter(|&&t| t < 0.5 * 90.0).count() as f64 / trace.len() as f64;
+        assert!(dip_fraction < 0.35, "dip fraction {dip_fraction}");
+    }
+
+    #[test]
+    fn stationary_duty_cycle_observed() {
+        let f = Fluctuator {
+            activation_rate: 1.0,
+            relaxation_rate: 1.0,
+            coupling_strength: 0.05,
+        };
+        let bank = TlsBank::new(100.0, vec![f]).unwrap();
+        let mut rng = rng_from_seed(7);
+        let trace = bank.sample_t1_trace(&mut rng, 4000.0, 0.5);
+        // With 50% duty cycle, about half the samples should be suppressed.
+        let suppressed = trace.iter().filter(|&&t| t < 30.0).count() as f64;
+        let frac = suppressed / trace.len() as f64;
+        assert!((frac - 0.5).abs() < 0.1, "suppressed fraction {frac}");
+    }
+
+    #[test]
+    fn trace_is_deterministic_per_seed() {
+        let bank = TlsBank::figure3_bank(90.0);
+        let a = bank.sample_t1_trace(&mut rng_from_seed(5), 10.0, 0.25);
+        let b = bank.sample_t1_trace(&mut rng_from_seed(5), 10.0, 0.25);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let bank = TlsBank::figure3_bank(75.0);
+        let json = serde_json::to_string(&bank).unwrap();
+        let back: TlsBank = serde_json::from_str(&json).unwrap();
+        assert_eq!(bank, back);
+    }
+}

@@ -1,0 +1,249 @@
+//! Persistence for transient-trace libraries.
+//!
+//! Section 6.2 builds per application-machine transient traces and stores
+//! them for reproducible simulation. [`TraceLibrary`] is that store: a keyed
+//! collection of [`TransientTrace`]s with JSON (de)serialization so traces
+//! can be shipped alongside the repository and inspected by humans.
+
+use crate::machines::Machine;
+use crate::transient::TransientTrace;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Key identifying one trace: an application name and machine.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TraceKey {
+    /// Application identifier (e.g. `"App2"`).
+    pub app: String,
+    /// Machine the trace was captured from.
+    pub machine: Machine,
+    /// Trial index (the paper records e.g. "Toronto (v1)" and "(v2)").
+    pub trial: u32,
+}
+
+impl fmt::Display for TraceKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}(v{})", self.app, self.machine.name(), self.trial)
+    }
+}
+
+/// Errors from library IO.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// JSON (de)serialization failure.
+    Json(serde_json::Error),
+    /// Requested key not present.
+    Missing(TraceKey),
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace library io error: {e}"),
+            TraceIoError::Json(e) => write!(f, "trace library json error: {e}"),
+            TraceIoError::Missing(k) => write!(f, "no trace stored for {k}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            TraceIoError::Json(e) => Some(e),
+            TraceIoError::Missing(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for TraceIoError {
+    fn from(e: serde_json::Error) -> Self {
+        TraceIoError::Json(e)
+    }
+}
+
+/// A keyed store of transient traces.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_qnoise::{Machine, TraceKey, TraceLibrary, TransientModel};
+/// use qismet_mathkit::rng_from_seed;
+///
+/// let mut lib = TraceLibrary::new();
+/// let key = TraceKey { app: "App1".into(), machine: Machine::Toronto, trial: 1 };
+/// let trace = TransientModel::moderate(0.1).generate(&mut rng_from_seed(1), 100);
+/// lib.insert(key.clone(), trace);
+/// let json = lib.to_json().unwrap();
+/// let back = TraceLibrary::from_json(&json).unwrap();
+/// assert!(back.get(&key).is_some());
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize, PartialEq)]
+pub struct TraceLibrary {
+    traces: BTreeMap<String, (TraceKey, TransientTrace)>,
+}
+
+impl TraceLibrary {
+    /// An empty library.
+    pub fn new() -> Self {
+        TraceLibrary::default()
+    }
+
+    /// Number of stored traces.
+    pub fn len(&self) -> usize {
+        self.traces.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.traces.is_empty()
+    }
+
+    /// Inserts (or replaces) a trace.
+    pub fn insert(&mut self, key: TraceKey, trace: TransientTrace) {
+        self.traces.insert(key.to_string(), (key, trace));
+    }
+
+    /// Looks up a trace.
+    pub fn get(&self, key: &TraceKey) -> Option<&TransientTrace> {
+        self.traces.get(&key.to_string()).map(|(_, t)| t)
+    }
+
+    /// Looks up a trace, erroring when absent.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceIoError::Missing`] when the key is not stored.
+    pub fn require(&self, key: &TraceKey) -> Result<&TransientTrace, TraceIoError> {
+        self.get(key).ok_or_else(|| TraceIoError::Missing(key.clone()))
+    }
+
+    /// Iterates over stored `(key, trace)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&TraceKey, &TransientTrace)> {
+        self.traces.values().map(|(k, t)| (k, t))
+    }
+
+    /// Serializes to pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON failures.
+    pub fn to_json(&self) -> Result<String, TraceIoError> {
+        Ok(serde_json::to_string_pretty(self)?)
+    }
+
+    /// Parses from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates JSON failures.
+    pub fn from_json(json: &str) -> Result<Self, TraceIoError> {
+        Ok(serde_json::from_str(json)?)
+    }
+
+    /// Writes JSON to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and JSON failures.
+    pub fn save(&self, path: &std::path::Path) -> Result<(), TraceIoError> {
+        std::fs::write(path, self.to_json()?)?;
+        Ok(())
+    }
+
+    /// Reads JSON from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and JSON failures.
+    pub fn load(path: &std::path::Path) -> Result<Self, TraceIoError> {
+        let text = std::fs::read_to_string(path)?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transient::TransientModel;
+    use qismet_mathkit::rng_from_seed;
+
+    fn key(app: &str, machine: Machine, trial: u32) -> TraceKey {
+        TraceKey {
+            app: app.to_string(),
+            machine,
+            trial,
+        }
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut lib = TraceLibrary::new();
+        let k = key("App3", Machine::Guadalupe, 2);
+        let t = TransientModel::moderate(0.1).generate(&mut rng_from_seed(1), 50);
+        lib.insert(k.clone(), t.clone());
+        assert_eq!(lib.len(), 1);
+        assert_eq!(lib.get(&k), Some(&t));
+        assert!(lib.get(&key("App3", Machine::Guadalupe, 1)).is_none());
+    }
+
+    #[test]
+    fn require_reports_missing() {
+        let lib = TraceLibrary::new();
+        let k = key("App1", Machine::Cairo, 1);
+        let err = lib.require(&k).unwrap_err();
+        assert!(err.to_string().contains("App1@Cairo(v1)"));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_everything() {
+        let mut lib = TraceLibrary::new();
+        for (i, m) in [Machine::Toronto, Machine::Cairo, Machine::Casablanca]
+            .into_iter()
+            .enumerate()
+        {
+            let t = TransientModel::severe(0.2).generate(&mut rng_from_seed(i as u64), 64);
+            lib.insert(key(&format!("App{}", i + 1), m, 1), t);
+        }
+        let json = lib.to_json().unwrap();
+        let back = TraceLibrary::from_json(&json).unwrap();
+        assert_eq!(lib, back);
+        assert_eq!(back.iter().count(), 3);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let dir = std::env::temp_dir().join("qismet_trace_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("lib.json");
+        let mut lib = TraceLibrary::new();
+        lib.insert(
+            key("App6", Machine::Casablanca, 1),
+            TransientModel::calm(0.05).generate(&mut rng_from_seed(9), 32),
+        );
+        lib.save(&path).unwrap();
+        let back = TraceLibrary::load(&path).unwrap();
+        assert_eq!(lib, back);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn display_key_format() {
+        let k = key("App2", Machine::Guadalupe, 1);
+        assert_eq!(k.to_string(), "App2@Guadalupe(v1)");
+    }
+
+    #[test]
+    fn bad_json_is_an_error() {
+        assert!(TraceLibrary::from_json("{not json").is_err());
+    }
+}

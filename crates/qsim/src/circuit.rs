@@ -1,0 +1,520 @@
+//! Parameterized quantum circuits.
+//!
+//! A [`Circuit`] is an ordered list of gate applications on named qubit
+//! indices. Ansatz circuits carry free parameters ([`Param::Free`]) that are
+//! bound per VQA iteration via [`Circuit::bind`].
+
+use crate::gate::{Gate, GateError, Param};
+use std::fmt;
+
+/// One gate application inside a circuit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Op {
+    /// The gate.
+    pub gate: Gate,
+    /// Operand qubits; `qubits[1]` is unused for 1-qubit gates.
+    pub qubits: [usize; 2],
+}
+
+impl Op {
+    /// Operand slice of the correct arity.
+    pub fn operands(&self) -> &[usize] {
+        &self.qubits[..self.gate.arity()]
+    }
+}
+
+/// Errors from circuit construction and manipulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CircuitError {
+    /// A qubit index is out of range.
+    QubitOutOfRange {
+        /// Offending index.
+        qubit: usize,
+        /// Circuit width.
+        width: usize,
+    },
+    /// Two-qubit gate applied to identical operands.
+    DuplicateOperands {
+        /// The repeated index.
+        qubit: usize,
+    },
+    /// Parameter vector length mismatch in [`Circuit::bind`].
+    ParamCountMismatch {
+        /// Parameters the circuit expects.
+        expected: usize,
+        /// Parameters provided.
+        provided: usize,
+    },
+    /// A gate still carries a free parameter where a bound one is required.
+    Unbound(GateError),
+}
+
+impl fmt::Display for CircuitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CircuitError::QubitOutOfRange { qubit, width } => {
+                write!(f, "qubit {qubit} out of range for width {width}")
+            }
+            CircuitError::DuplicateOperands { qubit } => {
+                write!(f, "two-qubit gate with duplicate operand {qubit}")
+            }
+            CircuitError::ParamCountMismatch { expected, provided } => {
+                write!(f, "expected {expected} parameters, got {provided}")
+            }
+            CircuitError::Unbound(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CircuitError {}
+
+impl From<GateError> for CircuitError {
+    fn from(e: GateError) -> Self {
+        CircuitError::Unbound(e)
+    }
+}
+
+/// An ordered gate list over `n` qubits, possibly with free parameters.
+///
+/// # Examples
+///
+/// Building a Bell-pair circuit:
+///
+/// ```
+/// use qismet_qsim::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// assert_eq!(c.cx_count(), 1);
+/// assert_eq!(c.depth(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Circuit {
+    n_qubits: usize,
+    ops: Vec<Op>,
+    /// Number of distinct free parameters (max Free index + 1).
+    n_params: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit over `n_qubits` qubits.
+    pub fn new(n_qubits: usize) -> Self {
+        Circuit {
+            n_qubits,
+            ops: Vec::new(),
+            n_params: 0,
+        }
+    }
+
+    /// Circuit width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of free parameters referenced by the circuit.
+    pub fn n_params(&self) -> usize {
+        self.n_params
+    }
+
+    /// The gate sequence.
+    pub fn ops(&self) -> &[Op] {
+        &self.ops
+    }
+
+    /// Total gate count.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Appends a gate, validating operands.
+    ///
+    /// # Errors
+    ///
+    /// * [`CircuitError::QubitOutOfRange`] for bad indices.
+    /// * [`CircuitError::DuplicateOperands`] for `cx(q, q)` style misuse.
+    pub fn push(&mut self, gate: Gate, qubits: &[usize]) -> Result<&mut Self, CircuitError> {
+        let arity = gate.arity();
+        assert_eq!(qubits.len(), arity, "operand count must match gate arity");
+        for &q in qubits {
+            if q >= self.n_qubits {
+                return Err(CircuitError::QubitOutOfRange {
+                    qubit: q,
+                    width: self.n_qubits,
+                });
+            }
+        }
+        if arity == 2 && qubits[0] == qubits[1] {
+            return Err(CircuitError::DuplicateOperands { qubit: qubits[0] });
+        }
+        if let Some(Param::Free(k)) = gate.param() {
+            self.n_params = self.n_params.max(k + 1);
+        }
+        let stored = [qubits[0], if arity == 2 { qubits[1] } else { 0 }];
+        self.ops.push(Op { gate, qubits: stored });
+        Ok(self)
+    }
+
+    /// Appends a gate, panicking on invalid operands (builder convenience).
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or duplicate operands.
+    pub fn append(&mut self, gate: Gate, qubits: &[usize]) -> &mut Self {
+        self.push(gate, qubits).expect("invalid gate operands");
+        self
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::H, &[q])
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::X, &[q])
+    }
+
+    /// Appends a Pauli-Y.
+    pub fn y(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Y, &[q])
+    }
+
+    /// Appends a Pauli-Z.
+    pub fn z(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Z, &[q])
+    }
+
+    /// Appends an S gate.
+    pub fn s(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::S, &[q])
+    }
+
+    /// Appends an S-dagger gate.
+    pub fn sdg(&mut self, q: usize) -> &mut Self {
+        self.append(Gate::Sdg, &[q])
+    }
+
+    /// Appends an RX rotation.
+    pub fn rx(&mut self, p: impl Into<Param>, q: usize) -> &mut Self {
+        self.append(Gate::Rx(p.into()), &[q])
+    }
+
+    /// Appends an RY rotation.
+    pub fn ry(&mut self, p: impl Into<Param>, q: usize) -> &mut Self {
+        self.append(Gate::Ry(p.into()), &[q])
+    }
+
+    /// Appends an RZ rotation.
+    pub fn rz(&mut self, p: impl Into<Param>, q: usize) -> &mut Self {
+        self.append(Gate::Rz(p.into()), &[q])
+    }
+
+    /// Appends a CX (CNOT) with `control`, `target`.
+    pub fn cx(&mut self, control: usize, target: usize) -> &mut Self {
+        self.append(Gate::Cx, &[control, target])
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Cz, &[a, b])
+    }
+
+    /// Appends a SWAP.
+    pub fn swap(&mut self, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Swap, &[a, b])
+    }
+
+    /// Appends an RZZ interaction.
+    pub fn rzz(&mut self, p: impl Into<Param>, a: usize, b: usize) -> &mut Self {
+        self.append(Gate::Rzz(p.into()), &[a, b])
+    }
+
+    /// Concatenates another circuit of the same width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if widths differ.
+    pub fn extend(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.n_qubits, other.n_qubits, "circuit widths must match");
+        for op in &other.ops {
+            self.ops.push(*op);
+            if let Some(Param::Free(k)) = op.gate.param() {
+                self.n_params = self.n_params.max(k + 1);
+            }
+        }
+        self
+    }
+
+    /// Returns a copy with all free parameters bound to `values`.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::ParamCountMismatch`] if `values.len() < n_params`.
+    pub fn bind(&self, values: &[f64]) -> Result<Circuit, CircuitError> {
+        if values.len() < self.n_params {
+            return Err(CircuitError::ParamCountMismatch {
+                expected: self.n_params,
+                provided: values.len(),
+            });
+        }
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| Op {
+                gate: op.gate.bind(values),
+                qubits: op.qubits,
+            })
+            .collect();
+        Ok(Circuit {
+            n_qubits: self.n_qubits,
+            ops,
+            n_params: 0,
+        })
+    }
+
+    /// `true` when no gate carries a free parameter.
+    pub fn is_bound(&self) -> bool {
+        self.ops.iter().all(|op| {
+            !matches!(op.gate.param(), Some(Param::Free(_)))
+        })
+    }
+
+    /// Number of two-qubit entangling gates — the depth proxy the paper uses
+    /// when discussing circuit-level transient sensitivity (Section 3.2).
+    pub fn cx_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.gate.arity() == 2).count()
+    }
+
+    /// Circuit depth: the length of the critical path assuming gates on
+    /// disjoint qubits execute concurrently.
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.n_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let start = op.operands().iter().map(|&q| level[q]).max().unwrap_or(0);
+            let end = start + 1;
+            for &q in op.operands() {
+                level[q] = end;
+            }
+            depth = depth.max(end);
+        }
+        depth
+    }
+
+    /// Sum of gate durations along the critical path, given per-arity gate
+    /// durations (used by the noise model to convert T1/T2 into per-circuit
+    /// decoherence).
+    pub fn duration(&self, t_1q: f64, t_2q: f64) -> f64 {
+        let mut finish = vec![0.0f64; self.n_qubits];
+        let mut total: f64 = 0.0;
+        for op in &self.ops {
+            let dt = if op.gate.arity() == 2 { t_2q } else { t_1q };
+            let start = op
+                .operands()
+                .iter()
+                .map(|&q| finish[q])
+                .fold(0.0f64, f64::max);
+            let end = start + dt;
+            for &q in op.operands() {
+                finish[q] = end;
+            }
+            total = total.max(end);
+        }
+        total
+    }
+
+    /// The inverse circuit (adjoint): gates reversed and conjugated.
+    ///
+    /// Only defined for bound circuits.
+    ///
+    /// # Errors
+    ///
+    /// [`CircuitError::Unbound`] if any parameter is free.
+    pub fn inverse(&self) -> Result<Circuit, CircuitError> {
+        let mut out = Circuit::new(self.n_qubits);
+        for op in self.ops.iter().rev() {
+            let inv = match op.gate {
+                Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => {
+                    op.gate
+                }
+                Gate::S => Gate::Sdg,
+                Gate::Sdg => Gate::S,
+                Gate::T => Gate::Tdg,
+                Gate::Tdg => Gate::T,
+                Gate::Sx => {
+                    // SX^dagger = SX^3; emit as rx(-pi/2) up to global phase.
+                    Gate::Rx(Param::Fixed(-std::f64::consts::FRAC_PI_2))
+                }
+                Gate::Rx(p) => Gate::Rx(neg(p)?),
+                Gate::Ry(p) => Gate::Ry(neg(p)?),
+                Gate::Rz(p) => Gate::Rz(neg(p)?),
+                Gate::Phase(p) => Gate::Phase(neg(p)?),
+                Gate::Rzz(p) => Gate::Rzz(neg(p)?),
+            };
+            out.ops.push(Op {
+                gate: inv,
+                qubits: op.qubits,
+            });
+        }
+        Ok(out)
+    }
+}
+
+fn neg(p: Param) -> Result<Param, CircuitError> {
+    match p {
+        Param::Fixed(v) => Ok(Param::Fixed(-v)),
+        Param::Free(_) => Err(CircuitError::Unbound(GateError::UnboundParameter)),
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} gates)", self.n_qubits, self.ops.len())?;
+        for op in &self.ops {
+            write!(f, "  {}", op.gate)?;
+            for q in op.operands() {
+                write!(f, " q{q}")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).rz(0.3, 2);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.cx_count(), 2);
+        assert!(c.is_bound());
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.push(Gate::H, &[2]),
+            Err(CircuitError::QubitOutOfRange { qubit: 2, width: 2 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_operands_rejected() {
+        let mut c = Circuit::new(2);
+        assert!(matches!(
+            c.push(Gate::Cx, &[1, 1]),
+            Err(CircuitError::DuplicateOperands { qubit: 1 })
+        ));
+    }
+
+    #[test]
+    fn free_params_counted_and_bound() {
+        let mut c = Circuit::new(2);
+        c.ry(Param::Free(0), 0)
+            .ry(Param::Free(1), 1)
+            .cx(0, 1)
+            .ry(Param::Free(2), 0);
+        assert_eq!(c.n_params(), 3);
+        assert!(!c.is_bound());
+        let b = c.bind(&[0.1, 0.2, 0.3]).unwrap();
+        assert!(b.is_bound());
+        assert_eq!(b.n_params(), 0);
+        // The original is untouched.
+        assert_eq!(c.n_params(), 3);
+    }
+
+    #[test]
+    fn bind_length_checked() {
+        let mut c = Circuit::new(1);
+        c.ry(Param::Free(4), 0);
+        assert_eq!(c.n_params(), 5);
+        assert!(matches!(
+            c.bind(&[0.0; 3]),
+            Err(CircuitError::ParamCountMismatch {
+                expected: 5,
+                provided: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn depth_accounts_for_parallelism() {
+        let mut c = Circuit::new(4);
+        // Layer 1: h on all four qubits in parallel.
+        for q in 0..4 {
+            c.h(q);
+        }
+        // Layer 2: two disjoint CX.
+        c.cx(0, 1).cx(2, 3);
+        assert_eq!(c.depth(), 2);
+        // A chained CX adds a third layer.
+        c.cx(1, 2);
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn duration_critical_path() {
+        let mut c = Circuit::new(2);
+        c.h(0).h(0).cx(0, 1);
+        // Critical path: 2 one-qubit + 1 two-qubit.
+        let d = c.duration(10.0, 100.0);
+        assert!((d - 120.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_merges_params() {
+        let mut a = Circuit::new(2);
+        a.ry(Param::Free(0), 0);
+        let mut b = Circuit::new(2);
+        b.ry(Param::Free(3), 1);
+        a.extend(&b);
+        assert_eq!(a.n_params(), 4);
+        assert_eq!(a.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "widths must match")]
+    fn extend_rejects_width_mismatch() {
+        let mut a = Circuit::new(2);
+        let b = Circuit::new(3);
+        a.extend(&b);
+    }
+
+    #[test]
+    fn inverse_reverses_and_negates() {
+        let mut c = Circuit::new(2);
+        c.h(0).s(1).rz(0.7, 0).cx(0, 1);
+        let inv = c.inverse().unwrap();
+        assert_eq!(inv.len(), 4);
+        assert_eq!(inv.ops()[0].gate, Gate::Cx);
+        assert_eq!(inv.ops()[1].gate, Gate::Rz(Param::Fixed(-0.7)));
+        assert_eq!(inv.ops()[2].gate, Gate::Sdg);
+        assert_eq!(inv.ops()[3].gate, Gate::H);
+    }
+
+    #[test]
+    fn inverse_of_unbound_errors() {
+        let mut c = Circuit::new(1);
+        c.ry(Param::Free(0), 0);
+        assert!(matches!(c.inverse(), Err(CircuitError::Unbound(_))));
+    }
+
+    #[test]
+    fn display_contains_gates() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let s = c.to_string();
+        assert!(s.contains("h q0"));
+        assert!(s.contains("cx q0 q1"));
+    }
+}

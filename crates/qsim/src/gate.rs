@@ -1,0 +1,394 @@
+//! Gate set for the simulators.
+//!
+//! The set covers what the QISMET workloads need: the Clifford+T staples, the
+//! parameterized rotations used by the `EfficientSU2` / `RealAmplitudes`
+//! ansatz families, and the two-qubit entanglers (`CX`, `CZ`, `SWAP`).
+
+use qismet_mathkit::{CMatrix, Complex64};
+use std::fmt;
+
+/// A gate parameter: either a concrete angle or a symbolic slot to be bound
+/// later (the `theta[k]` of a variational ansatz).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Param {
+    /// Concrete angle in radians.
+    Fixed(f64),
+    /// Free parameter identified by its index into a parameter vector.
+    Free(usize),
+}
+
+impl Param {
+    /// The concrete value, if bound.
+    pub fn value(self) -> Option<f64> {
+        match self {
+            Param::Fixed(v) => Some(v),
+            Param::Free(_) => None,
+        }
+    }
+
+    /// Binds against a parameter vector: free slots index into `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free index is out of bounds.
+    pub fn bind(self, values: &[f64]) -> Param {
+        match self {
+            Param::Fixed(v) => Param::Fixed(v),
+            Param::Free(k) => Param::Fixed(values[k]),
+        }
+    }
+}
+
+impl From<f64> for Param {
+    fn from(v: f64) -> Self {
+        Param::Fixed(v)
+    }
+}
+
+/// The gate alphabet.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Gate {
+    /// Hadamard.
+    H,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Phase gate `S = diag(1, i)`.
+    S,
+    /// Inverse phase gate.
+    Sdg,
+    /// T gate `diag(1, exp(i pi / 4))`.
+    T,
+    /// Inverse T gate.
+    Tdg,
+    /// Square root of X.
+    Sx,
+    /// Rotation about X by the parameter angle.
+    Rx(Param),
+    /// Rotation about Y by the parameter angle.
+    Ry(Param),
+    /// Rotation about Z by the parameter angle.
+    Rz(Param),
+    /// Phase rotation `diag(1, exp(i theta))`.
+    Phase(Param),
+    /// Controlled-X (CNOT). Two-qubit.
+    Cx,
+    /// Controlled-Z. Two-qubit.
+    Cz,
+    /// SWAP. Two-qubit.
+    Swap,
+    /// Two-qubit ZZ interaction `exp(-i theta/2 Z(x)Z)`.
+    Rzz(Param),
+}
+
+impl Gate {
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn arity(self) -> usize {
+        match self {
+            Gate::Cx | Gate::Cz | Gate::Swap | Gate::Rzz(_) => 2,
+            _ => 1,
+        }
+    }
+
+    /// `true` for gates that carry a parameter slot.
+    pub fn is_parameterized(self) -> bool {
+        matches!(
+            self,
+            Gate::Rx(_) | Gate::Ry(_) | Gate::Rz(_) | Gate::Phase(_) | Gate::Rzz(_)
+        )
+    }
+
+    /// The parameter, if this gate kind has one.
+    pub fn param(self) -> Option<Param> {
+        match self {
+            Gate::Rx(p) | Gate::Ry(p) | Gate::Rz(p) | Gate::Phase(p) | Gate::Rzz(p) => Some(p),
+            _ => None,
+        }
+    }
+
+    /// Rebuilds the gate with all free parameters bound from `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a free index is out of bounds.
+    pub fn bind(self, values: &[f64]) -> Gate {
+        match self {
+            Gate::Rx(p) => Gate::Rx(p.bind(values)),
+            Gate::Ry(p) => Gate::Ry(p.bind(values)),
+            Gate::Rz(p) => Gate::Rz(p.bind(values)),
+            Gate::Phase(p) => Gate::Phase(p.bind(values)),
+            Gate::Rzz(p) => Gate::Rzz(p.bind(values)),
+            g => g,
+        }
+    }
+
+    /// The unitary matrix (2x2 for one-qubit, 4x4 for two-qubit gates).
+    ///
+    /// Two-qubit matrices are indexed with the convention that the gate's
+    /// first operand qubit is the **least significant** bit of the 4-dim
+    /// basis index: `idx = bit(q0) | (bit(q1) << 1)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GateError::UnboundParameter`] if the gate still carries a
+    /// free (symbolic) parameter.
+    pub fn matrix(self) -> Result<CMatrix, GateError> {
+        use Complex64 as C;
+        let o = C::ZERO;
+        let l = C::ONE;
+        let i = C::I;
+        let f = std::f64::consts::FRAC_1_SQRT_2;
+        let m = |rows: &[&[C]]| CMatrix::from_rows(rows);
+        let angle = |p: Param| p.value().ok_or(GateError::UnboundParameter);
+        Ok(match self {
+            Gate::H => m(&[&[C::from_re(f), C::from_re(f)], &[C::from_re(f), C::from_re(-f)]]),
+            Gate::X => m(&[&[o, l], &[l, o]]),
+            Gate::Y => m(&[&[o, -i], &[i, o]]),
+            Gate::Z => m(&[&[l, o], &[o, -l]]),
+            Gate::S => m(&[&[l, o], &[o, i]]),
+            Gate::Sdg => m(&[&[l, o], &[o, -i]]),
+            Gate::T => m(&[&[l, o], &[o, C::cis(std::f64::consts::FRAC_PI_4)]]),
+            Gate::Tdg => m(&[&[l, o], &[o, C::cis(-std::f64::consts::FRAC_PI_4)]]),
+            Gate::Sx => {
+                let a = C::new(0.5, 0.5);
+                let b = C::new(0.5, -0.5);
+                m(&[&[a, b], &[b, a]])
+            }
+            Gate::Rx(p) => {
+                let t = angle(p)? / 2.0;
+                let (c, s) = (t.cos(), t.sin());
+                m(&[
+                    &[C::from_re(c), C::new(0.0, -s)],
+                    &[C::new(0.0, -s), C::from_re(c)],
+                ])
+            }
+            Gate::Ry(p) => {
+                let t = angle(p)? / 2.0;
+                let (c, s) = (t.cos(), t.sin());
+                m(&[
+                    &[C::from_re(c), C::from_re(-s)],
+                    &[C::from_re(s), C::from_re(c)],
+                ])
+            }
+            Gate::Rz(p) => {
+                let t = angle(p)? / 2.0;
+                m(&[&[C::cis(-t), o], &[o, C::cis(t)]])
+            }
+            Gate::Phase(p) => {
+                let t = angle(p)?;
+                m(&[&[l, o], &[o, C::cis(t)]])
+            }
+            // Two-qubit gates: operand 0 is the LSB of the 4-dim index.
+            // CX: control = operand 0, target = operand 1.
+            Gate::Cx => m(&[
+                &[l, o, o, o],
+                &[o, o, o, l],
+                &[o, o, l, o],
+                &[o, l, o, o],
+            ]),
+            Gate::Cz => m(&[
+                &[l, o, o, o],
+                &[o, l, o, o],
+                &[o, o, l, o],
+                &[o, o, o, -l],
+            ]),
+            Gate::Swap => m(&[
+                &[l, o, o, o],
+                &[o, o, l, o],
+                &[o, l, o, o],
+                &[o, o, o, l],
+            ]),
+            Gate::Rzz(p) => {
+                let t = angle(p)? / 2.0;
+                let e_neg = C::cis(-t);
+                let e_pos = C::cis(t);
+                m(&[
+                    &[e_neg, o, o, o],
+                    &[o, e_pos, o, o],
+                    &[o, o, e_pos, o],
+                    &[o, o, o, e_neg],
+                ])
+            }
+        })
+    }
+
+    /// Lower-case mnemonic matching common assembly conventions.
+    pub fn name(self) -> &'static str {
+        match self {
+            Gate::H => "h",
+            Gate::X => "x",
+            Gate::Y => "y",
+            Gate::Z => "z",
+            Gate::S => "s",
+            Gate::Sdg => "sdg",
+            Gate::T => "t",
+            Gate::Tdg => "tdg",
+            Gate::Sx => "sx",
+            Gate::Rx(_) => "rx",
+            Gate::Ry(_) => "ry",
+            Gate::Rz(_) => "rz",
+            Gate::Phase(_) => "p",
+            Gate::Cx => "cx",
+            Gate::Cz => "cz",
+            Gate::Swap => "swap",
+            Gate::Rzz(_) => "rzz",
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.param() {
+            Some(Param::Fixed(v)) => write!(f, "{}({v:.6})", self.name()),
+            Some(Param::Free(k)) => write!(f, "{}(theta[{k}])", self.name()),
+            None => write!(f, "{}", self.name()),
+        }
+    }
+}
+
+/// Errors produced when working with gates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GateError {
+    /// The gate carries an unbound symbolic parameter.
+    UnboundParameter,
+}
+
+impl fmt::Display for GateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GateError::UnboundParameter => write!(f, "gate parameter is unbound"),
+        }
+    }
+}
+
+impl std::error::Error for GateError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_FIXED: &[Gate] = &[
+        Gate::H,
+        Gate::X,
+        Gate::Y,
+        Gate::Z,
+        Gate::S,
+        Gate::Sdg,
+        Gate::T,
+        Gate::Tdg,
+        Gate::Sx,
+        Gate::Cx,
+        Gate::Cz,
+        Gate::Swap,
+    ];
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for &g in ALL_FIXED {
+            assert!(g.matrix().unwrap().is_unitary(1e-12), "{g} not unitary");
+        }
+        for theta in [-1.3, 0.0, 0.7, 3.1] {
+            for g in [
+                Gate::Rx(theta.into()),
+                Gate::Ry(theta.into()),
+                Gate::Rz(theta.into()),
+                Gate::Phase(theta.into()),
+                Gate::Rzz(theta.into()),
+            ] {
+                assert!(g.matrix().unwrap().is_unitary(1e-12), "{g} not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_split() {
+        for &g in ALL_FIXED {
+            let expect = matches!(g, Gate::Cx | Gate::Cz | Gate::Swap);
+            assert_eq!(g.arity() == 2, expect);
+        }
+        assert_eq!(Gate::Rzz(Param::Fixed(0.1)).arity(), 2);
+    }
+
+    #[test]
+    fn sx_squares_to_x() {
+        let sx = Gate::Sx.matrix().unwrap();
+        let x = Gate::X.matrix().unwrap();
+        assert!((&sx * &sx).approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn s_squares_to_z() {
+        let s = Gate::S.matrix().unwrap();
+        let z = Gate::Z.matrix().unwrap();
+        assert!((&s * &s).approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn t_fourth_power_is_z() {
+        let t = Gate::T.matrix().unwrap();
+        let z = Gate::Z.matrix().unwrap();
+        let t2 = &t * &t;
+        assert!((&t2 * &t2).approx_eq(&z, 1e-12));
+    }
+
+    #[test]
+    fn rotation_at_pi_matches_pauli_up_to_phase() {
+        // RX(pi) = -i X.
+        let rx = Gate::Rx(std::f64::consts::PI.into()).matrix().unwrap();
+        let x = Gate::X.matrix().unwrap().scaled_c(Complex64::new(0.0, -1.0));
+        assert!(rx.approx_eq(&x, 1e-12));
+    }
+
+    #[test]
+    fn ry_rotates_zero_to_plus() {
+        let ry = Gate::Ry(std::f64::consts::FRAC_PI_2.into()).matrix().unwrap();
+        let v = ry.matvec(&[Complex64::ONE, Complex64::ZERO]);
+        let f = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(v[0].approx_eq(Complex64::from_re(f), 1e-12));
+        assert!(v[1].approx_eq(Complex64::from_re(f), 1e-12));
+    }
+
+    #[test]
+    fn cx_permutes_control_set_states() {
+        let cx = Gate::Cx.matrix().unwrap();
+        // |control=1, target=0> = index 1 -> |11> = index 3.
+        let mut v = vec![Complex64::ZERO; 4];
+        v[1] = Complex64::ONE;
+        let out = cx.matvec(&v);
+        assert!(out[3].approx_eq(Complex64::ONE, 1e-15));
+        // |control=0, target=1> = index 2 stays.
+        let mut v = vec![Complex64::ZERO; 4];
+        v[2] = Complex64::ONE;
+        let out = cx.matvec(&v);
+        assert!(out[2].approx_eq(Complex64::ONE, 1e-15));
+    }
+
+    #[test]
+    fn unbound_parameter_is_an_error() {
+        let g = Gate::Ry(Param::Free(3));
+        assert_eq!(g.matrix().unwrap_err(), GateError::UnboundParameter);
+        let bound = g.bind(&[0.0, 0.0, 0.0, 1.25]);
+        assert_eq!(bound.param().unwrap().value(), Some(1.25));
+        assert!(bound.matrix().is_ok());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Gate::H.to_string(), "h");
+        assert_eq!(Gate::Ry(Param::Free(2)).to_string(), "ry(theta[2])");
+        assert!(Gate::Rz(Param::Fixed(0.5)).to_string().starts_with("rz(0.5"));
+    }
+
+    #[test]
+    fn rzz_diagonal_phases() {
+        let theta = 0.8;
+        let m = Gate::Rzz(theta.into()).matrix().unwrap();
+        // |00> and |11> pick up exp(-i theta/2); |01>, |10> exp(+i theta/2).
+        assert!(m.at(0, 0).approx_eq(Complex64::cis(-theta / 2.0), 1e-12));
+        assert!(m.at(3, 3).approx_eq(Complex64::cis(-theta / 2.0), 1e-12));
+        assert!(m.at(1, 1).approx_eq(Complex64::cis(theta / 2.0), 1e-12));
+    }
+}

@@ -1,0 +1,543 @@
+//! Ideal (noise-free) state-vector simulation.
+//!
+//! This backend evaluates circuits exactly and provides both analytic
+//! expectation values and finite-shot sampling. It is the reference against
+//! which the noisy backends and the contraction-factor objective model are
+//! validated.
+
+use crate::circuit::Circuit;
+use crate::counts::Counts;
+use crate::gate::{Gate, GateError};
+use crate::pauli::{Pauli, PauliString, PauliSum};
+use qismet_mathkit::Complex64;
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits (qubit 0 = least significant bit of
+/// the amplitude index).
+///
+/// # Examples
+///
+/// Preparing a Bell pair and checking its Z-parity:
+///
+/// ```
+/// use qismet_qsim::{Circuit, PauliString, StateVector};
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0).cx(0, 1);
+/// let sv = StateVector::from_circuit(&c).unwrap();
+/// let zz = PauliString::from_label("ZZ").unwrap();
+/// assert!((sv.pauli_expectation(&zz) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateVector {
+    n_qubits: usize,
+    amps: Vec<Complex64>,
+}
+
+impl StateVector {
+    /// The all-zeros state `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits > 26` (amplitude vector would not fit in memory).
+    pub fn new(n_qubits: usize) -> Self {
+        assert!(n_qubits <= 26, "state vector limited to 26 qubits");
+        let mut amps = vec![Complex64::ZERO; 1 << n_qubits];
+        amps[0] = Complex64::ONE;
+        StateVector { n_qubits, amps }
+    }
+
+    /// Builds from raw amplitudes (must be length `2^n` and normalized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length is not a power of two or the norm is not ~1.
+    pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
+        let dim = amps.len();
+        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        let n_qubits = dim.trailing_zeros() as usize;
+        let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
+        assert!(
+            (norm - 1.0).abs() < 1e-8,
+            "state vector must be normalized (norm^2 = {norm})"
+        );
+        StateVector { n_qubits, amps }
+    }
+
+    /// Runs a bound circuit from `|0...0>`.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the circuit has free parameters.
+    pub fn from_circuit(circuit: &Circuit) -> Result<Self, GateError> {
+        let mut sv = StateVector::new(circuit.n_qubits());
+        sv.apply_circuit(circuit)?;
+        Ok(sv)
+    }
+
+    /// Number of qubits.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Amplitudes (basis index bit `q` = qubit `q`).
+    pub fn amplitudes(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    /// Squared-norm of the state (should be 1 up to round-off).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies every gate of a bound circuit in order.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if any gate has a free parameter.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) -> Result<(), GateError> {
+        assert_eq!(
+            circuit.n_qubits(),
+            self.n_qubits,
+            "circuit width must match state width"
+        );
+        for op in circuit.ops() {
+            self.apply_gate(op.gate, op.operands())?;
+        }
+        Ok(())
+    }
+
+    /// Applies a single gate.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] for unbound parameterized gates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if operand indices are out of range or of wrong arity.
+    pub fn apply_gate(&mut self, gate: Gate, qubits: &[usize]) -> Result<(), GateError> {
+        assert_eq!(qubits.len(), gate.arity(), "operand arity");
+        match gate {
+            Gate::Cx => {
+                self.apply_cx(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::Cz => {
+                self.apply_cz(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::Swap => {
+                self.apply_swap(qubits[0], qubits[1]);
+                Ok(())
+            }
+            Gate::Rzz(p) => {
+                let theta = p.value().ok_or(GateError::UnboundParameter)?;
+                self.apply_rzz(theta, qubits[0], qubits[1]);
+                Ok(())
+            }
+            g => {
+                let m = g.matrix()?;
+                let u = [
+                    [m.at(0, 0), m.at(0, 1)],
+                    [m.at(1, 0), m.at(1, 1)],
+                ];
+                self.apply_1q(&u, qubits[0]);
+                Ok(())
+            }
+        }
+    }
+
+    /// Applies an arbitrary 2x2 unitary on `qubit`.
+    fn apply_1q(&mut self, u: &[[Complex64; 2]; 2], qubit: usize) {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let dim = self.amps.len();
+        let mut base = 0usize;
+        while base < dim {
+            for offset in base..base + stride {
+                let i0 = offset;
+                let i1 = offset + stride;
+                let a0 = self.amps[i0];
+                let a1 = self.amps[i1];
+                self.amps[i0] = u[0][0] * a0 + u[0][1] * a1;
+                self.amps[i1] = u[1][0] * a0 + u[1][1] * a1;
+            }
+            base += stride << 1;
+        }
+    }
+
+    fn apply_cx(&mut self, control: usize, target: usize) {
+        assert!(control < self.n_qubits && target < self.n_qubits && control != target);
+        let cbit = 1usize << control;
+        let tbit = 1usize << target;
+        for i in 0..self.amps.len() {
+            // Swap amplitude pairs where control is set and target bit is 0.
+            if i & cbit != 0 && i & tbit == 0 {
+                self.amps.swap(i, i | tbit);
+            }
+        }
+    }
+
+    fn apply_cz(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            if i & abit != 0 && i & bbit != 0 {
+                self.amps[i] = -self.amps[i];
+            }
+        }
+    }
+
+    fn apply_swap(&mut self, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        for i in 0..self.amps.len() {
+            // Swap |...a=1, b=0...> with |...a=0, b=1...> once.
+            if i & abit != 0 && i & bbit == 0 {
+                self.amps.swap(i, (i & !abit) | bbit);
+            }
+        }
+    }
+
+    fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
+        assert!(a < self.n_qubits && b < self.n_qubits && a != b);
+        let abit = 1usize << a;
+        let bbit = 1usize << b;
+        let minus = Complex64::cis(-theta / 2.0);
+        let plus = Complex64::cis(theta / 2.0);
+        for i in 0..self.amps.len() {
+            let pa = i & abit != 0;
+            let pb = i & bbit != 0;
+            self.amps[i] *= if pa == pb { minus } else { plus };
+        }
+    }
+
+    /// Probability of each computational basis outcome.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples `shots` measurement outcomes in the computational basis.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64) -> Counts {
+        let probs = self.probabilities();
+        // Cumulative distribution for inverse-CDF sampling.
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        let total = acc.max(f64::MIN_POSITIVE);
+        let mut counts = Counts::new(self.n_qubits);
+        for _ in 0..shots {
+            let u = rng.gen::<f64>() * total;
+            let idx = cdf.partition_point(|&c| c < u).min(probs.len() - 1);
+            counts.record(idx as u64, 1);
+        }
+        counts
+    }
+
+    /// Analytic expectation value `<psi| P |psi>` of a Pauli string.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn pauli_expectation(&self, p: &PauliString) -> f64 {
+        assert_eq!(p.n_qubits(), self.n_qubits, "pauli width");
+        let x_mask = p.x_mask() as usize;
+        let z_mask = p.z_mask() as usize;
+        let y_count = p.y_count();
+        // P|c> = (i)^{y} * (-1)^{(c & z_mask).popcount ... } |c ^ x_mask>
+        // More precisely each Y contributes i * (-1)^{bit}; each Z contributes
+        // (-1)^{bit}. We accumulate <psi|P|psi> = sum_c conj(amp[c^x]) *
+        // phase(c) * amp[c].
+        let mut acc = Complex64::ZERO;
+        for (c, &amp) in self.amps.iter().enumerate() {
+            if amp == Complex64::ZERO {
+                continue;
+            }
+            let sign_bits = (c & z_mask).count_ones();
+            let mut phase = if sign_bits % 2 == 0 {
+                Complex64::ONE
+            } else {
+                -Complex64::ONE
+            };
+            // Global i^y factor.
+            phase = phase
+                * match y_count % 4 {
+                    0 => Complex64::ONE,
+                    1 => Complex64::I,
+                    2 => -Complex64::ONE,
+                    _ => -Complex64::I,
+                };
+            let dst = c ^ x_mask;
+            acc += self.amps[dst].conj() * phase * amp;
+        }
+        acc.re
+    }
+
+    /// Analytic expectation of a Pauli-sum Hamiltonian.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn expectation(&self, h: &PauliSum) -> f64 {
+        h.terms()
+            .iter()
+            .map(|(c, s)| c * self.pauli_expectation(s))
+            .sum()
+    }
+
+    /// Inner product `<self|other>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn inner_product(&self, other: &StateVector) -> Complex64 {
+        assert_eq!(self.n_qubits, other.n_qubits, "width mismatch");
+        self.amps
+            .iter()
+            .zip(other.amps.iter())
+            .map(|(a, b)| a.conj() * *b)
+            .sum()
+    }
+
+    /// State fidelity `|<self|other>|^2`.
+    pub fn fidelity(&self, other: &StateVector) -> f64 {
+        self.inner_product(other).norm_sqr()
+    }
+
+    /// Appends basis-change gates so a subsequent Z-basis measurement
+    /// measures each qubit in the basis given by `basis[q]`:
+    /// H for X, S-dagger then H for Y, nothing for Z/I.
+    pub fn rotate_to_basis(&mut self, basis: &[Pauli]) {
+        assert_eq!(basis.len(), self.n_qubits, "basis width");
+        for (q, &p) in basis.iter().enumerate() {
+            match p {
+                Pauli::X => {
+                    self.apply_gate(Gate::H, &[q]).expect("fixed gate");
+                }
+                Pauli::Y => {
+                    self.apply_gate(Gate::Sdg, &[q]).expect("fixed gate");
+                    self.apply_gate(Gate::H, &[q]).expect("fixed gate");
+                }
+                Pauli::Z | Pauli::I => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Param;
+    use qismet_mathkit::rng_from_seed;
+
+    const TOL: f64 = 1e-12;
+
+    #[test]
+    fn initial_state_is_zero_ket() {
+        let sv = StateVector::new(3);
+        assert_eq!(sv.amplitudes()[0], Complex64::ONE);
+        assert!((sv.norm_sqr() - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn x_flips() {
+        let mut sv = StateVector::new(2);
+        sv.apply_gate(Gate::X, &[1]).unwrap();
+        // |q1 q0> = |10> -> index 2.
+        assert!(sv.amplitudes()[2].approx_eq(Complex64::ONE, TOL));
+    }
+
+    #[test]
+    fn hadamard_makes_uniform() {
+        let mut c = Circuit::new(3);
+        for q in 0..3 {
+            c.h(q);
+        }
+        let sv = StateVector::from_circuit(&c).unwrap();
+        for p in sv.probabilities() {
+            assert!((p - 0.125).abs() < TOL);
+        }
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let f = std::f64::consts::FRAC_1_SQRT_2;
+        assert!(sv.amplitudes()[0].approx_eq(Complex64::from_re(f), TOL));
+        assert!(sv.amplitudes()[3].approx_eq(Complex64::from_re(f), TOL));
+        assert!(sv.amplitudes()[1].approx_eq(Complex64::ZERO, TOL));
+        assert!(sv.amplitudes()[2].approx_eq(Complex64::ZERO, TOL));
+    }
+
+    #[test]
+    fn ghz_state_via_chain() {
+        let mut c = Circuit::new(4);
+        c.h(0);
+        for q in 0..3 {
+            c.cx(q, q + 1);
+        }
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let probs = sv.probabilities();
+        assert!((probs[0] - 0.5).abs() < TOL);
+        assert!((probs[15] - 0.5).abs() < TOL);
+    }
+
+    #[test]
+    fn norm_preserved_by_random_circuit() {
+        let mut c = Circuit::new(5);
+        let mut rng = rng_from_seed(3);
+        for layer in 0..10 {
+            for q in 0..5 {
+                c.ry(rng.gen::<f64>() * 6.28, q);
+                c.rz(rng.gen::<f64>() * 6.28, q);
+            }
+            for q in 0..4 {
+                if (layer + q) % 2 == 0 {
+                    c.cx(q, q + 1);
+                } else {
+                    c.cz(q, q + 1);
+                }
+            }
+        }
+        let sv = StateVector::from_circuit(&c).unwrap();
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gate_matrix_paths_agree() {
+        // Apply SWAP via the dedicated path and via CX decomposition.
+        let mut a = StateVector::new(3);
+        let mut rngc = Circuit::new(3);
+        rngc.h(0).rz(0.3, 0).ry(1.1, 1).h(2).cx(0, 2);
+        a.apply_circuit(&rngc).unwrap();
+        let mut b = a.clone();
+
+        a.apply_gate(Gate::Swap, &[0, 2]).unwrap();
+        // SWAP = CX(0,2) CX(2,0) CX(0,2).
+        b.apply_gate(Gate::Cx, &[0, 2]).unwrap();
+        b.apply_gate(Gate::Cx, &[2, 0]).unwrap();
+        b.apply_gate(Gate::Cx, &[0, 2]).unwrap();
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn rzz_matches_cx_rz_cx() {
+        let theta = 0.77;
+        let mut prep = Circuit::new(2);
+        prep.h(0).ry(0.4, 1);
+        let mut a = StateVector::from_circuit(&prep).unwrap();
+        let mut b = a.clone();
+        a.apply_gate(Gate::Rzz(theta.into()), &[0, 1]).unwrap();
+        // RZZ(theta) = CX(0,1) RZ(theta on q1) CX(0,1).
+        b.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        b.apply_gate(Gate::Rz(theta.into()), &[1]).unwrap();
+        b.apply_gate(Gate::Cx, &[0, 1]).unwrap();
+        assert!(a.fidelity(&b) > 1.0 - 1e-12);
+    }
+
+    #[test]
+    fn pauli_expectation_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let zz = PauliString::from_label("ZZ").unwrap();
+        let xx = PauliString::from_label("XX").unwrap();
+        let yy = PauliString::from_label("YY").unwrap();
+        let zi = PauliString::from_label("ZI").unwrap();
+        assert!((sv.pauli_expectation(&zz) - 1.0).abs() < TOL);
+        assert!((sv.pauli_expectation(&xx) - 1.0).abs() < TOL);
+        assert!((sv.pauli_expectation(&yy) + 1.0).abs() < TOL);
+        assert!(sv.pauli_expectation(&zi).abs() < TOL);
+    }
+
+    #[test]
+    fn pauli_expectation_matches_dense_matrix() {
+        let mut c = Circuit::new(3);
+        c.h(0).ry(0.9, 1).cx(0, 1).rz(0.4, 2).cx(1, 2).rx(1.3, 0);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        for label in ["XYZ", "ZZI", "IXY", "YYY", "XIX", "IIZ"] {
+            let p = PauliString::from_label(label).unwrap();
+            let dense = p.to_matrix();
+            let want = dense.expectation(sv.amplitudes()).re;
+            let got = sv.pauli_expectation(&p);
+            assert!(
+                (want - got).abs() < 1e-10,
+                "{label}: dense {want} vs fast {got}"
+            );
+        }
+    }
+
+    #[test]
+    fn hamiltonian_expectation_bounded_by_one_norm() {
+        let h = PauliSum::from_labels(&[(1.0, "XIX"), (1.0, "ZZI")]).unwrap();
+        let mut c = Circuit::new(3);
+        c.ry(0.3, 0).ry(1.2, 1).cx(0, 1).ry(2.2, 2);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let e = sv.expectation(&h);
+        assert!(e.abs() <= h.one_norm() + TOL);
+    }
+
+    #[test]
+    fn sampling_matches_probabilities() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let mut rng = rng_from_seed(11);
+        let counts = sv.sample_counts(&mut rng, 40_000);
+        assert_eq!(counts.shots(), 40_000);
+        assert!((counts.probability(0) - 0.5).abs() < 0.02);
+        assert!((counts.probability(3) - 0.5).abs() < 0.02);
+        assert_eq!(counts.count(1), 0);
+        assert_eq!(counts.count(2), 0);
+    }
+
+    #[test]
+    fn basis_rotation_measures_x() {
+        // |+> measured in X basis is deterministic.
+        let mut c = Circuit::new(1);
+        c.h(0);
+        let mut sv = StateVector::from_circuit(&c).unwrap();
+        sv.rotate_to_basis(&[Pauli::X]);
+        let probs = sv.probabilities();
+        assert!((probs[0] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn basis_rotation_measures_y() {
+        // S|+> = |+i>, eigenstate of Y.
+        let mut c = Circuit::new(1);
+        c.h(0).s(0);
+        let mut sv = StateVector::from_circuit(&c).unwrap();
+        sv.rotate_to_basis(&[Pauli::Y]);
+        let probs = sv.probabilities();
+        assert!((probs[0] - 1.0).abs() < TOL);
+    }
+
+    #[test]
+    fn unbound_circuit_is_error() {
+        let mut c = Circuit::new(1);
+        c.ry(Param::Free(0), 0);
+        assert!(StateVector::from_circuit(&c).is_err());
+    }
+
+    #[test]
+    fn sampled_parity_approximates_analytic_expectation() {
+        let mut c = Circuit::new(3);
+        c.ry(0.7, 0).cx(0, 1).ry(0.2, 2).cx(1, 2);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let p = PauliString::from_label("ZZZ").unwrap();
+        let analytic = sv.pauli_expectation(&p);
+        let mut rng = rng_from_seed(5);
+        let counts = sv.sample_counts(&mut rng, 60_000);
+        let sampled = counts.parity_expectation(0b111);
+        assert!((analytic - sampled).abs() < 0.02);
+    }
+}

@@ -1,0 +1,277 @@
+//! Hardware-efficient variational ansatz families.
+//!
+//! The paper uses IBM's `EfficientSU2` and `RealAmplitudes` circuits with
+//! 2/4/8 block repetitions (Table 1). Both are alternating layers of
+//! parameterized single-qubit rotations and CX entanglers, shallow enough
+//! for NISQ devices.
+
+use qismet_qsim::{Circuit, Param};
+
+/// Entanglement pattern of the CX layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Entanglement {
+    /// `CX(i, i+1)` chain.
+    Linear,
+    /// Chain plus wrap-around `CX(n-1, 0)`.
+    Circular,
+    /// All pairs `CX(i, j)`, `i < j`.
+    Full,
+}
+
+impl Entanglement {
+    fn pairs(self, n: usize) -> Vec<(usize, usize)> {
+        match self {
+            Entanglement::Linear => (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect(),
+            Entanglement::Circular => {
+                let mut p: Vec<(usize, usize)> =
+                    (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+                if n > 2 {
+                    p.push((n - 1, 0));
+                }
+                p
+            }
+            Entanglement::Full => {
+                let mut p = Vec::new();
+                for i in 0..n {
+                    for j in (i + 1)..n {
+                        p.push((i, j));
+                    }
+                }
+                p
+            }
+        }
+    }
+}
+
+/// Which ansatz family to build (paper Table 1's "SU2" and "RA").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AnsatzKind {
+    /// `EfficientSU2`: RY + RZ rotation layers.
+    EfficientSu2,
+    /// `RealAmplitudes`: RY rotation layers only (real-valued states).
+    RealAmplitudes,
+}
+
+impl AnsatzKind {
+    /// Short label matching the paper's Table 1.
+    pub fn label(self) -> &'static str {
+        match self {
+            AnsatzKind::EfficientSu2 => "SU2",
+            AnsatzKind::RealAmplitudes => "RA",
+        }
+    }
+
+    /// Rotations per qubit per rotation layer (2 for SU2, 1 for RA).
+    fn rotations_per_qubit(self) -> usize {
+        match self {
+            AnsatzKind::EfficientSu2 => 2,
+            AnsatzKind::RealAmplitudes => 1,
+        }
+    }
+}
+
+/// A parameterized hardware-efficient ansatz.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ansatz {
+    kind: AnsatzKind,
+    n_qubits: usize,
+    reps: usize,
+    entanglement: Entanglement,
+    circuit: Circuit,
+}
+
+impl Ansatz {
+    /// Builds an ansatz with `reps` entangling blocks. The circuit has
+    /// `reps + 1` rotation layers (one trailing layer after the last
+    /// entangler), matching the Qiskit constructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits == 0`.
+    pub fn new(kind: AnsatzKind, n_qubits: usize, reps: usize, entanglement: Entanglement) -> Self {
+        Self::with_preparation(kind, n_qubits, reps, entanglement, &[])
+    }
+
+    /// Like [`Ansatz::new`] but with X gates on `excitations` appended
+    /// **after** the variational layers, so that the zero-parameter circuit
+    /// prepares exactly the reference determinant (e.g. the Hartree-Fock
+    /// state of a chemistry problem). Appending rather than prepending
+    /// matters: at `theta = 0` the CX entanglers would otherwise cascade a
+    /// prepended excitation across the register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_qubits == 0` or an excitation index is out of range.
+    pub fn with_preparation(
+        kind: AnsatzKind,
+        n_qubits: usize,
+        reps: usize,
+        entanglement: Entanglement,
+        excitations: &[usize],
+    ) -> Self {
+        assert!(n_qubits > 0, "ansatz needs at least one qubit");
+        let mut circuit = Circuit::new(n_qubits);
+        let rpq = kind.rotations_per_qubit();
+        let mut param = 0usize;
+        let rotation_layer = |c: &mut Circuit, param: &mut usize| {
+            for q in 0..n_qubits {
+                c.ry(Param::Free(*param), q);
+                *param += 1;
+                if rpq == 2 {
+                    c.rz(Param::Free(*param), q);
+                    *param += 1;
+                }
+            }
+        };
+        rotation_layer(&mut circuit, &mut param);
+        for _ in 0..reps {
+            for (a, b) in entanglement.pairs(n_qubits) {
+                circuit.cx(a, b);
+            }
+            rotation_layer(&mut circuit, &mut param);
+        }
+        for &q in excitations {
+            circuit.x(q);
+        }
+        Ansatz {
+            kind,
+            n_qubits,
+            reps,
+            entanglement,
+            circuit,
+        }
+    }
+
+    /// The ansatz family.
+    pub fn kind(&self) -> AnsatzKind {
+        self.kind
+    }
+
+    /// Circuit width.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of entangling blocks.
+    pub fn reps(&self) -> usize {
+        self.reps
+    }
+
+    /// Number of free parameters.
+    pub fn n_params(&self) -> usize {
+        self.circuit.n_params()
+    }
+
+    /// The parameterized circuit (free parameters `0..n_params`).
+    pub fn circuit(&self) -> &Circuit {
+        &self.circuit
+    }
+
+    /// Binds a parameter vector into a concrete circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`qismet_qsim::CircuitError::ParamCountMismatch`].
+    pub fn bind(&self, params: &[f64]) -> Result<Circuit, qismet_qsim::CircuitError> {
+        self.circuit.bind(params)
+    }
+
+    /// Deterministic small random initial parameters in `[-0.1, 0.1)`.
+    pub fn initial_params(&self, seed: u64) -> Vec<f64> {
+        use rand::Rng;
+        let mut rng = qismet_mathkit::rng_from_seed(seed);
+        (0..self.n_params())
+            .map(|_| rng.gen::<f64>() * 0.2 - 0.1)
+            .collect()
+    }
+
+    /// Deterministic uninformed initial parameters in `[-pi, pi)` — the
+    /// cold start the paper's convergence curves exhibit (objective begins
+    /// near zero and descends over >1000 iterations).
+    pub fn initial_params_wide(&self, seed: u64) -> Vec<f64> {
+        use rand::Rng;
+        let mut rng = qismet_mathkit::rng_from_seed(seed);
+        (0..self.n_params())
+            .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * std::f64::consts::PI)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_qsim::StateVector;
+
+    #[test]
+    fn parameter_counts_match_qiskit_conventions() {
+        // RealAmplitudes: (reps + 1) * n parameters.
+        let ra = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 4, Entanglement::Linear);
+        assert_eq!(ra.n_params(), 30);
+        // EfficientSU2: 2 * (reps + 1) * n parameters.
+        let su2 = Ansatz::new(AnsatzKind::EfficientSu2, 6, 2, Entanglement::Linear);
+        assert_eq!(su2.n_params(), 36);
+    }
+
+    #[test]
+    fn cx_counts_per_entanglement() {
+        let lin = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 4, Entanglement::Linear);
+        assert_eq!(lin.circuit().cx_count(), 4 * 5);
+        let circ = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Circular);
+        assert_eq!(circ.circuit().cx_count(), 2 * 6);
+        let full = Ansatz::new(AnsatzKind::RealAmplitudes, 4, 1, Entanglement::Full);
+        assert_eq!(full.circuit().cx_count(), 6);
+    }
+
+    #[test]
+    fn depth_grows_with_reps() {
+        let d2 = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear)
+            .circuit()
+            .depth();
+        let d8 = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 8, Entanglement::Linear)
+            .circuit()
+            .depth();
+        assert!(d8 > d2 * 2);
+    }
+
+    #[test]
+    fn zero_params_give_identity_action_on_zero_state() {
+        // All RY(0)/RZ(0) are identity; CX on |0..0> is identity.
+        let a = Ansatz::new(AnsatzKind::EfficientSu2, 4, 3, Entanglement::Linear);
+        let bound = a.bind(&vec![0.0; a.n_params()]).unwrap();
+        let sv = StateVector::from_circuit(&bound).unwrap();
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn real_amplitudes_states_are_real() {
+        let a = Ansatz::new(AnsatzKind::RealAmplitudes, 3, 2, Entanglement::Linear);
+        let params = a.initial_params(3);
+        let bound = a.bind(&params).unwrap();
+        let sv = StateVector::from_circuit(&bound).unwrap();
+        for amp in sv.amplitudes() {
+            assert!(amp.im.abs() < 1e-12, "imaginary amplitude {amp}");
+        }
+    }
+
+    #[test]
+    fn initial_params_deterministic_and_small() {
+        let a = Ansatz::new(AnsatzKind::EfficientSu2, 6, 2, Entanglement::Linear);
+        let p1 = a.initial_params(42);
+        let p2 = a.initial_params(42);
+        assert_eq!(p1, p2);
+        assert!(p1.iter().all(|v| v.abs() <= 0.1));
+        assert_ne!(p1, a.initial_params(43));
+    }
+
+    #[test]
+    fn bind_rejects_short_vectors() {
+        let a = Ansatz::new(AnsatzKind::RealAmplitudes, 4, 1, Entanglement::Linear);
+        assert!(a.bind(&[0.0; 3]).is_err());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(AnsatzKind::EfficientSu2.label(), "SU2");
+        assert_eq!(AnsatzKind::RealAmplitudes.label(), "RA");
+    }
+}

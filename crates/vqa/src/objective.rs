@@ -1,0 +1,401 @@
+//! VQE objective evaluators, from ideal to transient-noisy.
+//!
+//! The noisy evaluator mirrors the paper's simulation methodology
+//! (Section 6.2): the ideal expectation is computed exactly, the **static**
+//! device noise enters as a multiplicative attenuation of the traceless part
+//! (the global-depolarizing contraction validated against the density-matrix
+//! backend), finite shots add Gaussian estimator noise, and the **transient**
+//! component is looked up from a [`TransientTrace`] keyed by the quantum-job
+//! counter and applied as an extra attenuation of the signal, "normalized to
+//! the magnitude of the VQA estimations".
+//!
+//! Evaluations within one job share the job's transient value up to a
+//! within-job spread — the same physical event hits every circuit in the
+//! job, but not perfectly identically (paper Fig. 6: individual candidates
+//! are perturbed differently). QISMET's estimator feeds on exactly this
+//! structure.
+
+use crate::ansatz::Ansatz;
+use qismet_mathkit::{normal, rng_from_seed};
+use qismet_qnoise::{StaticNoiseModel, TransientTrace};
+use qismet_qsim::{PauliSum, StateVector};
+use rand::rngs::StdRng;
+
+/// Exact, noise-free objective (the paper's "Noise-free" reference).
+#[derive(Debug, Clone)]
+pub struct ExactObjective {
+    ansatz: Ansatz,
+    hamiltonian: PauliSum,
+}
+
+impl ExactObjective {
+    /// Creates the evaluator.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-width mismatch.
+    pub fn new(ansatz: Ansatz, hamiltonian: PauliSum) -> Self {
+        assert_eq!(
+            ansatz.n_qubits(),
+            hamiltonian.n_qubits(),
+            "ansatz and Hamiltonian width"
+        );
+        ExactObjective {
+            ansatz,
+            hamiltonian,
+        }
+    }
+
+    /// The ansatz.
+    pub fn ansatz(&self) -> &Ansatz {
+        &self.ansatz
+    }
+
+    /// The Hamiltonian.
+    pub fn hamiltonian(&self) -> &PauliSum {
+        &self.hamiltonian
+    }
+
+    /// Evaluates `<psi(theta)| H |psi(theta)>` exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params` is shorter than the ansatz requires.
+    pub fn eval(&self, params: &[f64]) -> f64 {
+        let bound = self.ansatz.bind(params).expect("parameter count");
+        let sv = StateVector::from_circuit(&bound).expect("bound circuit");
+        sv.expectation(&self.hamiltonian)
+    }
+}
+
+/// Configuration for the noisy objective.
+#[derive(Debug, Clone)]
+pub struct NoisyObjectiveConfig {
+    /// Static device model (drives the attenuation factor).
+    pub static_model: StaticNoiseModel,
+    /// Transient trace keyed by job index.
+    pub trace: TransientTrace,
+    /// Reference magnitude the trace is normalized to; typically the |exact
+    /// ground energy| of the target Hamiltonian.
+    pub magnitude_ref: f64,
+    /// Standard deviation of shot (sampling) noise on each evaluation.
+    pub shot_sigma: f64,
+    /// Relative spread of the transient across evaluations within one job.
+    pub within_job_spread: f64,
+    /// RNG seed for shot noise and within-job spread.
+    pub seed: u64,
+}
+
+/// The transient-noisy objective of the paper's simulator.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, NoisyObjective,
+///                  NoisyObjectiveConfig, Tfim};
+/// use qismet_qnoise::{StaticNoiseModel, TransientModel};
+/// use qismet_mathkit::rng_from_seed;
+///
+/// let tfim = Tfim::paper_6q();
+/// let h = tfim.hamiltonian();
+/// let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+/// let trace = TransientModel::moderate(0.1).generate(&mut rng_from_seed(1), 100);
+/// let cfg = NoisyObjectiveConfig {
+///     static_model: StaticNoiseModel::uniform(6, 100.0, 90.0, 3e-4, 8e-3, 0.02),
+///     trace,
+///     magnitude_ref: tfim.exact_ground_energy().unwrap().abs(),
+///     shot_sigma: 0.02,
+///     within_job_spread: 0.25,
+///     seed: 7,
+/// };
+/// let mut obj = NoisyObjective::new(ansatz, h, cfg);
+/// let params = vec![0.0; obj.exact().ansatz().n_params()];
+/// let noisy = obj.measure(&params);
+/// assert!(noisy.is_finite());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NoisyObjective {
+    exact: ExactObjective,
+    attenuation: f64,
+    identity_offset: f64,
+    trace: TransientTrace,
+    magnitude_ref: f64,
+    shot_sigma: f64,
+    within_job_spread: f64,
+    rng: StdRng,
+    job: usize,
+    evals: u64,
+}
+
+impl NoisyObjective {
+    /// Builds the noisy evaluator. The static attenuation factor is
+    /// computed once from the ansatz shape (gate counts and durations do not
+    /// depend on the bound angles).
+    pub fn new(ansatz: Ansatz, hamiltonian: PauliSum, cfg: NoisyObjectiveConfig) -> Self {
+        let bound = ansatz
+            .bind(&vec![0.0; ansatz.n_params()])
+            .expect("zero binding");
+        let attenuation = cfg.static_model.attenuation_factor(&bound);
+        let identity_offset = hamiltonian.identity_coefficient();
+        NoisyObjective {
+            exact: ExactObjective::new(ansatz, hamiltonian),
+            attenuation,
+            identity_offset,
+            trace: cfg.trace,
+            magnitude_ref: cfg.magnitude_ref,
+            shot_sigma: cfg.shot_sigma,
+            within_job_spread: cfg.within_job_spread,
+            rng: rng_from_seed(cfg.seed),
+            job: 0,
+            evals: 0,
+        }
+    }
+
+    /// The underlying exact evaluator.
+    pub fn exact(&self) -> &ExactObjective {
+        &self.exact
+    }
+
+    /// The static attenuation factor in effect.
+    pub fn attenuation(&self) -> f64 {
+        self.attenuation
+    }
+
+    /// The objective-magnitude reference the transient trace was normalized
+    /// to (metadata; the multiplicative injection uses the instantaneous
+    /// signal, which equals this scale near convergence).
+    pub fn magnitude_ref(&self) -> f64 {
+        self.magnitude_ref
+    }
+
+    /// Current job index (transient-trace key).
+    pub fn job(&self) -> usize {
+        self.job
+    }
+
+    /// Total objective evaluations performed (overhead accounting).
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// Advances to the next quantum job (next transient-trace slot).
+    pub fn advance_job(&mut self) {
+        self.job += 1;
+    }
+
+    /// The raw trace value for a job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is exhausted.
+    pub fn transient_at(&self, job: usize) -> f64 {
+        self.trace.value(job)
+    }
+
+    /// Remaining trace capacity in jobs.
+    pub fn jobs_remaining(&self) -> usize {
+        self.trace.len().saturating_sub(self.job)
+    }
+
+    /// Noise-free expectation (for analysis plots; not available to tuners
+    /// on real hardware).
+    pub fn eval_exact(&self, params: &[f64]) -> f64 {
+        self.exact.eval(params)
+    }
+
+    /// Static-noise-only measurement (the paper's unrealistic "static only"
+    /// blue line): attenuated signal plus shot noise, no transient term.
+    pub fn measure_static_only(&mut self, params: &[f64]) -> f64 {
+        self.evals += 1;
+        let ideal = self.exact.eval(params);
+        let signal = self.attenuation * (ideal - self.identity_offset);
+        self.identity_offset + signal + normal(&mut self.rng, 0.0, self.shot_sigma)
+    }
+
+    /// Full measurement at the current job: static attenuation, transient
+    /// attenuation from the trace, and shot noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transient trace is exhausted (allocate ~4x the
+    /// iteration count to cover QISMET retries).
+    pub fn measure(&mut self, params: &[f64]) -> f64 {
+        let job = self.job;
+        self.measure_at_job(params, job)
+    }
+
+    /// Full measurement pinned to an explicit job index (QISMET's executor
+    /// uses this to evaluate reference reruns inside the current job).
+    ///
+    /// The transient acts as an **extra attenuation of the signal** — a
+    /// temporary additional depolarization, exactly what a T1/T2 dip does to
+    /// an expectation value. A trace value `v` (fraction of the objective
+    /// magnitude, Section 6.2's normalization) multiplies the signal by
+    /// `1 - v * wobble`, clamped to the physical band
+    /// `[-0.25, 1.25]` (a transient cannot produce signal out of thin air;
+    /// small overshoot accounts for readout artifacts).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `job` exceeds the trace length.
+    pub fn measure_at_job(&mut self, params: &[f64], job: usize) -> f64 {
+        self.evals += 1;
+        let ideal = self.exact.eval(params);
+        let signal = self.attenuation * (ideal - self.identity_offset);
+        let v_job = self.trace.value(job);
+        // Per-evaluation wobble of the shared job transient.
+        let wobble = 1.0 + self.within_job_spread * qismet_mathkit::standard_normal(&mut self.rng);
+        let tau = (1.0 - v_job * wobble).clamp(-0.25, 1.25);
+        self.identity_offset + signal * tau + normal(&mut self.rng, 0.0, self.shot_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{AnsatzKind, Entanglement};
+    use crate::tfim::Tfim;
+
+    fn setup(trace: TransientTrace, seed: u64) -> (NoisyObjective, f64) {
+        let tfim = Tfim::paper_6q();
+        let h = tfim.hamiltonian();
+        let gs = tfim.exact_ground_energy().unwrap();
+        let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+        let cfg = NoisyObjectiveConfig {
+            static_model: StaticNoiseModel::uniform(6, 100.0, 90.0, 3e-4, 8e-3, 0.02),
+            trace,
+            magnitude_ref: gs.abs(),
+            shot_sigma: 0.02,
+            within_job_spread: 0.25,
+            seed,
+        };
+        (NoisyObjective::new(ansatz, h, cfg), gs)
+    }
+
+    #[test]
+    fn exact_objective_reaches_ground_energy_bound() {
+        let tfim = Tfim::paper_6q();
+        let gs = tfim.exact_ground_energy().unwrap();
+        let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+        let obj = ExactObjective::new(ansatz, tfim.hamiltonian());
+        let e0 = obj.eval(&vec![0.0; obj.ansatz().n_params()]);
+        // Variational bound.
+        assert!(e0 >= gs - 1e-9);
+    }
+
+    #[test]
+    fn static_attenuation_contracts_toward_offset() {
+        let trace = TransientTrace::zeros(10);
+        let (mut obj, _) = setup(trace, 1);
+        let params = obj.exact().ansatz().initial_params(5);
+        let ideal = obj.eval_exact(&params);
+        let mut noisy = Vec::new();
+        for _ in 0..64 {
+            noisy.push(obj.measure_static_only(&params));
+        }
+        let mean_noisy = qismet_mathkit::mean(&noisy);
+        // TFIM identity offset is zero; attenuated |E| must shrink.
+        assert!(mean_noisy.abs() < ideal.abs());
+        assert!(
+            (mean_noisy - obj.attenuation() * ideal).abs() < 0.05,
+            "mean {mean_noisy} vs predicted {}",
+            obj.attenuation() * ideal
+        );
+    }
+
+    #[test]
+    fn quiet_trace_measurement_matches_static_only() {
+        let trace = TransientTrace::zeros(100);
+        let (mut obj, _) = setup(trace, 2);
+        let params = obj.exact().ansatz().initial_params(6);
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        for _ in 0..50 {
+            a.push(obj.measure(&params));
+            b.push(obj.measure_static_only(&params));
+        }
+        let ma = qismet_mathkit::mean(&a);
+        let mb = qismet_mathkit::mean(&b);
+        assert!((ma - mb).abs() < 0.02, "with-trace {ma} vs static {mb}");
+    }
+
+    #[test]
+    fn adverse_transient_raises_energy_estimate() {
+        // A trace pinned at +0.3 (30% of magnitude, adverse) on every job.
+        let trace = TransientTrace::from_values(vec![0.3; 10]);
+        let (mut obj, gs) = setup(trace, 3);
+        // Use parameters that give a decently negative energy.
+        let params = obj.exact().ansatz().initial_params(7);
+        let ideal = obj.eval_exact(&params);
+        let mut vals = Vec::new();
+        for _ in 0..64 {
+            vals.push(obj.measure(&params));
+        }
+        let mean = qismet_mathkit::mean(&vals);
+        let static_pred = obj.attenuation() * ideal;
+        assert!(
+            mean > static_pred + 0.1,
+            "transient should push energy up: {mean} vs {static_pred} (gs {gs})"
+        );
+    }
+
+    #[test]
+    fn job_advancement_changes_transient() {
+        let mut values = vec![0.0; 10];
+        values[3] = 0.5;
+        let trace = TransientTrace::from_values(values);
+        let (mut obj, _) = setup(trace, 4);
+        let params = obj.exact().ansatz().initial_params(8);
+        assert_eq!(obj.job(), 0);
+        let quiet = obj.measure(&params);
+        obj.advance_job();
+        obj.advance_job();
+        obj.advance_job();
+        assert_eq!(obj.job(), 3);
+        let burst: Vec<f64> = (0..32).map(|_| obj.measure(&params)).collect();
+        let mean_burst = qismet_mathkit::mean(&burst);
+        assert!(
+            mean_burst > quiet + 0.2,
+            "burst mean {mean_burst} vs quiet {quiet}"
+        );
+    }
+
+    #[test]
+    fn measure_at_job_pins_the_slot() {
+        let mut values = vec![0.0; 10];
+        values[5] = 0.8;
+        let trace = TransientTrace::from_values(values);
+        let (mut obj, _) = setup(trace, 5);
+        let params = obj.exact().ansatz().initial_params(9);
+        let at5: Vec<f64> = (0..32).map(|_| obj.measure_at_job(&params, 5)).collect();
+        let at0: Vec<f64> = (0..32).map(|_| obj.measure_at_job(&params, 0)).collect();
+        assert!(qismet_mathkit::mean(&at5) > qismet_mathkit::mean(&at0) + 0.2);
+        // Pinning does not advance the job counter.
+        assert_eq!(obj.job(), 0);
+    }
+
+    #[test]
+    fn eval_counter_tracks_overhead() {
+        let trace = TransientTrace::zeros(10);
+        let (mut obj, _) = setup(trace, 6);
+        let params = obj.exact().ansatz().initial_params(10);
+        assert_eq!(obj.evals(), 0);
+        let _ = obj.measure(&params);
+        let _ = obj.measure_static_only(&params);
+        assert_eq!(obj.evals(), 2);
+    }
+
+    #[test]
+    fn extreme_trace_values_saturate() {
+        // A pathological +5.0 trace value must not send the estimate to
+        // -infinity or invert the landscape beyond the clamp.
+        let trace = TransientTrace::from_values(vec![5.0; 4]);
+        let (mut obj, _) = setup(trace, 7);
+        let params = obj.exact().ansatz().initial_params(11);
+        let ideal = obj.eval_exact(&params);
+        let v = obj.measure(&params);
+        assert!(v.is_finite());
+        // Clamped to at most 1.5x the signal beyond the offset.
+        assert!(v.abs() < 3.0 * ideal.abs().max(1.0) + 1.0);
+    }
+}

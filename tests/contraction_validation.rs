@@ -1,0 +1,75 @@
+//! Integration: validate the fast contraction-factor objective model against
+//! the physically faithful density-matrix backend (the DESIGN.md promise).
+
+use qismet_qnoise::{Machine, NoisySimulator};
+use qismet_qsim::exact_energy;
+use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, Tfim};
+
+/// On app-scale circuits, the global-depolarizing attenuation factor should
+/// predict the density-matrix expectation within a modest relative error.
+#[test]
+fn attenuation_factor_tracks_density_matrix_backend() {
+    let tfim = Tfim {
+        n: 4,
+        j: 1.0,
+        h: 1.0,
+        boundary: qismet_vqa::Boundary::Open,
+    };
+    let h = tfim.hamiltonian();
+    for (machine, reps) in [(Machine::Guadalupe, 1), (Machine::Toronto, 2)] {
+        let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 4, reps, Entanglement::Linear);
+        let params = ansatz.initial_params(5);
+        let bound = ansatz.bind(&params).unwrap();
+        let ideal = exact_energy(&bound, &h).unwrap();
+
+        let model = machine.static_model(4);
+        let predicted = model.attenuation_factor(&bound) * ideal;
+        let sim = NoisySimulator::new(model);
+        let faithful = sim.expectation(&bound, &h).unwrap();
+
+        let rel_err = (predicted - faithful).abs() / faithful.abs().max(0.1);
+        assert!(
+            rel_err < 0.25,
+            "{machine}, reps {reps}: predicted {predicted:.4} vs density-matrix {faithful:.4} \
+             (rel err {rel_err:.3})"
+        );
+        // Both must attenuate (|noisy| < |ideal|).
+        assert!(faithful.abs() < ideal.abs());
+        assert!(predicted.abs() < ideal.abs());
+    }
+}
+
+/// Fidelity ordering sanity: the density-matrix backend agrees that deeper
+/// circuits lose more signal on noisier machines.
+#[test]
+fn depth_and_machine_ordering_consistent() {
+    let tfim = Tfim {
+        n: 4,
+        j: 1.0,
+        h: 1.0,
+        boundary: qismet_vqa::Boundary::Open,
+    };
+    let h = tfim.hamiltonian();
+    let shallow = Ansatz::new(AnsatzKind::RealAmplitudes, 4, 1, Entanglement::Linear);
+    let deep = Ansatz::new(AnsatzKind::RealAmplitudes, 4, 3, Entanglement::Linear);
+    let p_shallow = shallow.initial_params(9);
+    let p_deep = deep.initial_params(9);
+
+    let quiet = NoisySimulator::new(Machine::Casablanca.static_model(4));
+    let noisy = NoisySimulator::new(Machine::Cairo.static_model(4));
+
+    let bound_shallow = shallow.bind(&p_shallow).unwrap();
+    let bound_deep = deep.bind(&p_deep).unwrap();
+    let ideal_shallow = exact_energy(&bound_shallow, &h).unwrap();
+    let ideal_deep = exact_energy(&bound_deep, &h).unwrap();
+
+    let frac = |sim: &NoisySimulator, bound: &qismet_qsim::Circuit, ideal: f64| {
+        sim.expectation(bound, &h).unwrap() / ideal
+    };
+    // Same circuit: the noisier machine retains less signal.
+    assert!(
+        frac(&noisy, &bound_shallow, ideal_shallow) < frac(&quiet, &bound_shallow, ideal_shallow)
+    );
+    // Same machine: the deeper circuit retains less signal.
+    assert!(frac(&noisy, &bound_deep, ideal_deep) < frac(&noisy, &bound_shallow, ideal_shallow));
+}

@@ -1,0 +1,71 @@
+//! Integration: the full physical measurement pipeline across crates —
+//! ansatz binding, sampling with readout errors, calibration-matrix
+//! mitigation, and energy reconstruction.
+
+use qismet::{MitigationStrategy, ReadoutMitigator};
+use qismet_mathkit::rng_from_seed;
+use qismet_qnoise::StaticNoiseModel;
+use qismet_qsim::{
+    basis_change_circuit, exact_energy, MeasurementPlan, StateVector,
+};
+use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, Tfim};
+
+/// Energy estimated through the sampled + readout-noisy + mitigated path
+/// should approach the exact energy.
+#[test]
+fn sampled_mitigated_energy_matches_exact() {
+    let tfim = Tfim::paper_6q();
+    let h = tfim.hamiltonian();
+    let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+    let params = ansatz.initial_params(17);
+    let bound = ansatz.bind(&params).unwrap();
+    let exact = exact_energy(&bound, &h).unwrap();
+
+    let model = StaticNoiseModel::uniform(6, 100.0, 90.0, 0.0, 0.0, 0.05);
+    let mitigator = ReadoutMitigator::from_model(&model, 6, MitigationStrategy::Tensored).unwrap();
+    let plan = MeasurementPlan::compile(&h);
+    let mut rng = rng_from_seed(3);
+    let shots = 60_000;
+
+    let mut mitigated_energy = plan.identity_offset();
+    let mut raw_energy = plan.identity_offset();
+    for group in plan.groups() {
+        let mut sv = StateVector::from_circuit(&bound).unwrap();
+        let rot = basis_change_circuit(6, &group.basis);
+        sv.apply_circuit(&rot).unwrap();
+        let clean = sv.sample_counts(&mut rng, shots);
+        let noisy = model.apply_readout_errors(&clean, &mut rng);
+        for &idx in &group.term_indices {
+            let (coeff, string) = &h.terms()[idx];
+            let mut mask = 0u64;
+            for q in 0..string.n_qubits() {
+                if string.pauli(q) != qismet_qsim::Pauli::I {
+                    mask |= 1 << q;
+                }
+            }
+            raw_energy += coeff * noisy.parity_expectation(mask);
+            mitigated_energy += coeff * mitigator.parity_expectation(&noisy, mask).unwrap();
+        }
+    }
+
+    let raw_err = (raw_energy - exact).abs();
+    let mit_err = (mitigated_energy - exact).abs();
+    assert!(
+        mit_err < raw_err,
+        "mitigation should reduce error: raw {raw_err:.4} vs mitigated {mit_err:.4}"
+    );
+    assert!(
+        mit_err < 0.06,
+        "mitigated energy {mitigated_energy:.4} too far from exact {exact:.4}"
+    );
+}
+
+/// The measurement plan for TFIM needs exactly two circuits per energy
+/// evaluation (Z-basis group and X-basis group).
+#[test]
+fn tfim_measurement_plan_is_two_groups() {
+    let h = Tfim::paper_6q().hamiltonian();
+    let plan = MeasurementPlan::compile(&h);
+    assert_eq!(plan.n_circuits(), 2);
+    assert_eq!(plan.identity_offset(), 0.0);
+}

@@ -21,10 +21,7 @@ fn main() {
     let stride = (2.0 / dt) as usize;
     for (i, &t1) in trace.iter().enumerate() {
         if i % stride == 0 {
-            rows.push(vec![
-                format!("{:.1}", i as f64 * dt),
-                f2(t1),
-            ]);
+            rows.push(vec![format!("{:.1}", i as f64 * dt), f2(t1)]);
         }
     }
     print_table(

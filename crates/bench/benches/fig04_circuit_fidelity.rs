@@ -16,10 +16,9 @@ fn main() {
     let shots = 2048;
     let machine = Machine::Cairo;
 
-    let shallow = CircuitFidelityModel::new(machine, fig4_circuits::shallow_4q())
-        .expect("bound circuit");
-    let deep = CircuitFidelityModel::new(machine, fig4_circuits::deep_8q())
-        .expect("bound circuit");
+    let shallow =
+        CircuitFidelityModel::new(machine, fig4_circuits::shallow_4q()).expect("bound circuit");
+    let deep = CircuitFidelityModel::new(machine, fig4_circuits::deep_8q()).expect("bound circuit");
 
     let mut rng_a = rng_from_seed(0xf04);
     let mut rng_b = rng_from_seed(0xf04 + 1);
@@ -57,7 +56,12 @@ fn main() {
     write_csv(
         "fig04_batches.csv",
         &[
-            "hour", "shallow_mean", "shallow_min", "shallow_max", "deep_mean", "deep_min",
+            "hour",
+            "shallow_mean",
+            "shallow_min",
+            "shallow_max",
+            "deep_mean",
+            "deep_min",
             "deep_max",
         ],
         &rows,

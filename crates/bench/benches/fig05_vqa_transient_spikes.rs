@@ -3,8 +3,8 @@
 //! expectation value at iteration 500 is no better than at iteration 100.
 
 use qismet_bench::{downsample, f4, run_scheme, scaled, write_csv, Scheme};
-use qismet_vqa::{count_spikes, AppSpec};
 use qismet_qnoise::Machine;
+use qismet_vqa::{count_spikes, AppSpec};
 
 fn main() {
     let iterations = scaled(500);
@@ -26,7 +26,8 @@ fn main() {
     write_csv("fig05_series.csv", &["iteration", "energy"], &rows);
 
     let spikes = count_spikes(&out.series, 10, 0.8);
-    let e100 = qismet_mathkit::mean(&out.series[90.min(out.series.len() - 1)..100.min(out.series.len())]);
+    let e100 =
+        qismet_mathkit::mean(&out.series[90.min(out.series.len() - 1)..100.min(out.series.len())]);
     let tail = out.series.len();
     let e_end = qismet_mathkit::mean(&out.series[tail - 10..]);
     println!("\nspikes detected: {spikes}");

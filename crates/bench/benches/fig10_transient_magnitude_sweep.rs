@@ -9,7 +9,9 @@
 //! As an extension, the same sweep is also run under QISMET, showing how
 //! much of the degradation iteration-skipping claws back at each magnitude.
 
-use qismet_bench::{downsample, f4, final_window, print_table, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    downsample, f4, final_window, print_table, run_scheme, scaled, write_csv, Scheme,
+};
 use qismet_vqa::AppSpec;
 
 fn main() {
@@ -37,21 +39,27 @@ fn main() {
             qis.skips.to_string(),
         ]);
         for (i, v) in downsample(&base.series, 100) {
-            series_rows.push(vec![
-                format!("{:.1}%", mag * 100.0),
-                i.to_string(),
-                f4(v),
-            ]);
+            series_rows.push(vec![format!("{:.1}%", mag * 100.0), i.to_string(), f4(v)]);
         }
     }
     print_table(
         "Fig.10: final VQE expectation vs transient magnitude",
-        &["magnitude", "baseline_final", "qismet_final (ext)", "qismet_skips"],
+        &[
+            "magnitude",
+            "baseline_final",
+            "qismet_final (ext)",
+            "qismet_skips",
+        ],
         &rows,
     );
     write_csv(
         "fig10_summary.csv",
-        &["magnitude", "baseline_final", "qismet_final", "qismet_skips"],
+        &[
+            "magnitude",
+            "baseline_final",
+            "qismet_final",
+            "qismet_skips",
+        ],
         &rows,
     );
     write_csv(

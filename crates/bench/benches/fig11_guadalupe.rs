@@ -6,8 +6,8 @@
 //! ending ~40% better.
 
 use qismet_bench::{downsample, f4, final_window, run_scheme, scaled, write_csv, Scheme};
-use qismet_vqa::{improvement_percent, AppSpec};
 use qismet_qnoise::Machine;
+use qismet_vqa::{improvement_percent, AppSpec};
 
 fn main() {
     let iterations = scaled(270);
@@ -16,7 +16,10 @@ fn main() {
     let base = run_scheme(&spec, Scheme::Baseline, iterations, None, 0xf11);
     let qis = run_scheme(&spec, Scheme::Qismet, iterations, None, 0xf11);
 
-    println!("Fig.11 | Guadalupe, {iterations} iterations (window {})\n", final_window(iterations));
+    println!(
+        "Fig.11 | Guadalupe, {iterations} iterations (window {})\n",
+        final_window(iterations)
+    );
     println!("  iter   baseline   qismet");
     let b = downsample(&base.series, 30);
     let q = downsample(&qis.series, 30);
@@ -30,14 +33,22 @@ fn main() {
         .enumerate()
         .map(|(i, (&bv, &qv))| vec![i.to_string(), f4(bv), f4(qv)])
         .collect();
-    write_csv("fig11_series.csv", &["iteration", "baseline", "qismet"], &rows);
+    write_csv(
+        "fig11_series.csv",
+        &["iteration", "baseline", "qismet"],
+        &rows,
+    );
 
     let imp = improvement_percent(qis.final_energy, base.final_energy);
     println!(
         "\nfinal: baseline {:.4}, qismet {:.4} -> improvement {:.0}% (paper: ~40%)",
         base.final_energy, qis.final_energy, imp
     );
-    println!("qismet skips: {} of {} attempts", qis.skips, iterations + qis.skips);
+    println!(
+        "qismet skips: {} of {} attempts",
+        qis.skips,
+        iterations + qis.skips
+    );
     println!(
         "[shape] QISMET improves over baseline: {}",
         if imp > 5.0 { "PASS" } else { "MISS" }

@@ -5,8 +5,8 @@
 //! (~50% improvement).
 
 use qismet_bench::{downsample, f4, run_scheme, scaled, write_csv, Scheme};
-use qismet_vqa::{improvement_percent, AppSpec};
 use qismet_qnoise::Machine;
+use qismet_vqa::{improvement_percent, AppSpec};
 
 fn main() {
     let iterations = scaled(350);
@@ -29,7 +29,11 @@ fn main() {
         .enumerate()
         .map(|(i, (&bv, &qv))| vec![i.to_string(), f4(bv), f4(qv)])
         .collect();
-    write_csv("fig12_series.csv", &["iteration", "baseline", "qismet"], &rows);
+    write_csv(
+        "fig12_series.csv",
+        &["iteration", "baseline", "qismet"],
+        &rows,
+    );
 
     let imp = improvement_percent(qis.final_energy, base.final_energy);
     println!(
@@ -45,6 +49,10 @@ fn main() {
     // machines at the same servo target would imply bursts-wise.
     println!(
         "[shape] skips bounded by servo target (~10% + retries): {}",
-        if qis.skips < iterations / 4 { "PASS" } else { "MISS" }
+        if qis.skips < iterations / 4 {
+            "PASS"
+        } else {
+            "MISS"
+        }
     );
 }

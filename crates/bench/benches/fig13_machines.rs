@@ -6,8 +6,8 @@
 //! machine, 1.27x-1.51x, geomean ~1.39x.
 
 use qismet_bench::{f2, f4, print_table, run_scheme, scaled, write_csv, Scheme};
-use qismet_vqa::{relative_expectation, AppSpec};
 use qismet_qnoise::Machine;
+use qismet_vqa::{relative_expectation, AppSpec};
 
 fn main() {
     // Per-machine iteration counts mirroring the paper's bars.
@@ -62,17 +62,29 @@ fn main() {
     ]);
     print_table(
         "Fig.13: QISMET vs baseline across machines",
-        &["machine", "iters", "baseline", "qismet", "rel_baseline", "skips"],
+        &[
+            "machine",
+            "iters",
+            "baseline",
+            "qismet",
+            "rel_baseline",
+            "skips",
+        ],
         &rows,
     );
     write_csv(
         "fig13.csv",
-        &["machine", "iters", "baseline", "qismet", "rel_baseline", "skips"],
+        &[
+            "machine",
+            "iters",
+            "baseline",
+            "qismet",
+            "rel_baseline",
+            "skips",
+        ],
         &rows,
     );
-    println!(
-        "\ngeomean improvement: {geo:.2}x (paper: ~1.39x, range 1.27-1.51)"
-    );
+    println!("\ngeomean improvement: {geo:.2}x (paper: ~1.39x, range 1.27-1.51)");
     let all_improve = ratios.iter().all(|&r| r > 1.0);
     println!(
         "[shape] QISMET improves on every machine: {}",
@@ -80,6 +92,10 @@ fn main() {
     );
     println!(
         "[shape] geomean in plausible band (1.1-3x): {}",
-        if geo > 1.1 && geo < 3.0 { "PASS" } else { "MISS" }
+        if geo > 1.1 && geo < 3.0 {
+            "PASS"
+        } else {
+            "MISS"
+        }
     );
 }

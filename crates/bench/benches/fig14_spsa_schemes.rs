@@ -50,12 +50,26 @@ fn main() {
         .collect();
     print_table(
         "Fig.14: App2 final VQE expectation by scheme",
-        &["scheme", "final_energy", "rel_baseline", "jobs", "evals", "skips"],
+        &[
+            "scheme",
+            "final_energy",
+            "rel_baseline",
+            "jobs",
+            "evals",
+            "skips",
+        ],
         &rows,
     );
     write_csv(
         "fig14_summary.csv",
-        &["scheme", "final_energy", "rel_baseline", "jobs", "evals", "skips"],
+        &[
+            "scheme",
+            "final_energy",
+            "rel_baseline",
+            "jobs",
+            "evals",
+            "skips",
+        ],
         &rows,
     );
 
@@ -81,9 +95,19 @@ fn main() {
             .final_energy
     };
     let checks = [
-        ("QISMET best overall", schemes[1..].iter().all(|&s| get(Scheme::Qismet) <= get(s)) && get(Scheme::Qismet) < baseline_final),
-        ("QISMET beats baseline", get(Scheme::Qismet) < baseline_final),
-        ("2nd-order worse than baseline", get(Scheme::SecondOrder) >= baseline_final),
+        (
+            "QISMET best overall",
+            schemes[1..].iter().all(|&s| get(Scheme::Qismet) <= get(s))
+                && get(Scheme::Qismet) < baseline_final,
+        ),
+        (
+            "QISMET beats baseline",
+            get(Scheme::Qismet) < baseline_final,
+        ),
+        (
+            "2nd-order worse than baseline",
+            get(Scheme::SecondOrder) >= baseline_final,
+        ),
     ];
     for (name, ok) in checks {
         println!("[shape] {name}: {}", if ok { "PASS" } else { "MISS" });

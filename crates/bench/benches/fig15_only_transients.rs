@@ -51,7 +51,11 @@ fn main() {
     let paper_shape = rel_of(50) < 1.0 && rel_of(99) >= rel_of(50) - 0.05;
     println!(
         "[shape] paper Fig.15 ordering (all below baseline): {}",
-        if paper_shape { "PASS" } else { "MISS (known model deviation)" }
+        if paper_shape {
+            "PASS"
+        } else {
+            "MISS (known model deviation)"
+        }
     );
     if !paper_shape {
         // Documented in EXPERIMENTS.md: in this reproduction's noise model,

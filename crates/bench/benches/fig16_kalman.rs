@@ -48,7 +48,11 @@ fn main() {
         &["scheme", "final_energy", "rel_baseline"],
         &rows,
     );
-    write_csv("fig16.csv", &["scheme", "final_energy", "rel_baseline"], &rows);
+    write_csv(
+        "fig16.csv",
+        &["scheme", "final_energy", "rel_baseline"],
+        &rows,
+    );
 
     let qis_vs_kal = qis.final_energy / best_kalman;
     println!(
@@ -56,7 +60,10 @@ fn main() {
     );
     let checks = [
         ("QISMET beats best Kalman", qis.final_energy < best_kalman),
-        ("QISMET beats baseline", qis.final_energy < base.final_energy),
+        (
+            "QISMET beats baseline",
+            qis.final_energy < base.final_energy,
+        ),
     ];
     for (name, ok) in checks {
         println!("[shape] {name}: {}", if ok { "PASS" } else { "MISS" });

@@ -41,7 +41,14 @@ fn main() {
     }
     rows.push(geo_row);
 
-    let headers = ["app", "QISMET", "Blocking", "Resampling", "2nd-order", "Kalman(Best)"];
+    let headers = [
+        "app",
+        "QISMET",
+        "Blocking",
+        "Resampling",
+        "2nd-order",
+        "Kalman(Best)",
+    ];
     print_table("Fig.17: VQE expectation rel. baseline", &headers, &rows);
     write_csv("fig17.csv", &headers, &rows);
 
@@ -50,13 +57,19 @@ fn main() {
     );
     let qis = &per_scheme[0];
     let checks = [
-        ("QISMET beats baseline on every app", qis.iter().all(|&r| r > 1.0)),
+        (
+            "QISMET beats baseline on every app",
+            qis.iter().all(|&r| r > 1.0),
+        ),
         (
             "QISMET geomean highest",
             geos[1..].iter().all(|&g| geos[0] >= g),
         ),
         ("2nd-order below baseline", geos[3] < 1.0),
-        ("QISMET geomean in 1.3-3x band", geos[0] > 1.3 && geos[0] < 3.2),
+        (
+            "QISMET geomean in 1.3-3x band",
+            geos[0] > 1.3 && geos[0] < 3.2,
+        ),
     ];
     for (name, ok) in checks {
         println!("[shape] {name}: {}", if ok { "PASS" } else { "MISS" });

@@ -15,7 +15,6 @@ use qismet_vqa::{
     TuningScheme,
 };
 
-
 /// Gains scaled to the H2 objective (hartree-scale landscape, ~10x smaller
 /// than the TFIM apps).
 fn h2_gains() -> GainSchedule {
@@ -51,9 +50,10 @@ fn main() {
         let magnitude = 0.45;
 
         let make_obj = |seed: u64| {
-            let trace = Machine::Sydney
-                .transient_model(magnitude)
-                .generate(&mut qismet_mathkit::rng_from_seed(seed), iterations * 7 + 16);
+            let trace = Machine::Sydney.transient_model(magnitude).generate(
+                &mut qismet_mathkit::rng_from_seed(seed),
+                iterations * 7 + 16,
+            );
             NoisyObjective::new(
                 ansatz.clone(),
                 h.clone(),
@@ -93,7 +93,9 @@ fn main() {
         );
 
         let b = brec.final_energy(window);
-        let q = qrec.record.final_energy(window.min(qrec.record.measured.len()));
+        let q = qrec
+            .record
+            .final_energy(window.min(qrec.record.measured.len()));
         base_dev.push((b - exact).abs());
         qis_dev.push((q - exact).abs());
         rows.push(vec![
@@ -118,14 +120,18 @@ fn main() {
 
     let mean_b = qismet_mathkit::mean(&base_dev);
     let mean_q = qismet_mathkit::mean(&qis_dev);
-    println!(
-        "\nmean |deviation from noise-free|: baseline {mean_b:.4} Ha, QISMET {mean_q:.4} Ha"
-    );
+    println!("\nmean |deviation from noise-free|: baseline {mean_b:.4} Ha, QISMET {mean_q:.4} Ha");
     let long_b = qismet_mathkit::mean(&base_dev[5..]);
     let short_b = qismet_mathkit::mean(&base_dev[..5]);
     let checks = [
-        ("QISMET tracks noise-free better than baseline", mean_q < mean_b),
-        ("QISMET within chemical-plot accuracy (<60 mHa)", mean_q < 0.06),
+        (
+            "QISMET tracks noise-free better than baseline",
+            mean_q < mean_b,
+        ),
+        (
+            "QISMET within chemical-plot accuracy (<60 mHa)",
+            mean_q < 0.06,
+        ),
         (
             // Weak form: with only 10 geometries and rare bursts this is a
             // noisy statistic; require the long-bond half not to be cleaner.

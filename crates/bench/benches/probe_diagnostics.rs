@@ -60,7 +60,13 @@ fn main() {
     print_table(
         "probe: App5 (severe), mean over 2nd half, 5 seeds",
         &[
-            "seed", "base_meas", "qis_meas", "base_exact", "qis_exact", "skips", "forced",
+            "seed",
+            "base_meas",
+            "qis_meas",
+            "base_exact",
+            "qis_exact",
+            "skips",
+            "forced",
             "ratio",
         ],
         &rows,

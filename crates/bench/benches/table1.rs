@@ -25,16 +25,32 @@ fn main() {
     print_table(
         "Table 1: TFIM VQA applications for simulation",
         &[
-            "app", "qubits", "ansatz", "reps", "machine", "params", "cx", "depth",
-            "attenuation", "exact_E0",
+            "app",
+            "qubits",
+            "ansatz",
+            "reps",
+            "machine",
+            "params",
+            "cx",
+            "depth",
+            "attenuation",
+            "exact_E0",
         ],
         &rows,
     );
     write_csv(
         "table1.csv",
         &[
-            "app", "qubits", "ansatz", "reps", "machine", "params", "cx", "depth",
-            "attenuation", "exact_E0",
+            "app",
+            "qubits",
+            "ansatz",
+            "reps",
+            "machine",
+            "params",
+            "cx",
+            "depth",
+            "attenuation",
+            "exact_E0",
         ],
         &rows,
     );

@@ -6,7 +6,9 @@
 //! scheme runners, table printing, CSV output, and the iteration-scale
 //! control (`QISMET_BENCH_SCALE`) for quick smoke runs.
 
-use qismet::{run_filtered_baseline, run_only_transients_budgeted, run_qismet_budgeted, QismetConfig};
+use qismet::{
+    run_filtered_baseline, run_only_transients_budgeted, run_qismet_budgeted, QismetConfig,
+};
 use qismet_filters::{KalmanFilter, OnlyTransientsPolicy};
 use qismet_optim::{BlockingPolicy, GainSchedule, SecondOrderSpsa, Spsa};
 use qismet_vqa::{run_tuning, AppInstance, AppSpec, NoisyObjective, TuningScheme};
@@ -171,12 +173,8 @@ pub fn run_scheme(
             )
         }
         Scheme::Resampling => {
-            let mut spsa = Spsa::with_resampling(
-                app.theta0.len(),
-                GainSchedule::vqa_paper(),
-                opt_seed,
-                2,
-            );
+            let mut spsa =
+                Spsa::with_resampling(app.theta0.len(), GainSchedule::vqa_paper(), opt_seed, 2);
             let rec = run_tuning(
                 &mut spsa,
                 &mut app.objective,

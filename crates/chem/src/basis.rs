@@ -70,12 +70,7 @@ pub fn dist_sqr(a: [f64; 3], b: [f64; 3]) -> f64 {
 }
 
 /// Gaussian product center `P = (alpha A + beta B) / (alpha + beta)`.
-pub fn gaussian_product_center(
-    alpha: f64,
-    a: [f64; 3],
-    beta: f64,
-    b: [f64; 3],
-) -> [f64; 3] {
+pub fn gaussian_product_center(alpha: f64, a: [f64; 3], beta: f64, b: [f64; 3]) -> [f64; 3] {
     let p = alpha + beta;
     [
         (alpha * a[0] + beta * b[0]) / p,

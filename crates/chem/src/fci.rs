@@ -123,7 +123,9 @@ pub fn run_fci(mo: &MoIntegrals, scf: &ScfSolution) -> FciSolution {
 /// # Errors
 ///
 /// Propagates SCF failures.
-pub fn fci_from_integrals(ints: &H2Integrals) -> Result<(ScfSolution, MoIntegrals, FciSolution), ScfError> {
+pub fn fci_from_integrals(
+    ints: &H2Integrals,
+) -> Result<(ScfSolution, MoIntegrals, FciSolution), ScfError> {
     let scf = run_rhf(ints)?;
     let mo = transform_to_mo(ints, &scf);
     let fci = run_fci(&mo, &scf);
@@ -153,11 +155,7 @@ mod tests {
         // (correlation ~ -20.5 mHa on top of RHF -1.1167).
         let ints = h2_integrals(1.4);
         let (scf, mo, fci) = fci_from_integrals(&ints).unwrap();
-        assert!(
-            (fci.energy + 1.1372).abs() < 2e-3,
-            "E_FCI = {}",
-            fci.energy
-        );
+        assert!((fci.energy + 1.1372).abs() < 2e-3, "E_FCI = {}", fci.energy);
         assert!(fci.correlation < 0.0, "correlation must lower the energy");
         assert!(
             (fci.correlation + 0.0205).abs() < 3e-3,
@@ -191,14 +189,17 @@ mod tests {
         }
         // The triplet energy h11 + h22 + J12 - K12 must appear in the
         // spectrum (as an eigenvalue of the middle block).
-        let expected_triplet = mo.h[0][0] + mo.h[1][1] + mo.eri[0][0][1][1]
-            - mo.eri[0][1][0][1]
-            + mo.e_nuc;
+        let expected_triplet =
+            mo.h[0][0] + mo.h[1][1] + mo.eri[0][0][1][1] - mo.eri[0][1][0][1] + mo.e_nuc;
         let found = fci
             .spectrum
             .iter()
             .any(|&e| (e - expected_triplet).abs() < 1e-8);
-        assert!(found, "triplet {expected_triplet} not in {:?}", fci.spectrum);
+        assert!(
+            found,
+            "triplet {expected_triplet} not in {:?}",
+            fci.spectrum
+        );
         let _ = scf;
     }
 
@@ -206,7 +207,10 @@ mod tests {
     fn correlation_grows_with_bond_stretch() {
         let short = fci_from_integrals(&h2_integrals(1.0)).unwrap().2;
         let long = fci_from_integrals(&h2_integrals(3.0)).unwrap().2;
-        assert!(long.correlation < short.correlation, "stretch increases correlation");
+        assert!(
+            long.correlation < short.correlation,
+            "stretch increases correlation"
+        );
     }
 
     #[test]

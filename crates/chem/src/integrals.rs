@@ -74,8 +74,7 @@ pub fn electron_repulsion(
                 for pd in &d.primitives {
                     let q = pc.alpha + pd.alpha;
                     let mu_cd = pc.alpha * pd.alpha / q;
-                    let qcen =
-                        gaussian_product_center(pc.alpha, c.center, pd.alpha, d.center);
+                    let qcen = gaussian_product_center(pc.alpha, c.center, pd.alpha, d.center);
                     let kcd = (-mu_cd * rcd2).exp();
                     let rpq2 = dist_sqr(pcen, qcen);
                     let pre = 2.0 * PI.powf(2.5) / (p * q * (p + q).sqrt());
@@ -143,8 +142,7 @@ pub fn h2_integrals(r_bohr: f64) -> H2Integrals {
         for j in 0..2 {
             for k in 0..2 {
                 for l in 0..2 {
-                    eri[i][j][k][l] =
-                        electron_repulsion(&chi[i], &chi[j], &chi[k], &chi[l]);
+                    eri[i][j][k][l] = electron_repulsion(&chi[i], &chi[j], &chi[k], &chi[l]);
                 }
             }
         }

@@ -4,6 +4,10 @@
 //! `spin 0 = alpha, 1 = beta`. The two-body tensor is produced in physicist
 //! notation `<pq|rs>` as consumed by [`crate::jw::jordan_wigner`].
 
+// Dense index arithmetic reads clearest with explicit loop indices; the
+// iterator rewrites clippy suggests obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
 use crate::fci::MoIntegrals;
 
 /// Spin-orbital tensors for a 2-spatial-orbital problem (4 spin orbitals).
@@ -51,8 +55,7 @@ pub fn to_spin_orbitals(mo: &MoIntegrals) -> SpinOrbitalHamiltonian {
                 for s in 0..n {
                     if spin(p) == spin(r) && spin(q) == spin(s) {
                         // <pq|rs> = (pr|qs) in chemist notation.
-                        h_two[p][q][r][s] =
-                            mo.eri[spatial(p)][spatial(r)][spatial(q)][spatial(s)];
+                        h_two[p][q][r][s] = mo.eri[spatial(p)][spatial(r)][spatial(q)][spatial(s)];
                     }
                 }
             }

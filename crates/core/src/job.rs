@@ -117,13 +117,7 @@ mod tests {
 
     #[test]
     fn layout_counts() {
-        let job = Job::qismet_layout(
-            7,
-            3,
-            &[vec![0.1], vec![0.2], vec![0.3]],
-            vec![0.0],
-            4,
-        );
+        let job = Job::qismet_layout(7, 3, &[vec![0.1], vec![0.2], vec![0.3]], vec![0.0], 4);
         assert_eq!(job.index, 7);
         assert_eq!(job.count(CircuitRole::Primary), 3);
         assert_eq!(job.count(CircuitRole::Repeat), 1);

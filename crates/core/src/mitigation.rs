@@ -57,7 +57,10 @@ impl std::fmt::Display for MitigationError {
                 write!(f, "readout calibration matrix is singular")
             }
             MitigationError::WidthMismatch { expected, got } => {
-                write!(f, "mitigator built for {expected} qubits, counts have {got}")
+                write!(
+                    f,
+                    "mitigator built for {expected} qubits, counts have {got}"
+                )
             }
         }
     }
@@ -279,7 +282,10 @@ mod tests {
         // <ZZ over first two qubits> = +1 ideally.
         let fixed_zz = mit.parity_expectation(&noisy, 0b011).unwrap();
         let raw_zz2 = noisy.parity_expectation(0b011);
-        assert!(fixed_zz > raw_zz2, "mitigation should raise {raw_zz2} -> {fixed_zz}");
+        assert!(
+            fixed_zz > raw_zz2,
+            "mitigation should raise {raw_zz2} -> {fixed_zz}"
+        );
         assert!((fixed_zz - 1.0).abs() < 0.03, "fixed ZZ = {fixed_zz}");
     }
 
@@ -307,7 +313,10 @@ mod tests {
         let wrong = Counts::from_pairs(2, [(0, 10)]);
         assert!(matches!(
             mit.mitigate(&wrong),
-            Err(MitigationError::WidthMismatch { expected: 3, got: 2 })
+            Err(MitigationError::WidthMismatch {
+                expected: 3,
+                got: 2
+            })
         ));
     }
 

@@ -13,7 +13,7 @@ use crate::estimator::TransientEstimate;
 use crate::threshold::ThresholdCalibrator;
 use qismet_filters::{OnlyTransientsPolicy, SeriesFilter};
 use qismet_optim::Proposer;
-use qismet_vqa::{NoisyObjective, RunRecord};
+use qismet_vqa::{JobRequest, NoisyObjective, RunRecord};
 
 /// Full record of a QISMET (or Only-Transients) run.
 #[derive(Debug, Clone, PartialEq)]
@@ -178,13 +178,34 @@ fn run_controlled(
         }
         let mut attempts = 0usize;
         let (candidate, em_curr, reason, thr) = loop {
-            // The job: optimizer evaluations + candidate energy + rerun of
-            // the previous iteration's circuit, all under this job's noise.
-            let proposal = {
-                let obj = &mut *objective;
-                proposer.propose(&theta, &mut |p: &[f64]| obj.measure(p))
+            // The job: optimizer evaluations + rerun of the previous
+            // iteration's circuit + candidate energy, all under this job's
+            // noise. When the optimizer names its query points up front,
+            // the evaluations and the rerun are assembled into one
+            // JobRequest and handed to the execution backend as a single
+            // batch; the candidate (whose parameters depend on the batch's
+            // results) follows as a second wave of the same job.
+            let (proposal, em_rerun) = match proposer.eval_points(&theta) {
+                Some(points) => {
+                    let request = JobRequest::shared_job(points).with_rerun(theta.clone());
+                    let result = objective
+                        .execute(&request)
+                        .unwrap_or_else(|e| panic!("{e}"));
+                    let em_rerun = result.rerun_value().expect("rerun was attached");
+                    (
+                        proposer.propose_from(&theta, result.eval_values()),
+                        em_rerun,
+                    )
+                }
+                None => {
+                    let proposal = {
+                        let obj = &mut *objective;
+                        proposer.propose(&theta, &mut |p: &[f64]| obj.measure(p))
+                    };
+                    let em_rerun = objective.measure(&theta);
+                    (proposal, em_rerun)
+                }
             };
-            let em_rerun = objective.measure(&theta);
             let em_curr = objective.measure(&proposal.candidate);
             let est = TransientEstimate::new(em_prev, em_rerun, em_curr);
             let (accept, reason, thr) = verdict(&est);
@@ -388,6 +409,82 @@ mod tests {
         assert!(rec.skips <= 40 * 5);
     }
 
+    /// Forwards a proposer while hiding `eval_points`, forcing
+    /// `run_controlled` onto the legacy per-call evaluation path.
+    struct Unbatched<P: Proposer>(P);
+
+    impl<P: Proposer> Proposer for Unbatched<P> {
+        fn propose(
+            &mut self,
+            theta: &[f64],
+            objective: &mut dyn FnMut(&[f64]) -> f64,
+        ) -> qismet_optim::Proposal {
+            self.0.propose(theta, objective)
+        }
+        fn advance(&mut self) {
+            self.0.advance()
+        }
+        fn iteration(&self) -> usize {
+            self.0.iteration()
+        }
+        fn evals_per_proposal(&self) -> usize {
+            self.0.evals_per_proposal()
+        }
+        fn name(&self) -> &'static str {
+            "unbatched"
+        }
+    }
+
+    #[test]
+    fn qismet_record_identical_through_batched_and_per_call_paths() {
+        // Acceptance criterion of the Backend refactor: run_qismet must
+        // produce an identical QismetRecord whether each iteration's job
+        // executes as one batched JobRequest or as per-call evaluations —
+        // same seeds => same measured series, decisions, and thresholds.
+        let trace = TransientModel::severe(0.35).generate(&mut rng_from_seed(55), 6000);
+        let run = |batched: bool| {
+            let (mut obj, _) = objective_with(trace.clone(), 17);
+            let theta0 = obj.exact().ansatz().initial_params(4);
+            let spsa = Spsa::new(theta0.len(), GainSchedule::spall_default(), 5);
+            let cfg = QismetConfig::paper_default();
+            if batched {
+                let mut p = spsa;
+                run_qismet(&mut p, &mut obj, theta0, 150, cfg)
+            } else {
+                let mut p = Unbatched(spsa);
+                run_qismet(&mut p, &mut obj, theta0, 150, cfg)
+            }
+        };
+        let via_batch = run(true);
+        let via_calls = run(false);
+        // Field-by-field: the threshold trace is NaN during warmup, so the
+        // float series are compared bitwise rather than through PartialEq.
+        assert_eq!(via_batch.record, via_calls.record);
+        assert_eq!(via_batch.skips, via_calls.skips);
+        assert_eq!(via_batch.forced_accepts, via_calls.forced_accepts);
+        assert_eq!(via_batch.decisions, via_calls.decisions);
+        assert!(via_batch.skips > 0, "want a transient-rich comparison");
+        for (a, b) in via_batch
+            .record
+            .measured
+            .iter()
+            .zip(&via_calls.record.measured)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert_eq!(
+            via_batch.threshold_trace.len(),
+            via_calls.threshold_trace.len()
+        );
+        for (a, b) in via_batch
+            .threshold_trace
+            .iter()
+            .zip(&via_calls.threshold_trace)
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
     #[test]
     fn only_transients_skips_more_blindly() {
         let trace = TransientModel::moderate(0.3).generate(&mut rng_from_seed(17), 6000);
@@ -424,6 +521,9 @@ mod tests {
         // The filtered series has lower variance than the raw one.
         let raw_var = qismet_mathkit::variance(&record.measured[50..]);
         let fil_var = qismet_mathkit::variance(&filtered[50..]);
-        assert!(fil_var < raw_var, "filter should smooth: {fil_var} vs {raw_var}");
+        assert!(
+            fil_var < raw_var,
+            "filter should smooth: {fil_var} vs {raw_var}"
+        );
     }
 }

@@ -62,11 +62,11 @@ impl OnlyTransientsPolicy {
     /// iteration. During warmup nothing is skipped.
     pub fn observe_and_decide(&mut self, tm: f64) -> bool {
         let mag = tm.abs();
-        let skip = self
-            .threshold()
-            .is_finite()
-            .then(|| mag > self.threshold())
-            .unwrap_or(false);
+        let skip = if self.threshold().is_finite() {
+            mag > self.threshold()
+        } else {
+            false
+        };
         self.history.push(mag);
         if self.history.len() > 4096 {
             self.history.remove(0);

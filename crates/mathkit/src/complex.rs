@@ -201,6 +201,9 @@ impl Mul for Complex64 {
 
 impl Div for Complex64 {
     type Output = Complex64;
+    // Complex division *is* multiplication by the reciprocal; clippy's
+    // operator-mismatch heuristic does not apply.
+    #[allow(clippy::suspicious_arithmetic_impl)]
     #[inline]
     fn div(self, rhs: Complex64) -> Complex64 {
         self * rhs.recip()

@@ -55,7 +55,11 @@ impl std::fmt::Display for EigError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             EigError::NotSquare { shape } => {
-                write!(f, "eigensolver requires square input, got {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "eigensolver requires square input, got {}x{}",
+                    shape.0, shape.1
+                )
             }
             EigError::NotSymmetric => write!(f, "matrix is not symmetric/Hermitian"),
             EigError::NoConvergence { offdiag } => {
@@ -165,7 +169,11 @@ pub fn sym_eig(a: &RMatrix) -> Result<SymEig, EigError> {
 fn sorted_sym(m: RMatrix, v: RMatrix) -> SymEig {
     let n = m.rows();
     let mut idx: Vec<usize> = (0..n).collect();
-    idx.sort_by(|&i, &j| m.at(i, i).partial_cmp(&m.at(j, j)).expect("finite eigenvalues"));
+    idx.sort_by(|&i, &j| {
+        m.at(i, i)
+            .partial_cmp(&m.at(j, j))
+            .expect("finite eigenvalues")
+    });
     let mut values = Vec::with_capacity(n);
     let mut vectors = RMatrix::zeros(n, n);
     for (new_col, &old_col) in idx.iter().enumerate() {
@@ -334,7 +342,9 @@ mod tests {
         let mut a = RMatrix::zeros(n, n);
         let mut state = 0x9e3779b97f4a7c15u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for i in 0..n {
@@ -363,11 +373,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let a = RMatrix::from_rows(&[
-            &[4.0, 1.0, 0.5],
-            &[1.0, 3.0, -0.2],
-            &[0.5, -0.2, 1.0],
-        ]);
+        let a = RMatrix::from_rows(&[&[4.0, 1.0, 0.5], &[1.0, 3.0, -0.2], &[0.5, -0.2, 1.0]]);
         let e = sym_eig(&a).unwrap();
         let vt_v = &e.vectors.transpose() * &e.vectors;
         assert!(vt_v.approx_eq(&RMatrix::identity(3), 1e-10));
@@ -375,10 +381,7 @@ mod tests {
 
     #[test]
     fn hermitian_pauli_y() {
-        let y = CMatrix::from_rows(&[
-            &[c(0.0, 0.0), c(0.0, -1.0)],
-            &[c(0.0, 1.0), c(0.0, 0.0)],
-        ]);
+        let y = CMatrix::from_rows(&[&[c(0.0, 0.0), c(0.0, -1.0)], &[c(0.0, 1.0), c(0.0, 0.0)]]);
         let e = herm_eig(&y).unwrap();
         assert!((e.values[0] + 1.0).abs() < 1e-10);
         assert!((e.values[1] - 1.0).abs() < 1e-10);
@@ -395,10 +398,7 @@ mod tests {
     #[test]
     fn ground_state_of_shifted_z() {
         // H = Z + 0.5 X has ground energy -sqrt(1.25).
-        let h = CMatrix::from_rows(&[
-            &[c(1.0, 0.0), c(0.5, 0.0)],
-            &[c(0.5, 0.0), c(-1.0, 0.0)],
-        ]);
+        let h = CMatrix::from_rows(&[&[c(1.0, 0.0), c(0.5, 0.0)], &[c(0.5, 0.0), c(-1.0, 0.0)]]);
         let (e0, v) = ground_state(&h).unwrap();
         assert!((e0 + 1.25f64.sqrt()).abs() < 1e-10);
         let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum();
@@ -447,7 +447,9 @@ mod tests {
         let mut a = CMatrix::zeros(n, n);
         let mut state = 42u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 11) as f64 / (1u64 << 53) as f64) * 2.0 - 1.0
         };
         for i in 0..n {

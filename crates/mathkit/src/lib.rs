@@ -57,8 +57,8 @@ pub use eig::{EigError, HermEig, SymEig};
 pub use linsolve::{invert, solve, Lu};
 pub use matrix::{CMatrix, MatrixError, RMatrix};
 pub use rng::{
-    bernoulli, derive_seed, exponential, geometric, normal, pareto, rng_from_seed,
-    sample_discrete, standard_normal,
+    bernoulli, derive_seed, exponential, geometric, normal, pareto, rng_from_seed, sample_discrete,
+    standard_normal,
 };
 pub use special::{boys_f0, erf, erfc};
 pub use stats::{

@@ -4,6 +4,10 @@
 //! density matrices up to `2^8 x 2^8`, and tiny chemistry matrices. All
 //! operations are straightforward `O(n^3)`/`O(n^2)` loops — no BLAS.
 
+// Dense index arithmetic reads clearest with explicit loop indices; the
+// iterator rewrites clippy suggests obscure the row/column structure.
+#![allow(clippy::needless_range_loop, clippy::assign_op_pattern)]
+
 use crate::complex::Complex64;
 use std::fmt;
 use std::ops::{Add, Mul, Sub};
@@ -112,7 +116,11 @@ macro_rules! impl_matrix_common {
                     assert_eq!(row.len(), c, "ragged rows");
                     data.extend_from_slice(row);
                 }
-                $name { rows: r, cols: c, data }
+                $name {
+                    rows: r,
+                    cols: c,
+                    data,
+                }
             }
 
             /// Number of rows.
@@ -594,10 +602,7 @@ mod tests {
     fn matmul_shape_error() {
         let a = RMatrix::zeros(2, 3);
         let b = RMatrix::zeros(2, 3);
-        assert!(matches!(
-            a.matmul(&b),
-            Err(MatrixError::DimMismatch { .. })
-        ));
+        assert!(matches!(a.matmul(&b), Err(MatrixError::DimMismatch { .. })));
     }
 
     #[test]
@@ -630,10 +635,7 @@ mod tests {
 
     #[test]
     fn complex_adjoint_and_hermiticity() {
-        let y = CMatrix::from_rows(&[
-            &[c(0.0, 0.0), c(0.0, -1.0)],
-            &[c(0.0, 1.0), c(0.0, 0.0)],
-        ]);
+        let y = CMatrix::from_rows(&[&[c(0.0, 0.0), c(0.0, -1.0)], &[c(0.0, 1.0), c(0.0, 0.0)]]);
         assert!(y.is_hermitian(1e-15));
         assert!(y.is_unitary(1e-15));
         let yh = y.adjoint();
@@ -642,10 +644,7 @@ mod tests {
 
     #[test]
     fn expectation_of_pauli_z() {
-        let z = CMatrix::from_rows(&[
-            &[c(1.0, 0.0), c(0.0, 0.0)],
-            &[c(0.0, 0.0), c(-1.0, 0.0)],
-        ]);
+        let z = CMatrix::from_rows(&[&[c(1.0, 0.0), c(0.0, 0.0)], &[c(0.0, 0.0), c(-1.0, 0.0)]]);
         let zero = [c(1.0, 0.0), c(0.0, 0.0)];
         let one = [c(0.0, 0.0), c(1.0, 0.0)];
         let plus = [c(std::f64::consts::FRAC_1_SQRT_2, 0.0); 2];

@@ -124,7 +124,10 @@ pub fn sample_discrete<R: Rng + ?Sized>(rng: &mut R, weights: &[f64]) -> usize {
 ///
 /// Panics if `x_min <= 0` or `alpha <= 0`.
 pub fn pareto<R: Rng + ?Sized>(rng: &mut R, x_min: f64, alpha: f64) -> f64 {
-    assert!(x_min > 0.0 && alpha > 0.0, "pareto parameters must be positive");
+    assert!(
+        x_min > 0.0 && alpha > 0.0,
+        "pareto parameters must be positive"
+    );
     let u: f64 = rng.gen::<f64>();
     x_min / (1.0 - u).max(f64::MIN_POSITIVE).powf(1.0 / alpha)
 }

@@ -30,7 +30,28 @@ impl FiniteDiffGd {
     }
 }
 
+fn central_difference_points(theta: &[f64], eps: f64) -> Vec<Vec<f64>> {
+    let mut points = Vec::with_capacity(2 * theta.len());
+    for i in 0..theta.len() {
+        let mut plus = theta.to_vec();
+        plus[i] += eps;
+        let mut minus = theta.to_vec();
+        minus[i] -= eps;
+        points.push(plus);
+        points.push(minus);
+    }
+    points
+}
+
 impl Proposer for FiniteDiffGd {
+    fn eval_points(&mut self, theta: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        Some(central_difference_points(
+            theta,
+            self.gains.perturbation(self.k),
+        ))
+    }
+
     fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
         assert_eq!(theta.len(), self.dim, "parameter dimension");
         let eps = self.gains.perturbation(self.k);
@@ -123,6 +144,11 @@ impl Adam {
 }
 
 impl Proposer for Adam {
+    fn eval_points(&mut self, theta: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        Some(central_difference_points(theta, self.eps_fd))
+    }
+
     fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
         assert_eq!(theta.len(), self.dim, "parameter dimension");
         let mut gradient = Vec::with_capacity(self.dim);

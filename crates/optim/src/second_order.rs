@@ -76,6 +76,23 @@ impl SecondOrderSpsa {
 }
 
 impl Proposer for SecondOrderSpsa {
+    fn eval_points(&mut self, theta: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        let ck = self.gains.perturbation(self.k);
+        let c2 = ck;
+        let delta = self.rademacher(self.k, 0);
+        let delta2 = self.rademacher(self.k, 1);
+        let at = |s1: f64, s2: f64| -> Vec<f64> {
+            theta
+                .iter()
+                .enumerate()
+                .map(|(i, t)| t + s1 * delta[i] + s2 * delta2[i])
+                .collect()
+        };
+        // Evaluation order of `propose`: +, -, +tilde, -tilde.
+        Some(vec![at(ck, 0.0), at(-ck, 0.0), at(ck, c2), at(-ck, c2)])
+    }
+
     fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
         assert_eq!(theta.len(), self.dim, "parameter dimension");
         let ck = self.gains.perturbation(self.k);

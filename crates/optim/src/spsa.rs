@@ -73,10 +73,7 @@ impl Spsa {
     /// The Rademacher perturbation direction for (iteration, sample) —
     /// deterministic, so retries reuse it.
     pub fn delta(&self, k: usize, sample: usize) -> Vec<f64> {
-        let mut rng = rng_from_seed(derive_seed(
-            self.seed,
-            (k as u64) << 8 | sample as u64,
-        ));
+        let mut rng = rng_from_seed(derive_seed(self.seed, (k as u64) << 8 | sample as u64));
         (0..self.dim)
             .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
             .collect()
@@ -111,6 +108,18 @@ impl Spsa {
 }
 
 impl Proposer for Spsa {
+    fn eval_points(&mut self, theta: &[f64]) -> Option<Vec<Vec<f64>>> {
+        assert_eq!(theta.len(), self.dim, "parameter dimension");
+        let ck = self.gains.perturbation(self.k);
+        let mut points = Vec::with_capacity(2 * self.n_gradient_samples);
+        for sample in 0..self.n_gradient_samples {
+            let delta = self.delta(self.k, sample);
+            points.push(theta.iter().zip(&delta).map(|(t, d)| t + ck * d).collect());
+            points.push(theta.iter().zip(&delta).map(|(t, d)| t - ck * d).collect());
+        }
+        Some(points)
+    }
+
     fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal {
         assert_eq!(theta.len(), self.dim, "parameter dimension");
         let mut evals = Vec::new();

@@ -47,6 +47,43 @@ pub trait Proposer {
     /// Evaluates the objective as needed and proposes the next parameters.
     fn propose(&mut self, theta: &[f64], objective: &mut dyn FnMut(&[f64]) -> f64) -> Proposal;
 
+    /// The parameter points this iteration's [`Proposer::propose`] would
+    /// evaluate, in evaluation order — or `None` when the optimizer's
+    /// queries depend on intermediate objective values and cannot be known
+    /// up front.
+    ///
+    /// When `Some`, callers may evaluate the whole list as **one batched
+    /// quantum job** and feed the results to [`Proposer::propose_from`];
+    /// the pair must produce exactly the proposal `propose` would have. All
+    /// optimizers in this crate support this (their query points depend
+    /// only on `theta` and frozen per-iteration randomness).
+    fn eval_points(&mut self, _theta: &[f64]) -> Option<Vec<Vec<f64>>> {
+        None
+    }
+
+    /// Builds the proposal from pre-computed objective values for
+    /// [`Proposer::eval_points`], in the same order.
+    ///
+    /// The default implementation replays `propose` with the supplied
+    /// values, which guarantees bitwise-identical proposals for any
+    /// optimizer whose evaluation order is deterministic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer values are supplied than `propose` consumes.
+    fn propose_from(&mut self, theta: &[f64], values: &[f64]) -> Proposal {
+        let mut next = 0usize;
+        let mut replay = |_params: &[f64]| {
+            let v = values
+                .get(next)
+                .copied()
+                .expect("propose_from: fewer values than the proposer evaluates");
+            next += 1;
+            v
+        };
+        self.propose(theta, &mut replay)
+    }
+
     /// Commits the current iteration (called when the controller accepts).
     fn advance(&mut self);
 
@@ -115,5 +152,52 @@ mod tests {
         assert_eq!(p.n_evals(), 2);
         assert_eq!(p.gradient.len(), 2);
         assert_eq!(p.candidate.len(), 2);
+    }
+
+    /// `eval_points` + `propose_from` must reproduce `propose` bitwise for
+    /// every optimizer in the crate — that equivalence is what lets the
+    /// runners batch a whole iteration into one quantum job.
+    #[test]
+    fn batched_proposal_path_matches_callback_path() {
+        let gains = GainSchedule::spall_default();
+        let proposers: Vec<Box<dyn Proposer>> = vec![
+            Box::new(Spsa::new(3, gains, 7)),
+            Box::new(Spsa::with_resampling(3, gains, 7, 3)),
+            Box::new(crate::SecondOrderSpsa::new(3, gains, 7)),
+            Box::new(crate::FiniteDiffGd::new(3, gains)),
+            Box::new(crate::Adam::new(3, 0.05, 1e-3)),
+        ];
+        let theta = vec![0.4, -0.9, 0.2];
+        for mut proposer in proposers {
+            // Run a couple of iterations so k > 0 paths are covered too.
+            for _ in 0..3 {
+                let mut queried: Vec<Vec<f64>> = Vec::new();
+                let direct = {
+                    let mut f = |x: &[f64]| {
+                        queried.push(x.to_vec());
+                        quadratic(x)
+                    };
+                    proposer.propose(&theta, &mut f)
+                };
+                let points = proposer
+                    .eval_points(&theta)
+                    .expect("all in-crate optimizers support batching");
+                assert_eq!(points, queried, "{}: points mismatch", proposer.name());
+                let values: Vec<f64> = points.iter().map(|p| quadratic(p)).collect();
+                let batched = proposer.propose_from(&theta, &values);
+                assert_eq!(direct, batched, "{}: proposal mismatch", proposer.name());
+                for (a, b) in direct.candidate.iter().zip(&batched.candidate) {
+                    assert_eq!(a.to_bits(), b.to_bits(), "{}", proposer.name());
+                }
+                proposer.advance();
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer values")]
+    fn propose_from_rejects_short_value_lists() {
+        let mut spsa = Spsa::new(2, GainSchedule::spall_default(), 1);
+        let _ = spsa.propose_from(&[0.0, 0.0], &[1.0]);
     }
 }

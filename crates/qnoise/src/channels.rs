@@ -7,7 +7,9 @@
 //! Qiskit Aer builds device noise models from calibration data.
 
 use crate::static_model::StaticNoiseModel;
-use qismet_qsim::{ChannelError, Circuit, Counts, DensityMatrix, GateError, KrausChannel, PauliSum};
+use qismet_qsim::{
+    ChannelError, Circuit, Counts, DensityMatrix, GateError, KrausChannel, PauliSum,
+};
 use rand::Rng;
 
 /// Errors from the noisy executor.
@@ -105,9 +107,7 @@ impl NoisySimulator {
             };
             for &q in op.operands() {
                 let profile = &self.model.qubits[q];
-                let t1_us = t1_overrides_us
-                    .map(|t| t[q])
-                    .unwrap_or(profile.t1_us);
+                let t1_us = t1_overrides_us.map(|t| t[q]).unwrap_or(profile.t1_us);
                 if t1_us.is_finite() {
                     let t1_ns = t1_us * 1e3;
                     let t2_ns = (profile.t2_us * 1e3).min(2.0 * t1_ns);
@@ -228,11 +228,10 @@ mod tests {
         let mut c = Circuit::new(3);
         c.h(0).cx(0, 1).cx(1, 2).cx(0, 1).cx(1, 2);
         let healthy = sim.circuit_fidelity(&c, Some(&[150.0; 3])).unwrap();
-        let sick = sim.circuit_fidelity(&c, Some(&[150.0, 2.0, 150.0])).unwrap();
-        assert!(
-            healthy > sick + 0.02,
-            "healthy {healthy} vs sick {sick}"
-        );
+        let sick = sim
+            .circuit_fidelity(&c, Some(&[150.0, 2.0, 150.0]))
+            .unwrap();
+        assert!(healthy > sick + 0.02, "healthy {healthy} vs sick {sick}");
     }
 
     #[test]

@@ -59,12 +59,7 @@ impl CircuitFidelityModel {
 
     /// Fidelity of one execution given instantaneous per-qubit T1 values,
     /// with `shots` finite-sampling scatter.
-    pub fn fidelity_at<R: Rng + ?Sized>(
-        &self,
-        t1_us: &[f64],
-        shots: u64,
-        rng: &mut R,
-    ) -> f64 {
+    pub fn fidelity_at<R: Rng + ?Sized>(&self, t1_us: &[f64], shots: u64, rng: &mut R) -> f64 {
         let f = self.model.attenuation_with_t1(&self.circuit, t1_us);
         let dim = self.ideal_probs.len();
         let uniform = 1.0 / dim as f64;
@@ -86,10 +81,7 @@ impl CircuitFidelityModel {
             let idx = cdf.partition_point(|&c| c < u).min(dim - 1);
             counts[idx] += 1;
         }
-        let empirical: Vec<f64> = counts
-            .iter()
-            .map(|&k| k as f64 / shots as f64)
-            .collect();
+        let empirical: Vec<f64> = counts.iter().map(|&k| k as f64 / shots as f64).collect();
         hellinger_fidelity(&empirical, &self.ideal_probs)
     }
 

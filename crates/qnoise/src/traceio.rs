@@ -124,7 +124,8 @@ impl TraceLibrary {
     ///
     /// [`TraceIoError::Missing`] when the key is not stored.
     pub fn require(&self, key: &TraceKey) -> Result<&TransientTrace, TraceIoError> {
-        self.get(key).ok_or_else(|| TraceIoError::Missing(key.clone()))
+        self.get(key)
+            .ok_or_else(|| TraceIoError::Missing(key.clone()))
     }
 
     /// Iterates over stored `(key, trace)` pairs in key order.

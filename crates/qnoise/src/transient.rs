@@ -205,8 +205,17 @@ impl TransientTrace {
     ///
     /// Panics if `job` is out of range — generate traces long enough for the
     /// retry overhead (the harnesses allocate ~4x the iteration count).
+    /// Callers that need to handle exhaustion gracefully should use
+    /// [`TransientTrace::get`] instead.
     pub fn value(&self, job: usize) -> f64 {
         self.values[job]
+    }
+
+    /// The trace value at a job index, or `None` when the trace is
+    /// exhausted. The non-panicking lookup behind
+    /// `qismet_vqa::NoisyObjective`'s typed exhaustion error.
+    pub fn get(&self, job: usize) -> Option<f64> {
+        self.values.get(job).copied()
     }
 
     /// Raw values.
@@ -227,8 +236,7 @@ impl TransientTrace {
         if self.values.is_empty() {
             return 0.0;
         }
-        self.values.iter().filter(|v| v.abs() > threshold).count() as f64
-            / self.values.len() as f64
+        self.values.iter().filter(|v| v.abs() > threshold).count() as f64 / self.values.len() as f64
     }
 
     /// The |value| percentile (e.g. `90.0` for the paper's `90p` threshold).
@@ -279,10 +287,7 @@ mod tests {
             .collect();
         assert!(!big.is_empty());
         let adverse = big.iter().filter(|&&v| v > 0.0).count() as f64 / big.len() as f64;
-        assert!(
-            (adverse - 0.8).abs() < 0.1,
-            "adverse fraction {adverse}"
-        );
+        assert!((adverse - 0.8).abs() < 0.1, "adverse fraction {adverse}");
     }
 
     #[test]
@@ -291,6 +296,15 @@ mod tests {
         m.quiet_sigma = 0.0;
         let trace = m.generate(&mut rng_from_seed(4), 100);
         assert!(trace.values().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn get_is_value_without_the_panic() {
+        let trace = TransientTrace::from_values(vec![0.25, -0.5]);
+        assert_eq!(trace.get(0), Some(0.25));
+        assert_eq!(trace.get(1), Some(-0.5));
+        assert_eq!(trace.get(2), None);
+        assert_eq!(trace.get(usize::MAX), None);
     }
 
     #[test]

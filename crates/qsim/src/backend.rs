@@ -1,0 +1,350 @@
+//! The pluggable circuit-execution layer.
+//!
+//! Everything above this crate evaluates circuits through the [`Backend`]
+//! trait instead of constructing simulators directly, which gives the
+//! workspace one seam for every execution strategy: the straightforward
+//! statevector path, the buffer-reusing cached path, multi-threaded batch
+//! fan-out (the `parallel` feature), and — in future PRs — sharded or
+//! remote executors. QISMET's job structure (paper Fig. 7) maps naturally
+//! onto [`Backend::evaluate_batch`]: every circuit of one quantum job is
+//! handed to the engine as a single batch.
+//!
+//! # Examples
+//!
+//! ```
+//! use qismet_qsim::{Backend, CachedStatevectorBackend, Circuit, PauliSum};
+//!
+//! let h = PauliSum::from_labels(&[(-1.0, "ZZ"), (-0.5, "XI")]).unwrap();
+//! let mut c = Circuit::new(2);
+//! c.ry(0.3, 0).ry(0.7, 1).cx(0, 1);
+//! let mut backend = CachedStatevectorBackend::new();
+//! let single = backend.evaluate(&c, &h).unwrap();
+//! let batch = backend.evaluate_batch(std::slice::from_ref(&c), &h).unwrap();
+//! assert_eq!(single.to_bits(), batch[0].to_bits());
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::GateError;
+use crate::pauli::PauliSum;
+use crate::statevector::StateVector;
+use std::fmt;
+
+/// A circuit-execution engine producing expectation values.
+///
+/// Implementations take `&mut self` so they can reuse scratch buffers
+/// across evaluations; they must nevertheless be *stateless with respect to
+/// results* — the value returned for a `(circuit, observable)` pair may not
+/// depend on prior calls. That invariant is what lets callers batch freely:
+/// [`Backend::evaluate_batch`] must agree bit-for-bit with a loop of
+/// [`Backend::evaluate`] calls.
+pub trait Backend: Send {
+    /// Evaluates `<0| C† H C |0>` for a bound circuit.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the circuit has free parameters.
+    fn evaluate(&mut self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, GateError>;
+
+    /// Evaluates a batch of circuits against one observable, in order.
+    ///
+    /// The default implementation loops over [`Backend::evaluate`];
+    /// implementations may override it to amortize setup or fan out across
+    /// threads, but the results must stay bitwise identical to the loop.
+    ///
+    /// # Errors
+    ///
+    /// The first [`GateError`] encountered, if any circuit is unbound.
+    fn evaluate_batch(
+        &mut self,
+        circuits: &[Circuit],
+        observable: &PauliSum,
+    ) -> Result<Vec<f64>, GateError> {
+        circuits
+            .iter()
+            .map(|c| self.evaluate(c, observable))
+            .collect()
+    }
+
+    /// Clones into an owned trait object (lets objective structs stay
+    /// `Clone` while holding a boxed backend).
+    fn clone_box(&self) -> Box<dyn Backend>;
+
+    /// Short engine name for reports and `Debug` output.
+    fn name(&self) -> &'static str;
+}
+
+impl Clone for Box<dyn Backend> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+impl fmt::Debug for dyn Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Backend({})", self.name())
+    }
+}
+
+/// The reference backend: a fresh [`StateVector`] per evaluation.
+///
+/// Exists as the semantics baseline the faster paths are validated
+/// against; prefer [`CachedStatevectorBackend`] in loops.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StatevectorBackend;
+
+impl StatevectorBackend {
+    /// Creates the backend.
+    pub fn new() -> Self {
+        StatevectorBackend
+    }
+}
+
+impl Backend for StatevectorBackend {
+    fn evaluate(&mut self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, GateError> {
+        let sv = StateVector::from_circuit(circuit)?;
+        Ok(sv.expectation(observable))
+    }
+
+    #[cfg(feature = "parallel")]
+    fn evaluate_batch(
+        &mut self,
+        circuits: &[Circuit],
+        observable: &PauliSum,
+    ) -> Result<Vec<f64>, GateError> {
+        parallel_batch(circuits, observable)
+    }
+
+    fn clone_box(&self) -> Box<dyn Backend> {
+        Box::new(*self)
+    }
+
+    fn name(&self) -> &'static str {
+        "statevector"
+    }
+}
+
+/// The cached fast path: one scratch [`StateVector`] reused (reset in
+/// place) across evaluations, so a VQA tuning loop performs zero amplitude
+/// allocations after the first call at a given width.
+///
+/// The arithmetic is the exact gate-application sequence of
+/// [`StateVector::from_circuit`], so results agree bitwise with
+/// [`StatevectorBackend`].
+#[derive(Debug, Clone, Default)]
+pub struct CachedStatevectorBackend {
+    scratch: Option<StateVector>,
+}
+
+impl CachedStatevectorBackend {
+    /// Creates the backend; the scratch buffer is allocated lazily on the
+    /// first evaluation.
+    pub fn new() -> Self {
+        CachedStatevectorBackend::default()
+    }
+}
+
+impl Backend for CachedStatevectorBackend {
+    fn evaluate(&mut self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, GateError> {
+        let scratch = match &mut self.scratch {
+            Some(sv) if sv.n_qubits() == circuit.n_qubits() => {
+                sv.reset();
+                sv
+            }
+            slot => slot.insert(StateVector::new(circuit.n_qubits())),
+        };
+        scratch.apply_circuit(circuit)?;
+        Ok(scratch.expectation(observable))
+    }
+
+    #[cfg(feature = "parallel")]
+    fn evaluate_batch(
+        &mut self,
+        circuits: &[Circuit],
+        observable: &PauliSum,
+    ) -> Result<Vec<f64>, GateError> {
+        parallel_batch(circuits, observable)
+    }
+
+    fn clone_box(&self) -> Box<dyn Backend> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> &'static str {
+        "cached-statevector"
+    }
+}
+
+/// Evaluates a batch across threads with `std::thread::scope`, one cached
+/// scratch state per worker. Results are written back by index, so the
+/// output order (and, since evaluations are independent, every bit of
+/// every result) matches the sequential loop.
+///
+/// The vendored dependency set has no `rayon`; scoped threads give the
+/// same fan-out with the standard library only.
+#[cfg(feature = "parallel")]
+fn parallel_batch(circuits: &[Circuit], observable: &PauliSum) -> Result<Vec<f64>, GateError> {
+    let workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(circuits.len().max(1));
+    if workers <= 1 || circuits.len() < 2 {
+        let mut backend = CachedStatevectorBackend::new();
+        return circuits
+            .iter()
+            .map(|c| backend.evaluate(c, observable))
+            .collect();
+    }
+    let mut results: Vec<Result<f64, GateError>> = vec![Ok(0.0); circuits.len()];
+    // Contiguous chunking: each worker owns one run of the result slice.
+    let chunk = circuits.len().div_ceil(workers);
+    std::thread::scope(|scope| {
+        for (w, out) in results.chunks_mut(chunk).enumerate() {
+            let start = w * chunk;
+            scope.spawn(move || {
+                let mut backend = CachedStatevectorBackend::new();
+                for (i, slot) in out.iter_mut().enumerate() {
+                    *slot = backend.evaluate(&circuits[start + i], observable);
+                }
+            });
+        }
+    });
+    results.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qismet_mathkit::rng_from_seed;
+    use rand::Rng;
+
+    fn random_circuit(n: usize, seed: u64) -> Circuit {
+        let mut rng = rng_from_seed(seed);
+        let mut c = Circuit::new(n);
+        for layer in 0..6 {
+            for q in 0..n {
+                c.ry(rng.gen::<f64>() * std::f64::consts::TAU, q);
+                c.rz(rng.gen::<f64>() * std::f64::consts::TAU, q);
+            }
+            for q in 0..n - 1 {
+                if (layer + q) % 2 == 0 {
+                    c.cx(q, q + 1);
+                }
+            }
+        }
+        c
+    }
+
+    fn observable(n: usize) -> PauliSum {
+        let labels: Vec<(f64, String)> = (0..n - 1)
+            .map(|q| {
+                let mut label = vec!['I'; n];
+                label[q] = 'Z';
+                label[q + 1] = 'Z';
+                (-1.0, label.into_iter().collect::<String>())
+            })
+            .collect();
+        let refs: Vec<(f64, &str)> = labels.iter().map(|(c, s)| (*c, s.as_str())).collect();
+        PauliSum::from_labels(&refs).unwrap()
+    }
+
+    #[test]
+    fn cached_matches_from_circuit_exactly() {
+        let h = observable(5);
+        let mut cached = CachedStatevectorBackend::new();
+        for seed in 0..8 {
+            let c = random_circuit(5, seed);
+            let reference = StateVector::from_circuit(&c).unwrap().expectation(&h);
+            let fast = cached.evaluate(&c, &h).unwrap();
+            assert!(
+                (reference - fast).abs() < 1e-12,
+                "seed {seed}: reference {reference} vs cached {fast}"
+            );
+        }
+    }
+
+    #[test]
+    fn cached_is_bitwise_identical_to_fresh() {
+        // Same gate-application sequence => same floating-point results,
+        // not merely close ones.
+        let h = observable(4);
+        let mut cached = CachedStatevectorBackend::new();
+        let mut fresh = StatevectorBackend::new();
+        for seed in 10..18 {
+            let c = random_circuit(4, seed);
+            let a = fresh.evaluate(&c, &h).unwrap();
+            let b = cached.evaluate(&c, &h).unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn batch_agrees_bitwise_with_singles() {
+        let h = observable(4);
+        let circuits: Vec<Circuit> = (0..7).map(|s| random_circuit(4, 100 + s)).collect();
+        for backend in [
+            Box::new(StatevectorBackend::new()) as Box<dyn Backend>,
+            Box::new(CachedStatevectorBackend::new()) as Box<dyn Backend>,
+        ] {
+            let mut one_at_a_time = backend.clone();
+            let singles: Vec<f64> = circuits
+                .iter()
+                .map(|c| one_at_a_time.evaluate(c, &h).unwrap())
+                .collect();
+            let mut batched = backend.clone();
+            let batch = batched.evaluate_batch(&circuits, &h).unwrap();
+            assert_eq!(batch.len(), singles.len());
+            for (i, (a, b)) in singles.iter().zip(&batch).enumerate() {
+                assert_eq!(
+                    a.to_bits(),
+                    b.to_bits(),
+                    "{} circuit {i}: {a} vs {b}",
+                    batched.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cached_backend_adapts_to_width_changes() {
+        let mut cached = CachedStatevectorBackend::new();
+        let h3 = observable(3);
+        let h5 = observable(5);
+        let c3 = random_circuit(3, 1);
+        let c5 = random_circuit(5, 2);
+        let a3 = cached.evaluate(&c3, &h3).unwrap();
+        let a5 = cached.evaluate(&c5, &h5).unwrap();
+        let b3 = cached.evaluate(&c3, &h3).unwrap();
+        assert_eq!(a3.to_bits(), b3.to_bits());
+        assert!(a5.is_finite());
+    }
+
+    #[test]
+    fn unbound_circuits_error_through_backends() {
+        use crate::gate::Param;
+        let mut c = Circuit::new(2);
+        c.ry(Param::Free(0), 0);
+        let h = observable(2);
+        assert!(StatevectorBackend::new().evaluate(&c, &h).is_err());
+        assert!(CachedStatevectorBackend::new().evaluate(&c, &h).is_err());
+        assert!(CachedStatevectorBackend::new()
+            .evaluate_batch(std::slice::from_ref(&c), &h)
+            .is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let h = observable(2);
+        let out = CachedStatevectorBackend::new()
+            .evaluate_batch(&[], &h)
+            .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn boxed_backend_clones_and_debugs() {
+        let backend: Box<dyn Backend> = Box::new(CachedStatevectorBackend::new());
+        let clone = backend.clone();
+        assert_eq!(clone.name(), "cached-statevector");
+        assert_eq!(format!("{:?}", &*backend), "Backend(cached-statevector)");
+    }
+}

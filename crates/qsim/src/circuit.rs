@@ -155,7 +155,10 @@ impl Circuit {
             self.n_params = self.n_params.max(k + 1);
         }
         let stored = [qubits[0], if arity == 2 { qubits[1] } else { 0 }];
-        self.ops.push(Op { gate, qubits: stored });
+        self.ops.push(Op {
+            gate,
+            qubits: stored,
+        });
         Ok(self)
     }
 
@@ -279,9 +282,9 @@ impl Circuit {
 
     /// `true` when no gate carries a free parameter.
     pub fn is_bound(&self) -> bool {
-        self.ops.iter().all(|op| {
-            !matches!(op.gate.param(), Some(Param::Free(_)))
-        })
+        self.ops
+            .iter()
+            .all(|op| !matches!(op.gate.param(), Some(Param::Free(_))))
     }
 
     /// Number of two-qubit entangling gates — the depth proxy the paper uses
@@ -339,9 +342,7 @@ impl Circuit {
         let mut out = Circuit::new(self.n_qubits);
         for op in self.ops.iter().rev() {
             let inv = match op.gate {
-                Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => {
-                    op.gate
-                }
+                Gate::H | Gate::X | Gate::Y | Gate::Z | Gate::Cx | Gate::Cz | Gate::Swap => op.gate,
                 Gate::S => Gate::Sdg,
                 Gate::Sdg => Gate::S,
                 Gate::T => Gate::Tdg,
@@ -374,7 +375,12 @@ fn neg(p: Param) -> Result<Param, CircuitError> {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} gates)", self.n_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} gates)",
+            self.n_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             write!(f, "  {}", op.gate)?;
             for q in op.operands() {

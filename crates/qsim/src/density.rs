@@ -4,6 +4,10 @@
 //! fidelity experiments (Fig. 4), and (b) calibrate/validate the cheap
 //! contraction-factor objective model used in the long VQA sweeps.
 
+// Dense index arithmetic reads clearest with explicit loop indices; the
+// iterator rewrites clippy suggests obscure the row/column structure.
+#![allow(clippy::needless_range_loop)]
+
 use crate::circuit::Circuit;
 use crate::counts::Counts;
 use crate::gate::{Gate, GateError};
@@ -354,7 +358,7 @@ impl DensityMatrix {
             _ => -Complex64::I,
         };
         for c in 0..self.dim {
-            let sign = if (c & z_mask).count_ones() % 2 == 0 {
+            let sign = if (c & z_mask).count_ones().is_multiple_of(2) {
                 1.0
             } else {
                 -1.0

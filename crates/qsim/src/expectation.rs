@@ -181,10 +181,7 @@ mod tests {
         let mut rng = rng_from_seed(23);
         let (est, counts) = estimate_energy_sampled(&c, &h, 200_000, &mut rng).unwrap();
         assert_eq!(counts.len(), 2);
-        assert!(
-            (est - exact).abs() < 0.02,
-            "sampled {est} vs exact {exact}"
-        );
+        assert!((est - exact).abs() < 0.02, "sampled {est} vs exact {exact}");
     }
 
     #[test]

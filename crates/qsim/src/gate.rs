@@ -144,7 +144,10 @@ impl Gate {
         let m = |rows: &[&[C]]| CMatrix::from_rows(rows);
         let angle = |p: Param| p.value().ok_or(GateError::UnboundParameter);
         Ok(match self {
-            Gate::H => m(&[&[C::from_re(f), C::from_re(f)], &[C::from_re(f), C::from_re(-f)]]),
+            Gate::H => m(&[
+                &[C::from_re(f), C::from_re(f)],
+                &[C::from_re(f), C::from_re(-f)],
+            ]),
             Gate::X => m(&[&[o, l], &[l, o]]),
             Gate::Y => m(&[&[o, -i], &[i, o]]),
             Gate::Z => m(&[&[l, o], &[o, -l]]),
@@ -183,24 +186,9 @@ impl Gate {
             }
             // Two-qubit gates: operand 0 is the LSB of the 4-dim index.
             // CX: control = operand 0, target = operand 1.
-            Gate::Cx => m(&[
-                &[l, o, o, o],
-                &[o, o, o, l],
-                &[o, o, l, o],
-                &[o, l, o, o],
-            ]),
-            Gate::Cz => m(&[
-                &[l, o, o, o],
-                &[o, l, o, o],
-                &[o, o, l, o],
-                &[o, o, o, -l],
-            ]),
-            Gate::Swap => m(&[
-                &[l, o, o, o],
-                &[o, o, l, o],
-                &[o, l, o, o],
-                &[o, o, o, l],
-            ]),
+            Gate::Cx => m(&[&[l, o, o, o], &[o, o, o, l], &[o, o, l, o], &[o, l, o, o]]),
+            Gate::Cz => m(&[&[l, o, o, o], &[o, l, o, o], &[o, o, l, o], &[o, o, o, -l]]),
+            Gate::Swap => m(&[&[l, o, o, o], &[o, o, l, o], &[o, l, o, o], &[o, o, o, l]]),
             Gate::Rzz(p) => {
                 let t = angle(p)? / 2.0;
                 let e_neg = C::cis(-t);
@@ -338,13 +326,18 @@ mod tests {
     fn rotation_at_pi_matches_pauli_up_to_phase() {
         // RX(pi) = -i X.
         let rx = Gate::Rx(std::f64::consts::PI.into()).matrix().unwrap();
-        let x = Gate::X.matrix().unwrap().scaled_c(Complex64::new(0.0, -1.0));
+        let x = Gate::X
+            .matrix()
+            .unwrap()
+            .scaled_c(Complex64::new(0.0, -1.0));
         assert!(rx.approx_eq(&x, 1e-12));
     }
 
     #[test]
     fn ry_rotates_zero_to_plus() {
-        let ry = Gate::Ry(std::f64::consts::FRAC_PI_2.into()).matrix().unwrap();
+        let ry = Gate::Ry(std::f64::consts::FRAC_PI_2.into())
+            .matrix()
+            .unwrap();
         let v = ry.matvec(&[Complex64::ONE, Complex64::ZERO]);
         let f = std::f64::consts::FRAC_1_SQRT_2;
         assert!(v[0].approx_eq(Complex64::from_re(f), 1e-12));
@@ -379,7 +372,9 @@ mod tests {
     fn display_forms() {
         assert_eq!(Gate::H.to_string(), "h");
         assert_eq!(Gate::Ry(Param::Free(2)).to_string(), "ry(theta[2])");
-        assert!(Gate::Rz(Param::Fixed(0.5)).to_string().starts_with("rz(0.5"));
+        assert!(Gate::Rz(Param::Fixed(0.5))
+            .to_string()
+            .starts_with("rz(0.5"));
     }
 
     #[test]

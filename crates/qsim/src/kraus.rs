@@ -132,10 +132,7 @@ impl KrausChannel {
             &[Complex64::ONE, o],
             &[o, Complex64::from_re((1.0 - gamma).sqrt())],
         ]);
-        let k1 = CMatrix::from_rows(&[
-            &[o, Complex64::from_re(gamma.sqrt())],
-            &[o, o],
-        ]);
+        let k1 = CMatrix::from_rows(&[&[o, Complex64::from_re(gamma.sqrt())], &[o, o]]);
         Ok(KrausChannel {
             ops: vec![k0, k1],
             dim: 2,
@@ -155,10 +152,7 @@ impl KrausChannel {
             &[Complex64::ONE, o],
             &[o, Complex64::from_re((1.0 - lambda).sqrt())],
         ]);
-        let k1 = CMatrix::from_rows(&[
-            &[o, o],
-            &[o, Complex64::from_re(lambda.sqrt())],
-        ]);
+        let k1 = CMatrix::from_rows(&[&[o, o], &[o, Complex64::from_re(lambda.sqrt())]]);
         Ok(KrausChannel {
             ops: vec![k0, k1],
             dim: 2,
@@ -296,10 +290,7 @@ impl KrausChannel {
                 ops.push(b.matmul(a).expect("dims checked"));
             }
         }
-        Ok(KrausChannel {
-            ops,
-            dim: self.dim,
-        })
+        Ok(KrausChannel { ops, dim: self.dim })
     }
 }
 
@@ -310,11 +301,21 @@ mod tests {
     #[test]
     fn standard_channels_are_trace_preserving() {
         for p in [0.0, 0.01, 0.3, 1.0] {
-            assert!(KrausChannel::amplitude_damping(p).unwrap().is_trace_preserving(1e-12));
-            assert!(KrausChannel::phase_damping(p).unwrap().is_trace_preserving(1e-12));
-            assert!(KrausChannel::depolarizing(p).unwrap().is_trace_preserving(1e-12));
-            assert!(KrausChannel::bit_flip(p).unwrap().is_trace_preserving(1e-12));
-            assert!(KrausChannel::phase_flip(p).unwrap().is_trace_preserving(1e-12));
+            assert!(KrausChannel::amplitude_damping(p)
+                .unwrap()
+                .is_trace_preserving(1e-12));
+            assert!(KrausChannel::phase_damping(p)
+                .unwrap()
+                .is_trace_preserving(1e-12));
+            assert!(KrausChannel::depolarizing(p)
+                .unwrap()
+                .is_trace_preserving(1e-12));
+            assert!(KrausChannel::bit_flip(p)
+                .unwrap()
+                .is_trace_preserving(1e-12));
+            assert!(KrausChannel::phase_flip(p)
+                .unwrap()
+                .is_trace_preserving(1e-12));
             assert!(KrausChannel::two_qubit_depolarizing(p)
                 .unwrap()
                 .is_trace_preserving(1e-12));
@@ -375,7 +376,9 @@ mod tests {
     fn dims_and_qubit_counts() {
         assert_eq!(KrausChannel::depolarizing(0.1).unwrap().n_qubits(), 1);
         assert_eq!(
-            KrausChannel::two_qubit_depolarizing(0.1).unwrap().n_qubits(),
+            KrausChannel::two_qubit_depolarizing(0.1)
+                .unwrap()
+                .n_qubits(),
             2
         );
     }

@@ -39,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod circuit;
 mod counts;
 mod density;
@@ -49,6 +50,7 @@ mod kraus;
 mod pauli;
 mod statevector;
 
+pub use backend::{Backend, CachedStatevectorBackend, StatevectorBackend};
 pub use circuit::{Circuit, CircuitError, Op};
 pub use counts::Counts;
 pub use density::DensityMatrix;

@@ -382,12 +382,10 @@ impl PauliSum {
             }
             let mut placed = false;
             for group in groups.iter_mut() {
-                if group.iter().all(|&g| {
-                    self.terms[g]
-                        .1
-                        .qubit_wise_commutes(s)
-                        .unwrap_or(false)
-                }) {
+                if group
+                    .iter()
+                    .all(|&g| self.terms[g].1.qubit_wise_commutes(s).unwrap_or(false))
+                {
                     group.push(idx);
                     placed = true;
                     break;
@@ -430,11 +428,7 @@ impl PauliSum {
     pub fn scaled(&self, k: f64) -> PauliSum {
         PauliSum {
             n_qubits: self.n_qubits,
-            terms: self
-                .terms
-                .iter()
-                .map(|(c, s)| (c * k, s.clone()))
-                .collect(),
+            terms: self.terms.iter().map(|(c, s)| (c * k, s.clone())).collect(),
         }
     }
 }

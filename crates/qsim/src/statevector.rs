@@ -54,7 +54,10 @@ impl StateVector {
     /// Panics if the length is not a power of two or the norm is not ~1.
     pub fn from_amplitudes(amps: Vec<Complex64>) -> Self {
         let dim = amps.len();
-        assert!(dim.is_power_of_two(), "amplitude count must be a power of two");
+        assert!(
+            dim.is_power_of_two(),
+            "amplitude count must be a power of two"
+        );
         let n_qubits = dim.trailing_zeros() as usize;
         let norm: f64 = amps.iter().map(|a| a.norm_sqr()).sum();
         assert!(
@@ -78,6 +81,14 @@ impl StateVector {
     /// Number of qubits.
     pub fn n_qubits(&self) -> usize {
         self.n_qubits
+    }
+
+    /// Resets the state to `|0...0>` in place, reusing the amplitude
+    /// buffer. This is the allocation-free path the cached execution
+    /// backend uses between circuit evaluations.
+    pub fn reset(&mut self) {
+        self.amps.fill(Complex64::ZERO);
+        self.amps[0] = Complex64::ONE;
     }
 
     /// Amplitudes (basis index bit `q` = qubit `q`).
@@ -138,10 +149,7 @@ impl StateVector {
             }
             g => {
                 let m = g.matrix()?;
-                let u = [
-                    [m.at(0, 0), m.at(0, 1)],
-                    [m.at(1, 0), m.at(1, 1)],
-                ];
+                let u = [[m.at(0, 0), m.at(0, 1)], [m.at(1, 0), m.at(1, 1)]];
                 self.apply_1q(&u, qubits[0]);
                 Ok(())
             }
@@ -260,19 +268,18 @@ impl StateVector {
                 continue;
             }
             let sign_bits = (c & z_mask).count_ones();
-            let mut phase = if sign_bits % 2 == 0 {
+            let mut phase = if sign_bits.is_multiple_of(2) {
                 Complex64::ONE
             } else {
                 -Complex64::ONE
             };
             // Global i^y factor.
-            phase = phase
-                * match y_count % 4 {
-                    0 => Complex64::ONE,
-                    1 => Complex64::I,
-                    2 => -Complex64::ONE,
-                    _ => -Complex64::I,
-                };
+            phase *= match y_count % 4 {
+                0 => Complex64::ONE,
+                1 => Complex64::I,
+                2 => -Complex64::ONE,
+                _ => -Complex64::I,
+            };
             let dst = c ^ x_mask;
             acc += self.amps[dst].conj() * phase * amp;
         }
@@ -396,8 +403,8 @@ mod tests {
         let mut rng = rng_from_seed(3);
         for layer in 0..10 {
             for q in 0..5 {
-                c.ry(rng.gen::<f64>() * 6.28, q);
-                c.rz(rng.gen::<f64>() * 6.28, q);
+                c.ry(rng.gen::<f64>() * std::f64::consts::TAU, q);
+                c.rz(rng.gen::<f64>() * std::f64::consts::TAU, q);
             }
             for q in 0..4 {
                 if (layer + q) % 2 == 0 {

@@ -1,0 +1,302 @@
+//! Vendored stand-in for `serde_derive`, written against `proc_macro` only
+//! (the offline build has no `syn`/`quote`).
+//!
+//! Supports what this workspace's types need:
+//!
+//! * structs with named fields,
+//! * unit structs,
+//! * enums whose variants are unit or single-field tuple ("newtype")
+//!   variants, using serde's externally-tagged representation
+//!   (`"Variant"` / `{"Variant": value}`).
+//!
+//! Generic types, tuple structs, struct variants, and `#[serde(...)]`
+//! attributes are intentionally unsupported and produce a compile error
+//! naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What we parsed out of the derive input.
+enum Shape {
+    /// `struct Name { field, ... }` (fields possibly empty) or `struct Name;`.
+    Struct { name: String, fields: Vec<String> },
+    /// `enum Name { Unit, Newtype(T), ... }`; bool marks newtype variants.
+    Enum {
+        name: String,
+        variants: Vec<(String, bool)>,
+    },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Skips attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then a bracket group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Splits a delimited group body at top-level commas.
+fn split_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle_depth += 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle_depth -= 1;
+                current.push(t.clone());
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if !current.is_empty() {
+                    out.push(std::mem::take(&mut current));
+                }
+            }
+            _ => current.push(t.clone()),
+        }
+    }
+    if !current.is_empty() {
+        out.push(current);
+    }
+    out
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("unexpected derive input start: {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde_derive shim: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut fields = Vec::new();
+                for field_tokens in split_commas(&body) {
+                    let j = skip_attrs_and_vis(&field_tokens, 0);
+                    match field_tokens.get(j) {
+                        Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+                        other => {
+                            return Err(format!(
+                                "serde_derive shim: cannot parse field of `{name}`: {other:?}"
+                            ))
+                        }
+                    }
+                }
+                Ok(Shape::Struct { name, fields })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Shape::Struct {
+                name,
+                fields: Vec::new(),
+            }),
+            _ => Err(format!(
+                "serde_derive shim: tuple struct `{name}` is not supported"
+            )),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let body: Vec<TokenTree> = g.stream().into_iter().collect();
+                let mut variants = Vec::new();
+                for var_tokens in split_commas(&body) {
+                    let j = skip_attrs_and_vis(&var_tokens, 0);
+                    let vname = match var_tokens.get(j) {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        other => {
+                            return Err(format!(
+                                "serde_derive shim: cannot parse variant of `{name}`: {other:?}"
+                            ))
+                        }
+                    };
+                    match var_tokens.get(j + 1) {
+                        None => variants.push((vname, false)),
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            if split_commas(&g.stream().into_iter().collect::<Vec<_>>()).len() != 1
+                            {
+                                return Err(format!(
+                                    "serde_derive shim: multi-field variant `{name}::{vname}` \
+                                     is not supported"
+                                ));
+                            }
+                            variants.push((vname, true));
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            // Discriminant (`Variant = 3`): value irrelevant here.
+                            variants.push((vname, false));
+                        }
+                        _ => {
+                            return Err(format!(
+                                "serde_derive shim: struct variant `{name}::{vname}` \
+                                 is not supported"
+                            ))
+                        }
+                    }
+                }
+                Ok(Shape::Enum { name, variants })
+            }
+            _ => Err(format!("serde_derive shim: malformed enum `{name}`")),
+        },
+        other => Err(format!(
+            "serde_derive shim: cannot derive for `{other}` items"
+        )),
+    }
+}
+
+/// Derives the value-tree `Serialize` impl.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__fields.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Object(__fields)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, has_data)| {
+                    if *has_data {
+                        format!(
+                            "{name}::{v}(__inner) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Serialize::to_value(__inner))]),"
+                        )
+                    } else {
+                        format!("{name}::{v} => ::serde::Value::String({v:?}.to_string()),")
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the value-tree `Deserialize` impl.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let field_inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(__obj_get(__v, {f:?})\
+                         .ok_or_else(|| ::serde::DeError::new(concat!(\"missing field `\", {f:?}, \"` in {name}\")))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         fn __obj_get<'a>(v: &'a ::serde::Value, key: &str) -> ::std::option::Option<&'a ::serde::Value> {{ v.get(key) }}\n\
+                         if __v.as_object().is_none() {{\n\
+                             return ::std::result::Result::Err(::serde::DeError::expected(\"object for {name}\", __v));\n\
+                         }}\n\
+                         ::std::result::Result::Ok({name} {{ {field_inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, has_data)| !has_data)
+                .map(|(v, _)| format!("{v:?} => ::std::result::Result::Ok({name}::{v}),"))
+                .collect();
+            let data_arms: String = variants
+                .iter()
+                .filter(|(_, has_data)| *has_data)
+                .map(|(v, _)| {
+                    format!(
+                        "{v:?} => ::std::result::Result::Ok({name}::{v}(\
+                         ::serde::Deserialize::from_value(__inner)?)),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match __v {{\n\
+                             ::serde::Value::String(__s) => match __s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Object(__fields) if __fields.len() == 1 => {{\n\
+                                 let (__tag, __inner) = &__fields[0];\n\
+                                 match __tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => ::std::result::Result::Err(::serde::DeError::expected(\"{name} variant\", __v)),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

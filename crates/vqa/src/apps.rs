@@ -120,7 +120,12 @@ impl AppSpec {
     ///   planned iteration count to absorb QISMET retries.
     /// * `magnitude` — transient burst magnitude as a fraction of objective
     ///   magnitude; `None` uses the machine's native intensity.
-    pub fn build(&self, job_capacity: usize, magnitude: Option<f64>, master_seed: u64) -> AppInstance {
+    pub fn build(
+        &self,
+        job_capacity: usize,
+        magnitude: Option<f64>,
+        master_seed: u64,
+    ) -> AppInstance {
         let tfim = Tfim {
             n: self.n_qubits,
             j: 1.0,
@@ -134,10 +139,10 @@ impl AppSpec {
         let ansatz = self.build_ansatz();
         let seed = self.seed(master_seed);
         let mag = magnitude.unwrap_or_else(|| self.machine.native_transient_magnitude());
-        let trace = self
-            .machine
-            .transient_model(mag)
-            .generate(&mut qismet_mathkit::rng_from_seed(derive_seed(seed, 1)), job_capacity);
+        let trace = self.machine.transient_model(mag).generate(
+            &mut qismet_mathkit::rng_from_seed(derive_seed(seed, 1)),
+            job_capacity,
+        );
         let cfg = NoisyObjectiveConfig {
             static_model: self.machine.static_model(self.n_qubits),
             trace,
@@ -227,12 +232,19 @@ mod tests {
         let calm = AppSpec::by_id(1).unwrap().build(5000, Some(0.0), 7);
         let wild = AppSpec::by_id(1).unwrap().build(5000, Some(0.5), 7);
         let calm_max = qismet_mathkit::max(
-            &(0..5000).map(|j| calm.objective.transient_at(j).abs()).collect::<Vec<_>>(),
+            &(0..5000)
+                .map(|j| calm.objective.transient_at(j).abs())
+                .collect::<Vec<_>>(),
         );
         let wild_max = qismet_mathkit::max(
-            &(0..5000).map(|j| wild.objective.transient_at(j).abs()).collect::<Vec<_>>(),
+            &(0..5000)
+                .map(|j| wild.objective.transient_at(j).abs())
+                .collect::<Vec<_>>(),
         );
-        assert!(calm_max < 0.01, "zero-magnitude trace should be jitter-free");
+        assert!(
+            calm_max < 0.01,
+            "zero-magnitude trace should be jitter-free"
+        );
         assert!(wild_max > 0.3, "wild trace max {wild_max}");
     }
 

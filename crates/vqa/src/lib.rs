@@ -9,8 +9,11 @@
 //! * [`Tfim`] — the paper's primary Hamiltonian (1-D transverse-field Ising
 //!   model) with dense **and** free-fermion exact solutions.
 //! * [`ExactObjective`] / [`NoisyObjective`] — the objective pipeline: exact
-//!   expectation, static-noise attenuation, shot noise, and per-job
-//!   transient injection per Section 6.2 of the paper.
+//!   expectation (through the pluggable `qismet_qsim::Backend` layer),
+//!   static-noise attenuation, shot noise, and per-job transient injection
+//!   per Section 6.2 of the paper.
+//! * [`JobRequest`] / [`JobResult`] — one iteration's evaluations assembled
+//!   and executed as a single backend batch (the Fig. 7 job structure).
 //! * [`run_tuning`] — the Baseline / Blocking tuning loops over any
 //!   [`qismet_optim::Proposer`].
 //! * [`AppSpec`] — the Table 1 application registry (App1-App6).
@@ -43,6 +46,7 @@
 mod ansatz;
 mod apps;
 mod history;
+mod job;
 mod objective;
 mod qaoa;
 mod runner;
@@ -54,7 +58,10 @@ pub use history::{
     approximation_ratio, count_spikes, improvement_percent, relative_expectation, summarize,
     RunSummary,
 };
-pub use objective::{ExactObjective, NoisyObjective, NoisyObjectiveConfig};
-pub use qaoa::{approximation_ratio as qaoa_approximation_ratio, maxcut_hamiltonian, qaoa_circuit, Graph};
+pub use job::{JobLayout, JobRequest, JobResult};
+pub use objective::{ExactObjective, NoisyObjective, NoisyObjectiveConfig, ObjectiveError};
+pub use qaoa::{
+    approximation_ratio as qaoa_approximation_ratio, maxcut_hamiltonian, qaoa_circuit, Graph,
+};
 pub use runner::{run_tuning, RunRecord, TuningScheme};
 pub use tfim::{Boundary, Tfim};

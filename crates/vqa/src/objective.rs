@@ -16,25 +16,94 @@
 //! structure.
 
 use crate::ansatz::Ansatz;
+use crate::job::{JobLayout, JobRequest, JobResult};
 use qismet_mathkit::{normal, rng_from_seed};
 use qismet_qnoise::{StaticNoiseModel, TransientTrace};
-use qismet_qsim::{PauliSum, StateVector};
+use qismet_qsim::{Backend, CachedStatevectorBackend, Circuit, PauliSum};
 use rand::rngs::StdRng;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Typed failure of a noisy measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ObjectiveError {
+    /// The transient trace has no slot for the requested quantum job.
+    /// Allocate traces with headroom for QISMET retries (the harnesses use
+    /// ~4x the iteration count) or stop the run when
+    /// [`NoisyObjective::jobs_remaining`] hits zero.
+    TraceExhausted {
+        /// The job index that was requested.
+        job: usize,
+        /// The trace's capacity in jobs.
+        capacity: usize,
+    },
+}
+
+impl fmt::Display for ObjectiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObjectiveError::TraceExhausted { job, capacity } => write!(
+                f,
+                "transient trace exhausted: job {job} requested but the trace holds \
+                 {capacity} slots (allocate headroom for retries)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ObjectiveError {}
 
 /// Exact, noise-free objective (the paper's "Noise-free" reference).
-#[derive(Debug, Clone)]
+///
+/// Circuit execution is delegated to a pluggable [`Backend`]; the default
+/// is the buffer-reusing [`CachedStatevectorBackend`], which avoids
+/// re-allocating a fresh statevector on every evaluation of a tuning loop.
 pub struct ExactObjective {
     ansatz: Ansatz,
     hamiltonian: PauliSum,
+    backend: RefCell<Box<dyn Backend>>,
+}
+
+impl Clone for ExactObjective {
+    fn clone(&self) -> Self {
+        ExactObjective {
+            ansatz: self.ansatz.clone(),
+            hamiltonian: self.hamiltonian.clone(),
+            backend: RefCell::new(self.backend.borrow().clone()),
+        }
+    }
+}
+
+impl fmt::Debug for ExactObjective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ExactObjective")
+            .field("ansatz", &self.ansatz)
+            .field("hamiltonian", &self.hamiltonian)
+            .field("backend", &self.backend.borrow().name())
+            .finish()
+    }
 }
 
 impl ExactObjective {
-    /// Creates the evaluator.
+    /// Creates the evaluator on the default cached statevector backend.
     ///
     /// # Panics
     ///
     /// Panics on qubit-width mismatch.
     pub fn new(ansatz: Ansatz, hamiltonian: PauliSum) -> Self {
+        Self::with_backend(
+            ansatz,
+            hamiltonian,
+            Box::new(CachedStatevectorBackend::new()),
+        )
+    }
+
+    /// Creates the evaluator on an explicit execution backend.
+    ///
+    /// # Panics
+    ///
+    /// Panics on qubit-width mismatch.
+    pub fn with_backend(ansatz: Ansatz, hamiltonian: PauliSum, backend: Box<dyn Backend>) -> Self {
         assert_eq!(
             ansatz.n_qubits(),
             hamiltonian.n_qubits(),
@@ -43,6 +112,7 @@ impl ExactObjective {
         ExactObjective {
             ansatz,
             hamiltonian,
+            backend: RefCell::new(backend),
         }
     }
 
@@ -56,15 +126,41 @@ impl ExactObjective {
         &self.hamiltonian
     }
 
+    /// Name of the execution backend in use.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.borrow().name()
+    }
+
+    fn bind(&self, params: &[f64]) -> Circuit {
+        self.ansatz.bind(params).expect("parameter count")
+    }
+
     /// Evaluates `<psi(theta)| H |psi(theta)>` exactly.
     ///
     /// # Panics
     ///
     /// Panics if `params` is shorter than the ansatz requires.
     pub fn eval(&self, params: &[f64]) -> f64 {
-        let bound = self.ansatz.bind(params).expect("parameter count");
-        let sv = StateVector::from_circuit(&bound).expect("bound circuit");
-        sv.expectation(&self.hamiltonian)
+        let bound = self.bind(params);
+        self.backend
+            .borrow_mut()
+            .evaluate(&bound, &self.hamiltonian)
+            .expect("bound circuit")
+    }
+
+    /// Evaluates many parameter vectors as **one backend batch**, in order.
+    /// Results are bitwise identical to calling [`ExactObjective::eval`]
+    /// per point (the [`Backend`] contract).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter vector is shorter than the ansatz requires.
+    pub fn eval_batch(&self, params_list: &[Vec<f64>]) -> Vec<f64> {
+        let circuits: Vec<Circuit> = params_list.iter().map(|p| self.bind(p)).collect();
+        self.backend
+            .borrow_mut()
+            .evaluate_batch(&circuits, &self.hamiltonian)
+            .expect("bound circuits")
     }
 }
 
@@ -128,17 +224,34 @@ pub struct NoisyObjective {
 }
 
 impl NoisyObjective {
-    /// Builds the noisy evaluator. The static attenuation factor is
-    /// computed once from the ansatz shape (gate counts and durations do not
-    /// depend on the bound angles).
+    /// Builds the noisy evaluator on the default cached statevector
+    /// backend. The static attenuation factor is computed once from the
+    /// ansatz shape (gate counts and durations do not depend on the bound
+    /// angles).
     pub fn new(ansatz: Ansatz, hamiltonian: PauliSum, cfg: NoisyObjectiveConfig) -> Self {
+        Self::with_backend(
+            ansatz,
+            hamiltonian,
+            cfg,
+            Box::new(CachedStatevectorBackend::new()),
+        )
+    }
+
+    /// Like [`NoisyObjective::new`] but on an explicit circuit-execution
+    /// [`Backend`].
+    pub fn with_backend(
+        ansatz: Ansatz,
+        hamiltonian: PauliSum,
+        cfg: NoisyObjectiveConfig,
+        backend: Box<dyn Backend>,
+    ) -> Self {
         let bound = ansatz
             .bind(&vec![0.0; ansatz.n_params()])
             .expect("zero binding");
         let attenuation = cfg.static_model.attenuation_factor(&bound);
         let identity_offset = hamiltonian.identity_coefficient();
         NoisyObjective {
-            exact: ExactObjective::new(ansatz, hamiltonian),
+            exact: ExactObjective::with_backend(ansatz, hamiltonian, backend),
             attenuation,
             identity_offset,
             trace: cfg.trace,
@@ -218,10 +331,24 @@ impl NoisyObjective {
     /// # Panics
     ///
     /// Panics if the transient trace is exhausted (allocate ~4x the
-    /// iteration count to cover QISMET retries).
+    /// iteration count to cover QISMET retries). Use
+    /// [`NoisyObjective::try_measure`] to handle exhaustion as a typed
+    /// error instead.
     pub fn measure(&mut self, params: &[f64]) -> f64 {
+        self.try_measure(params).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`NoisyObjective::measure`], but reports trace exhaustion as
+    /// [`ObjectiveError::TraceExhausted`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::TraceExhausted`] when the current job index has no
+    /// transient-trace slot; the measurement is not counted and no
+    /// randomness is consumed.
+    pub fn try_measure(&mut self, params: &[f64]) -> Result<f64, ObjectiveError> {
         let job = self.job;
-        self.measure_at_job(params, job)
+        self.try_measure_at_job(params, job)
     }
 
     /// Full measurement pinned to an explicit job index (QISMET's executor
@@ -237,16 +364,74 @@ impl NoisyObjective {
     ///
     /// # Panics
     ///
-    /// Panics if `job` exceeds the trace length.
+    /// Panics if `job` exceeds the trace length; see
+    /// [`NoisyObjective::try_measure_at_job`] for the typed variant.
     pub fn measure_at_job(&mut self, params: &[f64], job: usize) -> f64 {
-        self.evals += 1;
+        self.try_measure_at_job(params, job)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`NoisyObjective::measure_at_job`], but reports trace
+    /// exhaustion as a typed error instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::TraceExhausted`] when `job` has no trace slot.
+    pub fn try_measure_at_job(
+        &mut self,
+        params: &[f64],
+        job: usize,
+    ) -> Result<f64, ObjectiveError> {
         let ideal = self.exact.eval(params);
+        self.noisy_from_ideal(ideal, job)
+    }
+
+    /// Applies the noise stack (static attenuation, transient attenuation,
+    /// shot noise) to an ideal expectation at `job`. Shared by the per-call
+    /// and batched paths so both consume the RNG identically.
+    fn noisy_from_ideal(&mut self, ideal: f64, job: usize) -> Result<f64, ObjectiveError> {
+        let v_job = self.trace.get(job).ok_or(ObjectiveError::TraceExhausted {
+            job,
+            capacity: self.trace.len(),
+        })?;
+        self.evals += 1;
         let signal = self.attenuation * (ideal - self.identity_offset);
-        let v_job = self.trace.value(job);
         // Per-evaluation wobble of the shared job transient.
         let wobble = 1.0 + self.within_job_spread * qismet_mathkit::standard_normal(&mut self.rng);
         let tau = (1.0 - v_job * wobble).clamp(-0.25, 1.25);
-        self.identity_offset + signal * tau + normal(&mut self.rng, 0.0, self.shot_sigma)
+        Ok(self.identity_offset + signal * tau + normal(&mut self.rng, 0.0, self.shot_sigma))
+    }
+
+    /// Executes a whole [`JobRequest`] — the unit the runners assemble per
+    /// iteration (optimizer evaluations, plus the rerun circuit for
+    /// QISMET) — as **one batched backend call**, then applies the noise
+    /// stack to each result in submission order.
+    ///
+    /// The RNG is consumed in exactly the order a sequence of
+    /// [`NoisyObjective::measure`] calls would consume it, so batched and
+    /// per-call execution produce bit-identical measured series.
+    ///
+    /// Under [`JobLayout::JobPerEval`] the job counter advances after every
+    /// point; under [`JobLayout::SharedJob`] all points read the current
+    /// job's transient slot and the caller advances the counter once the
+    /// iteration concludes.
+    ///
+    /// # Errors
+    ///
+    /// [`ObjectiveError::TraceExhausted`] if the trace runs out mid-batch
+    /// (evaluations before the failing point are already accounted, exactly
+    /// as the sequential path would have).
+    pub fn execute(&mut self, request: &JobRequest) -> Result<JobResult, ObjectiveError> {
+        let ideals = self.exact.eval_batch(request.points());
+        let mut values = Vec::with_capacity(ideals.len());
+        for ideal in ideals {
+            let job = self.job;
+            values.push(self.noisy_from_ideal(ideal, job)?);
+            if request.layout() == JobLayout::JobPerEval {
+                self.advance_job();
+            }
+        }
+        Ok(JobResult::new(values, request.rerun_index()))
     }
 }
 
@@ -383,6 +568,135 @@ mod tests {
         let _ = obj.measure(&params);
         let _ = obj.measure_static_only(&params);
         assert_eq!(obj.evals(), 2);
+    }
+
+    #[test]
+    fn exhausted_trace_is_a_typed_error_not_a_panic() {
+        // Regression: trace exhaustion used to be an index-out-of-bounds
+        // panic deep inside TransientTrace; it must surface as
+        // ObjectiveError::TraceExhausted at the measure* boundary.
+        let trace = TransientTrace::zeros(2);
+        let (mut obj, _) = setup(trace, 8);
+        let params = obj.exact().ansatz().initial_params(1);
+        assert!(obj.try_measure(&params).is_ok());
+        obj.advance_job();
+        obj.advance_job();
+        let evals_before = obj.evals();
+        let err = obj.try_measure(&params).unwrap_err();
+        assert_eq!(
+            err,
+            ObjectiveError::TraceExhausted {
+                job: 2,
+                capacity: 2
+            }
+        );
+        assert!(err.to_string().contains("transient trace exhausted"));
+        // A failed measurement is not accounted as an evaluation.
+        assert_eq!(obj.evals(), evals_before);
+        // Pinned lookups report the requested job.
+        assert_eq!(
+            obj.try_measure_at_job(&params, 7),
+            Err(ObjectiveError::TraceExhausted {
+                job: 7,
+                capacity: 2
+            })
+        );
+        // Batched execution surfaces the same typed error.
+        let req = JobRequest::shared_job(vec![params.clone()]);
+        assert!(matches!(
+            obj.execute(&req),
+            Err(ObjectiveError::TraceExhausted { job: 2, .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "transient trace exhausted")]
+    fn measure_still_panics_on_exhaustion_with_the_typed_message() {
+        let trace = TransientTrace::zeros(1);
+        let (mut obj, _) = setup(trace, 9);
+        let params = obj.exact().ansatz().initial_params(2);
+        obj.advance_job();
+        let _ = obj.measure(&params);
+    }
+
+    #[test]
+    fn batched_execution_matches_sequential_measures_bitwise() {
+        let trace = TransientTrace::from_values(vec![0.0, 0.3, -0.1, 0.5, 0.0, 0.2]);
+        let params: Vec<Vec<f64>> = (0..4)
+            .map(|k| {
+                let (obj, _) = setup(TransientTrace::zeros(1), 1);
+                obj.exact().ansatz().initial_params(40 + k)
+            })
+            .collect();
+
+        // Sequential shared-job: measure each point at the current job.
+        let (mut seq, _) = setup(trace.clone(), 11);
+        let sequential: Vec<f64> = params.iter().map(|p| seq.measure(p)).collect();
+
+        // Batched shared-job on an identically seeded objective.
+        let (mut batched, _) = setup(trace.clone(), 11);
+        let result = batched
+            .execute(&JobRequest::shared_job(params.clone()))
+            .unwrap();
+        assert_eq!(result.values().len(), sequential.len());
+        for (i, (a, b)) in sequential.iter().zip(result.values()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "shared-job point {i}: {a} vs {b}");
+        }
+        assert_eq!(batched.job(), seq.job());
+        assert_eq!(batched.evals(), seq.evals());
+
+        // Sequential job-per-eval: measure + advance per point.
+        let (mut seq, _) = setup(trace.clone(), 11);
+        let sequential: Vec<f64> = params
+            .iter()
+            .map(|p| {
+                let e = seq.measure(p);
+                seq.advance_job();
+                e
+            })
+            .collect();
+        let (mut batched, _) = setup(trace, 11);
+        let result = batched
+            .execute(&JobRequest::job_per_eval(params.clone()))
+            .unwrap();
+        for (i, (a, b)) in sequential.iter().zip(result.values()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "job-per-eval point {i}");
+        }
+        assert_eq!(batched.job(), seq.job());
+    }
+
+    #[test]
+    fn explicit_backends_agree_with_the_default() {
+        use qismet_qsim::StatevectorBackend;
+        let tfim = Tfim::paper_6q();
+        let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+        let cached = ExactObjective::new(ansatz.clone(), tfim.hamiltonian());
+        let fresh = ExactObjective::with_backend(
+            ansatz,
+            tfim.hamiltonian(),
+            Box::new(StatevectorBackend::new()),
+        );
+        assert_eq!(cached.backend_name(), "cached-statevector");
+        assert_eq!(fresh.backend_name(), "statevector");
+        let params = cached.ansatz().initial_params(12);
+        assert_eq!(
+            cached.eval(&params).to_bits(),
+            fresh.eval(&params).to_bits()
+        );
+        let batch = vec![params.clone(), cached.ansatz().initial_params(13)];
+        let a = cached.eval_batch(&batch);
+        let b = fresh.eval_batch(&batch);
+        assert_eq!(a.len(), 2);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        // Cloning an objective clones its backend.
+        let cloned = cached.clone();
+        assert_eq!(cloned.backend_name(), "cached-statevector");
+        assert_eq!(
+            cloned.eval(&params).to_bits(),
+            cached.eval(&params).to_bits()
+        );
     }
 
     #[test]

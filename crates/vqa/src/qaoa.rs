@@ -186,7 +186,10 @@ mod tests {
             }
         }
         // Known result: depth-1 QAOA on the 4-cycle achieves exactly 3/4.
-        assert!((best - 0.75).abs() < 0.01, "p=1 best ratio {best}, theory 0.75");
+        assert!(
+            (best - 0.75).abs() < 0.01,
+            "p=1 best ratio {best}, theory 0.75"
+        );
     }
 
     #[test]
@@ -224,7 +227,10 @@ mod tests {
         };
         let e1 = best_at(1, 12);
         let e2 = best_at(2, 6);
-        assert!(e2 <= e1 + 1e-9, "p=2 {e2} should not be worse than p=1 {e1}");
+        assert!(
+            e2 <= e1 + 1e-9,
+            "p=2 {e2} should not be worse than p=1 {e1}"
+        );
     }
 
     #[test]

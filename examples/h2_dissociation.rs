@@ -12,7 +12,6 @@ use qismet_vqa::{
     TuningScheme,
 };
 
-
 /// Gains scaled to the H2 objective (hartree-scale landscape, ~10x smaller
 /// than the TFIM apps).
 fn h2_gains() -> GainSchedule {
@@ -51,8 +50,13 @@ fn main() {
 
     // One VQE run at equilibrium on the 4-qubit Jordan-Wigner Hamiltonian.
     let problem = qismet_chem::H2Problem::at_bond_length(0.735).expect("H2 assembly");
-    let ansatz =
-        Ansatz::with_preparation(AnsatzKind::EfficientSu2, 4, 2, Entanglement::Linear, &[0, 1]);
+    let ansatz = Ansatz::with_preparation(
+        AnsatzKind::EfficientSu2,
+        4,
+        2,
+        Entanglement::Linear,
+        &[0, 1],
+    );
     let theta0 = ansatz.initial_params(7);
     let iterations = 600;
     let mut objective = NoisyObjective::new(

@@ -26,11 +26,15 @@ fn main() {
     }
 
     // 2. What a T1 dip does to a deep circuit's fidelity.
-    let model = CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::deep_8q())
-        .expect("bound circuit");
+    let model =
+        CircuitFidelityModel::new(Machine::Cairo, fig4_circuits::deep_8q()).expect("bound circuit");
     let mut rng = rng_from_seed(99);
     let healthy = model.fidelity_at(&[85.0; 8], 4096, &mut rng);
-    let dipped = model.fidelity_at(&[85.0, 85.0, 4.0, 85.0, 85.0, 85.0, 85.0, 85.0], 4096, &mut rng);
+    let dipped = model.fidelity_at(
+        &[85.0, 85.0, 4.0, 85.0, 85.0, 85.0, 85.0, 85.0],
+        4096,
+        &mut rng,
+    );
     println!(
         "\n8q/50CX circuit on Cairo: fidelity {:.3} (healthy) -> {:.3} (one qubit's T1 dips to 4 us)",
         healthy, dipped

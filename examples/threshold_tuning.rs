@@ -12,9 +12,7 @@ use qismet_vqa::{run_tuning, AppSpec, TuningScheme};
 fn main() {
     let budget = 500; // quantum jobs
     let spec = AppSpec::by_id(4).expect("App4");
-    println!(
-        "App4 (SU2 reps=4, Toronto profile), job budget {budget}\n"
-    );
+    println!("App4 (SU2 reps=4, Toronto profile), job budget {budget}\n");
 
     // Baseline reference.
     let mut app = spec.build(budget * 7 + 16, None, 123);
@@ -26,7 +24,10 @@ fn main() {
         budget,
         TuningScheme::Baseline,
     );
-    println!("baseline                     : {:+.4}", base.final_energy(25));
+    println!(
+        "baseline                     : {:+.4}",
+        base.final_energy(25)
+    );
 
     for (label, target) in [
         ("conservative (skip <=1%) ", SkipTarget::Conservative),

@@ -1,0 +1,64 @@
+//! Integration: the pluggable `Backend` seam end-to-end — a full QISMET run
+//! must be invariant to the execution engine behind the objective, and the
+//! batched job path must reproduce the per-call series exactly.
+
+use qismet::{run_qismet, QismetConfig};
+use qismet_mathkit::rng_from_seed;
+use qismet_optim::{GainSchedule, Spsa};
+use qismet_qnoise::{StaticNoiseModel, TransientModel};
+use qismet_qsim::{Backend, CachedStatevectorBackend, StatevectorBackend};
+use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, NoisyObjective, NoisyObjectiveConfig, Tfim};
+
+fn objective_on(backend: Box<dyn Backend>, seed: u64) -> NoisyObjective {
+    let tfim = Tfim::paper_6q();
+    let gs = tfim.exact_ground_energy().unwrap();
+    let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, 6, 2, Entanglement::Linear);
+    let trace = TransientModel::moderate(0.25).generate(&mut rng_from_seed(31), 2000);
+    let cfg = NoisyObjectiveConfig {
+        static_model: StaticNoiseModel::uniform(6, 120.0, 100.0, 2e-4, 5e-3, 0.02),
+        trace,
+        magnitude_ref: gs.abs(),
+        shot_sigma: 0.03,
+        within_job_spread: 0.25,
+        seed,
+    };
+    NoisyObjective::with_backend(ansatz, tfim.hamiltonian(), cfg, backend)
+}
+
+/// The cached fast path and the fresh-allocation reference backend must
+/// drive `run_qismet` to bit-identical records: same seeds, same measured
+/// series, same skip decisions.
+#[test]
+fn qismet_run_is_backend_invariant() {
+    let run = |backend: Box<dyn Backend>| {
+        let mut obj = objective_on(backend, 13);
+        let theta0 = obj.exact().ansatz().initial_params(4);
+        let mut spsa = Spsa::new(theta0.len(), GainSchedule::spall_default(), 5);
+        run_qismet(
+            &mut spsa,
+            &mut obj,
+            theta0,
+            80,
+            QismetConfig::paper_default(),
+        )
+    };
+    let cached = run(Box::new(CachedStatevectorBackend::new()));
+    let fresh = run(Box::new(StatevectorBackend::new()));
+    assert_eq!(cached.record, fresh.record);
+    assert_eq!(cached.decisions, fresh.decisions);
+    for (a, b) in cached.record.measured.iter().zip(&fresh.record.measured) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}
+
+/// The umbrella crate re-exports the backend layer for downstream users.
+#[test]
+fn umbrella_reexports_backend_layer() {
+    let mut backend: Box<dyn qismet_repro::qsim::Backend> =
+        Box::new(qismet_repro::qsim::CachedStatevectorBackend::new());
+    let h = qismet_repro::qsim::PauliSum::from_labels(&[(-1.0, "ZZ")]).unwrap();
+    let mut c = qismet_repro::qsim::Circuit::new(2);
+    c.ry(0.4, 0).cx(0, 1);
+    let e = backend.evaluate(&c, &h).unwrap();
+    assert!(e.is_finite());
+}

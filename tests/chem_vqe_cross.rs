@@ -8,7 +8,6 @@ use qismet_vqa::{
     TuningScheme,
 };
 
-
 /// Gains scaled to the H2 objective (hartree-scale landscape, ~10x smaller
 /// than the TFIM apps).
 fn h2_gains() -> GainSchedule {
@@ -26,8 +25,13 @@ fn noise_free_vqe_approaches_fci_at_equilibrium() {
     let iterations = 500;
     // Hartree-Fock reference: occupy spin orbitals 1-alpha, 1-beta
     // (qubits 0 and 1 in the interleaved Jordan-Wigner ordering).
-    let ansatz =
-        Ansatz::with_preparation(AnsatzKind::EfficientSu2, 4, 2, Entanglement::Linear, &[0, 1]);
+    let ansatz = Ansatz::with_preparation(
+        AnsatzKind::EfficientSu2,
+        4,
+        2,
+        Entanglement::Linear,
+        &[0, 1],
+    );
     let theta0 = ansatz.initial_params(3);
     let mut objective = NoisyObjective::new(
         ansatz,

@@ -5,9 +5,7 @@
 use qismet::{MitigationStrategy, ReadoutMitigator};
 use qismet_mathkit::rng_from_seed;
 use qismet_qnoise::StaticNoiseModel;
-use qismet_qsim::{
-    basis_change_circuit, exact_energy, MeasurementPlan, StateVector,
-};
+use qismet_qsim::{basis_change_circuit, exact_energy, MeasurementPlan, StateVector};
 use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, Tfim};
 
 /// Energy estimated through the sampled + readout-noisy + mitigated path

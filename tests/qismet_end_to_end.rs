@@ -34,7 +34,9 @@ fn qismet_beats_baseline_on_turbulent_machine() {
         );
         let window = 25;
         let b = base.final_energy(window);
-        let q = qis.record.final_energy(window.min(qis.record.measured.len()));
+        let q = qis
+            .record
+            .final_energy(window.min(qis.record.measured.len()));
         ratios.push(q / b);
         // Both descend (negative energies).
         assert!(b < 0.0 && q < 0.0, "seed {seed}: base {b}, qismet {q}");
@@ -87,7 +89,7 @@ fn qismet_harmless_without_transients() {
 /// QISMET pipeline consumes.
 #[test]
 fn qaoa_substrate_is_vqa_compatible() {
-    use qismet_vqa::{maxcut_hamiltonian, qaoa_circuit, qaoa_approximation_ratio, Graph};
+    use qismet_vqa::{maxcut_hamiltonian, qaoa_approximation_ratio, qaoa_circuit, Graph};
 
     let graph = Graph::ring(6);
     let h = maxcut_hamiltonian(&graph);

@@ -4,7 +4,7 @@
 //! deep dips (the circled "potential transient errors") — rare events from
 //! TLS defects drifting into resonance.
 
-use qismet_bench::{f2, print_table, write_csv};
+use qismet_bench::{f2, print_table, write_csv, SweepExecutor};
 use qismet_mathkit::{mean, min, percentile, rng_from_seed};
 use qismet_qnoise::Machine;
 
@@ -13,8 +13,15 @@ fn main() {
     let dt = 0.1;
     let machine = Machine::Guadalupe;
     let bank = machine.tls_bank();
-    let mut rng = rng_from_seed(0xf03);
-    let trace = bank.sample_t1_trace(&mut rng, hours, dt);
+
+    // One grid point (trace generation), routed through the engine so
+    // larger multi-machine trace campaigns are a one-line change.
+    let specs = [(machine, 0xf03u64)];
+    let traces = SweepExecutor::new().run_specs(&specs, |&(m, seed)| {
+        m.tls_bank()
+            .sample_t1_trace(&mut rng_from_seed(seed), hours, dt)
+    });
+    let trace = &traces[0];
 
     // Print a coarse series (one sample per ~2 hours) plus dip markers.
     let mut rows = Vec::new();
@@ -38,8 +45,8 @@ fn main() {
     write_csv("fig03_t1_trace.csv", &["hour", "T1_us"], &full);
 
     let base = bank.base_t1_us();
-    let m = mean(&trace);
-    let lo = min(&trace);
+    let m = mean(trace);
+    let lo = min(trace);
     let dip_threshold = 0.5 * base;
     let dips = trace.iter().filter(|&&t| t < dip_threshold).count();
     let dip_frac = dips as f64 / trace.len() as f64;
@@ -51,9 +58,9 @@ fn main() {
     );
     println!(
         "p5/p50/p95 = {:.1}/{:.1}/{:.1} us",
-        percentile(&trace, 5.0),
-        percentile(&trace, 50.0),
-        percentile(&trace, 95.0)
+        percentile(trace, 5.0),
+        percentile(trace, 50.0),
+        percentile(trace, 95.0)
     );
 
     // Shape checks: dips exist but are the exception.

@@ -6,9 +6,16 @@
 //! sits much lower with dramatically larger variation, and individual
 //! batches show large intra-batch spread (the zoomed panel).
 
-use qismet_bench::{f4, print_table, write_csv};
+use qismet_bench::{f4, print_table, write_csv, SweepExecutor};
 use qismet_mathkit::{max as fmax, mean, min as fmin, rng_from_seed};
-use qismet_qnoise::{fig4_circuits, CircuitFidelityModel, Machine};
+use qismet_qnoise::{fig4_circuits, BatchFidelity, CircuitFidelityModel, Machine};
+
+/// The circuit depth classes of Fig. 4.
+#[derive(Clone, Copy)]
+enum Depth {
+    Shallow,
+    Deep,
+}
 
 fn main() {
     let hours = 45;
@@ -16,16 +23,20 @@ fn main() {
     let shots = 2048;
     let machine = Machine::Cairo;
 
-    let shallow =
-        CircuitFidelityModel::new(machine, fig4_circuits::shallow_4q()).expect("bound circuit");
-    let deep = CircuitFidelityModel::new(machine, fig4_circuits::deep_8q()).expect("bound circuit");
+    // Two independent grid points (shallow / deep), each with its own seed
+    // stream, fanned through the engine.
+    let specs = [(Depth::Shallow, 0xf04u64), (Depth::Deep, 0xf04 + 1)];
+    let batches: Vec<Vec<BatchFidelity>> = SweepExecutor::new().run_specs(&specs, |&(d, seed)| {
+        let circuit = match d {
+            Depth::Shallow => fig4_circuits::shallow_4q(),
+            Depth::Deep => fig4_circuits::deep_8q(),
+        };
+        let model = CircuitFidelityModel::new(machine, circuit).expect("bound circuit");
+        model.hourly_batches(machine, hours, batch, shots, &mut rng_from_seed(seed))
+    });
+    let (sb, db) = (&batches[0], &batches[1]);
 
-    let mut rng_a = rng_from_seed(0xf04);
-    let mut rng_b = rng_from_seed(0xf04 + 1);
-    let sb = shallow.hourly_batches(machine, hours, batch, shots, &mut rng_a);
-    let db = deep.hourly_batches(machine, hours, batch, shots, &mut rng_b);
-
-    let stats = |name: &str, batches: &[qismet_qnoise::BatchFidelity]| {
+    let stats = |name: &str, batches: &[BatchFidelity]| {
         let means: Vec<f64> = batches.iter().map(|b| b.mean).collect();
         let avg = mean(&means);
         let var = (fmax(&means) - fmin(&means)) / avg.max(1e-9) * 100.0;
@@ -38,8 +49,8 @@ fn main() {
     };
 
     println!("Fig.4 | {machine} profile, {hours} hourly batches x {batch} circuits\n");
-    let (avg_s, var_s) = stats("4q/6CX  (shallow)", &sb);
-    let (avg_d, var_d) = stats("8q/50CX (deep)   ", &db);
+    let (avg_s, var_s) = stats("4q/6CX  (shallow)", sb);
+    let (avg_d, var_d) = stats("8q/50CX (deep)   ", db);
 
     let mut rows = Vec::new();
     for (s, d) in sb.iter().zip(db.iter()) {

@@ -2,16 +2,23 @@
 //! run on the Jakarta profile showing multiple sharp spikes, where the
 //! expectation value at iteration 500 is no better than at iteration 100.
 
-use qismet_bench::{downsample, f4, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    downsample, f4, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_qnoise::Machine;
 use qismet_vqa::{count_spikes, AppSpec};
 
 fn main() {
     let iterations = scaled(500);
     // A Jakarta-trace app: App1's shape (SU2 reps=2) on the Jakarta machine.
-    let mut spec = AppSpec::by_id(1).expect("App1");
-    spec.machine = Machine::Jakarta;
-    let out = run_scheme(&spec, Scheme::Baseline, iterations, None, 0xf05);
+    let spec = AppSpec::by_id(1).expect("App1");
+    let campaign = Campaign::new("fig05", 0xf05).with(
+        ScenarioSpec::new(spec, Scheme::Baseline, iterations)
+            .on_machine(Machine::Jakarta)
+            .seeded(0xf05),
+    );
+    let report = SweepExecutor::new().run(&campaign);
+    let out = report.single(0);
 
     println!("Fig.5 | baseline VQA on Jakarta profile, {iterations} iterations\n");
     for (i, v) in downsample(&out.series, 50) {

@@ -10,7 +10,8 @@
 //! much of the degradation iteration-skipping claws back at each magnitude.
 
 use qismet_bench::{
-    downsample, f4, final_window, print_table, run_scheme, scaled, write_csv, Scheme,
+    downsample, f4, final_window, print_table, scaled, write_csv, Campaign, ScenarioSpec, Scheme,
+    SweepExecutor,
 };
 use qismet_vqa::AppSpec;
 
@@ -21,17 +22,32 @@ fn main() {
     let spec = AppSpec::by_id(2).expect("App2 exists");
     let magnitudes = [0.0, 0.025, 0.125, 0.20, 0.25, 0.50];
 
+    // Declarative sweep: magnitude x {Baseline, QISMET}, one fixed seed so
+    // every magnitude sees the same optimizer stream.
+    let mut campaign = Campaign::new("fig10", seed);
+    for &mag in &magnitudes {
+        for scheme in [Scheme::Baseline, Scheme::Qismet] {
+            campaign.push(
+                ScenarioSpec::new(spec.clone(), scheme, iterations)
+                    .with_magnitude(mag)
+                    .seeded(seed),
+            );
+        }
+    }
+
     println!(
         "Fig.10 | transient magnitude sweep on App2, SPSA, {iterations} iterations, \
          final window {}",
         final_window(iterations)
     );
 
+    let report = SweepExecutor::new().run(&campaign);
+
     let mut rows = Vec::new();
     let mut series_rows = Vec::new();
-    for &mag in &magnitudes {
-        let base = run_scheme(&spec, Scheme::Baseline, iterations, Some(mag), seed);
-        let qis = run_scheme(&spec, Scheme::Qismet, iterations, Some(mag), seed);
+    for (mi, &mag) in magnitudes.iter().enumerate() {
+        let base = report.single(2 * mi);
+        let qis = report.single(2 * mi + 1);
         rows.push(vec![
             format!("{:.1}%", mag * 100.0),
             f4(base.final_energy),

@@ -5,7 +5,9 @@
 //! recovers from some, stagnates after others) while QISMET avoids them,
 //! ending ~40% better.
 
-use qismet_bench::{downsample, f4, final_window, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    downsample, f4, final_window, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_qnoise::Machine;
 use qismet_vqa::{improvement_percent, AppSpec};
 
@@ -13,8 +15,13 @@ fn main() {
     let iterations = scaled(270);
     let mut spec = AppSpec::by_id(2).expect("App2 shape");
     spec.machine = Machine::Guadalupe;
-    let base = run_scheme(&spec, Scheme::Baseline, iterations, None, 0xf11);
-    let qis = run_scheme(&spec, Scheme::Qismet, iterations, None, 0xf11);
+
+    let campaign = Campaign::new("fig11", 0xf11)
+        .with(ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations).seeded(0xf11))
+        .with(ScenarioSpec::new(spec, Scheme::Qismet, iterations).seeded(0xf11));
+    let report = SweepExecutor::new().run(&campaign);
+    let base = report.single(0);
+    let qis = report.single(1);
 
     println!(
         "Fig.11 | Guadalupe, {iterations} iterations (window {})\n",

@@ -4,7 +4,9 @@
 //! turbulent phase; QISMET skips through it and continues steady progress
 //! (~50% improvement).
 
-use qismet_bench::{downsample, f4, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    downsample, f4, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_qnoise::Machine;
 use qismet_vqa::{improvement_percent, AppSpec};
 
@@ -12,8 +14,13 @@ fn main() {
     let iterations = scaled(350);
     let mut spec = AppSpec::by_id(2).expect("App2 shape");
     spec.machine = Machine::Sydney;
-    let base = run_scheme(&spec, Scheme::Baseline, iterations, None, 0xf12);
-    let qis = run_scheme(&spec, Scheme::Qismet, iterations, None, 0xf12);
+
+    let campaign = Campaign::new("fig12", 0xf12)
+        .with(ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations).seeded(0xf12))
+        .with(ScenarioSpec::new(spec, Scheme::Qismet, iterations).seeded(0xf12));
+    let report = SweepExecutor::new().run(&campaign);
+    let base = report.single(0);
+    let qis = report.single(1);
 
     println!("Fig.12 | Sydney, {iterations} iterations\n");
     println!("  iter   baseline   qismet");

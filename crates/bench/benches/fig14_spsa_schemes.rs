@@ -7,7 +7,8 @@
 //! baseline.
 
 use qismet_bench::{
-    downsample, f2, f4, final_window, print_table, run_scheme, scaled, write_csv, Scheme,
+    downsample, f2, f4, final_window, print_table, scaled, write_csv, Campaign, RunRecord,
+    ScenarioSpec, Scheme, SweepExecutor,
 };
 use qismet_vqa::{relative_expectation, AppSpec};
 
@@ -23,23 +24,26 @@ fn main() {
         Scheme::SecondOrder,
     ];
 
+    let mut campaign = Campaign::new("fig14", seed);
+    for &s in &schemes {
+        campaign.push(ScenarioSpec::new(spec.clone(), s, iterations).seeded(seed));
+    }
+
     println!(
         "Fig.14 | App2 (RA reps=4, Guadalupe trace), SPSA, {iterations} iterations, \
          final window {}",
         final_window(iterations)
     );
 
-    let outcomes: Vec<_> = schemes
-        .iter()
-        .map(|&s| run_scheme(&spec, s, iterations, None, seed))
-        .collect();
+    let report = SweepExecutor::new().run(&campaign);
+    let outcomes: Vec<&RunRecord> = report.records.iter().collect();
     let baseline_final = outcomes[0].final_energy;
 
     let rows: Vec<Vec<String>> = outcomes
         .iter()
         .map(|o| {
             vec![
-                o.scheme.name(),
+                o.scheme.clone(),
                 f4(o.final_energy),
                 f2(relative_expectation(o.final_energy, baseline_final)),
                 o.jobs.to_string(),
@@ -77,7 +81,7 @@ fn main() {
     let mut series_rows = Vec::new();
     for o in &outcomes {
         for (i, v) in downsample(&o.series, 100) {
-            series_rows.push(vec![o.scheme.name(), i.to_string(), f4(v)]);
+            series_rows.push(vec![o.scheme.clone(), i.to_string(), f4(v)]);
         }
     }
     write_csv(
@@ -90,7 +94,7 @@ fn main() {
     let get = |s: Scheme| {
         outcomes
             .iter()
-            .find(|o| o.scheme == s)
+            .find(|o| o.scheme == s.name())
             .expect("scheme present")
             .final_energy
     };

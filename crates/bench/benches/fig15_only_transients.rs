@@ -5,14 +5,26 @@
 //! (more conservative) thresholds hurt less — blind magnitude-based skipping
 //! discards constructive transients and stalls convergence.
 
-use qismet_bench::{f2, f4, print_table, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    f2, f4, print_table, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_vqa::{relative_expectation, AppSpec};
 
 fn main() {
     let iterations = scaled(2000);
     let spec = AppSpec::by_id(1).expect("App1");
     let seed = 0xf15;
-    let base = run_scheme(&spec, Scheme::Baseline, iterations, None, seed);
+    let thresholds = [99u32, 95, 90, 80, 70, 50];
+
+    let mut campaign = Campaign::new("fig15", seed)
+        .with(ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations).seeded(seed));
+    for &pct in &thresholds {
+        campaign.push(
+            ScenarioSpec::new(spec.clone(), Scheme::OnlyTransients(pct), iterations).seeded(seed),
+        );
+    }
+    let report = SweepExecutor::new().run(&campaign);
+    let base = report.single(0);
 
     println!("Fig.15 | Only-Transients skipping on App1, {iterations} iterations");
     println!("(job-budgeted: skipped jobs consume the device budget)\n");
@@ -24,8 +36,8 @@ fn main() {
         "0".to_string(),
     ]];
     let mut rels = Vec::new();
-    for pct in [99, 95, 90, 80, 70, 50] {
-        let out = run_scheme(&spec, Scheme::OnlyTransients(pct), iterations, None, seed);
+    for (ti, &pct) in thresholds.iter().enumerate() {
+        let out = report.single(1 + ti);
         let rel = relative_expectation(out.final_energy, base.final_energy);
         rels.push((pct, rel));
         rows.push(vec![

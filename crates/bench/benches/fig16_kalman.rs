@@ -7,7 +7,7 @@
 //! T < 1 drags the estimate toward zero.
 
 use qismet_bench::{
-    f2, f4, print_table, run_kalman_instance, run_scheme, scaled, write_csv, Scheme,
+    f2, f4, print_table, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
 };
 use qismet_filters::KalmanFilter;
 use qismet_vqa::{relative_expectation, AppSpec};
@@ -17,8 +17,15 @@ fn main() {
     let spec = AppSpec::by_id(6).expect("App6");
     let seed = 0xf16;
 
-    let base = run_scheme(&spec, Scheme::Baseline, iterations, None, seed);
-    let qis = run_scheme(&spec, Scheme::Qismet, iterations, None, seed);
+    let mut campaign = Campaign::new("fig16", seed)
+        .with(ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations).seeded(seed))
+        .with(ScenarioSpec::new(spec.clone(), Scheme::Qismet, iterations).seeded(seed));
+    for filter in KalmanFilter::fig16_grid() {
+        campaign.push(ScenarioSpec::kalman(spec.clone(), filter, iterations).seeded(seed));
+    }
+    let report = SweepExecutor::new().run(&campaign);
+    let base = report.single(0);
+    let qis = report.single(1);
 
     let mut rows = vec![
         vec![
@@ -33,14 +40,12 @@ fn main() {
         ],
     ];
     let mut best_kalman = f64::INFINITY;
-    for filter in KalmanFilter::fig16_grid() {
-        let label = filter.label();
-        let out = run_kalman_instance(&spec, filter, iterations, None, seed);
-        best_kalman = best_kalman.min(out.final_energy);
+    for record in &report.records[2..] {
+        best_kalman = best_kalman.min(record.final_energy);
         rows.push(vec![
-            label,
-            f4(out.final_energy),
-            f2(relative_expectation(out.final_energy, base.final_energy)),
+            record.label.clone(),
+            f4(record.final_energy),
+            f2(relative_expectation(record.final_energy, base.final_energy)),
         ]);
     }
     print_table(

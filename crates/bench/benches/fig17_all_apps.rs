@@ -5,7 +5,9 @@
 //! Blocking/Resampling modest and inconsistent (worse than baseline on some
 //! apps); 2nd-order consistently below baseline; Kalman-best a small win.
 
-use qismet_bench::{f2, print_table, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    f2, print_table, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_vqa::{relative_expectation, AppSpec};
 
 fn main() {
@@ -17,16 +19,30 @@ fn main() {
         Scheme::SecondOrder,
         Scheme::KalmanBest,
     ];
+    let apps = AppSpec::table1();
+
+    // Declarative grid: per app, the baseline plus every comparison scheme,
+    // at the app's historical fixed seed.
+    let mut campaign = Campaign::new("fig17", 0xf17);
+    for spec in &apps {
+        let seed = 0xf17 + spec.id as u64;
+        campaign.push(ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations).seeded(seed));
+        for &scheme in &schemes {
+            campaign.push(ScenarioSpec::new(spec.clone(), scheme, iterations).seeded(seed));
+        }
+    }
+    let report = SweepExecutor::new().run(&campaign);
+
+    let width = 1 + schemes.len();
     let mut rows = Vec::new();
     let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); schemes.len()];
-    for spec in AppSpec::table1() {
-        let seed = 0xf17 + spec.id as u64;
-        let base = run_scheme(&spec, Scheme::Baseline, iterations, None, seed);
+    for (ai, spec) in apps.iter().enumerate() {
+        let base = report.single(ai * width);
         let mut row = vec![spec.name()];
-        for (si, &scheme) in schemes.iter().enumerate() {
-            let out = run_scheme(&spec, scheme, iterations, None, seed);
+        for (si, rels) in per_scheme.iter_mut().enumerate() {
+            let out = report.single(ai * width + 1 + si);
             let rel = relative_expectation(out.final_energy, base.final_energy);
-            per_scheme[si].push(rel);
+            rels.push(rel);
             row.push(f2(rel));
         }
         rows.push(row);

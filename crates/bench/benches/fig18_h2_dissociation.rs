@@ -5,9 +5,13 @@
 //! Paper shape: QISMET's curve hugs the noise-free dissociation curve while
 //! the baseline deviates upward, increasingly at longer bond lengths where
 //! the quantum (correlation) part of the energy dominates.
+//!
+//! The bond-length sweep is a custom (chemistry) workload, so it rides the
+//! campaign engine's generic executor: each bond length is one independent
+//! spec, fanned across workers under the `parallel` feature.
 
 use qismet::{run_qismet_budgeted, QismetConfig};
-use qismet_bench::{f4, print_table, scaled, write_csv};
+use qismet_bench::{f4, print_table, scaled, write_csv, SweepExecutor};
 use qismet_optim::{GainSchedule, Spsa};
 use qismet_qnoise::{Machine, StaticNoiseModel};
 use qismet_vqa::{
@@ -26,86 +30,108 @@ fn h2_gains() -> GainSchedule {
         stability: 20.0,
     }
 }
-fn main() {
-    let iterations = scaled(700);
-    let bonds = qismet_chem::fig18_bond_lengths();
-    let mut rows = Vec::new();
-    let mut base_dev = Vec::new();
-    let mut qis_dev = Vec::new();
-    let window = qismet_bench::final_window(iterations);
 
-    for (k, &r) in bonds.iter().enumerate() {
-        let problem = qismet_chem::H2Problem::at_bond_length(r).expect("H2 assembly");
-        let exact = problem.fci.energy;
-        let h = problem.hamiltonian.clone();
-        // Hartree-Fock start: occupy qubits 0 and 1 (1-alpha, 1-beta).
-        let ansatz = Ansatz::with_preparation(
-            AnsatzKind::EfficientSu2,
-            4,
-            2,
-            Entanglement::Linear,
-            &[0, 1],
+/// Result of one bond-length point (both schemes).
+struct BondOutcome {
+    bond: f64,
+    row: Vec<String>,
+    base_dev: f64,
+    qis_dev: f64,
+}
+
+fn run_bond(k: usize, r: f64, iterations: usize, window: usize) -> BondOutcome {
+    let problem = qismet_chem::H2Problem::at_bond_length(r).expect("H2 assembly");
+    let exact = problem.fci.energy;
+    let h = problem.hamiltonian.clone();
+    // Hartree-Fock start: occupy qubits 0 and 1 (1-alpha, 1-beta).
+    let ansatz = Ansatz::with_preparation(
+        AnsatzKind::EfficientSu2,
+        4,
+        2,
+        Entanglement::Linear,
+        &[0, 1],
+    );
+    let theta0 = ansatz.initial_params(0xf18 + k as u64);
+    let magnitude = 0.45;
+
+    let make_obj = |seed: u64| {
+        let trace = Machine::Sydney.transient_model(magnitude).generate(
+            &mut qismet_mathkit::rng_from_seed(seed),
+            iterations * 7 + 16,
         );
-        let theta0 = ansatz.initial_params(0xf18 + k as u64);
-        let magnitude = 0.45;
+        NoisyObjective::new(
+            ansatz.clone(),
+            h.clone(),
+            NoisyObjectiveConfig {
+                // Transient-only: no static noise component (paper
+                // setup for this experiment).
+                static_model: StaticNoiseModel::noiseless(4),
+                trace,
+                magnitude_ref: exact.abs(),
+                shot_sigma: 0.005,
+                within_job_spread: 0.2,
+                seed: seed + 1,
+            },
+        )
+    };
 
-        let make_obj = |seed: u64| {
-            let trace = Machine::Sydney.transient_model(magnitude).generate(
-                &mut qismet_mathkit::rng_from_seed(seed),
-                iterations * 7 + 16,
-            );
-            NoisyObjective::new(
-                ansatz.clone(),
-                h.clone(),
-                NoisyObjectiveConfig {
-                    // Transient-only: no static noise component (paper
-                    // setup for this experiment).
-                    static_model: StaticNoiseModel::noiseless(4),
-                    trace,
-                    magnitude_ref: exact.abs(),
-                    shot_sigma: 0.005,
-                    within_job_spread: 0.2,
-                    seed: seed + 1,
-                },
-            )
-        };
+    // Baseline.
+    let mut obj_b = make_obj(0x18_00 + k as u64);
+    let mut spsa_b = Spsa::new(theta0.len(), h2_gains(), 3);
+    let brec = run_tuning(
+        &mut spsa_b,
+        &mut obj_b,
+        theta0.clone(),
+        iterations,
+        TuningScheme::Baseline,
+    );
+    // QISMET.
+    let mut obj_q = make_obj(0x18_00 + k as u64);
+    let mut spsa_q = Spsa::new(theta0.len(), h2_gains(), 3);
+    let qrec = run_qismet_budgeted(
+        &mut spsa_q,
+        &mut obj_q,
+        theta0,
+        iterations,
+        iterations + 1,
+        QismetConfig::paper_default(),
+    );
 
-        // Baseline.
-        let mut obj_b = make_obj(0x18_00 + k as u64);
-        let mut spsa_b = Spsa::new(theta0.len(), h2_gains(), 3);
-        let brec = run_tuning(
-            &mut spsa_b,
-            &mut obj_b,
-            theta0.clone(),
-            iterations,
-            TuningScheme::Baseline,
-        );
-        // QISMET.
-        let mut obj_q = make_obj(0x18_00 + k as u64);
-        let mut spsa_q = Spsa::new(theta0.len(), h2_gains(), 3);
-        let qrec = run_qismet_budgeted(
-            &mut spsa_q,
-            &mut obj_q,
-            theta0,
-            iterations,
-            iterations + 1,
-            QismetConfig::paper_default(),
-        );
-
-        let b = brec.final_energy(window);
-        let q = qrec
-            .record
-            .final_energy(window.min(qrec.record.measured.len()));
-        base_dev.push((b - exact).abs());
-        qis_dev.push((q - exact).abs());
-        rows.push(vec![
+    let b = brec.final_energy(window);
+    let q = qrec
+        .record
+        .final_energy(window.min(qrec.record.measured.len()));
+    BondOutcome {
+        bond: r,
+        row: vec![
             format!("{r:.3}"),
             f4(exact),
             f4(q),
             f4(b),
             f4(problem.scf.energy),
-        ]);
-        println!("... bond {r:.3} A done");
+        ],
+        base_dev: (b - exact).abs(),
+        qis_dev: (q - exact).abs(),
+    }
+}
+
+fn main() {
+    let iterations = scaled(700);
+    let bonds = qismet_chem::fig18_bond_lengths();
+    let window = qismet_bench::final_window(iterations);
+
+    let specs: Vec<(usize, f64)> = bonds.iter().copied().enumerate().collect();
+    let outcomes =
+        SweepExecutor::new().run_specs(&specs, |&(k, r)| run_bond(k, r, iterations, window));
+
+    let mut rows = Vec::new();
+    let mut base_dev = Vec::new();
+    let mut qis_dev = Vec::new();
+    for out in &outcomes {
+        base_dev.push(out.base_dev);
+        qis_dev.push(out.qis_dev);
+        rows.push(out.row.clone());
+        println!("... bond {:.3} A done", out.bond);
     }
     print_table(
         "Fig.18: H2 potential energy (hartree) vs bond length",

@@ -7,7 +7,9 @@
 //! noise (skips burn budget needlessly); the 90p best-case wins in both
 //! (1.2x low, 3x high).
 
-use qismet_bench::{f2, f4, print_table, run_scheme, scaled, write_csv, Scheme};
+use qismet_bench::{
+    f2, f4, print_table, scaled, write_csv, Campaign, ScenarioSpec, Scheme, SweepExecutor,
+};
 use qismet_vqa::{relative_expectation, AppSpec};
 
 fn main() {
@@ -18,12 +20,32 @@ fn main() {
         Scheme::Qismet,
         Scheme::QismetAggressive,
     ];
+    let seed = 0xf19;
+    let spec = AppSpec::by_id(2).expect("App2");
+
+    // Grid: noise case x (baseline + threshold variants), one shared seed.
+    let mut campaign = Campaign::new("fig19", seed);
+    for (_, mag) in cases {
+        campaign.push(
+            ScenarioSpec::new(spec.clone(), Scheme::Baseline, iterations)
+                .with_magnitude(mag)
+                .seeded(seed),
+        );
+        for &scheme in &schemes {
+            campaign.push(
+                ScenarioSpec::new(spec.clone(), scheme, iterations)
+                    .with_magnitude(mag)
+                    .seeded(seed),
+            );
+        }
+    }
+    let report = SweepExecutor::new().run(&campaign);
+
+    let width = 1 + schemes.len();
     let mut all_rows = Vec::new();
     let mut rels = std::collections::HashMap::new();
-    for (case, mag) in cases {
-        let spec = AppSpec::by_id(2).expect("App2");
-        let seed = 0xf19;
-        let base = run_scheme(&spec, Scheme::Baseline, iterations, Some(mag), seed);
+    for (ci, (case, _)) in cases.iter().enumerate() {
+        let base = report.single(ci * width);
         all_rows.push(vec![
             case.to_string(),
             "Baseline".to_string(),
@@ -31,10 +53,10 @@ fn main() {
             "1.00".to_string(),
             "0".to_string(),
         ]);
-        for &scheme in &schemes {
-            let out = run_scheme(&spec, scheme, iterations, Some(mag), seed);
+        for (si, &scheme) in schemes.iter().enumerate() {
+            let out = report.single(ci * width + 1 + si);
             let rel = relative_expectation(out.final_energy, base.final_energy);
-            rels.insert((case, scheme.name()), rel);
+            rels.insert((*case, scheme.name()), rel);
             all_rows.push(vec![
                 case.to_string(),
                 scheme.name(),

@@ -1,9 +1,11 @@
 //! Criterion performance benches for the simulation substrate: state-vector
 //! gate application, density-matrix channels, sampling, energy estimation,
-//! SPSA proposals, and the QISMET controller decision.
+//! SPSA proposals, the QISMET controller decision, and the campaign sweep
+//! engine itself.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qismet::{decide, TransientEstimate};
+use qismet_bench::{Campaign, ScenarioSpec, Scheme, SweepExecutor};
 use qismet_mathkit::rng_from_seed;
 use qismet_optim::{GainSchedule, Proposer, Spsa};
 use qismet_qsim::{Circuit, DensityMatrix, KrausChannel, StateVector};
@@ -83,9 +85,23 @@ fn bench_vqa_stack(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_campaign_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign_engine");
+    let app = qismet_vqa::AppSpec::by_id(1).unwrap();
+    let campaign = Campaign::new("perf", 5)
+        .with(ScenarioSpec::new(app.clone(), Scheme::Baseline, 20))
+        .with(ScenarioSpec::new(app.clone(), Scheme::Qismet, 20))
+        .with(ScenarioSpec::new(app, Scheme::Blocking, 20).with_trials(2));
+    group.bench_function("expand_4_runs", |b| b.iter(|| campaign.expand()));
+    group.bench_function("sweep_4_runs_20iter", |b| {
+        b.iter(|| SweepExecutor::new().run(&campaign))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_statevector, bench_density, bench_vqa_stack
+    targets = bench_statevector, bench_density, bench_vqa_stack, bench_campaign_engine
 }
 criterion_main!(benches);

@@ -1,15 +1,16 @@
 //! Table 1: the TFIM VQA applications used for simulation, with the derived
 //! properties of each instance (parameters, CX depth, static attenuation).
 
-use qismet_bench::{f4, print_table, write_csv};
+use qismet_bench::{f4, print_table, write_csv, SweepExecutor};
 use qismet_vqa::AppSpec;
 
 fn main() {
-    let mut rows = Vec::new();
-    for spec in AppSpec::table1() {
+    // One grid point per Table 1 app, fanned through the engine.
+    let apps = AppSpec::table1();
+    let rows = SweepExecutor::new().run_specs(&apps, |spec| {
         let app = spec.build(8, None, 42);
         let circuit = app.ansatz.circuit();
-        rows.push(vec![
+        vec![
             spec.name(),
             spec.n_qubits.to_string(),
             spec.ansatz.label().to_string(),
@@ -20,8 +21,8 @@ fn main() {
             circuit.depth().to_string(),
             f4(app.objective.attenuation()),
             f4(app.exact_ground),
-        ]);
-    }
+        ]
+    });
     print_table(
         "Table 1: TFIM VQA applications for simulation",
         &[

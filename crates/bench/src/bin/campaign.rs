@@ -1,0 +1,210 @@
+//! `campaign` — run an arbitrary user-specified sweep grid from the CLI.
+//!
+//! Expands machines x schemes x magnitudes x apps x trials into a flat run
+//! list, executes it through the sweep engine (parallel under
+//! `--features parallel`), prints a summary table, and writes JSON + CSV
+//! artifacts under `target/paper_results/`.
+//!
+//! ```text
+//! cargo run --release -p qismet-bench --bin campaign -- \
+//!     --apps 2 --machines Guadalupe,Sydney --schemes baseline,qismet \
+//!     --magnitudes 0.1,0.5 --iterations 300 --trials 2 --seed 42
+//! ```
+
+use qismet_bench::{
+    f2, f4, parse_scheme, print_table, scaled, CampaignGrid, Scheme, SweepExecutor,
+};
+use qismet_qnoise::Machine;
+use qismet_vqa::AppSpec;
+
+const USAGE: &str = "\
+campaign — declarative QISMET sweep runner
+
+USAGE:
+    campaign [OPTIONS]
+
+OPTIONS:
+    --apps <ids>          Comma-separated Table 1 app ids (default: 2)
+    --machines <names>    Comma-separated machine names (default: each app's native machine)
+    --schemes <names>     Comma-separated schemes (default: baseline,qismet)
+                          [baseline, qismet, qismet-conservative, qismet-aggressive,
+                           blocking, resampling, second-order, kalman-best,
+                           only-transients-<pct>]
+    --magnitudes <vals>   Comma-separated transient magnitudes (default: machine native)
+    --iterations <n>      SPSA iterations per run (default: scaled 500)
+    --trials <n>          Trials per grid point (default: 1)
+    --seed <n>            Campaign master seed; per-run seeds derive from it (default: 7)
+    --threads <n>         Worker threads, 0 = all cores (needs --features parallel)
+    --name <str>          Campaign/artifact name (default: campaign)
+    -h, --help            Print this help
+";
+
+fn parse_list<T>(value: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    value
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| parse(s.trim()).unwrap_or_else(|| die(&format!("invalid {what}: `{s}`"))))
+        .collect()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn machine_by_name(name: &str) -> Option<Machine> {
+    Machine::ALL
+        .into_iter()
+        .find(|m| m.name().eq_ignore_ascii_case(name))
+}
+
+struct Args {
+    apps: Vec<AppSpec>,
+    machines: Vec<Machine>,
+    schemes: Vec<Scheme>,
+    magnitudes: Vec<f64>,
+    iterations: usize,
+    trials: usize,
+    seed: u64,
+    threads: Option<usize>,
+    name: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        apps: vec![AppSpec::by_id(2).expect("App2")],
+        machines: Vec::new(),
+        schemes: vec![Scheme::Baseline, Scheme::Qismet],
+        magnitudes: Vec::new(),
+        iterations: scaled(500),
+        trials: 1,
+        seed: 7,
+        threads: None,
+        name: "campaign".to_string(),
+    };
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if flag == "-h" || flag == "--help" {
+            println!("{USAGE}");
+            std::process::exit(0);
+        }
+        let value = argv
+            .get(i + 1)
+            .unwrap_or_else(|| die(&format!("missing value for `{flag}`")));
+        match flag {
+            "--apps" => {
+                args.apps = parse_list(value, "app id", |s| {
+                    s.parse::<u8>().ok().and_then(AppSpec::by_id)
+                });
+            }
+            "--machines" => {
+                args.machines = parse_list(value, "machine", machine_by_name);
+            }
+            "--schemes" => {
+                args.schemes = parse_list(value, "scheme", parse_scheme);
+            }
+            "--magnitudes" => {
+                args.magnitudes = parse_list(value, "magnitude", |s| s.parse::<f64>().ok());
+            }
+            "--iterations" => {
+                args.iterations = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid iteration count `{value}`")));
+            }
+            "--trials" => {
+                args.trials = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid trial count `{value}`")));
+            }
+            "--seed" => {
+                args.seed = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid seed `{value}`")));
+            }
+            "--threads" => {
+                args.threads = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("invalid thread count `{value}`"))),
+                );
+            }
+            "--name" => {
+                args.name = value.clone();
+            }
+            other => die(&format!("unknown flag `{other}`")),
+        }
+        i += 2;
+    }
+    if args.apps.is_empty() || args.schemes.is_empty() {
+        die("need at least one app and one scheme");
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let grid = CampaignGrid {
+        apps: args.apps,
+        machines: args.machines,
+        schemes: args.schemes,
+        magnitudes: args.magnitudes,
+        iterations: args.iterations,
+        trials: args.trials,
+    };
+    let campaign = grid.into_campaign(args.name, args.seed);
+    let executor = match args.threads {
+        Some(t) => SweepExecutor::with_threads(t),
+        None => SweepExecutor::new(),
+    };
+    let n = campaign.len();
+    println!(
+        "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker(s)",
+        campaign.name,
+        campaign.scenarios.len(),
+        n,
+        args.iterations,
+        executor.effective_threads(n),
+    );
+    let started = std::time::Instant::now();
+    let report = executor.run(&campaign);
+    println!(
+        "completed {n} runs in {:.2}s",
+        started.elapsed().as_secs_f64()
+    );
+
+    // Per-run summary table (series live in the JSON artifact).
+    let rows: Vec<Vec<String>> = report
+        .records
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.machine.clone(),
+                r.scheme.clone(),
+                r.magnitude.map(f2).unwrap_or_else(|| "native".into()),
+                r.trial.to_string(),
+                f4(r.final_energy),
+                r.jobs.to_string(),
+                r.skips.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("campaign `{}` results", report.name),
+        &[
+            "app",
+            "machine",
+            "scheme",
+            "magnitude",
+            "trial",
+            "final_E",
+            "jobs",
+            "skips",
+        ],
+        &rows,
+    );
+    report.write_json(None);
+    report.write_runs_csv(None);
+}

@@ -1,0 +1,236 @@
+//! The sweep executor: runs a campaign's independent grid points
+//! sequentially or — behind the `parallel` feature — fanned across
+//! `std::thread::scope` workers.
+//!
+//! Determinism contract: every [`RunSpec`] is pure data (its seed is
+//! resolved at expansion time from the campaign seed and grid coordinates),
+//! and the scheme runners are pure functions of that data. Workers pull
+//! specs off a shared atomic counter and write results back into the spec's
+//! own slot, so parallel execution returns **bit-identical** records in the
+//! same order as a sequential run — wall clock is bounded by cores, not by
+//! the longest sequential loop.
+
+use crate::report::{CampaignReport, RunRecord};
+use crate::scenario::{Campaign, RunKind, RunSpec};
+use crate::{run_kalman_instance, run_scheme, SchemeOutcome};
+
+/// Executes campaigns. Construct via [`SweepExecutor::new`] (parallel when
+/// the `parallel` feature is enabled, sequential otherwise),
+/// [`SweepExecutor::sequential`], or [`SweepExecutor::with_threads`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepExecutor {
+    threads: usize,
+}
+
+impl Default for SweepExecutor {
+    fn default() -> Self {
+        SweepExecutor::new()
+    }
+}
+
+impl SweepExecutor {
+    /// The default executor: all available cores when the `parallel`
+    /// feature is enabled, sequential otherwise.
+    pub fn new() -> Self {
+        if cfg!(feature = "parallel") {
+            SweepExecutor { threads: 0 }
+        } else {
+            SweepExecutor { threads: 1 }
+        }
+    }
+
+    /// A strictly sequential executor.
+    pub fn sequential() -> Self {
+        SweepExecutor { threads: 1 }
+    }
+
+    /// An executor with an explicit worker count (`0` = all cores). More
+    /// than one worker only takes effect under the `parallel` feature.
+    pub fn with_threads(threads: usize) -> Self {
+        SweepExecutor { threads }
+    }
+
+    /// The worker count this executor will actually use for `n` tasks.
+    pub fn effective_threads(&self, n: usize) -> usize {
+        if !cfg!(feature = "parallel") {
+            return 1;
+        }
+        let hw = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1);
+        let requested = if self.threads == 0 { hw } else { self.threads };
+        requested.max(1).min(n.max(1))
+    }
+
+    /// Expands and runs a campaign through the default scheme runner.
+    pub fn run(&self, campaign: &Campaign) -> CampaignReport {
+        let specs = campaign.expand();
+        let records = self.run_specs(&specs, run_one);
+        CampaignReport {
+            name: campaign.name.clone(),
+            seed: campaign.seed,
+            records,
+        }
+    }
+
+    /// Runs an arbitrary per-spec function over a slice of independent
+    /// specs, preserving input order in the output. This is the generic
+    /// engine the figure harnesses use for workloads that are not plain
+    /// scheme runs (H2 dissociation, fidelity batches, trace generation).
+    pub fn run_specs<S, R, F>(&self, specs: &[S], run: F) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> R + Sync,
+    {
+        let workers = self.effective_threads(specs.len());
+        if workers <= 1 || specs.len() <= 1 {
+            return specs.iter().map(run).collect();
+        }
+        self.run_specs_parallel(specs, &run, workers)
+    }
+
+    #[cfg(feature = "parallel")]
+    fn run_specs_parallel<S, R, F>(&self, specs: &[S], run: &F, workers: usize) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> R + Sync,
+    {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let next = AtomicUsize::new(0);
+        let mut collected: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let next = &next;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= specs.len() {
+                            break;
+                        }
+                        local.push((i, run(&specs[i])));
+                    }
+                    local
+                }));
+            }
+            for h in handles {
+                collected.push(h.join().expect("campaign worker panicked"));
+            }
+        });
+        // Reassemble in input order.
+        let mut slots: Vec<Option<R>> = (0..specs.len()).map(|_| None).collect();
+        for (i, r) in collected.into_iter().flatten() {
+            slots[i] = Some(r);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every spec produced a result"))
+            .collect()
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn run_specs_parallel<S, R, F>(&self, specs: &[S], run: &F, _workers: usize) -> Vec<R>
+    where
+        S: Sync,
+        R: Send,
+        F: Fn(&S) -> R + Sync,
+    {
+        specs.iter().map(run).collect()
+    }
+}
+
+/// Runs one fully-resolved spec through the scheme runners and packages the
+/// outcome as a [`RunRecord`].
+pub fn run_one(spec: &RunSpec) -> RunRecord {
+    let outcome = match &spec.kind {
+        RunKind::Scheme(s) => run_scheme(&spec.app, *s, spec.iterations, spec.magnitude, spec.seed),
+        RunKind::Kalman(k) => run_kalman_instance(
+            &spec.app,
+            k.clone(),
+            spec.iterations,
+            spec.magnitude,
+            spec.seed,
+        ),
+    };
+    record_from_outcome(spec, outcome)
+}
+
+fn record_from_outcome(spec: &RunSpec, outcome: SchemeOutcome) -> RunRecord {
+    RunRecord {
+        label: spec.label.clone(),
+        app: spec.app.name(),
+        machine: spec.app.machine.name().to_string(),
+        scheme: spec.kind.name(),
+        scenario: spec.scenario,
+        trial: spec.trial,
+        iterations: spec.iterations,
+        magnitude: spec.magnitude,
+        seed: spec.seed,
+        final_energy: outcome.final_energy,
+        jobs: outcome.jobs,
+        evals: outcome.evals,
+        skips: outcome.skips,
+        series: outcome.series,
+    }
+}
+
+/// Convenience: runs `campaign` with the default executor.
+pub fn run_campaign(campaign: &Campaign) -> CampaignReport {
+    SweepExecutor::new().run(campaign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::ScenarioSpec;
+    use crate::Scheme;
+    use qismet_vqa::AppSpec;
+
+    fn tiny_campaign() -> Campaign {
+        Campaign::new("tiny", 11)
+            .with(ScenarioSpec::new(
+                AppSpec::by_id(1).unwrap(),
+                Scheme::Baseline,
+                25,
+            ))
+            .with(ScenarioSpec::new(
+                AppSpec::by_id(1).unwrap(),
+                Scheme::Qismet,
+                25,
+            ))
+    }
+
+    #[test]
+    fn run_specs_preserves_order() {
+        let specs: Vec<usize> = (0..97).collect();
+        let out = SweepExecutor::new().run_specs(&specs, |&i| i * 3);
+        assert_eq!(out, specs.iter().map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sequential_matches_default_executor_bitwise() {
+        let campaign = tiny_campaign();
+        let seq = SweepExecutor::sequential().run(&campaign);
+        let par = SweepExecutor::with_threads(4).run(&campaign);
+        assert_eq!(seq, par);
+        for (a, b) in seq.records.iter().zip(par.records.iter()) {
+            for (x, y) in a.series.iter().zip(b.series.iter()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn records_carry_grid_identity() {
+        let report = run_campaign(&tiny_campaign());
+        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records[0].scenario, 0);
+        assert_eq!(report.records[1].scheme, "QISMET");
+        assert_eq!(report.records[0].app, "App1");
+        assert!(report.records.iter().all(|r| r.series.len() == 25));
+    }
+}

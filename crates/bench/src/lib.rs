@@ -1,10 +1,25 @@
 //! Shared harness utilities for the per-figure/table benchmark binaries.
 //!
 //! Every figure and table in the paper's evaluation has a bench target in
-//! `benches/` that prints the corresponding series/rows and writes a CSV
-//! under `target/paper_results/`. This crate hosts the common machinery:
-//! scheme runners, table printing, CSV output, and the iteration-scale
-//! control (`QISMET_BENCH_SCALE`) for quick smoke runs.
+//! `benches/` that declares its sweep as a [`Campaign`] (or a custom spec
+//! list for non-scheme workloads) and runs it through the [`SweepExecutor`]
+//! — sequentially, or across threads under the `parallel` feature. This
+//! crate hosts the engine ([`scenario`], [`executor`], [`report`]), the
+//! scheme runners, and the iteration-scale control (`QISMET_BENCH_SCALE`)
+//! for quick smoke runs.
+
+pub mod executor;
+pub mod report;
+pub mod scenario;
+
+pub use executor::{run_campaign, run_one, SweepExecutor};
+pub use report::{
+    downsample, f2, f4, final_window, geomean_ratios, print_table, results_dir, trailing_mean,
+    write_csv, CampaignReport, RunRecord,
+};
+pub use scenario::{
+    parse_scheme, run_seed, Campaign, CampaignGrid, RunKind, RunSpec, ScenarioSpec, SeedSpec,
+};
 
 use qismet::{
     run_filtered_baseline, run_only_transients_budgeted, run_qismet_budgeted, QismetConfig,
@@ -12,8 +27,6 @@ use qismet::{
 use qismet_filters::{KalmanFilter, OnlyTransientsPolicy};
 use qismet_optim::{BlockingPolicy, GainSchedule, SecondOrderSpsa, Spsa};
 use qismet_vqa::{run_tuning, AppInstance, AppSpec, NoisyObjective, TuningScheme};
-use std::io::Write as _;
-use std::path::PathBuf;
 
 /// Scale factor for iteration counts, read from `QISMET_BENCH_SCALE`
 /// (e.g. `0.1` for a 10x faster smoke run). Defaults to 1.
@@ -28,12 +41,6 @@ pub fn bench_scale() -> f64 {
 /// Applies the bench scale to an iteration count (minimum 20).
 pub fn scaled(iterations: usize) -> usize {
     ((iterations as f64 * bench_scale()) as usize).max(20)
-}
-
-/// Trailing window used for "final expectation" summaries: 5% of the run,
-/// at least 10 iterations.
-pub fn final_window(iterations: usize) -> usize {
-    (iterations / 20).max(10)
 }
 
 /// The comparison schemes of Section 6.3.
@@ -285,72 +292,4 @@ pub fn build_objective(
     seed: u64,
 ) -> NoisyObjective {
     fresh_app(spec, iterations, magnitude, seed).objective
-}
-
-/// Directory where harnesses drop their CSV artifacts.
-pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("target/paper_results");
-    std::fs::create_dir_all(&dir).expect("create results dir");
-    dir
-}
-
-/// Writes a CSV file under [`results_dir`].
-pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
-    let path = results_dir().join(name);
-    let mut f = std::fs::File::create(&path).expect("create csv");
-    writeln!(f, "{}", headers.join(",")).expect("write header");
-    for row in rows {
-        writeln!(f, "{}", row.join(",")).expect("write row");
-    }
-    println!("[csv] wrote {}", path.display());
-}
-
-/// Prints an aligned text table.
-pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n=== {title} ===");
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let line = |cells: &[String]| {
-        let padded: Vec<String> = cells
-            .iter()
-            .enumerate()
-            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
-            .collect();
-        println!("  {}", padded.join("  "));
-    };
-    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
-    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
-    for row in rows {
-        line(row);
-    }
-}
-
-/// Downsamples a series to at most ~`points` entries for compact printing.
-pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
-    if series.is_empty() || points == 0 {
-        return Vec::new();
-    }
-    let stride = (series.len() / points).max(1);
-    series
-        .iter()
-        .enumerate()
-        .filter(|(i, _)| i % stride == 0 || *i == series.len() - 1)
-        .map(|(i, &v)| (i, v))
-        .collect()
-}
-
-/// Formats a float with 4 decimals.
-pub fn f4(v: f64) -> String {
-    format!("{v:.4}")
-}
-
-/// Formats a ratio with 2 decimals.
-pub fn f2(v: f64) -> String {
-    format!("{v:.2}")
 }

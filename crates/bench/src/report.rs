@@ -1,0 +1,320 @@
+//! Campaign result records, aggregation helpers, and artifact writers.
+//!
+//! Every run executed by the sweep engine produces one serializable
+//! [`RunRecord`]; a whole campaign's worth is a [`CampaignReport`] that can
+//! be written as JSON (full fidelity, including series) or CSV (summary
+//! rows) under `target/paper_results/`. The aggregation helpers
+//! (trailing-window means, geometric means over grouped ratios) replace the
+//! per-figure copies of that logic the bench binaries used to hand-roll.
+
+use serde::{Deserialize, Serialize};
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// Outcome of one campaign run, with enough identity (app, machine, scheme,
+/// grid coordinates, seed) to regroup and re-aggregate offline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunRecord {
+    /// Scenario label (defaults to the scheme display name).
+    pub label: String,
+    /// Application name (`"App2"`).
+    pub app: String,
+    /// Machine profile name.
+    pub machine: String,
+    /// Scheme display name.
+    pub scheme: String,
+    /// Scenario index within the campaign.
+    pub scenario: usize,
+    /// Trial index within the scenario.
+    pub trial: usize,
+    /// Iterations the run was granted.
+    pub iterations: usize,
+    /// Transient magnitude override (`None` = machine native).
+    pub magnitude: Option<f64>,
+    /// The fully-resolved seed this run executed with.
+    pub seed: u64,
+    /// Final energy (trailing-window mean of `series`).
+    pub final_energy: f64,
+    /// Quantum jobs consumed.
+    pub jobs: usize,
+    /// Circuit-level evaluations consumed.
+    pub evals: u64,
+    /// Skipped/rejected attempts.
+    pub skips: usize,
+    /// Per-iteration measured (or filtered) energies.
+    pub series: Vec<f64>,
+}
+
+/// A campaign's complete result set, in grid-expansion order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignReport {
+    /// Campaign name (used for artifact file names).
+    pub name: String,
+    /// Campaign master seed.
+    pub seed: u64,
+    /// One record per expanded run, in expansion order.
+    pub records: Vec<RunRecord>,
+}
+
+impl CampaignReport {
+    /// Records of one scenario, in trial order.
+    pub fn scenario(&self, index: usize) -> Vec<&RunRecord> {
+        self.records
+            .iter()
+            .filter(|r| r.scenario == index)
+            .collect()
+    }
+
+    /// The single record of a one-trial scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has zero or multiple records.
+    pub fn single(&self, index: usize) -> &RunRecord {
+        let runs = self.scenario(index);
+        assert_eq!(runs.len(), 1, "scenario {index} has {} runs", runs.len());
+        runs[0]
+    }
+
+    /// Mean final energy across a scenario's trials.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no records.
+    pub fn mean_final(&self, index: usize) -> f64 {
+        let finals: Vec<f64> = self
+            .scenario(index)
+            .iter()
+            .map(|r| r.final_energy)
+            .collect();
+        assert!(!finals.is_empty(), "scenario {index} has no records");
+        qismet_mathkit::mean(&finals)
+    }
+
+    /// Total skips across a scenario's trials.
+    pub fn total_skips(&self, index: usize) -> usize {
+        self.scenario(index).iter().map(|r| r.skips).sum()
+    }
+
+    /// Writes the full report (series included) as pretty JSON under
+    /// [`results_dir`], named `<name>.json` unless overridden.
+    pub fn write_json(&self, file_name: Option<&str>) -> PathBuf {
+        let name = file_name
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{}.json", self.name));
+        let path = results_dir().join(name);
+        let json = serde_json::to_string_pretty(self).expect("serialize report");
+        std::fs::write(&path, json).expect("write json report");
+        println!("[json] wrote {}", path.display());
+        path
+    }
+
+    /// Writes one summary row per record (no series) as CSV under
+    /// [`results_dir`], named `<name>_runs.csv` unless overridden.
+    pub fn write_runs_csv(&self, file_name: Option<&str>) -> PathBuf {
+        let name = file_name
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("{}_runs.csv", self.name));
+        let rows: Vec<Vec<String>> = self
+            .records
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    r.app.clone(),
+                    r.machine.clone(),
+                    r.scheme.clone(),
+                    r.trial.to_string(),
+                    r.iterations.to_string(),
+                    r.magnitude.map(|m| format!("{m}")).unwrap_or_default(),
+                    r.seed.to_string(),
+                    format!("{:.6}", r.final_energy),
+                    r.jobs.to_string(),
+                    r.evals.to_string(),
+                    r.skips.to_string(),
+                ]
+            })
+            .collect();
+        write_csv_at(
+            &name,
+            &[
+                "label",
+                "app",
+                "machine",
+                "scheme",
+                "trial",
+                "iterations",
+                "magnitude",
+                "seed",
+                "final_energy",
+                "jobs",
+                "evals",
+                "skips",
+            ],
+            &rows,
+        )
+    }
+}
+
+/// Trailing window used for "final expectation" summaries: 5% of the run,
+/// at least 10 iterations.
+pub fn final_window(iterations: usize) -> usize {
+    (iterations / 20).max(10)
+}
+
+/// Mean over the trailing `window` entries of a series (the whole series if
+/// shorter).
+///
+/// # Panics
+///
+/// Panics if the series is empty.
+pub fn trailing_mean(series: &[f64], window: usize) -> f64 {
+    assert!(!series.is_empty(), "trailing_mean of empty series");
+    let n = series.len();
+    qismet_mathkit::mean(&series[n.saturating_sub(window)..])
+}
+
+/// Geometric mean of per-record ratios against a baseline value.
+pub fn geomean_ratios(finals: &[f64], baseline: f64) -> f64 {
+    let ratios: Vec<f64> = finals.iter().map(|&f| f / baseline).collect();
+    qismet_mathkit::geomean(&ratios)
+}
+
+/// Directory where harnesses drop their artifacts.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/paper_results");
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    dir
+}
+
+/// Writes a CSV file under [`results_dir`].
+pub fn write_csv(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    write_csv_at(name, headers, rows);
+}
+
+fn write_csv_at(name: &str, headers: &[&str], rows: &[Vec<String>]) -> PathBuf {
+    let path = results_dir().join(name);
+    let mut f = std::fs::File::create(&path).expect("create csv");
+    writeln!(f, "{}", headers.join(",")).expect("write header");
+    for row in rows {
+        writeln!(f, "{}", row.join(",")).expect("write row");
+    }
+    println!("[csv] wrote {}", path.display());
+    path
+}
+
+/// Prints an aligned text table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Downsamples a series to at most ~`points` entries for compact printing.
+pub fn downsample(series: &[f64], points: usize) -> Vec<(usize, f64)> {
+    if series.is_empty() || points == 0 {
+        return Vec::new();
+    }
+    let stride = (series.len() / points).max(1);
+    series
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % stride == 0 || *i == series.len() - 1)
+        .map(|(i, &v)| (i, v))
+        .collect()
+}
+
+/// Formats a float with 4 decimals.
+pub fn f4(v: f64) -> String {
+    format!("{v:.4}")
+}
+
+/// Formats a ratio with 2 decimals.
+pub fn f2(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(scenario: usize, trial: usize, final_energy: f64) -> RunRecord {
+        RunRecord {
+            label: "QISMET".into(),
+            app: "App2".into(),
+            machine: "Guadalupe".into(),
+            scheme: "QISMET".into(),
+            scenario,
+            trial,
+            iterations: 100,
+            magnitude: Some(0.25),
+            seed: 7,
+            final_energy,
+            jobs: 100,
+            evals: 700,
+            skips: 3,
+            series: vec![final_energy; 4],
+        }
+    }
+
+    #[test]
+    fn report_groups_and_aggregates() {
+        let report = CampaignReport {
+            name: "t".into(),
+            seed: 1,
+            records: vec![record(0, 0, -4.0), record(0, 1, -6.0), record(1, 0, -5.0)],
+        };
+        assert_eq!(report.scenario(0).len(), 2);
+        assert!((report.mean_final(0) + 5.0).abs() < 1e-12);
+        assert_eq!(report.single(1).final_energy, -5.0);
+        assert_eq!(report.total_skips(0), 6);
+    }
+
+    #[test]
+    fn record_json_roundtrip_is_exact() {
+        let report = CampaignReport {
+            name: "t".into(),
+            seed: u64::MAX - 5,
+            records: vec![record(0, 0, -4.125), record(2, 3, 0.1 + 0.2)],
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: CampaignReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(
+            back.records[1].final_energy.to_bits(),
+            report.records[1].final_energy.to_bits()
+        );
+    }
+
+    #[test]
+    fn trailing_mean_windows() {
+        let s = [1.0, 2.0, 3.0, 4.0];
+        assert!((trailing_mean(&s, 2) - 3.5).abs() < 1e-12);
+        assert!((trailing_mean(&s, 10) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn final_window_floor() {
+        assert_eq!(final_window(40), 10);
+        assert_eq!(final_window(2000), 100);
+    }
+}

@@ -37,6 +37,18 @@ pub enum Machine {
 }
 
 impl Machine {
+    /// Every machine profile, in declaration order. Canonical list for CLI
+    /// parsing and exhaustive sweeps; update alongside the enum.
+    pub const ALL: [Machine; 7] = [
+        Machine::Guadalupe,
+        Machine::Toronto,
+        Machine::Sydney,
+        Machine::Casablanca,
+        Machine::Jakarta,
+        Machine::Mumbai,
+        Machine::Cairo,
+    ];
+
     /// All machines used in real-machine comparisons (Fig. 13 order).
     pub const FIG13_SET: [Machine; 6] = [
         Machine::Guadalupe,
@@ -220,6 +232,27 @@ mod tests {
         let casa = Machine::Casablanca.static_model(6);
         assert!(cairo.gate_error_2q > casa.gate_error_2q);
         assert!(cairo.qubits[0].t1_us < casa.qubits[0].t1_us);
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_distinct() {
+        let mut seen = std::collections::BTreeSet::new();
+        for m in Machine::ALL {
+            assert!(seen.insert(m.name()), "duplicate in ALL: {}", m.name());
+            // Exhaustiveness guard: adding a variant without extending ALL
+            // makes this match non-exhaustive and fails to compile.
+            match m {
+                Machine::Guadalupe
+                | Machine::Toronto
+                | Machine::Sydney
+                | Machine::Casablanca
+                | Machine::Jakarta
+                | Machine::Mumbai
+                | Machine::Cairo => {}
+            }
+        }
+        assert_eq!(seen.len(), Machine::ALL.len());
+        assert!(Machine::FIG13_SET.iter().all(|m| Machine::ALL.contains(m)));
     }
 
     #[test]

@@ -107,10 +107,12 @@ pub fn estimate_energy_sampled<R: Rng + ?Sized>(
     let base = StateVector::from_circuit(circuit)?;
     let mut energy = plan.identity_offset();
     let mut all_counts = Vec::with_capacity(plan.groups().len());
+    // One CDF scratch buffer shared across the measurement groups.
+    let mut cdf = Vec::new();
     for group in plan.groups() {
         let mut sv = base.clone();
         sv.rotate_to_basis(&group.basis);
-        let counts = sv.sample_counts(rng, shots);
+        let counts = sv.sample_counts_into(rng, shots, &mut cdf);
         energy += group_energy_from_counts(h, group, &counts);
         all_counts.push(counts);
     }

@@ -175,39 +175,62 @@ impl StateVector {
         }
     }
 
+    /// Visits every basis index with both `lo_bit` and `hi_bit` clear
+    /// (`lo_bit < hi_bit`, both powers of two), i.e. the canonical member of
+    /// each 4-amplitude orbit of a two-qubit gate. Only `dim / 4` indices are
+    /// enumerated, versus branching over all `2^n`.
+    #[inline(always)]
+    fn for_each_two_qubit_base(
+        &mut self,
+        lo_bit: usize,
+        hi_bit: usize,
+        mut f: impl FnMut(&mut Vec<Complex64>, usize),
+    ) {
+        let dim = self.amps.len();
+        let mut outer = 0usize;
+        while outer < dim {
+            let mut mid = outer;
+            let outer_end = outer + hi_bit;
+            while mid < outer_end {
+                for idx in mid..mid + lo_bit {
+                    f(&mut self.amps, idx);
+                }
+                mid += lo_bit << 1;
+            }
+            outer += hi_bit << 1;
+        }
+    }
+
     fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n_qubits && target < self.n_qubits && control != target);
         let cbit = 1usize << control;
         let tbit = 1usize << target;
-        for i in 0..self.amps.len() {
-            // Swap amplitude pairs where control is set and target bit is 0.
-            if i & cbit != 0 && i & tbit == 0 {
-                self.amps.swap(i, i | tbit);
-            }
-        }
+        let (lo, hi) = (cbit.min(tbit), cbit.max(tbit));
+        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
+            // Swap the target pair in the control=1 half of the orbit.
+            amps.swap(idx | cbit, idx | cbit | tbit);
+        });
     }
 
     fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let abit = 1usize << a;
         let bbit = 1usize << b;
-        for i in 0..self.amps.len() {
-            if i & abit != 0 && i & bbit != 0 {
-                self.amps[i] = -self.amps[i];
-            }
-        }
+        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
+        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
+            let i11 = idx | abit | bbit;
+            amps[i11] = -amps[i11];
+        });
     }
 
     fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let abit = 1usize << a;
         let bbit = 1usize << b;
-        for i in 0..self.amps.len() {
-            // Swap |...a=1, b=0...> with |...a=0, b=1...> once.
-            if i & abit != 0 && i & bbit == 0 {
-                self.amps.swap(i, (i & !abit) | bbit);
-            }
-        }
+        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
+        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
+            amps.swap(idx | abit, idx | bbit);
+        });
     }
 
     fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
@@ -216,11 +239,13 @@ impl StateVector {
         let bbit = 1usize << b;
         let minus = Complex64::cis(-theta / 2.0);
         let plus = Complex64::cis(theta / 2.0);
-        for i in 0..self.amps.len() {
-            let pa = i & abit != 0;
-            let pb = i & bbit != 0;
-            self.amps[i] *= if pa == pb { minus } else { plus };
-        }
+        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
+        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
+            amps[idx] *= minus;
+            amps[idx | abit] *= plus;
+            amps[idx | bbit] *= plus;
+            amps[idx | abit | bbit] *= minus;
+        });
     }
 
     /// Probability of each computational basis outcome.
@@ -230,19 +255,37 @@ impl StateVector {
 
     /// Samples `shots` measurement outcomes in the computational basis.
     pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: u64) -> Counts {
-        let probs = self.probabilities();
-        // Cumulative distribution for inverse-CDF sampling.
-        let mut cdf = Vec::with_capacity(probs.len());
+        let mut cdf = Vec::new();
+        self.sample_counts_into(rng, shots, &mut cdf)
+    }
+
+    /// Like [`StateVector::sample_counts`], but builds the cumulative
+    /// distribution into a caller-provided scratch buffer so repeated
+    /// sampling (the hot path of shot-based estimation loops) performs no
+    /// per-call allocation. The buffer is cleared and refilled; its capacity
+    /// is reused across calls. Results are bit-identical to
+    /// [`StateVector::sample_counts`].
+    pub fn sample_counts_into<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        shots: u64,
+        cdf: &mut Vec<f64>,
+    ) -> Counts {
+        // Single pass: accumulate |amp|^2 directly into the CDF, skipping
+        // the intermediate probability vector entirely.
+        cdf.clear();
+        cdf.reserve(self.amps.len());
         let mut acc = 0.0;
-        for p in &probs {
-            acc += p;
+        for a in &self.amps {
+            acc += a.norm_sqr();
             cdf.push(acc);
         }
         let total = acc.max(f64::MIN_POSITIVE);
+        let last = cdf.len() - 1;
         let mut counts = Counts::new(self.n_qubits);
         for _ in 0..shots {
             let u = rng.gen::<f64>() * total;
-            let idx = cdf.partition_point(|&c| c < u).min(probs.len() - 1);
+            let idx = cdf.partition_point(|&c| c < u).min(last);
             counts.record(idx as u64, 1);
         }
         counts
@@ -490,6 +533,164 @@ mod tests {
         let sv = StateVector::from_circuit(&c).unwrap();
         let e = sv.expectation(&h);
         assert!(e.abs() <= h.one_norm() + TOL);
+    }
+
+    /// Pre-optimization reference kernels (the original branch-over-all-2^n
+    /// loops), kept verbatim so the stride-skipping specializations can be
+    /// regression-tested for exact bit identity.
+    mod reference {
+        use super::*;
+
+        pub fn apply_cx(sv: &mut StateVector, control: usize, target: usize) {
+            let cbit = 1usize << control;
+            let tbit = 1usize << target;
+            for i in 0..sv.amps.len() {
+                if i & cbit != 0 && i & tbit == 0 {
+                    sv.amps.swap(i, i | tbit);
+                }
+            }
+        }
+
+        pub fn apply_cz(sv: &mut StateVector, a: usize, b: usize) {
+            let abit = 1usize << a;
+            let bbit = 1usize << b;
+            for i in 0..sv.amps.len() {
+                if i & abit != 0 && i & bbit != 0 {
+                    sv.amps[i] = -sv.amps[i];
+                }
+            }
+        }
+
+        pub fn apply_swap(sv: &mut StateVector, a: usize, b: usize) {
+            let abit = 1usize << a;
+            let bbit = 1usize << b;
+            for i in 0..sv.amps.len() {
+                if i & abit != 0 && i & bbit == 0 {
+                    sv.amps.swap(i, (i & !abit) | bbit);
+                }
+            }
+        }
+
+        pub fn apply_rzz(sv: &mut StateVector, theta: f64, a: usize, b: usize) {
+            let abit = 1usize << a;
+            let bbit = 1usize << b;
+            let minus = Complex64::cis(-theta / 2.0);
+            let plus = Complex64::cis(theta / 2.0);
+            for i in 0..sv.amps.len() {
+                let pa = i & abit != 0;
+                let pb = i & bbit != 0;
+                sv.amps[i] *= if pa == pb { minus } else { plus };
+            }
+        }
+    }
+
+    /// A dense random state for kernel regression tests.
+    fn random_state(n: usize, seed: u64) -> StateVector {
+        let mut c = Circuit::new(n);
+        let mut rng = rng_from_seed(seed);
+        for _ in 0..3 {
+            for q in 0..n {
+                c.ry(rng.gen::<f64>() * std::f64::consts::TAU, q);
+                c.rz(rng.gen::<f64>() * std::f64::consts::TAU, q);
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+        }
+        StateVector::from_circuit(&c).unwrap()
+    }
+
+    #[test]
+    fn two_qubit_kernels_bit_identical_to_reference() {
+        for n in [2usize, 3, 5, 7] {
+            let mut seed = 100;
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    seed += 1;
+                    let base = random_state(n, seed);
+                    let theta = 0.1 + 0.37 * seed as f64;
+
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    fast.apply_cx(a, b);
+                    reference::apply_cx(&mut slow, a, b);
+                    assert_eq!(fast.amps, slow.amps, "cx({a},{b}) on {n}q");
+
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    fast.apply_cz(a, b);
+                    reference::apply_cz(&mut slow, a, b);
+                    assert_eq!(fast.amps, slow.amps, "cz({a},{b}) on {n}q");
+
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    fast.apply_swap(a, b);
+                    reference::apply_swap(&mut slow, a, b);
+                    assert_eq!(fast.amps, slow.amps, "swap({a},{b}) on {n}q");
+
+                    let mut fast = base.clone();
+                    let mut slow = base.clone();
+                    fast.apply_rzz(theta, a, b);
+                    reference::apply_rzz(&mut slow, theta, a, b);
+                    assert_eq!(fast.amps, slow.amps, "rzz({a},{b}) on {n}q");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sample_counts_pinned_regression() {
+        // Exact counts produced by the pre-optimization implementation for
+        // this seeded RNG; the single-pass/reused-buffer path must keep the
+        // RNG consumption and CDF values bit-identical.
+        let mut c = Circuit::new(4);
+        c.h(0)
+            .ry(0.7, 1)
+            .cx(0, 1)
+            .rz(0.3, 2)
+            .cx(1, 2)
+            .ry(1.1, 3)
+            .cx(2, 3);
+        let sv = StateVector::from_circuit(&c).unwrap();
+        let mut rng = rng_from_seed(0xc0de);
+        let counts = sv.sample_counts(&mut rng, 1000);
+        let mut got: Vec<(u64, u64)> = counts.iter().collect();
+        got.sort_unstable();
+        let want = [
+            (0u64, 318u64),
+            (1, 44),
+            (6, 10),
+            (7, 121),
+            (8, 113),
+            (9, 16),
+            (14, 44),
+            (15, 334),
+        ];
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn sample_counts_into_reuses_buffer_and_matches() {
+        let sv = random_state(5, 9);
+        let mut rng_a = rng_from_seed(21);
+        let mut rng_b = rng_from_seed(21);
+        let mut buf = Vec::new();
+        let direct = sv.sample_counts(&mut rng_a, 4096);
+        let buffered = sv.sample_counts_into(&mut rng_b, 4096, &mut buf);
+        assert_eq!(buf.len(), 32);
+        let cap = buf.capacity();
+        let mut pairs_a: Vec<_> = direct.iter().collect();
+        let mut pairs_b: Vec<_> = buffered.iter().collect();
+        pairs_a.sort_unstable();
+        pairs_b.sort_unstable();
+        assert_eq!(pairs_a, pairs_b);
+        // Second call reuses the allocation.
+        let mut rng_c = rng_from_seed(22);
+        sv.sample_counts_into(&mut rng_c, 64, &mut buf);
+        assert_eq!(buf.capacity(), cap);
     }
 
     #[test]

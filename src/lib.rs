@@ -4,6 +4,7 @@
 //! single dependency root.
 
 pub use qismet;
+pub use qismet_bench as bench;
 pub use qismet_chem as chem;
 pub use qismet_filters as filters;
 pub use qismet_mathkit as mathkit;

@@ -1,15 +1,28 @@
 //! Criterion performance benches for the simulation substrate: state-vector
 //! gate application, density-matrix channels, sampling, energy estimation,
-//! SPSA proposals, the QISMET controller decision, and the campaign sweep
-//! engine itself.
+//! the compiled-vs-interpreted objective hot path, SPSA proposals, the
+//! QISMET controller decision, and the campaign sweep engine itself.
+//!
+//! The `compiled_vs_interpreted` group additionally writes `BENCH_qsim.json`
+//! (mean ns per objective evaluation at 4/6/8 qubits, interpreted vs
+//! compiled) so successive PRs accumulate a perf trajectory; set
+//! `QISMET_PERF_SMOKE=1` for the short-measurement CI variant.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qismet::{decide, TransientEstimate};
 use qismet_bench::{Campaign, ScenarioSpec, Scheme, SweepExecutor};
 use qismet_mathkit::rng_from_seed;
 use qismet_optim::{GainSchedule, Proposer, Spsa};
-use qismet_qsim::{Circuit, DensityMatrix, KrausChannel, StateVector};
-use qismet_vqa::{Ansatz, AnsatzKind, Entanglement, Tfim};
+use qismet_qsim::{
+    statevector, Backend, CachedStatevectorBackend, Circuit, CompiledCircuit, CompiledObservable,
+    DensityMatrix, KrausChannel, StateVector,
+};
+use qismet_vqa::{Ansatz, AnsatzKind, Boundary, Entanglement, Tfim};
+use std::time::Instant;
+
+fn perf_smoke() -> bool {
+    std::env::var("QISMET_PERF_SMOKE").is_ok_and(|v| !v.is_empty() && v != "0")
+}
 
 fn ghz_circuit(n: usize) -> Circuit {
     let mut c = Circuit::new(n);
@@ -85,6 +98,110 @@ fn bench_vqa_stack(c: &mut Criterion) {
     group.finish();
 }
 
+/// Mean ns per call of `f`, measured with a calibrated repetition count —
+/// the numbers recorded into `BENCH_qsim.json` (the criterion group prints
+/// the same comparison interactively).
+fn mean_ns(mut f: impl FnMut()) -> f64 {
+    let (warm_ms, budget_ms) = if perf_smoke() { (20, 80) } else { (150, 600) };
+    let warm = Instant::now();
+    let mut calls = 0u64;
+    while warm.elapsed().as_millis() < warm_ms {
+        f();
+        calls += 1;
+    }
+    let per_call = warm.elapsed().as_secs_f64() / calls.max(1) as f64;
+    let reps = ((budget_ms as f64 / 1e3) / per_call.max(1e-9)) as u64;
+    let reps = reps.clamp(1, 10_000_000);
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / reps as f64
+}
+
+/// The paper-shaped objective workload at `n` qubits: RealAmplitudes
+/// (reps=4) over the critical-point TFIM.
+fn objective_workload(n: usize) -> (Ansatz, qismet_qsim::PauliSum, Vec<f64>) {
+    let tfim = Tfim {
+        n,
+        j: 1.0,
+        h: 1.0,
+        boundary: Boundary::Open,
+    };
+    let ansatz = Ansatz::new(AnsatzKind::RealAmplitudes, n, 4, Entanglement::Linear);
+    let params = ansatz.initial_params_wide(17);
+    (ansatz, tfim.hamiltonian(), params)
+}
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compiled_vs_interpreted");
+    let mut rows = Vec::new();
+    for n in [4usize, 6, 8] {
+        let (ansatz, h, params) = objective_workload(n);
+
+        // Interpreted: the pre-compilation hot path — bind a fresh circuit,
+        // dispatch gate by gate, then one full state sweep per term.
+        group.bench_function(format!("interpreted_{n}q"), |b| {
+            b.iter(|| {
+                let bound = ansatz.bind(&params).unwrap();
+                let sv = StateVector::from_circuit(&bound).unwrap();
+                statevector::reference::expectation(&sv, &h)
+            })
+        });
+
+        // Compiled: rebind the plan in place, reuse the scratch state, fused
+        // single-sweep expectation.
+        let mut plan = CompiledCircuit::compile(ansatz.circuit());
+        let obs = CompiledObservable::compile(&h);
+        let mut backend = CachedStatevectorBackend::new();
+        group.bench_function(format!("compiled_{n}q"), |b| {
+            b.iter(|| backend.evaluate_plan(&mut plan, &params, &obs).unwrap())
+        });
+
+        // Matching wall-clock means for the trajectory file.
+        let interpreted_ns = mean_ns(|| {
+            let bound = ansatz.bind(&params).unwrap();
+            let sv = StateVector::from_circuit(&bound).unwrap();
+            criterion::black_box(statevector::reference::expectation(&sv, &h));
+        });
+        let compiled_ns = mean_ns(|| {
+            criterion::black_box(backend.evaluate_plan(&mut plan, &params, &obs).unwrap());
+        });
+        rows.push((n, interpreted_ns, compiled_ns));
+    }
+    group.finish();
+
+    let entries: Vec<String> = rows
+        .iter()
+        .map(|(n, i, cns)| {
+            format!(
+                "    {{\"n_qubits\": {n}, \"interpreted_ns\": {i:.1}, \"compiled_ns\": {cns:.1}, \"speedup\": {:.2}}}",
+                i / cns
+            )
+        })
+        .collect();
+    let json = format!(
+        "{{\n  \"bench\": \"compiled_vs_interpreted\",\n  \"workload\": \"RealAmplitudes reps=4 ansatz over the open-boundary critical TFIM; mean ns per objective evaluation\",\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        perf_smoke(),
+        entries.join(",\n")
+    );
+    // Default to the workspace root (cargo runs bench binaries from the
+    // package directory); QISMET_BENCH_JSON overrides.
+    let path = std::env::var("QISMET_BENCH_JSON").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_qsim.json").to_string()
+    });
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("\nwrote {path}"),
+        Err(e) => eprintln!("\ncould not write {path}: {e}"),
+    }
+    for (n, i, cns) in &rows {
+        println!(
+            "  {n}q: interpreted {i:.0} ns, compiled {cns:.0} ns ({:.2}x)",
+            i / cns
+        );
+    }
+}
+
 fn bench_campaign_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign_engine");
     let app = qismet_vqa::AppSpec::by_id(1).unwrap();
@@ -99,9 +216,22 @@ fn bench_campaign_engine(c: &mut Criterion) {
     group.finish();
 }
 
+fn perf_config() -> Criterion {
+    let (sample, warm_ms, meas_ms) = if perf_smoke() {
+        (5, 50, 150)
+    } else {
+        (20, 300, 1000)
+    };
+    Criterion::default()
+        .sample_size(sample)
+        .warm_up_time(std::time::Duration::from_millis(warm_ms))
+        .measurement_time(std::time::Duration::from_millis(meas_ms))
+}
+
 criterion_group! {
     name = benches;
-    config = Criterion::default().sample_size(20).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(1));
-    targets = bench_statevector, bench_density, bench_vqa_stack, bench_campaign_engine
+    config = perf_config();
+    targets = bench_statevector, bench_density, bench_vqa_stack,
+        bench_compiled_vs_interpreted, bench_campaign_engine
 }
 criterion_main!(benches);

@@ -55,10 +55,57 @@ fn parallel_and_sequential_records_are_bit_identical() {
 
 #[test]
 fn rerunning_a_campaign_is_deterministic() {
+    // Two sequential runs on this thread share the worker backend pool, so
+    // equality here also pins that cross-run backend sharing (reused
+    // scratch state + compiled plans) leaves results untouched.
     let campaign = small_campaign();
     let a = run_campaign(&campaign);
     let b = run_campaign(&campaign);
     assert_eq!(a, b);
+}
+
+#[test]
+fn pooled_worker_backends_match_fresh_backends() {
+    use qismet_optim::{GainSchedule, Spsa};
+    use qismet_vqa::{run_tuning, TuningScheme};
+
+    // `run_scheme` draws its backend from the per-worker pool; replicate the
+    // Baseline scheme by hand on an app built with a fresh, unpooled
+    // backend and require bitwise-identical series.
+    let spec = AppSpec::by_id(1).unwrap();
+    let (iterations, seed) = (30usize, 123u64);
+    let pooled = qismet_bench::run_scheme(&spec, Scheme::Baseline, iterations, None, seed);
+
+    let mut app = spec.build(iterations * 7 + 16, None, seed); // fresh CachedStatevectorBackend
+    let mut spsa = Spsa::new(
+        app.theta0.len(),
+        GainSchedule::vqa_paper(),
+        qismet_mathkit::derive_seed(seed, 0xa11),
+    );
+    let rec = run_tuning(
+        &mut spsa,
+        &mut app.objective,
+        app.theta0.clone(),
+        iterations,
+        TuningScheme::Baseline,
+    );
+    assert_eq!(pooled.series.len(), rec.measured.len());
+    for (i, (a, b)) in pooled.series.iter().zip(&rec.measured).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "iteration {i}: pooled {a} vs fresh {b}"
+        );
+    }
+    assert_eq!(pooled.jobs, rec.jobs);
+    assert_eq!(pooled.evals, rec.evals);
+
+    // And a pooled rerun of the same spec (second hit on the shared
+    // backend) stays bitwise identical.
+    let again = qismet_bench::run_scheme(&spec, Scheme::Baseline, iterations, None, seed);
+    for (a, b) in pooled.series.iter().zip(&again.series) {
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
 }
 
 #[test]

@@ -9,6 +9,10 @@
 //!   alphabet (rotations, Clifford staples, `CX`/`CZ`/`SWAP`/`RZZ`).
 //! * [`StateVector`] — exact pure-state evolution with analytic expectation
 //!   values and finite-shot sampling.
+//! * [`CompiledCircuit`] / [`CompiledObservable`] — the compile-once,
+//!   rebind-forever execution plans behind the allocation-free objective
+//!   hot path (fused single-qubit runs, single-sweep diagonal expectation,
+//!   Hermitian pair-skipping for off-diagonal terms).
 //! * [`DensityMatrix`] + [`KrausChannel`] — mixed-state evolution under the
 //!   standard NISQ error channels (amplitude/phase damping, depolarizing),
 //!   used for circuit-fidelity studies (paper Fig. 4) and for validating the
@@ -41,6 +45,7 @@
 
 mod backend;
 mod circuit;
+mod compile;
 mod counts;
 mod density;
 mod expectation;
@@ -48,10 +53,13 @@ mod fidelity;
 mod gate;
 mod kraus;
 mod pauli;
-mod statevector;
+pub mod statevector;
 
-pub use backend::{Backend, CachedStatevectorBackend, StatevectorBackend};
+pub use backend::{
+    Backend, BackendPool, CachedStatevectorBackend, SharedBackend, StatevectorBackend,
+};
 pub use circuit::{Circuit, CircuitError, Op};
+pub use compile::{CompiledCircuit, CompiledObservable};
 pub use counts::Counts;
 pub use density::DensityMatrix;
 pub use expectation::{

@@ -156,8 +156,10 @@ impl StateVector {
         }
     }
 
-    /// Applies an arbitrary 2x2 unitary on `qubit`.
-    fn apply_1q(&mut self, u: &[[Complex64; 2]; 2], qubit: usize) {
+    /// Applies an arbitrary 2x2 unitary on `qubit` (shared with the
+    /// compiled-plan executor, so interpreted and compiled execution use
+    /// identical kernel arithmetic).
+    pub(crate) fn apply_1q(&mut self, u: &[[Complex64; 2]; 2], qubit: usize) {
         assert!(qubit < self.n_qubits, "qubit out of range");
         let stride = 1usize << qubit;
         let dim = self.amps.len();
@@ -172,6 +174,27 @@ impl StateVector {
                 self.amps[i1] = u[1][0] * a0 + u[1][1] * a1;
             }
             base += stride << 1;
+        }
+    }
+
+    /// Applies a **real** 2x2 unitary on `qubit`: the compiled-plan fast
+    /// path for the RY-only ansatz families (`RealAmplitudes`), where the
+    /// complex butterfly's imaginary-part products are all exact zeros —
+    /// this kernel simply never issues them, halving the multiply count.
+    pub(crate) fn apply_1q_real(&mut self, m: &[[f64; 2]; 2], qubit: usize) {
+        assert!(qubit < self.n_qubits, "qubit out of range");
+        let stride = 1usize << qubit;
+        let (m00, m01, m10, m11) = (m[0][0], m[0][1], m[1][0], m[1][1]);
+        // Chunked split runs the butterflies over paired slices with no
+        // per-amplitude bounds checks.
+        for chunk in self.amps.chunks_exact_mut(stride << 1) {
+            let (lo, hi) = chunk.split_at_mut(stride);
+            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
+                let a0 = *a;
+                let a1 = *b;
+                *a = Complex64::new(m00 * a0.re + m01 * a1.re, m00 * a0.im + m01 * a1.im);
+                *b = Complex64::new(m10 * a0.re + m11 * a1.re, m10 * a0.im + m11 * a1.im);
+            }
         }
     }
 
@@ -201,7 +224,7 @@ impl StateVector {
         }
     }
 
-    fn apply_cx(&mut self, control: usize, target: usize) {
+    pub(crate) fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n_qubits && target < self.n_qubits && control != target);
         let cbit = 1usize << control;
         let tbit = 1usize << target;
@@ -212,7 +235,7 @@ impl StateVector {
         });
     }
 
-    fn apply_cz(&mut self, a: usize, b: usize) {
+    pub(crate) fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let abit = 1usize << a;
         let bbit = 1usize << b;
@@ -223,7 +246,7 @@ impl StateVector {
         });
     }
 
-    fn apply_swap(&mut self, a: usize, b: usize) {
+    pub(crate) fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let abit = 1usize << a;
         let bbit = 1usize << b;
@@ -234,11 +257,23 @@ impl StateVector {
     }
 
     fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
+        let minus = Complex64::cis(-theta / 2.0);
+        let plus = Complex64::cis(theta / 2.0);
+        self.apply_rzz_phases(minus, plus, a, b);
+    }
+
+    /// RZZ with the diagonal phases supplied by the caller — the compiled
+    /// plan precomputes them once per rebinding instead of per application.
+    pub(crate) fn apply_rzz_phases(
+        &mut self,
+        minus: Complex64,
+        plus: Complex64,
+        a: usize,
+        b: usize,
+    ) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
         let abit = 1usize << a;
         let bbit = 1usize << b;
-        let minus = Complex64::cis(-theta / 2.0);
-        let plus = Complex64::cis(theta / 2.0);
         let (lo, hi) = (abit.min(bbit), abit.max(bbit));
         self.for_each_two_qubit_base(lo, hi, |amps, idx| {
             amps[idx] *= minus;
@@ -300,28 +335,26 @@ impl StateVector {
         assert_eq!(p.n_qubits(), self.n_qubits, "pauli width");
         let x_mask = p.x_mask() as usize;
         let z_mask = p.z_mask() as usize;
-        let y_count = p.y_count();
-        // P|c> = (i)^{y} * (-1)^{(c & z_mask).popcount ... } |c ^ x_mask>
-        // More precisely each Y contributes i * (-1)^{bit}; each Z contributes
-        // (-1)^{bit}. We accumulate <psi|P|psi> = sum_c conj(amp[c^x]) *
-        // phase(c) * amp[c].
+        // P|c> = (i)^{y} * (-1)^{(c & z_mask).popcount} |c ^ x_mask>: each Y
+        // contributes i * (-1)^{bit}, each Z contributes (-1)^{bit}. We
+        // accumulate <psi|P|psi> = sum_c conj(amp[c^x]) * phase(c) * amp[c].
+        // The i^y factor is loop-invariant, so it is hoisted out of the
+        // per-amplitude loop (multiplying the +/-1 sign by the constant is
+        // exact, so this matches the original in-loop arithmetic); the dense
+        // states this simulator produces make a zero-amplitude skip a branch
+        // misprediction, not a saving, so every index is visited.
+        let iy = match p.y_count() % 4 {
+            0 => Complex64::ONE,
+            1 => Complex64::I,
+            2 => -Complex64::ONE,
+            _ => -Complex64::I,
+        };
         let mut acc = Complex64::ZERO;
         for (c, &amp) in self.amps.iter().enumerate() {
-            if amp == Complex64::ZERO {
-                continue;
-            }
-            let sign_bits = (c & z_mask).count_ones();
-            let mut phase = if sign_bits.is_multiple_of(2) {
-                Complex64::ONE
+            let phase = if (c & z_mask).count_ones().is_multiple_of(2) {
+                iy
             } else {
-                -Complex64::ONE
-            };
-            // Global i^y factor.
-            phase *= match y_count % 4 {
-                0 => Complex64::ONE,
-                1 => Complex64::I,
-                2 => -Complex64::ONE,
-                _ => -Complex64::I,
+                -iy
             };
             let dst = c ^ x_mask;
             acc += self.amps[dst].conj() * phase * amp;
@@ -377,6 +410,70 @@ impl StateVector {
                 Pauli::Z | Pauli::I => {}
             }
         }
+    }
+}
+
+pub mod reference {
+    //! The legacy (pre-compilation) expectation kernels, kept verbatim.
+    //!
+    //! These are the semantics baseline for the fused
+    //! [`crate::CompiledObservable`] kernel and the hoisted-phase
+    //! [`StateVector::pauli_expectation`]: one full `2^n` sweep per
+    //! Hamiltonian term, with the `i^y` phase recomputed inside the inner
+    //! loop and zero amplitudes skipped. Slow by design — the
+    //! `compiled_equivalence` proptest suite pins the fast paths to these
+    //! to `<= 1e-12`.
+
+    use super::StateVector;
+    use crate::pauli::{PauliString, PauliSum};
+    use qismet_mathkit::Complex64;
+
+    /// Pre-optimization `<psi| P |psi>`, bit-identical to the original
+    /// per-term kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn pauli_expectation(sv: &StateVector, p: &PauliString) -> f64 {
+        assert_eq!(p.n_qubits(), sv.n_qubits, "pauli width");
+        let x_mask = p.x_mask() as usize;
+        let z_mask = p.z_mask() as usize;
+        let y_count = p.y_count();
+        let mut acc = Complex64::ZERO;
+        for (c, &amp) in sv.amps.iter().enumerate() {
+            if amp == Complex64::ZERO {
+                continue;
+            }
+            let sign_bits = (c & z_mask).count_ones();
+            let mut phase = if sign_bits.is_multiple_of(2) {
+                Complex64::ONE
+            } else {
+                -Complex64::ONE
+            };
+            // Global i^y factor, recomputed per amplitude as the original
+            // kernel did.
+            phase *= match y_count % 4 {
+                0 => Complex64::ONE,
+                1 => Complex64::I,
+                2 => -Complex64::ONE,
+                _ => -Complex64::I,
+            };
+            let dst = c ^ x_mask;
+            acc += sv.amps[dst].conj() * phase * amp;
+        }
+        acc.re
+    }
+
+    /// Pre-optimization `<psi| H |psi>`: one full state sweep per term.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn expectation(sv: &StateVector, h: &PauliSum) -> f64 {
+        h.terms()
+            .iter()
+            .map(|(c, s)| c * pauli_expectation(sv, s))
+            .sum()
     }
 }
 
@@ -639,6 +736,34 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hoisted_phase_expectation_matches_legacy_kernel() {
+        // The optimized pauli_expectation (i^y hoisted, no zero-skip) against
+        // the retained legacy kernel, including sparse states with exact
+        // zeros (Bell/GHZ) where the dropped branch could matter.
+        let mut ghz = Circuit::new(4);
+        ghz.h(0);
+        for q in 0..3 {
+            ghz.cx(q, q + 1);
+        }
+        let sparse = StateVector::from_circuit(&ghz).unwrap();
+        let dense = random_state(4, 77);
+        for label in [
+            "ZZZZ", "XXXX", "YYII", "XYZI", "IIII", "YIYI", "ZXIY", "IIZX",
+        ] {
+            let p = PauliString::from_label(label).unwrap();
+            for sv in [&sparse, &dense] {
+                let fast = sv.pauli_expectation(&p);
+                let slow = super::reference::pauli_expectation(sv, &p);
+                assert!((fast - slow).abs() < TOL, "{label}: {fast} vs {slow}");
+            }
+        }
+        let h = PauliSum::from_labels(&[(0.7, "XIXI"), (-1.2, "ZZII"), (0.4, "YYYI")]).unwrap();
+        let fast = dense.expectation(&h);
+        let slow = super::reference::expectation(&dense, &h);
+        assert!((fast - slow).abs() < TOL);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! parameterized single-qubit rotations and CX entanglers, shallow enough
 //! for NISQ devices.
 
-use qismet_qsim::{Circuit, Param};
+use qismet_qsim::{Circuit, CompiledCircuit, Param};
 
 /// Entanglement pattern of the CX layers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -194,6 +194,46 @@ impl Ansatz {
         (0..self.n_params())
             .map(|_| (rng.gen::<f64>() * 2.0 - 1.0) * std::f64::consts::PI)
             .collect()
+    }
+
+    /// Lowers the ansatz once into a rebindable execution plan. Objective
+    /// evaluators hold one [`CompiledAnsatz`] and rebind it per parameter
+    /// point instead of binding a fresh [`Circuit`] per evaluation.
+    pub fn compile(&self) -> CompiledAnsatz {
+        CompiledAnsatz {
+            plan: CompiledCircuit::compile(&self.circuit),
+        }
+    }
+}
+
+/// An [`Ansatz`] lowered into a [`CompiledCircuit`]: single-qubit runs
+/// fused, entangler strides precomputed, and every free parameter a
+/// rebindable slot. Evaluating a new parameter point costs a handful of
+/// stack 2x2 recomputations — no circuit binding, no allocation.
+#[derive(Debug, Clone)]
+pub struct CompiledAnsatz {
+    plan: CompiledCircuit,
+}
+
+impl CompiledAnsatz {
+    /// Circuit width.
+    pub fn n_qubits(&self) -> usize {
+        self.plan.n_qubits()
+    }
+
+    /// Number of free parameters.
+    pub fn n_params(&self) -> usize {
+        self.plan.n_params()
+    }
+
+    /// The underlying execution plan.
+    pub fn plan(&self) -> &CompiledCircuit {
+        &self.plan
+    }
+
+    /// Mutable access for rebinding through a backend.
+    pub fn plan_mut(&mut self) -> &mut CompiledCircuit {
+        &mut self.plan
     }
 }
 

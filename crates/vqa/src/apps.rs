@@ -17,6 +17,7 @@ use crate::objective::{NoisyObjective, NoisyObjectiveConfig};
 use crate::tfim::Tfim;
 use qismet_mathkit::derive_seed;
 use qismet_qnoise::Machine;
+use qismet_qsim::{Backend, CachedStatevectorBackend};
 
 /// One row of Table 1.
 #[derive(Debug, Clone, PartialEq)]
@@ -126,6 +127,26 @@ impl AppSpec {
         magnitude: Option<f64>,
         master_seed: u64,
     ) -> AppInstance {
+        self.build_with_backend(
+            job_capacity,
+            magnitude,
+            master_seed,
+            Box::new(CachedStatevectorBackend::new()),
+        )
+    }
+
+    /// Like [`AppSpec::build`] but running the objective on an explicit
+    /// circuit-execution [`Backend`] — the hook campaign executors use to
+    /// share one pooled backend (scratch state + compiled plans) across all
+    /// runs on a worker thread. Results are identical to [`AppSpec::build`]
+    /// by the [`Backend`] contract.
+    pub fn build_with_backend(
+        &self,
+        job_capacity: usize,
+        magnitude: Option<f64>,
+        master_seed: u64,
+        backend: Box<dyn Backend>,
+    ) -> AppInstance {
         let tfim = Tfim {
             n: self.n_qubits,
             j: 1.0,
@@ -157,7 +178,8 @@ impl AppSpec {
             seed: derive_seed(seed, 2),
         };
         let theta0 = ansatz.initial_params_wide(derive_seed(seed, 3));
-        let objective = NoisyObjective::new(ansatz.clone(), hamiltonian.clone(), cfg);
+        let objective =
+            NoisyObjective::with_backend(ansatz.clone(), hamiltonian.clone(), cfg, backend);
         AppInstance {
             spec: self.clone(),
             ansatz,

@@ -52,7 +52,7 @@ mod qaoa;
 mod runner;
 mod tfim;
 
-pub use ansatz::{Ansatz, AnsatzKind, Entanglement};
+pub use ansatz::{Ansatz, AnsatzKind, CompiledAnsatz, Entanglement};
 pub use apps::{AppInstance, AppSpec};
 pub use history::{
     approximation_ratio, count_spikes, improvement_percent, relative_expectation, summarize,

@@ -15,11 +15,11 @@
 //! are perturbed differently). QISMET's estimator feeds on exactly this
 //! structure.
 
-use crate::ansatz::Ansatz;
+use crate::ansatz::{Ansatz, CompiledAnsatz};
 use crate::job::{JobLayout, JobRequest, JobResult};
 use qismet_mathkit::{normal, rng_from_seed};
 use qismet_qnoise::{StaticNoiseModel, TransientTrace};
-use qismet_qsim::{Backend, CachedStatevectorBackend, Circuit, PauliSum};
+use qismet_qsim::{Backend, CachedStatevectorBackend, CompiledObservable, PauliSum};
 use rand::rngs::StdRng;
 use std::cell::RefCell;
 use std::fmt;
@@ -55,12 +55,17 @@ impl std::error::Error for ObjectiveError {}
 
 /// Exact, noise-free objective (the paper's "Noise-free" reference).
 ///
-/// Circuit execution is delegated to a pluggable [`Backend`]; the default
-/// is the buffer-reusing [`CachedStatevectorBackend`], which avoids
-/// re-allocating a fresh statevector on every evaluation of a tuning loop.
+/// The ansatz is lowered once into a [`CompiledAnsatz`] and the Hamiltonian
+/// into a [`CompiledObservable`] at construction; each evaluation then
+/// rebinds the plan in place and executes it through the pluggable
+/// [`Backend`] — no circuit binding, no gate re-dispatch, no per-term state
+/// sweeps, and (with the default buffer-reusing
+/// [`CachedStatevectorBackend`]) no allocation at all per parameter point.
 pub struct ExactObjective {
     ansatz: Ansatz,
     hamiltonian: PauliSum,
+    compiled: RefCell<CompiledAnsatz>,
+    observable: CompiledObservable,
     backend: RefCell<Box<dyn Backend>>,
 }
 
@@ -69,6 +74,8 @@ impl Clone for ExactObjective {
         ExactObjective {
             ansatz: self.ansatz.clone(),
             hamiltonian: self.hamiltonian.clone(),
+            compiled: RefCell::new(self.compiled.borrow().clone()),
+            observable: self.observable.clone(),
             backend: RefCell::new(self.backend.borrow().clone()),
         }
     }
@@ -109,9 +116,13 @@ impl ExactObjective {
             hamiltonian.n_qubits(),
             "ansatz and Hamiltonian width"
         );
+        let compiled = RefCell::new(ansatz.compile());
+        let observable = CompiledObservable::compile(&hamiltonian);
         ExactObjective {
             ansatz,
             hamiltonian,
+            compiled,
+            observable,
             backend: RefCell::new(backend),
         }
     }
@@ -131,21 +142,21 @@ impl ExactObjective {
         self.backend.borrow().name()
     }
 
-    fn bind(&self, params: &[f64]) -> Circuit {
-        self.ansatz.bind(params).expect("parameter count")
-    }
-
-    /// Evaluates `<psi(theta)| H |psi(theta)>` exactly.
+    /// Evaluates `<psi(theta)| H |psi(theta)>` exactly, by rebinding the
+    /// compiled plan in place — the allocation-free hot path.
     ///
     /// # Panics
     ///
     /// Panics if `params` is shorter than the ansatz requires.
     pub fn eval(&self, params: &[f64]) -> f64 {
-        let bound = self.bind(params);
         self.backend
             .borrow_mut()
-            .evaluate(&bound, &self.hamiltonian)
-            .expect("bound circuit")
+            .evaluate_plan(
+                self.compiled.borrow_mut().plan_mut(),
+                params,
+                &self.observable,
+            )
+            .expect("parameter count")
     }
 
     /// Evaluates many parameter vectors as **one backend batch**, in order.
@@ -156,11 +167,14 @@ impl ExactObjective {
     ///
     /// Panics if any parameter vector is shorter than the ansatz requires.
     pub fn eval_batch(&self, params_list: &[Vec<f64>]) -> Vec<f64> {
-        let circuits: Vec<Circuit> = params_list.iter().map(|p| self.bind(p)).collect();
         self.backend
             .borrow_mut()
-            .evaluate_batch(&circuits, &self.hamiltonian)
-            .expect("bound circuits")
+            .evaluate_plan_batch(
+                self.compiled.borrow_mut().plan_mut(),
+                params_list,
+                &self.observable,
+            )
+            .expect("parameter count")
     }
 }
 

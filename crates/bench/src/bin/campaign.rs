@@ -1,21 +1,34 @@
 //! `campaign` — run an arbitrary user-specified sweep grid from the CLI.
 //!
 //! Expands machines x schemes x magnitudes x apps x trials into a flat run
-//! list, executes it through the sweep engine (parallel under
-//! `--features parallel`), prints a summary table, and writes JSON + CSV
-//! artifacts under `target/paper_results/`.
+//! list and executes it through the sweep engine — in-process (parallel
+//! under `--features parallel`), or sharded across worker *processes* with
+//! `--workers N`. Sharded runs can checkpoint every completed run to an
+//! append-only journal (`--checkpoint`) and `--resume` an interrupted
+//! invocation, re-executing only the missing runs; the merged report is
+//! byte-identical to a sequential run either way. Prints a summary table
+//! (with bootstrap confidence intervals when scenarios have multiple
+//! trials) and writes JSON + CSV artifacts under `target/paper_results/`.
 //!
 //! ```text
 //! cargo run --release -p qismet-bench --bin campaign -- \
 //!     --apps 2 --machines Guadalupe,Sydney --schemes baseline,qismet \
-//!     --magnitudes 0.1,0.5 --iterations 300 --trials 2 --seed 42
+//!     --magnitudes 0.1,0.5 --iterations 300 --trials 2 --seed 42 \
+//!     --workers 4 --checkpoint campaign.ckpt.jsonl
 //! ```
+//!
+//! The hidden `--worker` flag re-invokes this binary as a cluster worker
+//! serving spec indices over stdin/stdout; it is appended automatically by
+//! the coordinator and never needed by hand.
 
 use qismet_bench::{
-    f2, f4, parse_scheme, print_table, scaled, CampaignGrid, Scheme, SweepExecutor,
+    f2, f4, parse_scheme, print_table, run_campaign_distributed, scaled, serve_worker,
+    CampaignGrid, CampaignReport, DistributedOptions, RunsJsonlWriter, Scheme, SweepExecutor,
 };
+use qismet_cluster::WorkerLaunch;
 use qismet_qnoise::Machine;
 use qismet_vqa::AppSpec;
+use std::path::PathBuf;
 
 const USAGE: &str = "\
 campaign — declarative QISMET sweep runner
@@ -23,7 +36,7 @@ campaign — declarative QISMET sweep runner
 USAGE:
     campaign [OPTIONS]
 
-OPTIONS:
+GRID OPTIONS:
     --apps <ids>          Comma-separated Table 1 app ids (default: 2)
     --machines <names>    Comma-separated machine names (default: each app's native machine)
     --schemes <names>     Comma-separated schemes (default: baseline,qismet)
@@ -34,8 +47,15 @@ OPTIONS:
     --iterations <n>      SPSA iterations per run (default: scaled 500)
     --trials <n>          Trials per grid point (default: 1)
     --seed <n>            Campaign master seed; per-run seeds derive from it (default: 7)
-    --threads <n>         Worker threads, 0 = all cores (needs --features parallel)
     --name <str>          Campaign/artifact name (default: campaign)
+
+EXECUTION OPTIONS:
+    --threads <n>         In-process worker threads, 0 = all cores (needs --features parallel)
+    --workers <n>         Shard across <n> worker processes instead of threads
+    --checkpoint <path>   Append every completed run to a resume journal (with --workers)
+    --resume              Skip runs already completed in the --checkpoint journal
+    --max-respawns <n>    Respawn budget per crashed worker process (default: 2)
+    --jsonl <path>        Stream per-run records to a JSONL file as they complete
     -h, --help            Print this help
 ";
 
@@ -68,9 +88,25 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     name: String,
+    workers: usize,
+    checkpoint: Option<PathBuf>,
+    resume: bool,
+    max_respawns: usize,
+    jsonl: Option<PathBuf>,
+    worker_mode: bool,
 }
 
-fn parse_args() -> Args {
+/// Flags (with a value) that configure the coordinator only and must not be
+/// forwarded to worker processes.
+const COORDINATOR_VALUE_FLAGS: &[&str] = &[
+    "--workers",
+    "--checkpoint",
+    "--max-respawns",
+    "--jsonl",
+    "--threads",
+];
+
+fn parse_args(argv: &[String]) -> Args {
     let mut args = Args {
         apps: vec![AppSpec::by_id(2).expect("App2")],
         machines: Vec::new(),
@@ -81,14 +117,33 @@ fn parse_args() -> Args {
         seed: 7,
         threads: None,
         name: "campaign".to_string(),
+        workers: 0,
+        checkpoint: None,
+        resume: false,
+        max_respawns: 2,
+        jsonl: None,
+        worker_mode: false,
     };
-    let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
-        if flag == "-h" || flag == "--help" {
-            println!("{USAGE}");
-            std::process::exit(0);
+        match flag {
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            // Boolean flags.
+            "--resume" => {
+                args.resume = true;
+                i += 1;
+                continue;
+            }
+            "--worker" => {
+                args.worker_mode = true;
+                i += 1;
+                continue;
+            }
+            _ => {}
         }
         let value = argv
             .get(i + 1)
@@ -130,6 +185,22 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|_| die(&format!("invalid thread count `{value}`"))),
                 );
             }
+            "--workers" => {
+                args.workers = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid worker count `{value}`")));
+            }
+            "--checkpoint" => {
+                args.checkpoint = Some(PathBuf::from(value));
+            }
+            "--max-respawns" => {
+                args.max_respawns = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid respawn budget `{value}`")));
+            }
+            "--jsonl" => {
+                args.jsonl = Some(PathBuf::from(value));
+            }
             "--name" => {
                 args.name = value.clone();
             }
@@ -140,11 +211,40 @@ fn parse_args() -> Args {
     if args.apps.is_empty() || args.schemes.is_empty() {
         die("need at least one app and one scheme");
     }
+    if args.resume && args.checkpoint.is_none() {
+        die("--resume requires --checkpoint <path>");
+    }
+    if args.workers == 0 && !args.worker_mode && (args.checkpoint.is_some() || args.resume) {
+        // Only the sharded coordinator journals; refusing beats silently
+        // running an unresumable campaign.
+        die("--checkpoint/--resume need sharded execution: add --workers <n> (1 is fine)");
+    }
     args
 }
 
+/// The argv a worker process is launched with: the grid flags verbatim,
+/// coordinator-only execution flags stripped, plus `--worker`.
+fn worker_argv(argv: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(argv.len() + 1);
+    let mut i = 0;
+    while i < argv.len() {
+        let flag = argv[i].as_str();
+        if COORDINATOR_VALUE_FLAGS.contains(&flag) {
+            i += 2;
+        } else if flag == "--resume" || flag == "--worker" {
+            i += 1;
+        } else {
+            out.push(argv[i].clone());
+            i += 1;
+        }
+    }
+    out.push("--worker".to_string());
+    out
+}
+
 fn main() {
-    let args = parse_args();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = parse_args(&argv);
     let grid = CampaignGrid {
         apps: args.apps,
         machines: args.machines,
@@ -154,25 +254,91 @@ fn main() {
         trials: args.trials,
     };
     let campaign = grid.into_campaign(args.name, args.seed);
-    let executor = match args.threads {
-        Some(t) => SweepExecutor::with_threads(t),
-        None => SweepExecutor::new(),
-    };
+
+    if args.worker_mode {
+        // Hidden cluster-worker mode: stdout belongs to the protocol, so
+        // nothing below this point may run.
+        if let Err(e) = serve_worker(&campaign) {
+            eprintln!("worker error: {e}");
+            std::process::exit(3);
+        }
+        return;
+    }
+
     let n = campaign.len();
-    println!(
-        "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker(s)",
-        campaign.name,
-        campaign.scenarios.len(),
-        n,
-        args.iterations,
-        executor.effective_threads(n),
-    );
-    let started = std::time::Instant::now();
-    let report = executor.run(&campaign);
-    println!(
-        "completed {n} runs in {:.2}s",
-        started.elapsed().as_secs_f64()
-    );
+    let report = if args.workers > 0 {
+        let program = std::env::current_exe().expect("resolve current executable");
+        let launch = WorkerLaunch::new(program, worker_argv(&argv));
+        let opts = DistributedOptions {
+            workers: args.workers,
+            checkpoint: args.checkpoint.clone(),
+            resume: args.resume,
+            max_respawns: args.max_respawns,
+            stream_jsonl: args.jsonl.clone(),
+        };
+        println!(
+            "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker process(es), fingerprint {:#018x}",
+            campaign.name,
+            campaign.scenarios.len(),
+            n,
+            args.iterations,
+            opts.workers,
+            campaign.fingerprint(),
+        );
+        let started = std::time::Instant::now();
+        match run_campaign_distributed(&campaign, launch, &opts) {
+            Ok((report, stats)) => {
+                println!(
+                    "completed {n} runs in {:.2}s ({} resumed from checkpoint, {} executed, {} worker respawn(s))",
+                    started.elapsed().as_secs_f64(),
+                    stats.resumed,
+                    stats.executed,
+                    stats.respawns,
+                );
+                report
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                if args.checkpoint.is_some() {
+                    eprintln!("completed runs are checkpointed; re-run with --resume to continue");
+                }
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let executor = match args.threads {
+            Some(t) => SweepExecutor::with_threads(t),
+            None => SweepExecutor::new(),
+        };
+        println!(
+            "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker(s)",
+            campaign.name,
+            campaign.scenarios.len(),
+            n,
+            args.iterations,
+            executor.effective_threads(n),
+        );
+        let started = std::time::Instant::now();
+        let report = executor.run(&campaign);
+        println!(
+            "completed {n} runs in {:.2}s",
+            started.elapsed().as_secs_f64()
+        );
+        // In-process runs hold every record resident anyway; honor --jsonl
+        // by writing the stream post-hoc in expansion order.
+        if let Some(path) = &args.jsonl {
+            let mut w = RunsJsonlWriter::create(path).expect("create jsonl stream");
+            for record in &report.records {
+                w.append(record).expect("append jsonl record");
+            }
+            println!(
+                "[jsonl] wrote {} records to {}",
+                w.written(),
+                path.display()
+            );
+        }
+        report
+    };
 
     // Per-run summary table (series live in the JSON artifact).
     let rows: Vec<Vec<String>> = report
@@ -205,6 +371,38 @@ fn main() {
         ],
         &rows,
     );
+    print_scenario_cis(&campaign, &report);
     report.write_json(None);
     report.write_runs_csv(None);
+}
+
+/// Per-scenario mean + bootstrap 95% CI table, for scenarios with enough
+/// trials for an interval to mean anything.
+fn print_scenario_cis(campaign: &qismet_bench::Campaign, report: &CampaignReport) {
+    if !campaign.scenarios.iter().any(|s| s.trials >= 2) {
+        return;
+    }
+    let ci_seed = qismet_mathkit::derive_seed(campaign.seed, 0xc1);
+    let rows: Vec<Vec<String>> = campaign
+        .scenarios
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.trials >= 2)
+        .map(|(i, s)| {
+            let ci = report.scenario_ci(i, 1000, qismet_mathkit::derive_seed(ci_seed, i as u64));
+            vec![
+                s.display_label(),
+                s.app.name(),
+                s.trials.to_string(),
+                f4(ci.mean),
+                f4(ci.lo),
+                f4(ci.hi),
+            ]
+        })
+        .collect();
+    print_table(
+        "per-scenario trailing-window mean ± bootstrap 95% CI",
+        &["scenario", "app", "trials", "mean", "ci_lo", "ci_hi"],
+        &rows,
+    );
 }

@@ -1,0 +1,287 @@
+//! Sharded multi-process campaign execution — the bench-side adapter over
+//! [`qismet_cluster`].
+//!
+//! Both halves of the protocol live here:
+//!
+//! * [`run_campaign_distributed`] is the coordinator: it expands the
+//!   campaign, subtracts any runs already completed in the checkpoint
+//!   journal (`--resume`), fans the remaining spec indices across a
+//!   [`ProcessPool`] of `campaign --worker` processes, journals every
+//!   completion, and merges the records into a [`CampaignReport`] that is
+//!   **byte-identical** to a sequential in-process run.
+//! * [`serve_worker`] is the worker loop the hidden `--worker` mode enters:
+//!   it re-expands the same campaign from the same grid flags, handshakes
+//!   with the campaign fingerprint, and answers `Assign(index)` with
+//!   `Done(record)` until told to shut down.
+//!
+//! Specs never cross the process boundary — they are pure data both sides
+//! derive identically, so the wire carries only indices and records.
+
+use crate::executor::try_run_one;
+use crate::report::{CampaignReport, RunRecord, RunsJsonlWriter};
+use crate::scenario::Campaign;
+use qismet_cluster::{
+    load_journal, read_message, write_message, CheckpointEntry, ClusterError, Done, Hello,
+    JournalWriter, Message, Outcome, ProcessPool, WorkerLaunch,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::io;
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Fault-injection hook for tests and CI: a worker process exits (code 17)
+/// after sending this many `Done` messages, simulating a mid-campaign
+/// crash / OOM-kill with a deterministic cut point.
+pub const EXIT_AFTER_ENV: &str = "QISMET_CLUSTER_EXIT_AFTER";
+
+/// How a distributed campaign should execute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DistributedOptions {
+    /// Worker process count (at least 1).
+    pub workers: usize,
+    /// Append-only checkpoint journal path; `None` disables checkpointing.
+    pub checkpoint: Option<PathBuf>,
+    /// Replay the journal first and re-run only the missing specs.
+    /// Requires `checkpoint`.
+    pub resume: bool,
+    /// Per-worker respawn budget for crashed processes.
+    pub max_respawns: usize,
+    /// Stream every completed record to this JSONL path as it finishes.
+    pub stream_jsonl: Option<PathBuf>,
+}
+
+impl Default for DistributedOptions {
+    fn default() -> Self {
+        DistributedOptions {
+            workers: 2,
+            checkpoint: None,
+            resume: false,
+            max_respawns: 2,
+            stream_jsonl: None,
+        }
+    }
+}
+
+/// What a distributed run did, for operator-facing summaries and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DistributedStats {
+    /// Total specs in the campaign.
+    pub total: usize,
+    /// Specs skipped because the journal already held their records.
+    pub resumed: usize,
+    /// Specs executed by the worker pool this invocation.
+    pub executed: usize,
+    /// Worker process respawns along the way.
+    pub respawns: usize,
+}
+
+/// Runs `campaign` across a pool of worker processes, returning the merged
+/// report and run statistics. See the module docs for the full contract;
+/// the short version: same records, same order, same bytes as
+/// `SweepExecutor::sequential().run(&campaign)`.
+///
+/// # Errors
+///
+/// Returns a [`ClusterError`] on worker launch/handshake/protocol failures,
+/// when a worker exhausts its respawn budget, when a spec fails
+/// deterministically, or when journal/stream I/O fails. Completed runs are
+/// already journaled at that point, so a checkpointed invocation can be
+/// retried with `resume` to pick up where it stopped.
+pub fn run_campaign_distributed(
+    campaign: &Campaign,
+    launch: WorkerLaunch,
+    opts: &DistributedOptions,
+) -> Result<(CampaignReport, DistributedStats), ClusterError> {
+    let specs = campaign.expand();
+    let total = specs.len();
+    let fingerprint = campaign.fingerprint();
+
+    if opts.resume && opts.checkpoint.is_none() {
+        return Err(ClusterError::Io(
+            "resume requires a checkpoint journal path".into(),
+        ));
+    }
+
+    // Replay the journal: a record is only adopted if its (fingerprint,
+    // index, seed) triple still matches the campaign being run.
+    let mut resumed: BTreeMap<usize, RunRecord> = BTreeMap::new();
+    if opts.resume {
+        let path = opts.checkpoint.as_ref().expect("checked above");
+        let loaded =
+            load_journal(path, fingerprint).map_err(|e| ClusterError::Io(e.to_string()))?;
+        for (index, entry) in loaded.entries {
+            if index >= total || specs[index].seed != entry.seed {
+                continue;
+            }
+            if let Ok(record) = RunRecord::from_value(&entry.record) {
+                resumed.insert(index, record);
+            }
+        }
+    }
+
+    let journal = match &opts.checkpoint {
+        Some(path) => Some(JournalWriter::append_to(path).map_err(io_err)?),
+        None => None,
+    };
+    let stream = match &opts.stream_jsonl {
+        Some(path) => {
+            let mut w = RunsJsonlWriter::create(path).map_err(io_err)?;
+            // Resumed records stream first so the file is a complete
+            // account of the campaign, not just of this invocation.
+            for record in resumed.values() {
+                w.append(record).map_err(io_err)?;
+            }
+            Some(w)
+        }
+        None => None,
+    };
+
+    let pending: Vec<usize> = (0..total).filter(|i| !resumed.contains_key(i)).collect();
+    let executed = pending.len();
+
+    // The pool calls `on_done` from its collector threads; a journal or
+    // stream failure is fatal — the pool aborts instead of completing runs
+    // whose durability was silently lost (everything already journaled
+    // remains resumable).
+    let sink_state = Mutex::new((journal, stream));
+    let outcome = ProcessPool::new(launch, opts.workers)
+        .with_max_respawns(opts.max_respawns)
+        .run(fingerprint, total, &pending, |entry: &CheckpointEntry| {
+            let mut state = sink_state.lock().expect("sink mutex poisoned");
+            let (journal, stream) = &mut *state;
+            if let Some(j) = journal {
+                j.append(entry)
+                    .map_err(|e| format!("checkpoint append failed: {e}"))?;
+            }
+            if let Some(s) = stream {
+                let record = RunRecord::from_value(&entry.record)
+                    .map_err(|e| format!("spec {}: malformed record: {e}", entry.index))?;
+                s.append(&record)
+                    .map_err(|e| format!("jsonl stream append failed: {e}"))?;
+            }
+            Ok(())
+        })?;
+
+    // Merge resumed + fresh records into expansion order — the same
+    // exactly-once merge the shard layer guarantees.
+    let mut parts: Vec<(usize, RunRecord)> = resumed.into_iter().collect();
+    let resumed_count = parts.len();
+    for (index, value) in &outcome.records {
+        let record = RunRecord::from_value(value).map_err(|e| ClusterError::Protocol {
+            worker: usize::MAX,
+            detail: format!("spec {index} returned a malformed record: {e}"),
+        })?;
+        parts.push((*index, record));
+    }
+    let expected: Vec<usize> = (0..total).collect();
+    let records = qismet_cluster::merge_indexed(&expected, parts)
+        .map_err(|e| ClusterError::Merge(e.to_string()))?;
+
+    let report = CampaignReport {
+        name: campaign.name.clone(),
+        seed: campaign.seed,
+        records,
+    };
+    let stats = DistributedStats {
+        total,
+        resumed: resumed_count,
+        executed,
+        respawns: outcome.respawns,
+    };
+    Ok((report, stats))
+}
+
+fn io_err(e: io::Error) -> ClusterError {
+    ClusterError::Io(e.to_string())
+}
+
+/// The worker half: serves `Assign` messages over stdin/stdout until
+/// `Shutdown` (or coordinator disappearance). Invoked by the hidden
+/// `campaign --worker` mode with the campaign rebuilt from the same grid
+/// flags the coordinator parsed.
+///
+/// A spec that panics is reported as a typed `Done`/`Failed` message via
+/// [`try_run_one`] — the worker process stays alive and the coordinator
+/// decides (it treats spec failures as deterministic and fatal, unlike
+/// worker crashes, which it respawns).
+///
+/// # Errors
+///
+/// Returns a [`ClusterError`] on protocol violations or channel I/O
+/// failures. A cleanly closed stdin is a normal shutdown, not an error.
+pub fn serve_worker(campaign: &Campaign) -> Result<(), ClusterError> {
+    let specs = campaign.expand();
+    let worker_id: usize = std::env::var(qismet_cluster::WORKER_ID_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let exit_after: Option<usize> = std::env::var(EXIT_AFTER_ENV)
+        .ok()
+        .and_then(|v| v.parse().ok());
+
+    let stdin = io::stdin();
+    let mut reader = stdin.lock();
+    let stdout = io::stdout();
+    let mut writer = stdout.lock();
+
+    write_message(
+        &mut writer,
+        &Message::Hello(Hello {
+            worker_id,
+            fingerprint: campaign.fingerprint(),
+            spec_count: specs.len(),
+        }),
+    )
+    .map_err(|e| ClusterError::Io(format!("hello failed: {e}")))?;
+
+    let mut completed = 0usize;
+    loop {
+        let message = match read_message(&mut reader) {
+            Ok(message) => message,
+            // Coordinator exited (crash or impolite teardown): stop quietly.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(ClusterError::Io(format!("worker read failed: {e}"))),
+        };
+        match message {
+            Message::Assign(assign) => {
+                let spec = specs
+                    .get(assign.index)
+                    .ok_or_else(|| ClusterError::Protocol {
+                        worker: worker_id,
+                        detail: format!(
+                            "assigned index {} beyond spec count {}",
+                            assign.index,
+                            specs.len()
+                        ),
+                    })?;
+                let outcome = match try_run_one(spec) {
+                    Ok(record) => Outcome::Record(record.to_value()),
+                    Err(e) => Outcome::Failed(e.to_string()),
+                };
+                write_message(
+                    &mut writer,
+                    &Message::Done(Done {
+                        index: assign.index,
+                        seed: spec.seed,
+                        outcome,
+                    }),
+                )
+                .map_err(|e| ClusterError::Io(format!("done failed: {e}")))?;
+                completed += 1;
+                if exit_after == Some(completed) {
+                    // Fault-injection hook: simulate a crash at a
+                    // deterministic point, *after* the Done was flushed.
+                    std::process::exit(17);
+                }
+            }
+            Message::Shutdown => return Ok(()),
+            other => {
+                return Err(ClusterError::Protocol {
+                    worker: worker_id,
+                    detail: format!("unexpected message {other:?}"),
+                })
+            }
+        }
+    }
+}

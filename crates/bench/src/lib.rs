@@ -8,14 +8,18 @@
 //! scheme runners, and the iteration-scale control (`QISMET_BENCH_SCALE`)
 //! for quick smoke runs.
 
+pub mod distributed;
 pub mod executor;
 pub mod report;
 pub mod scenario;
 
-pub use executor::{run_campaign, run_one, SweepExecutor};
+pub use distributed::{
+    run_campaign_distributed, serve_worker, DistributedOptions, DistributedStats,
+};
+pub use executor::{run_campaign, run_one, try_run_one, ExecutorError, SweepExecutor};
 pub use report::{
-    downsample, f2, f4, final_window, geomean_ratios, print_table, results_dir, trailing_mean,
-    write_csv, CampaignReport, RunRecord,
+    bootstrap_ci, downsample, f2, f4, final_window, geomean_ratios, print_table, read_runs_jsonl,
+    results_dir, trailing_mean, write_csv, BootstrapCi, CampaignReport, RunRecord, RunsJsonlWriter,
 };
 pub use scenario::{
     parse_scheme, run_seed, Campaign, CampaignGrid, RunKind, RunSpec, ScenarioSpec, SeedSpec,

@@ -7,9 +7,10 @@
 //! (trailing-window means, geometric means over grouped ratios) replace the
 //! per-figure copies of that logic the bench binaries used to hand-roll.
 
+use rand::Rng as _;
 use serde::{Deserialize, Serialize};
-use std::io::Write as _;
-use std::path::PathBuf;
+use std::io::{self, Write as _};
+use std::path::{Path, PathBuf};
 
 /// Outcome of one campaign run, with enough identity (app, machine, scheme,
 /// grid coordinates, seed) to regroup and re-aggregate offline.
@@ -96,6 +97,42 @@ impl CampaignReport {
         self.scenario(index).iter().map(|r| r.skips).sum()
     }
 
+    /// Loads a report previously written by [`CampaignReport::write_json`]
+    /// (or any JSON with the same shape). The loader counterpart exists so
+    /// downstream aggregation — and the campaign resume path — can rehydrate
+    /// full-fidelity records; floats round-trip bit-exactly through the
+    /// shortest-representation JSON writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-read failures; malformed JSON or a mismatched shape
+    /// surfaces as [`io::ErrorKind::InvalidData`].
+    pub fn read_json(path: &Path) -> io::Result<CampaignReport> {
+        let text = std::fs::read_to_string(path)?;
+        serde_json::from_str(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", path.display()),
+            )
+        })
+    }
+
+    /// Bootstrap confidence interval of a scenario's mean final energy
+    /// (over its trials' trailing-window finals). Deterministic in `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenario has no records or `resamples` is zero.
+    pub fn scenario_ci(&self, index: usize, resamples: usize, seed: u64) -> BootstrapCi {
+        let finals: Vec<f64> = self
+            .scenario(index)
+            .iter()
+            .map(|r| r.final_energy)
+            .collect();
+        assert!(!finals.is_empty(), "scenario {index} has no records");
+        bootstrap_ci(&finals, resamples, seed)
+    }
+
     /// Writes the full report (series included) as pretty JSON under
     /// [`results_dir`], named `<name>.json` unless overridden.
     pub fn write_json(&self, file_name: Option<&str>) -> PathBuf {
@@ -178,6 +215,130 @@ pub fn trailing_mean(series: &[f64], window: usize) -> f64 {
 pub fn geomean_ratios(finals: &[f64], baseline: f64) -> f64 {
     let ratios: Vec<f64> = finals.iter().map(|&f| f / baseline).collect();
     qismet_mathkit::geomean(&ratios)
+}
+
+/// A percentile-bootstrap confidence interval around a sample mean.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BootstrapCi {
+    /// The plain sample mean.
+    pub mean: f64,
+    /// Lower 95% bound (2.5th percentile of resampled means).
+    pub lo: f64,
+    /// Upper 95% bound (97.5th percentile of resampled means).
+    pub hi: f64,
+}
+
+/// Percentile-bootstrap 95% confidence interval of the mean of
+/// `series_finals` (a scenario's per-trial trailing-window finals):
+/// `resamples` resamples with replacement, each of the original size, and
+/// the 2.5/97.5 percentiles of the resampled means. Fully deterministic in
+/// `seed`, so figure shape checks built on it stay reproducible.
+///
+/// # Panics
+///
+/// Panics if `series_finals` is empty or `resamples` is zero.
+pub fn bootstrap_ci(series_finals: &[f64], resamples: usize, seed: u64) -> BootstrapCi {
+    assert!(!series_finals.is_empty(), "bootstrap_ci of empty sample");
+    assert!(resamples > 0, "bootstrap_ci needs at least one resample");
+    let n = series_finals.len();
+    let mut rng = qismet_mathkit::rng_from_seed(seed);
+    let mut means = Vec::with_capacity(resamples);
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for _ in 0..n {
+            acc += series_finals[(rng.gen::<u64>() % n as u64) as usize];
+        }
+        means.push(acc / n as f64);
+    }
+    means.sort_by(f64::total_cmp);
+    let last = resamples - 1;
+    let lo = means[(last as f64 * 0.025).floor() as usize];
+    let hi = means[(last as f64 * 0.975).ceil() as usize];
+    BootstrapCi {
+        mean: qismet_mathkit::mean(series_finals),
+        lo,
+        hi,
+    }
+}
+
+/// Streams [`RunRecord`]s to a JSONL file, one compact line per record,
+/// flushed as each run completes. This is the durable output path for
+/// 10k+-run campaigns: every record (series included) is on disk the
+/// moment it finishes, so downstream aggregation can read the JSONL
+/// instead of the in-memory report. (The executors themselves still
+/// build a full `CampaignReport`; a summary-only merge that drops series
+/// from residency after streaming is the roadmap's next rung.)
+#[derive(Debug)]
+pub struct RunsJsonlWriter {
+    file: std::fs::File,
+    path: PathBuf,
+    written: usize,
+}
+
+impl RunsJsonlWriter {
+    /// Creates (truncating) the JSONL file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the create failure.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        Ok(RunsJsonlWriter {
+            file: std::fs::File::create(path)?,
+            path: path.to_path_buf(),
+            written: 0,
+        })
+    }
+
+    /// Appends one record as a compact JSON line and flushes it.
+    ///
+    /// Records appear in completion order (not necessarily expansion
+    /// order when produced by parallel or sharded executors); each line
+    /// carries its full grid identity (`scenario`, `trial`, `seed`), so
+    /// readers regroup without positional assumptions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures.
+    pub fn append(&mut self, record: &RunRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.written += 1;
+        Ok(())
+    }
+
+    /// How many records have been appended.
+    pub fn written(&self) -> usize {
+        self.written
+    }
+
+    /// The output path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// Reads back a JSONL record stream written by [`RunsJsonlWriter`].
+///
+/// # Errors
+///
+/// Propagates read failures; an unparsable line surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn read_runs_jsonl(path: &Path) -> io::Result<Vec<RunRecord>> {
+    let text = std::fs::read_to_string(path)?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            serde_json::from_str(l).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", path.display()),
+                )
+            })
+        })
+        .collect()
 }
 
 /// Directory where harnesses drop their artifacts.
@@ -303,6 +464,89 @@ mod tests {
             back.records[1].final_energy.to_bits(),
             report.records[1].final_energy.to_bits()
         );
+    }
+
+    #[test]
+    fn write_then_read_json_roundtrips_exactly() {
+        let report = CampaignReport {
+            name: format!("roundtrip-{}", std::process::id()),
+            seed: 0xfeed,
+            records: vec![record(0, 0, 0.1 + 0.2), record(1, 0, -7.25)],
+        };
+        let path = report.write_json(None);
+        let back = CampaignReport::read_json(&path).unwrap();
+        assert_eq!(back, report);
+        assert_eq!(
+            back.records[0].final_energy.to_bits(),
+            report.records[0].final_energy.to_bits()
+        );
+        std::fs::remove_file(&path).unwrap();
+        assert!(CampaignReport::read_json(&path).is_err());
+    }
+
+    #[test]
+    fn bootstrap_ci_is_deterministic_and_ordered() {
+        let finals = [-5.1, -5.3, -4.9, -5.6, -5.0, -5.2, -4.8, -5.4];
+        let a = bootstrap_ci(&finals, 500, 42);
+        let b = bootstrap_ci(&finals, 500, 42);
+        assert_eq!(a.lo.to_bits(), b.lo.to_bits());
+        assert_eq!(a.hi.to_bits(), b.hi.to_bits());
+        assert!(a.lo <= a.mean && a.mean <= a.hi, "{a:?}");
+        // A different seed resamples differently but stays a sane interval.
+        let c = bootstrap_ci(&finals, 500, 43);
+        assert!(c.lo <= c.mean && c.mean <= c.hi, "{c:?}");
+        assert!(a.lo >= -5.6 && a.hi <= -4.8, "bounds within sample range");
+    }
+
+    #[test]
+    fn bootstrap_ci_degenerate_sample_collapses() {
+        let ci = bootstrap_ci(&[2.5, 2.5, 2.5], 100, 7);
+        assert_eq!(ci.lo, 2.5);
+        assert_eq!(ci.hi, 2.5);
+        assert_eq!(ci.mean, 2.5);
+    }
+
+    #[test]
+    fn scenario_ci_bootstraps_trial_finals() {
+        let report = CampaignReport {
+            name: "ci".into(),
+            seed: 1,
+            records: vec![
+                record(0, 0, -4.0),
+                record(0, 1, -6.0),
+                record(0, 2, -5.0),
+                record(1, 0, -1.0),
+            ],
+        };
+        let ci = report.scenario_ci(0, 400, 9);
+        assert!((ci.mean + 5.0).abs() < 1e-12);
+        assert!(ci.lo >= -6.0 && ci.hi <= -4.0);
+        assert!(ci.lo <= ci.hi);
+    }
+
+    #[test]
+    fn jsonl_stream_roundtrips_in_append_order() {
+        let path = std::env::temp_dir().join(format!("qismet-runs-{}.jsonl", std::process::id()));
+        let records = [
+            record(0, 0, 0.1 + 0.2),
+            record(0, 1, -3.5),
+            record(1, 0, 9.0),
+        ];
+        {
+            let mut w = RunsJsonlWriter::create(&path).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+            assert_eq!(w.written(), 3);
+            assert_eq!(w.path(), path.as_path());
+        }
+        let back = read_runs_jsonl(&path).unwrap();
+        assert_eq!(back, records.to_vec());
+        assert_eq!(
+            back[0].final_energy.to_bits(),
+            records[0].final_energy.to_bits()
+        );
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

@@ -217,6 +217,35 @@ impl Campaign {
         self.scenarios.iter().map(|s| s.trials.max(1)).sum()
     }
 
+    /// A stable content hash of the fully-expanded campaign: name, master
+    /// seed, and every run's complete identity (grid coordinates, app,
+    /// kind, iterations, magnitude bits, resolved seed).
+    ///
+    /// This is the key the cluster layer uses end to end — the
+    /// coordinator/worker `Hello` handshake rejects a worker that expanded
+    /// a different campaign, and every checkpoint-journal entry carries the
+    /// fingerprint so `--resume` can never replay records into a campaign
+    /// they were not produced by. Any change to the campaign definition
+    /// (or to the spec types' textual form across a code change) flips the
+    /// fingerprint and conservatively invalidates old checkpoints.
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = qismet_cluster::Fingerprint::new();
+        fp.update_str(&self.name);
+        fp.update_u64(self.seed);
+        for spec in self.expand() {
+            fp.update_u64(spec.index as u64);
+            fp.update_u64(spec.scenario as u64);
+            fp.update_u64(spec.trial as u64);
+            fp.update_str(&spec.label);
+            fp.update_str(&format!("{:?}", spec.app));
+            fp.update_str(&format!("{:?}", spec.kind));
+            fp.update_u64(spec.iterations as u64);
+            fp.update_str(&format!("{:?}", spec.magnitude.map(f64::to_bits)));
+            fp.update_u64(spec.seed);
+        }
+        fp.finish()
+    }
+
     /// Whether the campaign has no scenarios.
     pub fn is_empty(&self) -> bool {
         self.scenarios.is_empty()
@@ -372,6 +401,30 @@ mod tests {
         );
         let seeds: Vec<u64> = campaign.expand().iter().map(|r| r.seed).collect();
         assert_eq!(seeds, vec![0xf13, 0xf13 + 0x1000, 0xf13 + 0x2000]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_campaign_identity() {
+        let base = || {
+            Campaign::new("t", 9)
+                .with(ScenarioSpec::new(app(), Scheme::Baseline, 50).with_trials(2))
+        };
+        assert_eq!(base().fingerprint(), base().fingerprint());
+        let renamed = Campaign::new("t2", 9)
+            .with(ScenarioSpec::new(app(), Scheme::Baseline, 50).with_trials(2));
+        assert_ne!(base().fingerprint(), renamed.fingerprint());
+        let reseeded = Campaign::new("t", 10)
+            .with(ScenarioSpec::new(app(), Scheme::Baseline, 50).with_trials(2));
+        assert_ne!(base().fingerprint(), reseeded.fingerprint());
+        let regridded =
+            Campaign::new("t", 9).with(ScenarioSpec::new(app(), Scheme::Qismet, 50).with_trials(2));
+        assert_ne!(base().fingerprint(), regridded.fingerprint());
+        let remagnituded = Campaign::new("t", 9).with(
+            ScenarioSpec::new(app(), Scheme::Baseline, 50)
+                .with_trials(2)
+                .with_magnitude(0.25),
+        );
+        assert_ne!(base().fingerprint(), remagnituded.fingerprint());
     }
 
     #[test]

@@ -1,0 +1,509 @@
+//! The process-pool coordinator.
+//!
+//! [`ProcessPool::run`] spawns `workers` copies of a worker command (in
+//! practice: the current binary re-invoked in its hidden `--worker` mode),
+//! verifies each worker's [`Hello`] handshake against the campaign
+//! fingerprint, then streams every worker its round-robin shard of pending
+//! spec indices one [`Assign`] at a time. Each [`Done`] is surfaced to the
+//! caller's `on_done` sink (where the journal append and any streaming
+//! writers live) before being merged into index-addressed slots.
+//!
+//! Fault model: a worker that dies (crash, OOM-kill, `kill -9`) is detected
+//! as an I/O failure on its channel, reaped, respawned, and its *unfinished*
+//! shard re-dispatched — completed indices are never re-run. A worker that
+//! stays alive but reports a failed run ([`Outcome::Failed`], e.g. a
+//! panicking spec) is a deterministic error: respawning would fail the same
+//! way, so the pool shuts down and returns [`ClusterError::RunFailed`].
+
+use crate::protocol::{
+    read_message, write_message, Assign, CheckpointEntry, Done, Message, Outcome,
+};
+use crate::shard::{merge_indexed, shard_round_robin};
+use serde::Value;
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::BufReader;
+use std::path::PathBuf;
+use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Environment variable carrying the worker's pool index to the spawned
+/// process (surfaced back in its [`crate::protocol::Hello`]).
+pub const WORKER_ID_ENV: &str = "QISMET_CLUSTER_WORKER_ID";
+
+/// How to launch one worker process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerLaunch {
+    /// Executable to spawn (typically `std::env::current_exe()`).
+    pub program: PathBuf,
+    /// Arguments that put the binary into worker mode for the same campaign
+    /// the coordinator expanded (grid flags plus `--worker`).
+    pub args: Vec<String>,
+    /// Extra environment variables for the worker (fault-injection hooks,
+    /// scale overrides). The parent environment is inherited as usual.
+    pub envs: Vec<(String, String)>,
+}
+
+impl WorkerLaunch {
+    /// A launch spec with no extra environment.
+    pub fn new(program: PathBuf, args: Vec<String>) -> Self {
+        WorkerLaunch {
+            program,
+            args,
+            envs: Vec::new(),
+        }
+    }
+}
+
+/// Everything that can go wrong while coordinating a pool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterError {
+    /// The worker process could not be spawned at all.
+    Spawn(String),
+    /// A worker's `Hello` fingerprint disagrees with the coordinator's —
+    /// the two sides expanded different campaigns (wrong flags, wrong
+    /// binary). Never retried.
+    FingerprintMismatch {
+        /// Worker pool index.
+        worker: usize,
+        /// The coordinator's fingerprint.
+        ours: u64,
+        /// The worker's fingerprint.
+        theirs: u64,
+    },
+    /// A worker's `Hello` spec count disagrees with the coordinator's.
+    SpecCountMismatch {
+        /// Worker pool index.
+        worker: usize,
+        /// The coordinator's spec count.
+        ours: usize,
+        /// The worker's spec count.
+        theirs: usize,
+    },
+    /// A worker kept dying after exhausting its respawn budget.
+    WorkerLost {
+        /// Worker pool index.
+        worker: usize,
+        /// Respawns consumed before giving up.
+        respawns: usize,
+        /// The final channel failure.
+        detail: String,
+    },
+    /// A worker reported a failed run (e.g. the spec panicked). The failure
+    /// is deterministic, so it is not retried.
+    RunFailed {
+        /// The failing spec index.
+        index: usize,
+        /// The worker's failure description.
+        detail: String,
+    },
+    /// A live worker violated the protocol (wrong index, unexpected
+    /// message kind).
+    Protocol {
+        /// Worker pool index.
+        worker: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Journal or streaming I/O failed on the coordinator side.
+    Io(String),
+    /// The collected records do not cover the dispatched index set.
+    Merge(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::Spawn(detail) => write!(f, "failed to spawn worker: {detail}"),
+            ClusterError::FingerprintMismatch {
+                worker,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "worker {worker} expanded a different campaign \
+                 (fingerprint {theirs:#018x}, coordinator has {ours:#018x})"
+            ),
+            ClusterError::SpecCountMismatch {
+                worker,
+                ours,
+                theirs,
+            } => write!(
+                f,
+                "worker {worker} expanded {theirs} specs, coordinator has {ours}"
+            ),
+            ClusterError::WorkerLost {
+                worker,
+                respawns,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} lost after {respawns} respawn(s): {detail}"
+            ),
+            ClusterError::RunFailed { index, detail } => {
+                write!(f, "spec {index} failed: {detail}")
+            }
+            ClusterError::Protocol { worker, detail } => {
+                write!(f, "protocol violation from worker {worker}: {detail}")
+            }
+            ClusterError::Io(detail) => write!(f, "cluster I/O error: {detail}"),
+            ClusterError::Merge(detail) => write!(f, "record merge failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+/// The successful result of a pool run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterOutcome {
+    /// One `(index, record)` pair per dispatched spec, sorted by index.
+    pub records: Vec<(usize, Value)>,
+    /// Worker respawns that occurred along the way.
+    pub respawns: usize,
+}
+
+/// A pool of worker processes executing spec indices.
+#[derive(Debug, Clone)]
+pub struct ProcessPool {
+    launch: WorkerLaunch,
+    workers: usize,
+    max_respawns: usize,
+}
+
+impl ProcessPool {
+    /// A pool of `workers` processes (at least one) launched via `launch`,
+    /// with a default per-worker respawn budget of 2.
+    pub fn new(launch: WorkerLaunch, workers: usize) -> Self {
+        ProcessPool {
+            launch,
+            workers: workers.max(1),
+            max_respawns: 2,
+        }
+    }
+
+    /// Overrides the per-worker respawn budget (0 = fail on first crash).
+    #[must_use]
+    pub fn with_max_respawns(mut self, max_respawns: usize) -> Self {
+        self.max_respawns = max_respawns;
+        self
+    }
+
+    /// The worker count this pool will actually spawn for `n` pending specs.
+    pub fn effective_workers(&self, n: usize) -> usize {
+        self.workers.min(n.max(1))
+    }
+
+    /// Dispatches `pending` spec indices across the pool and collects the
+    /// records. `fingerprint`/`total` describe the campaign both sides
+    /// expanded; `on_done` observes every completed run (in completion
+    /// order, across workers) before the merge — the place to append
+    /// checkpoints or stream records. A sink error is fatal: the pool
+    /// aborts rather than silently continuing without durability.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ClusterError`] (by worker index) if any worker
+    /// or the sink fails fatally; the remaining workers are aborted at
+    /// their next assignment boundary instead of draining their shards.
+    /// Completed work was already visible through `on_done`, so a
+    /// journaling caller can resume.
+    pub fn run<F>(
+        &self,
+        fingerprint: u64,
+        total: usize,
+        pending: &[usize],
+        on_done: F,
+    ) -> Result<ClusterOutcome, ClusterError>
+    where
+        F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
+    {
+        if pending.is_empty() {
+            return Ok(ClusterOutcome {
+                records: Vec::new(),
+                respawns: 0,
+            });
+        }
+        let workers = self.effective_workers(pending.len());
+        let shards = shard_round_robin(pending, workers);
+        let results: Mutex<Vec<(usize, Value)>> = Mutex::new(Vec::with_capacity(pending.len()));
+        let sink = Mutex::new(on_done);
+        let respawns = AtomicUsize::new(0);
+        let abort = AtomicBool::new(false);
+
+        let outcomes: Vec<Result<(), ClusterError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter()
+                .enumerate()
+                .map(|(worker, shard)| {
+                    let results = &results;
+                    let sink = &sink;
+                    let respawns = &respawns;
+                    let abort = &abort;
+                    scope.spawn(move || {
+                        let outcome = self.drive_shard(
+                            worker,
+                            shard,
+                            fingerprint,
+                            total,
+                            results,
+                            sink,
+                            respawns,
+                            abort,
+                        );
+                        if outcome.is_err() {
+                            // Other workers stop at their next assignment
+                            // boundary instead of draining whole shards
+                            // whose merged report will be discarded.
+                            abort.store(true, Ordering::Relaxed);
+                        }
+                        outcome
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("coordinator thread panicked"))
+                .collect()
+        });
+        for outcome in outcomes {
+            outcome?;
+        }
+
+        let mut expected = pending.to_vec();
+        expected.sort_unstable();
+        let collected = results.into_inner().expect("results mutex poisoned");
+        let merged =
+            merge_indexed(&expected, collected).map_err(|e| ClusterError::Merge(e.to_string()))?;
+        Ok(ClusterOutcome {
+            records: expected.into_iter().zip(merged).collect(),
+            respawns: respawns.load(Ordering::Relaxed),
+        })
+    }
+
+    /// Serves one worker's shard, respawning the process on channel loss.
+    #[allow(clippy::too_many_arguments)]
+    fn drive_shard<F>(
+        &self,
+        worker: usize,
+        shard: &[usize],
+        fingerprint: u64,
+        total: usize,
+        results: &Mutex<Vec<(usize, Value)>>,
+        sink: &Mutex<F>,
+        respawns: &AtomicUsize,
+        abort: &AtomicBool,
+    ) -> Result<(), ClusterError>
+    where
+        F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
+    {
+        let mut remaining: VecDeque<usize> = shard.iter().copied().collect();
+        if remaining.is_empty() {
+            return Ok(());
+        }
+        let mut respawns_left = self.max_respawns;
+        loop {
+            if abort.load(Ordering::Relaxed) {
+                // Another worker failed fatally; its error carries the
+                // diagnosis, so this shard just stops.
+                return Ok(());
+            }
+            let mut session = spawn_worker(&self.launch, worker)?;
+            let lost = match serve_session(
+                &mut session,
+                worker,
+                fingerprint,
+                total,
+                &mut remaining,
+                results,
+                sink,
+                abort,
+            ) {
+                Ok(()) => {
+                    session.shutdown();
+                    return Ok(());
+                }
+                Err(SessionEnd::Fatal(e)) => {
+                    session.kill();
+                    return Err(e);
+                }
+                Err(SessionEnd::ChannelLost(detail)) => {
+                    session.kill();
+                    detail
+                }
+            };
+            if respawns_left == 0 {
+                return Err(ClusterError::WorkerLost {
+                    worker,
+                    respawns: self.max_respawns,
+                    detail: lost,
+                });
+            }
+            respawns_left -= 1;
+            respawns.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Why a worker session stopped serving its shard.
+enum SessionEnd {
+    /// Unrecoverable: propagate to the caller.
+    Fatal(ClusterError),
+    /// The channel died (worker crashed); the shard's remainder can be
+    /// re-dispatched to a respawned process.
+    ChannelLost(String),
+}
+
+struct WorkerSession {
+    child: Child,
+    stdin: ChildStdin,
+    stdout: BufReader<ChildStdout>,
+}
+
+impl WorkerSession {
+    /// Graceful teardown: ask the worker to exit, close its stdin, reap.
+    fn shutdown(mut self) {
+        let _ = write_message(&mut self.stdin, &Message::Shutdown);
+        drop(self.stdin);
+        let _ = self.child.wait();
+    }
+
+    /// Hard teardown for error paths.
+    fn kill(mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_worker(launch: &WorkerLaunch, worker: usize) -> Result<WorkerSession, ClusterError> {
+    let mut cmd = Command::new(&launch.program);
+    cmd.args(&launch.args)
+        .env(WORKER_ID_ENV, worker.to_string())
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit());
+    for (key, value) in &launch.envs {
+        cmd.env(key, value);
+    }
+    let mut child = cmd
+        .spawn()
+        .map_err(|e| ClusterError::Spawn(format!("{}: {e}", launch.program.display())))?;
+    let stdin = child.stdin.take().expect("piped stdin");
+    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+    Ok(WorkerSession {
+        child,
+        stdin,
+        stdout,
+    })
+}
+
+/// Handshakes one freshly-spawned worker and streams it assignments until
+/// its shard drains, the session ends, or the pool aborts.
+#[allow(clippy::too_many_arguments)]
+fn serve_session<F>(
+    session: &mut WorkerSession,
+    worker: usize,
+    fingerprint: u64,
+    total: usize,
+    remaining: &mut VecDeque<usize>,
+    results: &Mutex<Vec<(usize, Value)>>,
+    sink: &Mutex<F>,
+    abort: &AtomicBool,
+) -> Result<(), SessionEnd>
+where
+    F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
+{
+    match read_message(&mut session.stdout) {
+        Ok(Message::Hello(hello)) => {
+            if hello.fingerprint != fingerprint {
+                return Err(SessionEnd::Fatal(ClusterError::FingerprintMismatch {
+                    worker,
+                    ours: fingerprint,
+                    theirs: hello.fingerprint,
+                }));
+            }
+            if hello.spec_count != total {
+                return Err(SessionEnd::Fatal(ClusterError::SpecCountMismatch {
+                    worker,
+                    ours: total,
+                    theirs: hello.spec_count,
+                }));
+            }
+        }
+        Ok(other) => {
+            return Err(SessionEnd::Fatal(ClusterError::Protocol {
+                worker,
+                detail: format!("expected Hello, got {other:?}"),
+            }))
+        }
+        Err(e) => return Err(SessionEnd::ChannelLost(format!("handshake failed: {e}"))),
+    }
+
+    while let Some(&index) = remaining.front() {
+        if abort.load(Ordering::Relaxed) {
+            // Another worker failed; stop at the assignment boundary and
+            // let the graceful-shutdown path reap this worker.
+            return Ok(());
+        }
+        if let Err(e) = write_message(&mut session.stdin, &Message::Assign(Assign { index })) {
+            return Err(SessionEnd::ChannelLost(format!(
+                "assign {index} failed: {e}"
+            )));
+        }
+        let done = match read_message(&mut session.stdout) {
+            Ok(Message::Done(done)) => done,
+            Ok(other) => {
+                return Err(SessionEnd::Fatal(ClusterError::Protocol {
+                    worker,
+                    detail: format!("expected Done, got {other:?}"),
+                }))
+            }
+            Err(e) => {
+                return Err(SessionEnd::ChannelLost(format!(
+                    "reading result of spec {index} failed: {e}"
+                )))
+            }
+        };
+        let Done {
+            index: done_index,
+            seed,
+            outcome,
+        } = done;
+        if done_index != index {
+            return Err(SessionEnd::Fatal(ClusterError::Protocol {
+                worker,
+                detail: format!("assigned spec {index}, got result for {done_index}"),
+            }));
+        }
+        match outcome {
+            Outcome::Record(record) => {
+                let entry = CheckpointEntry {
+                    fingerprint,
+                    index,
+                    seed,
+                    record,
+                };
+                let sunk = {
+                    let mut sink = sink.lock().expect("sink mutex poisoned");
+                    sink(&entry)
+                };
+                if let Err(detail) = sunk {
+                    // Durability lost (journal/stream write failed):
+                    // continuing would complete runs that can never be
+                    // resumed, so fail fast instead.
+                    return Err(SessionEnd::Fatal(ClusterError::Io(detail)));
+                }
+                results
+                    .lock()
+                    .expect("results mutex poisoned")
+                    .push((index, entry.record));
+                remaining.pop_front();
+            }
+            Outcome::Failed(detail) => {
+                return Err(SessionEnd::Fatal(ClusterError::RunFailed { index, detail }))
+            }
+        }
+    }
+    Ok(())
+}

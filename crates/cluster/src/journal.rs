@@ -1,0 +1,224 @@
+//! Append-only JSONL checkpoint journal.
+//!
+//! The coordinator appends one [`Message::Checkpoint`] line per completed
+//! run, flushed immediately, so an interrupted campaign (crash, OOM-kill,
+//! Ctrl-C) leaves a valid prefix of its progress on disk. On `--resume`,
+//! [`load_journal`] replays every line whose fingerprint matches the
+//! campaign being run; lines from other campaigns are counted and skipped,
+//! and a torn final line (the interrupted write itself) is tolerated.
+
+use crate::protocol::{CheckpointEntry, Message};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Appends checkpoint entries to a journal file, one JSONL line per run.
+#[derive(Debug)]
+pub struct JournalWriter {
+    file: File,
+    path: PathBuf,
+    appended: usize,
+}
+
+impl JournalWriter {
+    /// Opens (creating if needed) `path` for appending.
+    ///
+    /// If the existing journal ends mid-line (the torn write of an
+    /// interrupted invocation), a newline is appended first so new entries
+    /// never fuse onto the torn fragment.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying open/create failure.
+    pub fn append_to(path: &Path) -> io::Result<Self> {
+        let mut needs_newline = false;
+        match File::open(path) {
+            Ok(mut existing) => {
+                if existing.metadata()?.len() > 0 {
+                    existing.seek(SeekFrom::End(-1))?;
+                    let mut last = [0u8; 1];
+                    existing.read_exact(&mut last)?;
+                    needs_newline = last[0] != b'\n';
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(path)?;
+        if needs_newline {
+            file.write_all(b"\n")?;
+        }
+        Ok(JournalWriter {
+            file,
+            path: path.to_path_buf(),
+            appended: 0,
+        })
+    }
+
+    /// Appends one completed run and flushes it to the OS.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write/flush failures; the journal may then hold a torn
+    /// final line, which [`load_journal`] tolerates.
+    pub fn append(&mut self, entry: &CheckpointEntry) -> io::Result<()> {
+        let line = serde_json::to_string(&Message::Checkpoint(entry.clone()))
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        self.appended += 1;
+        Ok(())
+    }
+
+    /// How many entries this writer has appended.
+    pub fn appended(&self) -> usize {
+        self.appended
+    }
+
+    /// The journal file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// The result of replaying a journal against one campaign fingerprint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadedJournal {
+    /// Matching entries, keyed by spec index (the latest line wins if an
+    /// index was journaled twice, e.g. across a respawn race).
+    pub entries: BTreeMap<usize, CheckpointEntry>,
+    /// Lines that parsed but belong to a different campaign fingerprint.
+    pub foreign: usize,
+    /// Lines that failed to parse (torn trailing writes, stray text).
+    pub corrupt: usize,
+}
+
+/// Replays the journal at `path`, keeping entries for `fingerprint`.
+///
+/// A missing file is an empty journal, not an error — resuming a campaign
+/// that never checkpointed simply runs everything.
+///
+/// # Errors
+///
+/// Propagates read failures other than `NotFound`.
+pub fn load_journal(path: &Path, fingerprint: u64) -> io::Result<LoadedJournal> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let mut loaded = LoadedJournal {
+        entries: BTreeMap::new(),
+        foreign: 0,
+        corrupt: 0,
+    };
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<Message>(line) {
+            Ok(Message::Checkpoint(entry)) if entry.fingerprint == fingerprint => {
+                loaded.entries.insert(entry.index, entry);
+            }
+            Ok(Message::Checkpoint(_)) => loaded.foreign += 1,
+            Ok(_) | Err(_) => loaded.corrupt += 1,
+        }
+    }
+    Ok(loaded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Value;
+
+    fn entry(fingerprint: u64, index: usize, energy: f64) -> CheckpointEntry {
+        CheckpointEntry {
+            fingerprint,
+            index,
+            seed: 0x5eed + index as u64,
+            record: Value::Object(vec![("final_energy".into(), Value::F64(energy))]),
+        }
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("qismet-journal-{tag}-{}.jsonl", std::process::id()))
+    }
+
+    #[test]
+    fn write_then_load_roundtrips_matching_entries() {
+        let path = temp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 0, -5.5)).unwrap();
+            w.append(&entry(7, 3, 0.1 + 0.2)).unwrap();
+            w.append(&entry(99, 1, -1.0)).unwrap(); // foreign campaign
+            assert_eq!(w.appended(), 3);
+        }
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.foreign, 1);
+        assert_eq!(loaded.corrupt, 0);
+        let x = loaded.entries[&3].record.get("final_energy").unwrap();
+        assert_eq!(x.as_f64().unwrap().to_bits(), (0.1f64 + 0.2).to_bits());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_tolerated() {
+        let path = temp_path("torn");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 0, -5.5)).unwrap();
+        }
+        // Simulate a kill mid-append: a truncated JSON line with no newline.
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(b"{\"Checkpoint\":{\"fingerprint\":7,\"ind")
+                .unwrap();
+        }
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        assert_eq!(loaded.corrupt, 1);
+        // Appending after the interruption must not fuse onto the torn
+        // fragment: `append_to` terminates it first, so the fragment stays
+        // one corrupt line and the new entry loads intact.
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 5, 2.0)).unwrap();
+        }
+        let reloaded = load_journal(&path, 7).unwrap();
+        assert_eq!(reloaded.entries.len(), 2);
+        assert!(reloaded.entries.contains_key(&0));
+        assert!(reloaded.entries.contains_key(&5));
+        assert_eq!(reloaded.corrupt, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_journal_is_empty() {
+        let loaded = load_journal(Path::new("/nonexistent/qismet.jsonl"), 1).unwrap();
+        assert!(loaded.entries.is_empty());
+        assert_eq!(loaded.foreign + loaded.corrupt, 0);
+    }
+
+    #[test]
+    fn latest_entry_wins_per_index() {
+        let path = temp_path("latest");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 2, 1.0)).unwrap();
+            w.append(&entry(7, 2, 2.0)).unwrap();
+        }
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.entries.len(), 1);
+        let x = loaded.entries[&2].record.get("final_energy").unwrap();
+        assert_eq!(x.as_f64().unwrap(), 2.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

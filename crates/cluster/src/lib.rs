@@ -1,0 +1,127 @@
+//! Sharded multi-process campaign execution.
+//!
+//! The sweep engine in `qismet-bench` runs a campaign's independent,
+//! pre-seeded grid points across threads; this crate is the step from
+//! "bounded by cores" to "bounded by cluster". It knows nothing about VQAs —
+//! run payloads travel as [`serde::Value`] trees — and splits into four
+//! layers:
+//!
+//! * [`protocol`] — the five length-framed serde-JSON messages
+//!   (`Hello`/`Assign`/`Done`/`Checkpoint`/`Shutdown`) exchanged with worker
+//!   processes over their stdin/stdout. Specs are pure data addressed by
+//!   index, so no network stack is needed: both sides expand the same
+//!   campaign and agree on it via a [`Fingerprint`] handshake.
+//! * [`shard`] — deterministic partitioning of spec indices across workers
+//!   and the order-preserving merge of their results.
+//! * [`coordinator`] — [`coordinator::ProcessPool`], which spawns N worker
+//!   processes, streams each its shard one `Assign` at a time, collects
+//!   `Done` records into index-addressed slots, and respawns a crashed
+//!   worker to re-dispatch its unfinished shard.
+//! * [`journal`] — an append-only JSONL checkpoint keyed by (campaign
+//!   fingerprint, spec index, seed) so an interrupted campaign resumes
+//!   instead of restarting.
+//!
+//! The merged result is **bit-identical** to a sequential in-process run:
+//! every record is produced by the same pure function of the same pure spec,
+//! and the JSON layer (`serde_json` shim) round-trips every finite `f64`
+//! bit-exactly.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coordinator;
+pub mod journal;
+pub mod protocol;
+pub mod shard;
+
+pub use coordinator::{ClusterError, ClusterOutcome, ProcessPool, WorkerLaunch, WORKER_ID_ENV};
+pub use journal::{load_journal, JournalWriter, LoadedJournal};
+pub use protocol::{
+    read_message, write_message, Assign, CheckpointEntry, Done, Hello, Message, Outcome,
+};
+pub use shard::{merge_indexed, shard_round_robin, MergeError};
+
+/// Incremental FNV-1a content hash used to fingerprint campaign definitions.
+///
+/// Both the coordinator and every worker hash their own expansion of the
+/// campaign; the [`protocol::Hello`] handshake and every
+/// [`protocol::CheckpointEntry`] carry the result, so records can never be
+/// attached to (or resumed into) a campaign they were not produced by.
+///
+/// Variable-length inputs are length-prefixed, so field concatenations
+/// cannot alias (`"ab" + "c"` hashes differently from `"a" + "bc"`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fingerprint {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Fingerprint { state: FNV_OFFSET }
+    }
+
+    /// Absorbs raw bytes.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorbs a `u64` (little-endian).
+    pub fn update_u64(&mut self, v: u64) {
+        self.update(&v.to_le_bytes());
+    }
+
+    /// Absorbs a length-prefixed string.
+    pub fn update_str(&mut self, s: &str) {
+        self.update_u64(s.len() as u64);
+        self.update(s.as_bytes());
+    }
+
+    /// The accumulated 64-bit hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Fingerprint::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_is_stable_and_input_sensitive() {
+        let mut a = Fingerprint::new();
+        a.update_str("campaign");
+        a.update_u64(42);
+        let mut b = Fingerprint::new();
+        b.update_str("campaign");
+        b.update_u64(42);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fingerprint::new();
+        c.update_str("campaign");
+        c.update_u64(43);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_aliasing() {
+        let mut a = Fingerprint::new();
+        a.update_str("ab");
+        a.update_str("c");
+        let mut b = Fingerprint::new();
+        b.update_str("a");
+        b.update_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

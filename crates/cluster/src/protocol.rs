@@ -1,0 +1,270 @@
+//! The coordinator <-> worker wire protocol.
+//!
+//! Five message kinds cover the whole lifecycle:
+//!
+//! * [`Hello`] (worker -> coordinator): handshake announcing the worker's
+//!   campaign [`fingerprint`](crate::Fingerprint) and spec count, so a
+//!   mis-launched worker (different grid flags, different binary) is
+//!   rejected before any work is assigned.
+//! * [`Assign`] (coordinator -> worker): run the spec at one index.
+//! * [`Done`] (worker -> coordinator): the outcome of one assigned index —
+//!   a serialized record, or a typed failure message.
+//! * [`Checkpoint`](Message::Checkpoint): a durably-completed run. This
+//!   variant is the line format of the [`journal`](crate::journal) rather
+//!   than pipe traffic: the coordinator appends one per `Done` to the
+//!   checkpoint file, using the same serialization as the live channel.
+//! * [`Shutdown`](Message::Shutdown) (coordinator -> worker): drain and exit.
+//!
+//! Framing is `<decimal byte length>\n<json body>\n`. The explicit length
+//! makes truncated or interleaved writes detectable instead of silently
+//! re-synchronizing mid-stream, and the trailing newline keeps the stream
+//! greppable when captured for debugging.
+
+use serde::{Deserialize, Serialize, Value};
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on a single framed message body (guards against parsing a
+/// corrupted length header into a giant allocation).
+const MAX_FRAME_BYTES: usize = 1 << 30;
+
+/// Worker handshake: sent once, immediately after startup.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Hello {
+    /// Worker index within the pool (from `QISMET_CLUSTER_WORKER_ID`).
+    pub worker_id: usize,
+    /// The worker's own fingerprint of the expanded campaign.
+    pub fingerprint: u64,
+    /// How many specs the worker's expansion produced.
+    pub spec_count: usize,
+}
+
+/// Coordinator order: execute the spec at `index`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Assign {
+    /// Flat index into the campaign's expansion order.
+    pub index: usize,
+}
+
+/// The result payload of one assigned run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Outcome {
+    /// The run's record, as a serde value tree.
+    Record(Value),
+    /// The run failed (e.g. panicked); carries the failure description.
+    Failed(String),
+}
+
+/// Worker reply to an [`Assign`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Done {
+    /// The assigned index this outcome belongs to.
+    pub index: usize,
+    /// The fully-resolved seed the run executed with (journal key).
+    pub seed: u64,
+    /// Record or failure.
+    pub outcome: Outcome,
+}
+
+/// One durably-completed run, as appended to the checkpoint journal.
+///
+/// The (fingerprint, index, seed) triple is the resume key: a journal line
+/// is only replayed into a campaign whose fingerprint matches *and* whose
+/// spec at `index` still resolves to `seed`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointEntry {
+    /// Fingerprint of the campaign this run belongs to.
+    pub fingerprint: u64,
+    /// Flat spec index.
+    pub index: usize,
+    /// The seed the run executed with.
+    pub seed: u64,
+    /// The completed record, as a serde value tree.
+    pub record: Value,
+}
+
+/// Every message that crosses a worker channel or a journal line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Message {
+    /// Worker handshake.
+    Hello(Hello),
+    /// Assign one spec index.
+    Assign(Assign),
+    /// Outcome of one assigned index.
+    Done(Done),
+    /// A durably-completed run (journal line format).
+    Checkpoint(CheckpointEntry),
+    /// Drain and exit.
+    Shutdown,
+}
+
+/// Writes one length-framed message and flushes.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying writer (e.g. a broken pipe
+/// when the peer process has exited).
+pub fn write_message<W: Write>(w: &mut W, msg: &Message) -> io::Result<()> {
+    let body = serde_json::to_string(msg)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    writeln!(w, "{}", body.len())?;
+    w.write_all(body.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// Reads one length-framed message.
+///
+/// # Errors
+///
+/// Returns [`io::ErrorKind::UnexpectedEof`] when the channel closed cleanly
+/// between messages, and [`io::ErrorKind::InvalidData`] on framing or JSON
+/// corruption (a non-numeric length header, a missing trailing newline, an
+/// oversized frame, or an unparsable body).
+pub fn read_message<R: BufRead>(r: &mut R) -> io::Result<Message> {
+    let mut header = String::new();
+    if r.read_line(&mut header)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "message channel closed",
+        ));
+    }
+    let len: usize = header.trim().parse().map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("invalid frame length header {header:?}"),
+        )
+    })?;
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut body = vec![0u8; len + 1];
+    r.read_exact(&mut body)?;
+    if body[len] != b'\n' {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "frame missing trailing newline",
+        ));
+    }
+    let text = std::str::from_utf8(&body[..len])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "frame body is not UTF-8"))?;
+    serde_json::from_str(text).map_err(|e| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("unparsable message body: {e}"),
+        )
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(msg: &Message) -> Message {
+        let mut buf = Vec::new();
+        write_message(&mut buf, msg).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        read_message(&mut cursor).unwrap()
+    }
+
+    #[test]
+    fn every_message_kind_roundtrips() {
+        let record = Value::Object(vec![
+            ("final_energy".into(), Value::F64(-5.227_001)),
+            ("seed".into(), Value::U64(u64::MAX - 1)),
+        ]);
+        let messages = [
+            Message::Hello(Hello {
+                worker_id: 3,
+                fingerprint: 0xdead_beef_cafe_f00d,
+                spec_count: 96,
+            }),
+            Message::Assign(Assign { index: 17 }),
+            Message::Done(Done {
+                index: 17,
+                seed: 0x5eed,
+                outcome: Outcome::Record(record.clone()),
+            }),
+            Message::Done(Done {
+                index: 18,
+                seed: 0x5eee,
+                outcome: Outcome::Failed("run panicked: boom".into()),
+            }),
+            Message::Checkpoint(CheckpointEntry {
+                fingerprint: 1,
+                index: 2,
+                seed: 3,
+                record,
+            }),
+            Message::Shutdown,
+        ];
+        for msg in &messages {
+            assert_eq!(&roundtrip(msg), msg);
+        }
+    }
+
+    #[test]
+    fn floats_survive_the_frame_bit_exactly() {
+        let x = 0.1f64 + 0.2;
+        let msg = Message::Checkpoint(CheckpointEntry {
+            fingerprint: 9,
+            index: 0,
+            seed: 1,
+            record: Value::Array(vec![Value::F64(x), Value::F64(-x)]),
+        });
+        match roundtrip(&msg) {
+            Message::Checkpoint(e) => match e.record {
+                Value::Array(items) => {
+                    assert_eq!(items[0].as_f64().unwrap().to_bits(), x.to_bits());
+                    assert_eq!(items[1].as_f64().unwrap().to_bits(), (-x).to_bits());
+                }
+                other => panic!("unexpected record {other:?}"),
+            },
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn consecutive_frames_parse_in_order() {
+        let mut buf = Vec::new();
+        write_message(&mut buf, &Message::Assign(Assign { index: 1 })).unwrap();
+        write_message(&mut buf, &Message::Assign(Assign { index: 2 })).unwrap();
+        write_message(&mut buf, &Message::Shutdown).unwrap();
+        let mut cursor = io::Cursor::new(buf);
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            Message::Assign(Assign { index: 1 })
+        );
+        assert_eq!(
+            read_message(&mut cursor).unwrap(),
+            Message::Assign(Assign { index: 2 })
+        );
+        assert_eq!(read_message(&mut cursor).unwrap(), Message::Shutdown);
+        let eof = read_message(&mut cursor).unwrap_err();
+        assert_eq!(eof.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn corrupt_frames_are_typed_errors() {
+        // Garbage length header.
+        let mut cursor = io::Cursor::new(b"abc\n{}\n".to_vec());
+        assert_eq!(
+            read_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+        // Truncated body.
+        let mut cursor = io::Cursor::new(b"100\n{\"Shutdown\"".to_vec());
+        assert_eq!(
+            read_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::UnexpectedEof
+        );
+        // Length lies about the boundary (no trailing newline where claimed).
+        let mut cursor = io::Cursor::new(b"3\n\"Shutdown\"\n".to_vec());
+        assert_eq!(
+            read_message(&mut cursor).unwrap_err().kind(),
+            io::ErrorKind::InvalidData
+        );
+    }
+}

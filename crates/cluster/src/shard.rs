@@ -1,0 +1,171 @@
+//! Deterministic spec partitioning and order-preserving result merging.
+//!
+//! Sharding is round-robin over the pending index list: worker `k` of `n`
+//! gets the elements at positions `k, k + n, k + 2n, ...`. Round-robin (vs
+//! contiguous blocks) keeps shards balanced even when run cost correlates
+//! with grid position (e.g. magnitudes sweeping from cheap to expensive),
+//! and the assignment is a pure function of `(pending, workers)` so a
+//! respawned worker re-derives exactly its own unfinished share.
+
+use std::fmt;
+
+/// Partitions `indices` round-robin across `shards` workers.
+///
+/// Every input element appears in exactly one shard; concatenating the
+/// shards position-by-position restores the input order.
+///
+/// # Panics
+///
+/// Panics if `shards` is zero.
+pub fn shard_round_robin(indices: &[usize], shards: usize) -> Vec<Vec<usize>> {
+    assert!(shards > 0, "cannot shard across zero workers");
+    let mut out: Vec<Vec<usize>> = (0..shards)
+        .map(|_| Vec::with_capacity(indices.len() / shards + 1))
+        .collect();
+    for (pos, &index) in indices.iter().enumerate() {
+        out[pos % shards].push(index);
+    }
+    out
+}
+
+/// A merge failure: the collected parts do not cover exactly the expected
+/// index set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MergeError {
+    /// An expected index produced no result.
+    Missing(usize),
+    /// An index produced more than one result.
+    Duplicate(usize),
+    /// A result arrived for an index that was never expected.
+    Unexpected(usize),
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Missing(i) => write!(f, "no result for expected index {i}"),
+            MergeError::Duplicate(i) => write!(f, "duplicate result for index {i}"),
+            MergeError::Unexpected(i) => write!(f, "result for unexpected index {i}"),
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+/// Merges `(index, value)` parts into the order of `expected`, verifying
+/// the parts cover exactly the expected index set.
+///
+/// # Errors
+///
+/// Returns a [`MergeError`] if any expected index is missing, duplicated,
+/// or a part references an index not in `expected`.
+pub fn merge_indexed<T>(expected: &[usize], parts: Vec<(usize, T)>) -> Result<Vec<T>, MergeError> {
+    // Position of each expected index in the output.
+    let mut position = std::collections::HashMap::with_capacity(expected.len());
+    for (pos, &index) in expected.iter().enumerate() {
+        if position.insert(index, pos).is_some() {
+            return Err(MergeError::Duplicate(index));
+        }
+    }
+    let mut slots: Vec<Option<T>> = expected.iter().map(|_| None).collect();
+    for (index, value) in parts {
+        let &pos = position.get(&index).ok_or(MergeError::Unexpected(index))?;
+        if slots[pos].is_some() {
+            return Err(MergeError::Duplicate(index));
+        }
+        slots[pos] = Some(value);
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(pos, slot)| slot.ok_or(MergeError::Missing(expected[pos])))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn round_robin_is_deterministic_and_total() {
+        let indices: Vec<usize> = vec![4, 9, 1, 7, 0];
+        let shards = shard_round_robin(&indices, 2);
+        assert_eq!(shards, vec![vec![4, 1, 0], vec![9, 7]]);
+        assert_eq!(shard_round_robin(&indices, 2), shards);
+    }
+
+    #[test]
+    fn more_shards_than_work_leaves_empty_shards() {
+        let shards = shard_round_robin(&[3], 4);
+        assert_eq!(shards[0], vec![3]);
+        assert!(shards[1..].iter().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn merge_detects_every_failure_mode() {
+        let expected = [2usize, 5, 9];
+        assert_eq!(
+            merge_indexed(&expected, vec![(5, "b"), (9, "c"), (2, "a")]).unwrap(),
+            vec!["a", "b", "c"]
+        );
+        assert_eq!(
+            merge_indexed(&expected, vec![(2, "a"), (5, "b")]).unwrap_err(),
+            MergeError::Missing(9)
+        );
+        assert_eq!(
+            merge_indexed(&expected, vec![(2, "a"), (2, "a2"), (5, "b"), (9, "c")]).unwrap_err(),
+            MergeError::Duplicate(2)
+        );
+        assert_eq!(
+            merge_indexed(&expected, vec![(2, "a"), (5, "b"), (9, "c"), (11, "d")]).unwrap_err(),
+            MergeError::Unexpected(11)
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        // Sharding is a partition: every input position lands in exactly one
+        // shard, and merging the sharded parts back restores input order.
+        #[test]
+        fn shard_then_merge_preserves_input_order(
+            n in 0usize..80,
+            workers in 1usize..9,
+            salt in 0u64..u64::MAX,
+        ) {
+            // Distinct pseudo-random indices (what a resume's pending list
+            // looks like: sparse, unordered-looking, unique).
+            let mut indices: Vec<usize> = (0..n)
+                .map(|i| (qismet_seedlike(salt, i as u64) % 10_000) as usize)
+                .collect();
+            indices.sort_unstable();
+            indices.dedup();
+
+            let shards = shard_round_robin(&indices, workers);
+            prop_assert_eq!(shards.len(), workers);
+            let covered: usize = shards.iter().map(Vec::len).sum();
+            prop_assert_eq!(covered, indices.len());
+
+            // Each worker completes its shard in order; parts arrive
+            // interleaved in an arbitrary (here: worker-major) order.
+            let parts: Vec<(usize, usize)> = shards
+                .iter()
+                .flatten()
+                .map(|&index| (index, index * 31))
+                .collect();
+            let merged = merge_indexed(&indices, parts).unwrap();
+            let direct: Vec<usize> = indices.iter().map(|&i| i * 31).collect();
+            prop_assert_eq!(merged, direct);
+        }
+    }
+
+    /// SplitMix64-style scramble, local to the tests (no mathkit dep here).
+    fn qismet_seedlike(parent: u64, stream: u64) -> u64 {
+        let mut z = parent ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}

@@ -1,20 +1,31 @@
 //! `campaign` — run an arbitrary user-specified sweep grid from the CLI.
 //!
-//! Expands machines x schemes x magnitudes x apps x trials into a flat run
-//! list and executes it through the sweep engine — in-process (parallel
-//! under `--features parallel`), or sharded across worker *processes* with
-//! `--workers N`. Sharded runs can checkpoint every completed run to an
-//! append-only journal (`--checkpoint`) and `--resume` an interrupted
-//! invocation, re-executing only the missing runs; the merged report is
-//! byte-identical to a sequential run either way. Prints a summary table
-//! (with bootstrap confidence intervals when scenarios have multiple
-//! trials) and writes JSON + CSV artifacts under `target/paper_results/`.
+//! Expands machines x schemes x threshold-percentiles x magnitudes x apps x
+//! trials into a flat run list and executes it through the sweep engine —
+//! in-process (parallel under `--features parallel`), sharded across local
+//! worker *processes* with `--workers N`, and/or fanned to remote worker
+//! *machines* with `--connect host:port,...` (each remote end being this
+//! same binary in `--serve` mode). Local and remote workers mix freely in
+//! one pool, and each worker runs its batches through its own threaded
+//! executor (`--threads`). Sharded runs can checkpoint every completed run
+//! to an append-only journal (`--checkpoint`) and `--resume` an
+//! interrupted invocation, re-executing only the missing runs; the merged
+//! report is byte-identical to a sequential run whatever the topology.
+//! Prints a summary table (with bootstrap confidence intervals and paired
+//! cross-scheme significance tests when scenarios have multiple trials)
+//! and writes JSON + CSV artifacts under `target/paper_results/`.
 //!
 //! ```text
+//! # worker daemon on each machine (same grid flags + a bind address):
 //! cargo run --release -p qismet-bench --bin campaign -- \
-//!     --apps 2 --machines Guadalupe,Sydney --schemes baseline,qismet \
-//!     --magnitudes 0.1,0.5 --iterations 300 --trials 2 --seed 42 \
-//!     --workers 4 --checkpoint campaign.ckpt.jsonl
+//!     --apps 2 --schemes baseline,qismet --iterations 300 --trials 2 \
+//!     --seed 42 --serve 0.0.0.0:7401 --token s3cret --threads 4
+//!
+//! # coordinator anywhere:
+//! cargo run --release -p qismet-bench --bin campaign -- \
+//!     --apps 2 --schemes baseline,qismet --iterations 300 --trials 2 \
+//!     --seed 42 --connect hostA:7401,hostB:7401 --token s3cret \
+//!     --workers 2 --checkpoint campaign.ckpt.jsonl
 //! ```
 //!
 //! The hidden `--worker` flag re-invokes this binary as a cluster worker
@@ -22,10 +33,12 @@
 //! the coordinator and never needed by hand.
 
 use qismet_bench::{
-    f2, f4, parse_scheme, print_table, run_campaign_distributed, scaled, serve_worker,
-    CampaignGrid, CampaignReport, DistributedOptions, RunsJsonlWriter, Scheme, SweepExecutor,
+    f2, f4, parse_scheme, parse_threshold, print_table, run_campaign_distributed, scaled,
+    serve_campaign, serve_worker, CampaignGrid, CampaignReport, DistributedOptions,
+    RunsJsonlWriter, Scheme, SweepExecutor, WorkerOptions, DROP_AFTER_ENV, EXIT_AFTER_ENV,
+    MAX_SESSIONS_ENV,
 };
-use qismet_cluster::WorkerLaunch;
+use qismet_cluster::{TcpTransportListener, WorkerLaunch};
 use qismet_qnoise::Machine;
 use qismet_vqa::AppSpec;
 use std::path::PathBuf;
@@ -42,7 +55,9 @@ GRID OPTIONS:
     --schemes <names>     Comma-separated schemes (default: baseline,qismet)
                           [baseline, qismet, qismet-conservative, qismet-aggressive,
                            blocking, resampling, second-order, kalman-best,
-                           only-transients-<pct>]
+                           only-transients-<pct>, qismet-<pct>p]
+    --thresholds <pcts>   QISMET |Tm| threshold percentiles (1..=99) added as an
+                          extra per-cell axis (Fig. 19 generalized), e.g. 75,90,99
     --magnitudes <vals>   Comma-separated transient magnitudes (default: machine native)
     --iterations <n>      SPSA iterations per run (default: scaled 500)
     --trials <n>          Trials per grid point (default: 1)
@@ -50,12 +65,22 @@ GRID OPTIONS:
     --name <str>          Campaign/artifact name (default: campaign)
 
 EXECUTION OPTIONS:
-    --threads <n>         In-process worker threads, 0 = all cores (needs --features parallel)
-    --workers <n>         Shard across <n> worker processes instead of threads
-    --checkpoint <path>   Append every completed run to a resume journal (with --workers)
+    --threads <n>         Executor threads, 0 = all cores (needs --features parallel).
+                          In-process: sizes the sweep pool. With --workers/--serve:
+                          each worker runs its assigned batches on <n> threads
+                          (hybrid threads x processes/machines)
+    --workers <n>         Shard across <n> local worker processes
+    --connect <addrs>     Comma-separated remote worker daemons (host:port) to
+                          dial; mixes freely with --workers
+    --serve <addr>        Run as a long-lived remote worker daemon bound to
+                          <addr> (host:port, port 0 = auto) for this grid
+    --token <str>         Shared worker-authentication token (both sides)
+    --checkpoint <path>   Append every completed run to a resume journal
     --resume              Skip runs already completed in the --checkpoint journal
-    --max-respawns <n>    Respawn budget per crashed worker process (default: 2)
+    --max-respawns <n>    Respawn/reconnect budget per worker (default: 2)
     --jsonl <path>        Stream per-run records to a JSONL file as they complete
+    --summary-only        Drop per-run series from the merged report once streamed
+                          (requires --jsonl; series stay in the JSONL)
     -h, --help            Print this help
 ";
 
@@ -82,6 +107,7 @@ struct Args {
     apps: Vec<AppSpec>,
     machines: Vec<Machine>,
     schemes: Vec<Scheme>,
+    thresholds: Vec<u32>,
     magnitudes: Vec<f64>,
     iterations: usize,
     trials: usize,
@@ -89,21 +115,27 @@ struct Args {
     threads: Option<usize>,
     name: String,
     workers: usize,
+    connect: Vec<String>,
+    serve: Option<String>,
+    token: String,
     checkpoint: Option<PathBuf>,
     resume: bool,
     max_respawns: usize,
     jsonl: Option<PathBuf>,
+    summary_only: bool,
     worker_mode: bool,
 }
 
 /// Flags (with a value) that configure the coordinator only and must not be
-/// forwarded to worker processes.
+/// forwarded to worker processes. (`--threads` and `--token` are *not*
+/// here: workers need them to size their executors and authenticate.)
 const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--workers",
+    "--connect",
+    "--serve",
     "--checkpoint",
     "--max-respawns",
     "--jsonl",
-    "--threads",
 ];
 
 fn parse_args(argv: &[String]) -> Args {
@@ -111,6 +143,7 @@ fn parse_args(argv: &[String]) -> Args {
         apps: vec![AppSpec::by_id(2).expect("App2")],
         machines: Vec::new(),
         schemes: vec![Scheme::Baseline, Scheme::Qismet],
+        thresholds: Vec::new(),
         magnitudes: Vec::new(),
         iterations: scaled(500),
         trials: 1,
@@ -118,10 +151,14 @@ fn parse_args(argv: &[String]) -> Args {
         threads: None,
         name: "campaign".to_string(),
         workers: 0,
+        connect: Vec::new(),
+        serve: None,
+        token: String::new(),
         checkpoint: None,
         resume: false,
         max_respawns: 2,
         jsonl: None,
+        summary_only: false,
         worker_mode: false,
     };
     let mut i = 0;
@@ -135,6 +172,11 @@ fn parse_args(argv: &[String]) -> Args {
             // Boolean flags.
             "--resume" => {
                 args.resume = true;
+                i += 1;
+                continue;
+            }
+            "--summary-only" => {
+                args.summary_only = true;
                 i += 1;
                 continue;
             }
@@ -159,6 +201,9 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--schemes" => {
                 args.schemes = parse_list(value, "scheme", parse_scheme);
+            }
+            "--thresholds" => {
+                args.thresholds = parse_list(value, "threshold percentile", parse_threshold);
             }
             "--magnitudes" => {
                 args.magnitudes = parse_list(value, "magnitude", |s| s.parse::<f64>().ok());
@@ -190,6 +235,19 @@ fn parse_args(argv: &[String]) -> Args {
                     .parse()
                     .unwrap_or_else(|_| die(&format!("invalid worker count `{value}`")));
             }
+            "--connect" => {
+                args.connect = value
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().to_string())
+                    .collect();
+            }
+            "--serve" => {
+                args.serve = Some(value.clone());
+            }
+            "--token" => {
+                args.token = value.clone();
+            }
             "--checkpoint" => {
                 args.checkpoint = Some(PathBuf::from(value));
             }
@@ -208,22 +266,42 @@ fn parse_args(argv: &[String]) -> Args {
         }
         i += 2;
     }
-    if args.apps.is_empty() || args.schemes.is_empty() {
-        die("need at least one app and one scheme");
+    if args.apps.is_empty() || (args.schemes.is_empty() && args.thresholds.is_empty()) {
+        die("need at least one app and one scheme (or threshold percentile)");
+    }
+    let distributed = args.workers > 0 || !args.connect.is_empty();
+    if args.serve.is_some() && (distributed || args.worker_mode) {
+        die("--serve is a worker daemon mode; it cannot combine with --workers/--connect/--worker");
+    }
+    if args.serve.is_some()
+        && (args.checkpoint.is_some() || args.resume || args.jsonl.is_some() || args.summary_only)
+    {
+        // Journaling and streaming live on the coordinator; a daemon that
+        // silently ignored them would fake durability.
+        die("--checkpoint/--resume/--jsonl/--summary-only belong on the coordinator, not --serve");
     }
     if args.resume && args.checkpoint.is_none() {
         die("--resume requires --checkpoint <path>");
     }
-    if args.workers == 0 && !args.worker_mode && (args.checkpoint.is_some() || args.resume) {
-        // Only the sharded coordinator journals; refusing beats silently
-        // running an unresumable campaign.
-        die("--checkpoint/--resume need sharded execution: add --workers <n> (1 is fine)");
+    if !distributed && !args.worker_mode && args.serve.is_none() {
+        if args.checkpoint.is_some() || args.resume {
+            // Only the sharded coordinator journals; refusing beats silently
+            // running an unresumable campaign.
+            die("--checkpoint/--resume need sharded execution: add --workers <n> or --connect <addrs>");
+        }
+        if args.summary_only {
+            die("--summary-only needs sharded execution: add --workers <n> or --connect <addrs>");
+        }
+    }
+    if args.summary_only && args.jsonl.is_none() {
+        die("--summary-only requires --jsonl <path> (the series live in the stream)");
     }
     args
 }
 
-/// The argv a worker process is launched with: the grid flags verbatim,
-/// coordinator-only execution flags stripped, plus `--worker`.
+/// The argv a worker process is launched with: the grid flags verbatim
+/// (including `--threads`/`--token`), coordinator-only execution flags
+/// stripped, plus `--worker`.
 fn worker_argv(argv: &[String]) -> Vec<String> {
     let mut out = Vec::with_capacity(argv.len() + 1);
     let mut i = 0;
@@ -231,7 +309,7 @@ fn worker_argv(argv: &[String]) -> Vec<String> {
         let flag = argv[i].as_str();
         if COORDINATOR_VALUE_FLAGS.contains(&flag) {
             i += 2;
-        } else if flag == "--resume" || flag == "--worker" {
+        } else if flag == "--resume" || flag == "--summary-only" || flag == "--worker" {
             i += 1;
         } else {
             out.push(argv[i].clone());
@@ -242,6 +320,10 @@ fn worker_argv(argv: &[String]) -> Vec<String> {
     out
 }
 
+fn env_usize(name: &str) -> Option<usize> {
+    std::env::var(name).ok().and_then(|v| v.parse().ok())
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv);
@@ -249,6 +331,7 @@ fn main() {
         apps: args.apps,
         machines: args.machines,
         schemes: args.schemes,
+        thresholds: args.thresholds,
         magnitudes: args.magnitudes,
         iterations: args.iterations,
         trials: args.trials,
@@ -258,42 +341,95 @@ fn main() {
     if args.worker_mode {
         // Hidden cluster-worker mode: stdout belongs to the protocol, so
         // nothing below this point may run.
-        if let Err(e) = serve_worker(&campaign) {
+        let opts = WorkerOptions {
+            token: args.token,
+            threads: args.threads.unwrap_or(1),
+            exit_after: env_usize(EXIT_AFTER_ENV),
+            drop_after: None,
+        };
+        if let Err(e) = serve_worker(&campaign, &opts) {
             eprintln!("worker error: {e}");
             std::process::exit(3);
         }
         return;
     }
 
+    if let Some(addr) = &args.serve {
+        // Remote-worker daemon mode: accept coordinator sessions forever.
+        let mut listener = TcpTransportListener::bind(addr)
+            .unwrap_or_else(|e| die(&format!("cannot bind `{addr}`: {e}")));
+        let bound = listener
+            .socket_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone());
+        let opts = WorkerOptions {
+            token: args.token,
+            threads: args.threads.unwrap_or(1),
+            exit_after: None,
+            drop_after: env_usize(DROP_AFTER_ENV),
+        };
+        println!(
+            "serving campaign `{}` ({} specs, fingerprint {:#018x}) on {bound}, {} thread(s)",
+            campaign.name,
+            campaign.len(),
+            campaign.fingerprint(),
+            opts.threads,
+        );
+        // Readiness marker for scripts tailing a redirected stdout (the
+        // listener is already bound, so connecting is safe from here on).
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match serve_campaign(&campaign, &mut listener, &opts, env_usize(MAX_SESSIONS_ENV)) {
+            Ok(sessions) => {
+                println!("served {sessions} session(s), exiting");
+                return;
+            }
+            Err(e) => {
+                eprintln!("serve error: {e}");
+                std::process::exit(3);
+            }
+        }
+    }
+
     let n = campaign.len();
-    let report = if args.workers > 0 {
-        let program = std::env::current_exe().expect("resolve current executable");
-        let launch = WorkerLaunch::new(program, worker_argv(&argv));
+    let distributed = args.workers > 0 || !args.connect.is_empty();
+    let report = if distributed {
+        let launch = if args.workers > 0 {
+            let program = std::env::current_exe().expect("resolve current executable");
+            Some(WorkerLaunch::new(program, worker_argv(&argv)))
+        } else {
+            None
+        };
         let opts = DistributedOptions {
             workers: args.workers,
+            connect: args.connect.clone(),
+            token: args.token.clone(),
             checkpoint: args.checkpoint.clone(),
             resume: args.resume,
             max_respawns: args.max_respawns,
             stream_jsonl: args.jsonl.clone(),
+            summary_only: args.summary_only,
         };
         println!(
-            "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker process(es), fingerprint {:#018x}",
+            "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} local worker(s) + {} remote worker(s), fingerprint {:#018x}",
             campaign.name,
             campaign.scenarios.len(),
             n,
             args.iterations,
             opts.workers,
+            opts.connect.len(),
             campaign.fingerprint(),
         );
         let started = std::time::Instant::now();
         match run_campaign_distributed(&campaign, launch, &opts) {
             Ok((report, stats)) => {
                 println!(
-                    "completed {n} runs in {:.2}s ({} resumed from checkpoint, {} executed, {} worker respawn(s))",
+                    "completed {n} runs in {:.2}s ({} resumed from checkpoint, {} executed, {} worker respawn(s), {} worker(s) lost)",
                     started.elapsed().as_secs_f64(),
                     stats.resumed,
                     stats.executed,
                     stats.respawns,
+                    stats.lost_workers,
                 );
                 report
             }
@@ -372,6 +508,7 @@ fn main() {
         &rows,
     );
     print_scenario_cis(&campaign, &report);
+    print_paired_tests(&campaign, &report);
     report.write_json(None);
     report.write_runs_csv(None);
 }
@@ -403,6 +540,79 @@ fn print_scenario_cis(campaign: &qismet_bench::Campaign, report: &CampaignReport
     print_table(
         "per-scenario trailing-window mean ± bootstrap 95% CI",
         &["scenario", "app", "trials", "mean", "ci_lo", "ci_hi"],
+        &rows,
+    );
+}
+
+/// Paired cross-scheme significance tests: within every grid cell (same
+/// app, machine, magnitude, seed policy), each scheme's trials are paired
+/// with the first scheme's by trial index — exact pairs, because grid
+/// cells share per-trial seeds — and a sign-flip permutation test asks
+/// whether the mean final-energy difference is distinguishable from zero.
+fn print_paired_tests(campaign: &qismet_bench::Campaign, report: &CampaignReport) {
+    // Cells are consecutive scenarios sharing everything but the scheme.
+    let cell_key = |s: &qismet_bench::ScenarioSpec| {
+        format!(
+            "{:?}|{:?}|{}|{}|{:?}",
+            s.app,
+            s.magnitude.map(f64::to_bits),
+            s.iterations,
+            s.trials,
+            s.seed
+        )
+    };
+    let mut cells: Vec<(String, Vec<usize>)> = Vec::new();
+    for (i, s) in campaign.scenarios.iter().enumerate() {
+        if s.trials < 2 {
+            continue;
+        }
+        let key = cell_key(s);
+        match cells.last_mut() {
+            Some((k, idxs)) if *k == key => idxs.push(i),
+            _ => cells.push((key, vec![i])),
+        }
+    }
+    let test_seed = qismet_mathkit::derive_seed(campaign.seed, 0x9a17ed);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for (_, idxs) in cells.iter().filter(|(_, idxs)| idxs.len() >= 2) {
+        let reference = idxs[0];
+        for &other in &idxs[1..] {
+            let t = report.paired_scenario_test(
+                other,
+                reference,
+                2000,
+                qismet_mathkit::derive_seed(test_seed, other as u64),
+            );
+            let s = &campaign.scenarios[other];
+            rows.push(vec![
+                s.app.name(),
+                s.app.machine.name().to_string(),
+                s.magnitude.map(f2).unwrap_or_else(|| "native".into()),
+                format!(
+                    "{} - {}",
+                    s.display_label(),
+                    campaign.scenarios[reference].display_label()
+                ),
+                t.pairs.to_string(),
+                f4(t.mean_diff),
+                format!("{:.4}", t.p_value),
+            ]);
+        }
+    }
+    if rows.is_empty() {
+        return;
+    }
+    print_table(
+        "paired cross-scheme significance (sign-flip permutation, same-seed pairs)",
+        &[
+            "app",
+            "machine",
+            "magnitude",
+            "difference",
+            "pairs",
+            "mean_diff",
+            "p_value",
+        ],
         &rows,
     );
 }

@@ -1,64 +1,94 @@
-//! Sharded multi-process campaign execution — the bench-side adapter over
-//! [`qismet_cluster`].
+//! Sharded multi-process / multi-machine campaign execution — the
+//! bench-side adapter over [`qismet_cluster`].
 //!
 //! Both halves of the protocol live here:
 //!
 //! * [`run_campaign_distributed`] is the coordinator: it expands the
 //!   campaign, subtracts any runs already completed in the checkpoint
 //!   journal (`--resume`), fans the remaining spec indices across a
-//!   [`ProcessPool`] of `campaign --worker` processes, journals every
-//!   completion, and merges the records into a [`CampaignReport`] that is
-//!   **byte-identical** to a sequential in-process run.
-//! * [`serve_worker`] is the worker loop the hidden `--worker` mode enters:
-//!   it re-expands the same campaign from the same grid flags, handshakes
-//!   with the campaign fingerprint, and answers `Assign(index)` with
-//!   `Done(record)` until told to shut down.
+//!   [`WorkerPool`] — spawned `campaign --worker` processes, remote
+//!   `campaign --serve` daemons dialed over TCP, or any mix — journals
+//!   every completion, and merges the records into a [`CampaignReport`]
+//!   that is **byte-identical** to a sequential in-process run.
+//! * [`serve_worker`] is the stdio worker loop the hidden `--worker` mode
+//!   enters, and [`serve_campaign`] is the long-running `--serve` daemon
+//!   that accepts coordinator connections on a [`Listener`] and survives
+//!   their disconnects. Both re-expand the same campaign from the same
+//!   grid flags, authenticate the coordinator's shared token, handshake
+//!   with the campaign fingerprint, and answer batched `Assign(indices)`
+//!   with one `Done(record)` per index — running each batch through a
+//!   (possibly threaded) [`SweepExecutor`].
 //!
 //! Specs never cross the process boundary — they are pure data both sides
 //! derive identically, so the wire carries only indices and records.
 
 use crate::executor::try_run_one;
 use crate::report::{CampaignReport, RunRecord, RunsJsonlWriter};
-use crate::scenario::Campaign;
+use crate::scenario::{Campaign, RunSpec};
+use crate::SweepExecutor;
 use qismet_cluster::{
-    load_journal, read_message, write_message, CheckpointEntry, ClusterError, Done, Hello,
-    JournalWriter, Message, Outcome, ProcessPool, WorkerLaunch,
+    load_journal, CheckpointEntry, ClusterError, Connector, Done, Hello, JournalWriter, Listener,
+    Message, Outcome, ProcessConnector, StdioTransport, TcpConnector, Transport, WorkerLaunch,
+    WorkerPool,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// Fault-injection hook for tests and CI: a worker process exits (code 17)
 /// after sending this many `Done` messages, simulating a mid-campaign
 /// crash / OOM-kill with a deterministic cut point.
 pub const EXIT_AFTER_ENV: &str = "QISMET_CLUSTER_EXIT_AFTER";
 
+/// Fault-injection hook for tests and CI: a `--serve` daemon drops each
+/// session after sending this many `Done` messages, simulating a network
+/// disconnect with a deterministic cut point (the daemon itself survives).
+pub const DROP_AFTER_ENV: &str = "QISMET_NET_DROP_AFTER";
+
+/// Test/CI hook: a `--serve` daemon exits after accepting this many
+/// sessions instead of serving forever.
+pub const MAX_SESSIONS_ENV: &str = "QISMET_NET_MAX_SESSIONS";
+
 /// How a distributed campaign should execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DistributedOptions {
-    /// Worker process count (at least 1).
+    /// Local worker process count (0 = none; requires a launch spec when
+    /// positive).
     pub workers: usize,
+    /// Remote worker daemons to dial (`host:port` each).
+    pub connect: Vec<String>,
+    /// Shared authentication token carried in the `Hello` handshake.
+    pub token: String,
     /// Append-only checkpoint journal path; `None` disables checkpointing.
     pub checkpoint: Option<PathBuf>,
     /// Replay the journal first and re-run only the missing specs.
     /// Requires `checkpoint`.
     pub resume: bool,
-    /// Per-worker respawn budget for crashed processes.
+    /// Per-worker respawn (process) / reconnect (TCP) budget.
     pub max_respawns: usize,
     /// Stream every completed record to this JSONL path as it finishes.
     pub stream_jsonl: Option<PathBuf>,
+    /// Drop per-run series from coordinator residency once streamed: the
+    /// merged report keeps every aggregate (final energy, jobs, skips...)
+    /// but its `series` are empty — the full series live in the JSONL.
+    /// Requires `stream_jsonl`.
+    pub summary_only: bool,
 }
 
 impl Default for DistributedOptions {
     fn default() -> Self {
         DistributedOptions {
             workers: 2,
+            connect: Vec::new(),
+            token: String::new(),
             checkpoint: None,
             resume: false,
             max_respawns: 2,
             stream_jsonl: None,
+            summary_only: false,
         }
     }
 }
@@ -72,25 +102,29 @@ pub struct DistributedStats {
     pub resumed: usize,
     /// Specs executed by the worker pool this invocation.
     pub executed: usize,
-    /// Worker process respawns along the way.
+    /// Worker respawns/reconnects along the way.
     pub respawns: usize,
+    /// Worker slots lost for good (their work re-dispatched to survivors).
+    pub lost_workers: usize,
 }
 
-/// Runs `campaign` across a pool of worker processes, returning the merged
-/// report and run statistics. See the module docs for the full contract;
-/// the short version: same records, same order, same bytes as
-/// `SweepExecutor::sequential().run(&campaign)`.
+/// Runs `campaign` across a pool of workers — `opts.workers` spawned
+/// processes (launched via `launch`) plus one remote TCP worker per
+/// `opts.connect` address — returning the merged report and run
+/// statistics. See the module docs for the full contract; the short
+/// version: same records, same order, same bytes as
+/// `SweepExecutor::sequential().run(&campaign)`, whatever the topology.
 ///
 /// # Errors
 ///
-/// Returns a [`ClusterError`] on worker launch/handshake/protocol failures,
-/// when a worker exhausts its respawn budget, when a spec fails
+/// Returns a [`ClusterError`] on worker launch/handshake/protocol
+/// failures, when unfinished work outlives every worker, when a spec fails
 /// deterministically, or when journal/stream I/O fails. Completed runs are
 /// already journaled at that point, so a checkpointed invocation can be
 /// retried with `resume` to pick up where it stopped.
 pub fn run_campaign_distributed(
     campaign: &Campaign,
-    launch: WorkerLaunch,
+    launch: Option<WorkerLaunch>,
     opts: &DistributedOptions,
 ) -> Result<(CampaignReport, DistributedStats), ClusterError> {
     let specs = campaign.expand();
@@ -100,6 +134,30 @@ pub fn run_campaign_distributed(
     if opts.resume && opts.checkpoint.is_none() {
         return Err(ClusterError::Io(
             "resume requires a checkpoint journal path".into(),
+        ));
+    }
+    if opts.summary_only && opts.stream_jsonl.is_none() {
+        return Err(ClusterError::Io(
+            "summary-only merge requires a JSONL stream path".into(),
+        ));
+    }
+    let mut connectors: Vec<Box<dyn Connector>> = Vec::new();
+    if opts.workers > 0 {
+        let launch = launch.ok_or_else(|| {
+            ClusterError::Spawn("local workers requested without a launch spec".into())
+        })?;
+        for _ in 0..opts.workers {
+            connectors.push(Box::new(ProcessConnector {
+                launch: launch.clone(),
+            }));
+        }
+    }
+    for addr in &opts.connect {
+        connectors.push(Box::new(TcpConnector::new(addr.clone())));
+    }
+    if connectors.is_empty() {
+        return Err(ClusterError::Spawn(
+            "no workers: need a positive worker count or at least one connect address".into(),
         ));
     }
 
@@ -136,6 +194,13 @@ pub fn run_campaign_distributed(
         }
         None => None,
     };
+    if opts.summary_only {
+        // The streamed JSONL holds the full series; residency keeps the
+        // aggregates only.
+        for record in resumed.values_mut() {
+            record.series.clear();
+        }
+    }
 
     let pending: Vec<usize> = (0..total).filter(|i| !resumed.contains_key(i)).collect();
     let executed = pending.len();
@@ -144,24 +209,35 @@ pub fn run_campaign_distributed(
     // stream failure is fatal — the pool aborts instead of completing runs
     // whose durability was silently lost (everything already journaled
     // remains resumable).
+    let summary_only = opts.summary_only;
     let sink_state = Mutex::new((journal, stream));
-    let outcome = ProcessPool::new(launch, opts.workers)
+    let outcome = WorkerPool::new(connectors)
         .with_max_respawns(opts.max_respawns)
-        .run(fingerprint, total, &pending, |entry: &CheckpointEntry| {
-            let mut state = sink_state.lock().expect("sink mutex poisoned");
-            let (journal, stream) = &mut *state;
-            if let Some(j) = journal {
-                j.append(entry)
-                    .map_err(|e| format!("checkpoint append failed: {e}"))?;
-            }
-            if let Some(s) = stream {
-                let record = RunRecord::from_value(&entry.record)
-                    .map_err(|e| format!("spec {}: malformed record: {e}", entry.index))?;
-                s.append(&record)
-                    .map_err(|e| format!("jsonl stream append failed: {e}"))?;
-            }
-            Ok(())
-        })?;
+        .with_token(opts.token.clone())
+        .run(
+            fingerprint,
+            total,
+            &pending,
+            |entry: &mut CheckpointEntry| {
+                let mut state = sink_state.lock().expect("sink mutex poisoned");
+                let (journal, stream) = &mut *state;
+                if let Some(j) = journal {
+                    j.append(entry)
+                        .map_err(|e| format!("checkpoint append failed: {e}"))?;
+                }
+                if let Some(s) = stream {
+                    let mut record = RunRecord::from_value(&entry.record)
+                        .map_err(|e| format!("spec {}: malformed record: {e}", entry.index))?;
+                    s.append(&record)
+                        .map_err(|e| format!("jsonl stream append failed: {e}"))?;
+                    if summary_only {
+                        record.series.clear();
+                        entry.record = record.to_value();
+                    }
+                }
+                Ok(())
+            },
+        )?;
 
     // Merge resumed + fresh records into expansion order — the same
     // exactly-once merge the shard layer guarantees.
@@ -188,6 +264,7 @@ pub fn run_campaign_distributed(
         resumed: resumed_count,
         executed,
         respawns: outcome.respawns,
+        lost_workers: outcome.lost_workers,
     };
     Ok((report, stats))
 }
@@ -196,91 +273,267 @@ fn io_err(e: io::Error) -> ClusterError {
     ClusterError::Io(e.to_string())
 }
 
-/// The worker half: serves `Assign` messages over stdin/stdout until
-/// `Shutdown` (or coordinator disappearance). Invoked by the hidden
-/// `campaign --worker` mode with the campaign rebuilt from the same grid
-/// flags the coordinator parsed.
-///
-/// A spec that panics is reported as a typed `Done`/`Failed` message via
-/// [`try_run_one`] — the worker process stays alive and the coordinator
-/// decides (it treats spec failures as deterministic and fatal, unlike
-/// worker crashes, which it respawns).
+/// Worker-side behavior knobs, shared by the stdio worker and the TCP
+/// serve daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerOptions {
+    /// Shared authentication token; sessions whose coordinator presents a
+    /// different token are rejected.
+    pub token: String,
+    /// Executor threads for batched assignments (0 = all cores under the
+    /// `parallel` feature; effectively 1 otherwise). Advertised in the
+    /// `Hello` reply so the coordinator sizes batches to match.
+    pub threads: usize,
+    /// Fault injection: exit the process (code 17) after this many `Done`s
+    /// (stdio workers; see [`EXIT_AFTER_ENV`]).
+    pub exit_after: Option<usize>,
+    /// Fault injection: drop the session after this many `Done`s (serve
+    /// daemons; see [`DROP_AFTER_ENV`]).
+    pub drop_after: Option<usize>,
+}
+
+impl Default for WorkerOptions {
+    fn default() -> Self {
+        WorkerOptions {
+            token: String::new(),
+            threads: 1,
+            exit_after: None,
+            drop_after: None,
+        }
+    }
+}
+
+impl WorkerOptions {
+    /// The executor batch size this worker advertises (at least 1).
+    fn advertised_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|p| p.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// How one worker session ended (all are normal from the worker's side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionOutcome {
+    /// The coordinator sent `Shutdown` after draining its queue.
+    Shutdown,
+    /// The channel closed cleanly (coordinator exited or crashed).
+    CoordinatorGone,
+    /// The handshake was refused (token mismatch).
+    Rejected,
+    /// The fault-injection hook dropped the session mid-stream.
+    Dropped,
+}
+
+/// Serves one coordinator session over `transport`: mutual handshake, then
+/// batched `Assign` -> `Done` streaming until `Shutdown` or disconnect.
 ///
 /// # Errors
 ///
 /// Returns a [`ClusterError`] on protocol violations or channel I/O
-/// failures. A cleanly closed stdin is a normal shutdown, not an error.
-pub fn serve_worker(campaign: &Campaign) -> Result<(), ClusterError> {
-    let specs = campaign.expand();
-    let worker_id: usize = std::env::var(qismet_cluster::WORKER_ID_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
-    let exit_after: Option<usize> = std::env::var(EXIT_AFTER_ENV)
-        .ok()
-        .and_then(|v| v.parse().ok());
-
-    let stdin = io::stdin();
-    let mut reader = stdin.lock();
-    let stdout = io::stdout();
-    let mut writer = stdout.lock();
-
-    write_message(
-        &mut writer,
-        &Message::Hello(Hello {
+/// failures mid-session. A cleanly closed channel is a normal
+/// [`SessionOutcome::CoordinatorGone`], not an error.
+pub fn serve_session(
+    campaign: &Campaign,
+    specs: &[RunSpec],
+    transport: &mut dyn Transport,
+    opts: &WorkerOptions,
+) -> Result<SessionOutcome, ClusterError> {
+    let threads = opts.advertised_threads();
+    let executor = SweepExecutor::with_threads(threads);
+    let coordinator = match transport.recv() {
+        Ok(Message::Hello(hello)) => hello,
+        Ok(other) => {
+            return Err(ClusterError::Protocol {
+                worker: 0,
+                detail: format!("expected coordinator Hello, got {other:?}"),
+            })
+        }
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+            return Ok(SessionOutcome::CoordinatorGone)
+        }
+        Err(e) => return Err(ClusterError::Io(format!("handshake read failed: {e}"))),
+    };
+    let worker_id = coordinator.worker_id;
+    if coordinator.token != opts.token {
+        // Never echo this worker's own token to an unauthenticated peer.
+        let _ = transport.send(&Message::Reject("token mismatch".into()));
+        return Ok(SessionOutcome::Rejected);
+    }
+    transport
+        .send(&Message::Hello(Hello {
             worker_id,
             fingerprint: campaign.fingerprint(),
             spec_count: specs.len(),
-        }),
-    )
-    .map_err(|e| ClusterError::Io(format!("hello failed: {e}")))?;
+            token: opts.token.clone(),
+            threads,
+        }))
+        .map_err(|e| ClusterError::Io(format!("hello reply failed: {e}")))?;
+    // Handshake deadline (if the caller set one) no longer applies: an
+    // authenticated coordinator may legitimately idle between batches.
+    let _ = transport.set_read_timeout(None);
 
     let mut completed = 0usize;
     loop {
-        let message = match read_message(&mut reader) {
+        let message = match transport.recv() {
             Ok(message) => message,
             // Coordinator exited (crash or impolite teardown): stop quietly.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok(SessionOutcome::CoordinatorGone)
+            }
             Err(e) => return Err(ClusterError::Io(format!("worker read failed: {e}"))),
         };
         match message {
             Message::Assign(assign) => {
-                let spec = specs
-                    .get(assign.index)
-                    .ok_or_else(|| ClusterError::Protocol {
-                        worker: worker_id,
-                        detail: format!(
-                            "assigned index {} beyond spec count {}",
-                            assign.index,
-                            specs.len()
-                        ),
-                    })?;
-                let outcome = match try_run_one(spec) {
-                    Ok(record) => Outcome::Record(record.to_value()),
-                    Err(e) => Outcome::Failed(e.to_string()),
-                };
-                write_message(
-                    &mut writer,
-                    &Message::Done(Done {
-                        index: assign.index,
-                        seed: spec.seed,
-                        outcome,
-                    }),
-                )
-                .map_err(|e| ClusterError::Io(format!("done failed: {e}")))?;
-                completed += 1;
-                if exit_after == Some(completed) {
-                    // Fault-injection hook: simulate a crash at a
-                    // deterministic point, *after* the Done was flushed.
-                    std::process::exit(17);
+                let batch: Vec<&RunSpec> = assign
+                    .indices
+                    .iter()
+                    .map(|&index| {
+                        specs.get(index).ok_or_else(|| ClusterError::Protocol {
+                            worker: worker_id,
+                            detail: format!(
+                                "assigned index {index} beyond spec count {}",
+                                specs.len()
+                            ),
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                // The whole batch fans across this worker's executor
+                // threads; panics come back as per-spec typed errors, so
+                // one poisoned spec fails its index, not the session. Each
+                // `Done` streams out the moment its spec completes (not
+                // when the whole batch does), so the coordinator journals
+                // finished work at single-run granularity even when a
+                // threaded worker dies mid-batch.
+                let (tx, rx) = std::sync::mpsc::channel::<(usize, u64, Outcome)>();
+                // The executor shares the closure across its threads, so
+                // the (per-thread) sender lives behind a mutex.
+                let tx = Mutex::new(tx);
+                let mut session_end: Option<Result<SessionOutcome, ClusterError>> = None;
+                std::thread::scope(|scope| {
+                    let batch = &batch;
+                    scope.spawn(move || {
+                        executor.run_specs(batch, |spec| {
+                            let outcome = match try_run_one(spec) {
+                                Ok(record) => Outcome::Record(record.to_value()),
+                                Err(e) => Outcome::Failed(e.to_string()),
+                            };
+                            let sent = tx
+                                .lock()
+                                .expect("done channel mutex poisoned")
+                                .send((spec.index, spec.seed, outcome));
+                            // A failed send means the receiver is gone
+                            // (session already ending): discard.
+                            let _ = sent;
+                        });
+                    });
+                    for _ in 0..batch.len() {
+                        let (index, seed, outcome) =
+                            rx.recv().expect("executor thread closed the channel");
+                        if session_end.is_some() {
+                            // Already ending (send failure or drop hook):
+                            // drain the executor without acknowledging.
+                            continue;
+                        }
+                        if let Err(e) = transport.send(&Message::Done(Done {
+                            index,
+                            seed,
+                            outcome,
+                        })) {
+                            session_end = Some(Err(ClusterError::Io(format!("done failed: {e}"))));
+                            continue;
+                        }
+                        completed += 1;
+                        if opts.exit_after == Some(completed) {
+                            // Fault-injection hook: simulate a crash at a
+                            // deterministic point, *after* the Done was
+                            // flushed.
+                            std::process::exit(17);
+                        }
+                        if opts.drop_after == Some(completed) {
+                            // Fault-injection hook: simulate a network
+                            // drop; the rest of the batch goes un-acked.
+                            session_end = Some(Ok(SessionOutcome::Dropped));
+                        }
+                    }
+                });
+                if let Some(end) = session_end {
+                    return end;
                 }
             }
-            Message::Shutdown => return Ok(()),
+            Message::Shutdown => return Ok(SessionOutcome::Shutdown),
             other => {
                 return Err(ClusterError::Protocol {
                     worker: worker_id,
                     detail: format!("unexpected message {other:?}"),
                 })
+            }
+        }
+    }
+}
+
+/// The stdio worker half: serves exactly one coordinator session over
+/// stdin/stdout. Invoked by the hidden `campaign --worker` mode with the
+/// campaign rebuilt from the same grid flags the coordinator parsed.
+///
+/// # Errors
+///
+/// Returns a [`ClusterError`] on protocol violations or channel I/O
+/// failures. A cleanly closed stdin is a normal shutdown, not an error.
+pub fn serve_worker(campaign: &Campaign, opts: &WorkerOptions) -> Result<(), ClusterError> {
+    let specs = campaign.expand();
+    let mut transport = StdioTransport::new();
+    serve_session(campaign, &specs, &mut transport, opts).map(|_| ())
+}
+
+/// Bound on how long an accepted-but-silent connection may stall the serve
+/// loop before being shed.
+const SERVE_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// The long-running worker daemon behind `campaign --serve <addr>`:
+/// accepts coordinator sessions from `listener` one at a time and serves
+/// each until shutdown or disconnect. Coordinator disconnects, rejected
+/// handshakes, and per-session errors do **not** stop the daemon — it
+/// returns to `accept` and waits for the next campaign, forever (or until
+/// `max_sessions` sessions have been accepted, when set).
+///
+/// Returns the number of sessions accepted.
+///
+/// # Errors
+///
+/// Returns a [`ClusterError`] only when `accept` itself fails (the
+/// listening socket died).
+pub fn serve_campaign(
+    campaign: &Campaign,
+    listener: &mut dyn Listener,
+    opts: &WorkerOptions,
+    max_sessions: Option<usize>,
+) -> Result<usize, ClusterError> {
+    let specs = campaign.expand();
+    let mut sessions = 0usize;
+    loop {
+        if let Some(max) = max_sessions {
+            if sessions >= max {
+                return Ok(sessions);
+            }
+        }
+        let mut transport = listener
+            .accept()
+            .map_err(|e| ClusterError::Io(format!("accept failed: {e}")))?;
+        sessions += 1;
+        let peer = transport.peer();
+        let _ = transport.set_read_timeout(Some(SERVE_HANDSHAKE_TIMEOUT));
+        match serve_session(campaign, &specs, transport.as_mut(), opts) {
+            Ok(outcome) => {
+                eprintln!("[serve] session {sessions} from {peer}: {outcome:?}");
+            }
+            Err(e) => {
+                // A broken session must not take the daemon down.
+                eprintln!("[serve] session {sessions} from {peer} failed: {e}");
             }
         }
     }

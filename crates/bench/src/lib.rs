@@ -14,15 +14,19 @@ pub mod report;
 pub mod scenario;
 
 pub use distributed::{
-    run_campaign_distributed, serve_worker, DistributedOptions, DistributedStats,
+    run_campaign_distributed, serve_campaign, serve_session, serve_worker, DistributedOptions,
+    DistributedStats, SessionOutcome, WorkerOptions, DROP_AFTER_ENV, EXIT_AFTER_ENV,
+    MAX_SESSIONS_ENV,
 };
 pub use executor::{run_campaign, run_one, try_run_one, ExecutorError, SweepExecutor};
 pub use report::{
-    bootstrap_ci, downsample, f2, f4, final_window, geomean_ratios, print_table, read_runs_jsonl,
-    results_dir, trailing_mean, write_csv, BootstrapCi, CampaignReport, RunRecord, RunsJsonlWriter,
+    bootstrap_ci, downsample, f2, f4, final_window, geomean_ratios, paired_scheme_test,
+    print_table, read_runs_jsonl, reaggregate_runs_jsonl, results_dir, trailing_mean, write_csv,
+    BootstrapCi, CampaignReport, PairedTest, RunRecord, RunsJsonlWriter,
 };
 pub use scenario::{
-    parse_scheme, run_seed, Campaign, CampaignGrid, RunKind, RunSpec, ScenarioSpec, SeedSpec,
+    parse_scheme, parse_threshold, run_seed, Campaign, CampaignGrid, RunKind, RunSpec,
+    ScenarioSpec, SeedSpec,
 };
 
 use qismet::{
@@ -81,6 +85,11 @@ pub enum Scheme {
     KalmanBest,
     /// Only-Transients skipping at a percentile.
     OnlyTransients(u32),
+    /// QISMET at an arbitrary |Tm| threshold percentile in `1..=99` (the
+    /// Fig. 19 sensitivity axis, generalized). The paper's named points
+    /// map onto their presets exactly: `QismetAt(90)` runs bit-identically
+    /// to [`Scheme::Qismet`], 99 to conservative, 75 to aggressive.
+    QismetAt(u32),
 }
 
 impl Scheme {
@@ -96,6 +105,7 @@ impl Scheme {
             Scheme::SecondOrder => "2nd-order".into(),
             Scheme::KalmanBest => "Kalman (Best)".into(),
             Scheme::OnlyTransients(p) => format!("Only-transients {p}p"),
+            Scheme::QismetAt(p) => format!("QISMET ({p}p)"),
         }
     }
 }
@@ -153,10 +163,22 @@ pub fn run_scheme(
             );
             outcome(scheme, rec.measured.clone(), window, rec.jobs, rec.evals, 0)
         }
-        Scheme::Qismet | Scheme::QismetConservative | Scheme::QismetAggressive => {
+        Scheme::Qismet
+        | Scheme::QismetConservative
+        | Scheme::QismetAggressive
+        | Scheme::QismetAt(_) => {
             let cfg = match scheme {
                 Scheme::QismetConservative => QismetConfig::conservative(),
                 Scheme::QismetAggressive => QismetConfig::aggressive(),
+                // The paper's named percentiles snap to their presets so
+                // e.g. QismetAt(90) is bit-identical to Qismet; other
+                // percentiles become custom skip targets.
+                Scheme::QismetAt(99) => QismetConfig::conservative(),
+                Scheme::QismetAt(75) => QismetConfig::aggressive(),
+                Scheme::QismetAt(p) if p != 90 => QismetConfig {
+                    skip_target: qismet::SkipTarget::Custom((100 - p.clamp(1, 99)) as f64 / 100.0),
+                    ..QismetConfig::paper_default()
+                },
                 _ => QismetConfig::paper_default(),
             };
             let mut spsa = spsa_for(&app, opt_seed);

@@ -133,6 +133,36 @@ impl CampaignReport {
         bootstrap_ci(&finals, resamples, seed)
     }
 
+    /// Paired cross-scheme significance test between scenarios `a` and `b`
+    /// (see [`paired_scheme_test`]): trials are paired by trial index,
+    /// which is an exact pairing for grid campaigns because every scheme
+    /// within one (app, machine, magnitude) cell runs trial `t` from the
+    /// same seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scenarios share no trial indices or `resamples` is
+    /// zero.
+    pub fn paired_scenario_test(
+        &self,
+        a: usize,
+        b: usize,
+        resamples: usize,
+        seed: u64,
+    ) -> PairedTest {
+        let finals = |index: usize| -> Vec<f64> {
+            self.scenario(index)
+                .iter()
+                .map(|r| r.final_energy)
+                .collect()
+        };
+        let xs = finals(a);
+        let ys = finals(b);
+        let n = xs.len().min(ys.len());
+        assert!(n > 0, "scenarios {a}/{b} share no trials to pair");
+        paired_scheme_test(&xs[..n], &ys[..n], resamples, seed)
+    }
+
     /// Writes the full report (series included) as pretty JSON under
     /// [`results_dir`], named `<name>.json` unless overridden.
     pub fn write_json(&self, file_name: Option<&str>) -> PathBuf {
@@ -261,6 +291,64 @@ pub fn bootstrap_ci(series_finals: &[f64], resamples: usize, seed: u64) -> Boots
     }
 }
 
+/// Result of a paired cross-scheme significance test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PairedTest {
+    /// Number of trial pairs.
+    pub pairs: usize,
+    /// Mean of the paired differences `a[t] - b[t]`.
+    pub mean_diff: f64,
+    /// Two-sided sign-flip permutation p-value for "mean difference is 0".
+    pub p_value: f64,
+}
+
+/// Paired significance test between two same-length samples whose entries
+/// are paired by position (same-seed trials of two schemes in one grid
+/// cell are paired by construction: trial `t` of each scheme sees the same
+/// transient trace and starting parameters).
+///
+/// The test is a deterministic-seed sign-flip permutation test on the
+/// paired differences `d[t] = a[t] - b[t]`: under the null hypothesis the
+/// schemes are exchangeable within a pair, so each `d[t]` is equally
+/// likely to carry either sign. `resamples` random sign assignments are
+/// drawn, and the two-sided p-value is the add-one-smoothed fraction of
+/// resampled `|mean|`s at or above the observed `|mean|` — so `p` is
+/// always in `(0, 1]` and fully reproducible in `seed`.
+///
+/// # Panics
+///
+/// Panics if the samples are empty, their lengths differ, or `resamples`
+/// is zero.
+pub fn paired_scheme_test(a: &[f64], b: &[f64], resamples: usize, seed: u64) -> PairedTest {
+    assert!(!a.is_empty(), "paired_scheme_test of empty samples");
+    assert_eq!(a.len(), b.len(), "paired samples must have equal lengths");
+    assert!(resamples > 0, "paired_scheme_test needs resamples");
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(x, y)| x - y).collect();
+    let n = diffs.len();
+    let observed = qismet_mathkit::mean(&diffs);
+    let mut rng = qismet_mathkit::rng_from_seed(seed);
+    let mut at_least_as_extreme = 0usize;
+    for _ in 0..resamples {
+        let mut acc = 0.0;
+        for &d in &diffs {
+            // One RNG draw per pair: bit 0 decides the sign flip.
+            if rng.gen::<u64>() & 1 == 0 {
+                acc += d;
+            } else {
+                acc -= d;
+            }
+        }
+        if (acc / n as f64).abs() >= observed.abs() {
+            at_least_as_extreme += 1;
+        }
+    }
+    PairedTest {
+        pairs: n,
+        mean_diff: observed,
+        p_value: (at_least_as_extreme + 1) as f64 / (resamples + 1) as f64,
+    }
+}
+
 /// Streams [`RunRecord`]s to a JSONL file, one compact line per record,
 /// flushed as each run completes. This is the durable output path for
 /// 10k+-run campaigns: every record (series included) is on disk the
@@ -339,6 +427,28 @@ pub fn read_runs_jsonl(path: &Path) -> io::Result<Vec<RunRecord>> {
             })
         })
         .collect()
+}
+
+/// Rebuilds a full-fidelity [`CampaignReport`] from a streamed JSONL file
+/// by re-sorting the records (which arrive in completion order) into
+/// campaign expansion order — `(scenario, trial)` lexicographic, which is
+/// exactly how [`crate::scenario::Campaign::expand`] orders runs. This is
+/// the summary-only merge's counterpart: the resident report keeps only
+/// aggregates, and downstream consumers that need series re-aggregate from
+/// the stream.
+///
+/// # Errors
+///
+/// Propagates read failures; an unparsable line surfaces as
+/// [`io::ErrorKind::InvalidData`].
+pub fn reaggregate_runs_jsonl(path: &Path, name: &str, seed: u64) -> io::Result<CampaignReport> {
+    let mut records = read_runs_jsonl(path)?;
+    records.sort_by_key(|r| (r.scenario, r.trial));
+    Ok(CampaignReport {
+        name: name.to_string(),
+        seed,
+        records,
+    })
 }
 
 /// Directory where harnesses drop their artifacts.
@@ -545,6 +655,91 @@ mod tests {
         assert_eq!(
             back[0].final_energy.to_bits(),
             records[0].final_energy.to_bits()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn paired_test_is_deterministic_and_two_sided() {
+        let a = [-5.2, -5.4, -5.1, -5.3, -5.5, -5.2, -5.35, -5.25];
+        let b = [-4.1, -4.3, -4.0, -4.2, -4.4, -4.1, -4.25, -4.15];
+        let t1 = paired_scheme_test(&a, &b, 999, 7);
+        let t2 = paired_scheme_test(&a, &b, 999, 7);
+        assert_eq!(t1, t2, "same seed must resample identically");
+        assert_eq!(t1.pairs, 8);
+        assert!((t1.mean_diff + 1.1).abs() < 1e-9);
+        // Every pair moves the same direction by ~1.1: strongly significant.
+        assert!(t1.p_value <= 0.05, "p = {}", t1.p_value);
+        // Swapping the samples flips the sign but not the significance.
+        let flipped = paired_scheme_test(&b, &a, 999, 7);
+        assert_eq!(flipped.mean_diff.to_bits(), (-t1.mean_diff).to_bits());
+        assert_eq!(flipped.p_value.to_bits(), t1.p_value.to_bits());
+    }
+
+    #[test]
+    fn paired_test_on_identical_samples_is_insignificant() {
+        let a = [-5.0, -5.1, -4.9, -5.05];
+        let t = paired_scheme_test(&a, &a, 500, 3);
+        assert_eq!(t.mean_diff, 0.0);
+        // Every resampled mean is 0 >= |0|, so p collapses to 1.
+        assert_eq!(t.p_value, 1.0);
+    }
+
+    #[test]
+    fn paired_test_p_value_stays_in_unit_interval() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.5, 1.0, 3.5];
+        let t = paired_scheme_test(&a, &b, 200, 11);
+        assert!(t.p_value > 0.0 && t.p_value <= 1.0, "{t:?}");
+    }
+
+    #[test]
+    fn scenario_pairing_truncates_to_common_trials() {
+        let report = CampaignReport {
+            name: "p".into(),
+            seed: 1,
+            records: vec![
+                record(0, 0, -4.0),
+                record(0, 1, -4.2),
+                record(0, 2, -4.1),
+                record(1, 0, -5.0),
+                record(1, 1, -5.2),
+            ],
+        };
+        let t = report.paired_scenario_test(0, 1, 300, 9);
+        assert_eq!(t.pairs, 2);
+        assert!((t.mean_diff - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reaggregated_jsonl_restores_expansion_order() {
+        let path = std::env::temp_dir().join(format!("qismet-reagg-{}.jsonl", std::process::id()));
+        // Completion order scrambles the expansion order.
+        let scrambled = [
+            record(1, 0, 9.0),
+            record(0, 1, -3.5),
+            record(0, 0, 0.1 + 0.2),
+        ];
+        {
+            let mut w = RunsJsonlWriter::create(&path).unwrap();
+            for r in &scrambled {
+                w.append(r).unwrap();
+            }
+        }
+        let report = reaggregate_runs_jsonl(&path, "t", 42).unwrap();
+        assert_eq!(report.name, "t");
+        assert_eq!(report.seed, 42);
+        assert_eq!(
+            report
+                .records
+                .iter()
+                .map(|r| (r.scenario, r.trial))
+                .collect::<Vec<_>>(),
+            vec![(0, 0), (0, 1), (1, 0)]
+        );
+        assert_eq!(
+            report.records[0].final_energy.to_bits(),
+            (0.1f64 + 0.2).to_bits()
         );
         std::fs::remove_file(&path).unwrap();
     }

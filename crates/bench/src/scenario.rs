@@ -264,8 +264,9 @@ pub fn run_seed(campaign_seed: u64, scenario: usize, trial: usize) -> u64 {
     derive_seed(campaign_seed, ((scenario as u64) << 20) | trial as u64)
 }
 
-/// Cross-product grid specification: apps x machines x schemes x magnitudes
-/// x trials, expanded scenario-per-combination in that nesting order.
+/// Cross-product grid specification: apps x machines x schemes (plus an
+/// optional QISMET threshold-percentile axis) x magnitudes x trials,
+/// expanded scenario-per-combination in that nesting order.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignGrid {
     /// Applications to sweep.
@@ -274,6 +275,13 @@ pub struct CampaignGrid {
     pub machines: Vec<Machine>,
     /// Schemes to compare.
     pub schemes: Vec<Scheme>,
+    /// QISMET |Tm| threshold percentiles (`1..=99`) to sweep in addition
+    /// to `schemes`: each percentile `p` appends a
+    /// [`Scheme::QismetAt`]`(p)` scenario to every grid cell, sharing the
+    /// cell's seed so threshold variants stay pairable against the other
+    /// schemes (the Fig. 19 sensitivity study, generalized to any grid).
+    /// Empty = no extra axis.
+    pub thresholds: Vec<u32>,
     /// Transient magnitudes; empty = one native-magnitude point.
     pub magnitudes: Vec<f64>,
     /// Iterations per run (already scaled).
@@ -289,6 +297,7 @@ impl CampaignGrid {
             apps: vec![app],
             machines: Vec::new(),
             schemes,
+            thresholds: Vec::new(),
             magnitudes: Vec::new(),
             iterations,
             trials: 1,
@@ -320,7 +329,12 @@ impl CampaignGrid {
                 for magnitude in magnitudes {
                     let cell_seed = derive_seed(seed, cell);
                     cell += 1;
-                    for &scheme in &self.schemes {
+                    let cell_schemes = self
+                        .schemes
+                        .iter()
+                        .copied()
+                        .chain(self.thresholds.iter().map(|&p| Scheme::QismetAt(p)));
+                    for scheme in cell_schemes {
                         let mut s = ScenarioSpec::new(app.clone(), scheme, self.iterations)
                             .with_trials(self.trials)
                             .seeded(cell_seed);
@@ -342,7 +356,8 @@ impl CampaignGrid {
 /// Parses a scheme from a CLI-friendly name (case-insensitive):
 /// `baseline`, `qismet`, `qismet-conservative`, `qismet-aggressive`,
 /// `blocking`, `resampling`, `second-order`, `kalman-best`,
-/// `only-transients-<pct>`.
+/// `only-transients-<pct>`, `qismet-<pct>p` (threshold percentile in
+/// `1..=99`).
 pub fn parse_scheme(s: &str) -> Option<Scheme> {
     let lower = s.to_ascii_lowercase();
     Some(match lower.as_str() {
@@ -355,10 +370,28 @@ pub fn parse_scheme(s: &str) -> Option<Scheme> {
         "second-order" | "2nd-order" => Scheme::SecondOrder,
         "kalman-best" | "kalman" => Scheme::KalmanBest,
         other => {
-            let pct = other.strip_prefix("only-transients-")?.parse().ok()?;
-            Scheme::OnlyTransients(pct)
+            if let Some(pct) = other.strip_prefix("only-transients-") {
+                Scheme::OnlyTransients(pct.parse().ok()?)
+            } else {
+                let pct = other
+                    .strip_prefix("qismet-")?
+                    .strip_suffix('p')?
+                    .parse()
+                    .ok()
+                    .filter(|p| (1..=99).contains(p))?;
+                Scheme::QismetAt(pct)
+            }
         }
     })
+}
+
+/// Parses a QISMET threshold percentile for [`CampaignGrid::thresholds`]
+/// (`1..=99`, with or without a trailing `p`).
+pub fn parse_threshold(s: &str) -> Option<u32> {
+    s.trim_end_matches('p')
+        .parse()
+        .ok()
+        .filter(|p| (1..=99).contains(p))
 }
 
 /// The default scaled iteration count for ad-hoc campaigns.
@@ -442,6 +475,7 @@ mod tests {
             apps: vec![AppSpec::by_id(1).unwrap(), AppSpec::by_id(2).unwrap()],
             machines: vec![Machine::Sydney, Machine::Jakarta],
             schemes: vec![Scheme::Baseline, Scheme::Qismet],
+            thresholds: Vec::new(),
             magnitudes: vec![0.1, 0.5],
             iterations: 50,
             trials: 3,
@@ -478,10 +512,53 @@ mod tests {
             ("second-order", Scheme::SecondOrder),
             ("kalman-best", Scheme::KalmanBest),
             ("only-transients-90", Scheme::OnlyTransients(90)),
+            ("qismet-85p", Scheme::QismetAt(85)),
+            ("QISMET-99P", Scheme::QismetAt(99)),
         ] {
             assert_eq!(parse_scheme(text), Some(want), "{text}");
         }
         assert_eq!(parse_scheme("nope"), None);
         assert_eq!(parse_scheme("only-transients-x"), None);
+        assert_eq!(parse_scheme("qismet-0p"), None);
+        assert_eq!(parse_scheme("qismet-100p"), None);
+        assert_eq!(parse_scheme("qismet-xp"), None);
+    }
+
+    #[test]
+    fn threshold_axis_appends_qismet_at_scenarios_per_cell() {
+        let grid = CampaignGrid {
+            apps: vec![app()],
+            machines: Vec::new(),
+            schemes: vec![Scheme::Baseline],
+            thresholds: vec![75, 90, 99],
+            magnitudes: vec![0.1, 0.5],
+            iterations: 50,
+            trials: 2,
+        };
+        let campaign = grid.into_campaign("thr", 7);
+        // 2 magnitude cells x (1 scheme + 3 thresholds).
+        assert_eq!(campaign.scenarios.len(), 2 * 4);
+        assert_eq!(
+            campaign.scenarios[1].kind,
+            RunKind::Scheme(Scheme::QismetAt(75))
+        );
+        assert_eq!(
+            campaign.scenarios[3].kind,
+            RunKind::Scheme(Scheme::QismetAt(99))
+        );
+        // Threshold variants share their cell's seed with the baseline so
+        // paired cross-scheme comparisons stay valid.
+        assert_eq!(campaign.scenarios[0].seed, campaign.scenarios[3].seed);
+        assert_ne!(campaign.scenarios[0].seed, campaign.scenarios[4].seed);
+        assert_eq!(campaign.scenarios[1].display_label(), "QISMET (75p)");
+    }
+
+    #[test]
+    fn threshold_parsing_bounds() {
+        assert_eq!(parse_threshold("90"), Some(90));
+        assert_eq!(parse_threshold("85p"), Some(85));
+        assert_eq!(parse_threshold("0"), None);
+        assert_eq!(parse_threshold("100"), None);
+        assert_eq!(parse_threshold("x"), None);
     }
 }

@@ -109,6 +109,59 @@ fn pooled_worker_backends_match_fresh_backends() {
 }
 
 #[test]
+fn threshold_percentiles_snap_to_the_named_presets_bitwise() {
+    // QismetAt at the paper's named percentiles must run bit-identically
+    // to the preset schemes; an off-grid percentile must actually differ
+    // in configuration (different skip target -> at minimum a valid run).
+    let app = AppSpec::by_id(1).unwrap();
+    let (iterations, seed) = (25usize, 0x7715u64);
+    for (pct, preset) in [
+        (90u32, Scheme::Qismet),
+        (99, Scheme::QismetConservative),
+        (75, Scheme::QismetAggressive),
+    ] {
+        let at = qismet_bench::run_scheme(&app, Scheme::QismetAt(pct), iterations, None, seed);
+        let named = qismet_bench::run_scheme(&app, preset, iterations, None, seed);
+        assert_eq!(at.series.len(), named.series.len());
+        for (a, b) in at.series.iter().zip(&named.series) {
+            assert_eq!(a.to_bits(), b.to_bits(), "QismetAt({pct}) vs {preset:?}");
+        }
+        assert_eq!(at.final_energy.to_bits(), named.final_energy.to_bits());
+        assert_eq!(at.skips, named.skips);
+    }
+    // Off-grid percentile: a valid run (series length may fall short of
+    // the iteration grant — skips consume the job budget).
+    let custom = qismet_bench::run_scheme(&app, Scheme::QismetAt(85), iterations, None, seed);
+    assert!(!custom.series.is_empty() && custom.series.len() <= iterations);
+    assert!(custom.final_energy.is_finite());
+}
+
+#[test]
+fn threshold_axis_campaign_runs_through_every_executor_identically() {
+    let grid = CampaignGrid {
+        apps: vec![AppSpec::by_id(1).unwrap()],
+        machines: Vec::new(),
+        schemes: vec![Scheme::Baseline],
+        thresholds: vec![75, 90],
+        magnitudes: vec![0.3],
+        iterations: 22,
+        trials: 2,
+    };
+    let campaign = grid.into_campaign("thr-engine", 0xf19);
+    assert_eq!(campaign.len(), 3 * 2);
+    let seq = SweepExecutor::sequential().run(&campaign);
+    let par = SweepExecutor::with_threads(3).run(&campaign);
+    assert_eq!(seq, par);
+    // Expansion order: [Baseline t0, t1, QismetAt(75) t0, t1, QismetAt(90) t0, t1].
+    assert_eq!(seq.records[2].scheme, "QISMET (75p)");
+    // Threshold variants pair against the baseline (same seed per trial).
+    assert_eq!(seq.records[0].seed, seq.records[2].seed);
+    let t = seq.paired_scenario_test(0, 1, 500, 7);
+    assert_eq!(t.pairs, 2);
+    assert!(t.p_value > 0.0 && t.p_value <= 1.0);
+}
+
+#[test]
 fn expansion_seeds_are_unique_within_campaign() {
     let campaign = small_campaign();
     let runs = campaign.expand();
@@ -171,6 +224,7 @@ proptest! {
             apps,
             machines,
             schemes: vec![Scheme::Baseline, Scheme::Qismet],
+            thresholds: Vec::new(),
             magnitudes: (0..n_mags).map(|i| 0.1 * (i + 1) as f64).collect(),
             iterations: 20,
             trials,

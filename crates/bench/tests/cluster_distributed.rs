@@ -37,6 +37,7 @@ fn grid_case(name: &str, seed: u64, app_ids: &[u8], trials: usize, iterations: u
         apps,
         machines: Vec::new(),
         schemes: vec![Scheme::Baseline, Scheme::Qismet],
+        thresholds: Vec::new(),
         magnitudes: Vec::new(),
         iterations,
         trials,
@@ -101,7 +102,7 @@ fn two_process_sharded_matches_sequential_and_threaded_bitwise() {
     let threaded = SweepExecutor::with_threads(2).run(&case.campaign);
     let (sharded, stats) = run_campaign_distributed(
         &case.campaign,
-        launch(&case),
+        Some(launch(&case)),
         &DistributedOptions {
             workers: 2,
             ..DistributedOptions::default()
@@ -130,7 +131,7 @@ fn interrupted_campaign_resumes_rerunning_only_missing_specs() {
     crashing.envs.push((EXIT_AFTER_ENV.into(), "2".into()));
     let err = run_campaign_distributed(
         &case.campaign,
-        crashing,
+        Some(crashing),
         &DistributedOptions {
             workers: 1,
             checkpoint: Some(journal_path.clone()),
@@ -153,7 +154,7 @@ fn interrupted_campaign_resumes_rerunning_only_missing_specs() {
     // re-run, and the merged report is bit-identical to sequential.
     let (resumed_report, stats) = run_campaign_distributed(
         &case.campaign,
-        launch(&case),
+        Some(launch(&case)),
         &DistributedOptions {
             workers: 2,
             checkpoint: Some(journal_path.clone()),
@@ -171,7 +172,7 @@ fn interrupted_campaign_resumes_rerunning_only_missing_specs() {
     // a further resume executes nothing.
     let (idempotent, stats) = run_campaign_distributed(
         &case.campaign,
-        launch(&case),
+        Some(launch(&case)),
         &DistributedOptions {
             workers: 2,
             checkpoint: Some(journal_path.clone()),
@@ -196,7 +197,7 @@ fn crashing_workers_respawn_and_the_report_is_unchanged() {
     crashing.envs.push((EXIT_AFTER_ENV.into(), "1".into()));
     let (report, stats) = run_campaign_distributed(
         &case.campaign,
-        crashing,
+        Some(crashing),
         &DistributedOptions {
             workers: 2,
             max_respawns: 16,
@@ -217,7 +218,7 @@ fn unwritable_checkpoint_path_fails_before_any_work() {
     let case = grid_case("dist-sink", 5, &[1], 1, 22);
     let err = run_campaign_distributed(
         &case.campaign,
-        launch(&case),
+        Some(launch(&case)),
         &DistributedOptions {
             workers: 1,
             checkpoint: Some(PathBuf::from("/nonexistent-dir/ckpt.jsonl")),
@@ -239,7 +240,7 @@ fn mismatched_worker_campaign_is_rejected_at_handshake() {
     let other = grid_case("dist-fp", 12, &[1], 1, 22);
     let err = run_campaign_distributed(
         &case.campaign,
-        launch(&other),
+        Some(launch(&other)),
         &DistributedOptions {
             workers: 1,
             ..DistributedOptions::default()
@@ -262,7 +263,7 @@ fn journal_from_another_campaign_resumes_nothing() {
     // Checkpoint the *other* campaign completely.
     run_campaign_distributed(
         &other.campaign,
-        launch(&other),
+        Some(launch(&other)),
         &DistributedOptions {
             workers: 1,
             checkpoint: Some(journal_path.clone()),
@@ -275,7 +276,7 @@ fn journal_from_another_campaign_resumes_nothing() {
     // and still produce the right records.
     let (report, stats) = run_campaign_distributed(
         &case.campaign,
-        launch(&case),
+        Some(launch(&case)),
         &DistributedOptions {
             workers: 1,
             checkpoint: Some(journal_path.clone()),
@@ -289,6 +290,64 @@ fn journal_from_another_campaign_resumes_nothing() {
     assert_reports_bitwise_equal(&SweepExecutor::sequential().run(&case.campaign), &report);
 
     std::fs::remove_file(&journal_path).unwrap();
+}
+
+#[test]
+fn summary_only_merge_drops_series_and_jsonl_reaggregates_identically() {
+    let case = grid_case("dist-summary", 0x50f7, &[1], 2, 22);
+    let jsonl_path = temp_journal("summary-stream");
+    let _ = std::fs::remove_file(&jsonl_path);
+
+    let (summary_report, stats) = run_campaign_distributed(
+        &case.campaign,
+        Some(launch(&case)),
+        &DistributedOptions {
+            workers: 2,
+            stream_jsonl: Some(jsonl_path.clone()),
+            summary_only: true,
+            ..DistributedOptions::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(stats.executed, case.campaign.len());
+
+    // Residency holds aggregates only: every series is gone, everything
+    // else matches the sequential run exactly.
+    let sequential = SweepExecutor::sequential().run(&case.campaign);
+    assert!(
+        summary_report.records.iter().all(|r| r.series.is_empty()),
+        "summary-only records must not retain series"
+    );
+    let mut stripped = sequential.clone();
+    for r in &mut stripped.records {
+        r.series.clear();
+    }
+    assert_reports_bitwise_equal(&stripped, &summary_report);
+
+    // The streamed JSONL carries the full series; re-aggregating it in
+    // expansion order reproduces the sequential report byte-for-byte.
+    let reaggregated =
+        qismet_bench::reaggregate_runs_jsonl(&jsonl_path, &case.campaign.name, case.campaign.seed)
+            .unwrap();
+    assert_reports_bitwise_equal(&sequential, &reaggregated);
+
+    // summary-only without a stream is refused outright.
+    let err = run_campaign_distributed(
+        &case.campaign,
+        Some(launch(&case)),
+        &DistributedOptions {
+            workers: 1,
+            summary_only: true,
+            ..DistributedOptions::default()
+        },
+    )
+    .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::Io(_)),
+        "unexpected error: {err}"
+    );
+
+    std::fs::remove_file(&jsonl_path).unwrap();
 }
 
 proptest! {
@@ -308,7 +367,7 @@ proptest! {
         let threaded = SweepExecutor::with_threads(2).run(&case.campaign);
         let (sharded, _) = run_campaign_distributed(
             &case.campaign,
-            launch(&case),
+            Some(launch(&case)),
             &DistributedOptions { workers: 2, ..DistributedOptions::default() },
         )
         .unwrap();

@@ -1,65 +1,44 @@
-//! The process-pool coordinator.
+//! The worker-pool coordinator.
 //!
-//! [`ProcessPool::run`] spawns `workers` copies of a worker command (in
-//! practice: the current binary re-invoked in its hidden `--worker` mode),
-//! verifies each worker's [`Hello`] handshake against the campaign
-//! fingerprint, then streams every worker its round-robin shard of pending
-//! spec indices one [`Assign`] at a time. Each [`Done`] is surfaced to the
-//! caller's `on_done` sink (where the journal append and any streaming
-//! writers live) before being merged into index-addressed slots.
+//! [`WorkerPool::run`] drives one [`crate::transport::Connector`] per
+//! worker slot — local process workers, remote TCP workers, or any mix —
+//! through the same lifecycle: connect, exchange the mutual
+//! [`Hello`](crate::protocol::Hello) handshake (campaign fingerprint, spec
+//! count, shared token), then stream [`Assign`] batches sized to the
+//! worker's advertised thread count from a shared dispatch queue. Each
+//! [`Done`] is surfaced to the caller's `on_done` sink (where the journal
+//! append and any streaming writers live) before being merged into
+//! index-addressed slots.
 //!
-//! Fault model: a worker that dies (crash, OOM-kill, `kill -9`) is detected
-//! as an I/O failure on its channel, reaped, respawned, and its *unfinished*
-//! shard re-dispatched — completed indices are never re-run. A worker that
-//! stays alive but reports a failed run ([`Outcome::Failed`], e.g. a
-//! panicking spec) is a deterministic error: respawning would fail the same
-//! way, so the pool shuts down and returns [`ClusterError::RunFailed`].
+//! Fault model: a worker whose channel dies (crash, OOM-kill, network
+//! drop) has its un-acknowledged batch returned to the front of the shared
+//! queue and its session re-established through the connector (respawn for
+//! processes, reconnect for TCP), consuming respawn budget. A slot whose
+//! budget runs out is declared lost — its unfinished work stays in the
+//! queue and is **re-dispatched to the surviving workers**; the pool only
+//! fails with [`ClusterError::WorkerLost`] if work remains when every slot
+//! is gone. A worker that stays alive but reports a failed run
+//! ([`Outcome::Failed`], e.g. a panicking spec) is a deterministic error:
+//! retrying would fail the same way, so the pool shuts down and returns
+//! [`ClusterError::RunFailed`].
+//!
+//! Whatever the topology, the merged records are **byte-identical** to a
+//! sequential in-process run: results are keyed by spec index and every
+//! record is a pure function of its pure spec.
 
-use crate::protocol::{
-    read_message, write_message, Assign, CheckpointEntry, Done, Message, Outcome,
-};
-use crate::shard::{merge_indexed, shard_round_robin};
+use crate::protocol::{Assign, CheckpointEntry, Done, Hello, Message, Outcome};
+use crate::transport::{Connector, Transport};
 use serde::Value;
 use std::collections::VecDeque;
 use std::fmt;
-use std::io::BufReader;
-use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Mutex;
-
-/// Environment variable carrying the worker's pool index to the spawned
-/// process (surfaced back in its [`crate::protocol::Hello`]).
-pub const WORKER_ID_ENV: &str = "QISMET_CLUSTER_WORKER_ID";
-
-/// How to launch one worker process.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct WorkerLaunch {
-    /// Executable to spawn (typically `std::env::current_exe()`).
-    pub program: PathBuf,
-    /// Arguments that put the binary into worker mode for the same campaign
-    /// the coordinator expanded (grid flags plus `--worker`).
-    pub args: Vec<String>,
-    /// Extra environment variables for the worker (fault-injection hooks,
-    /// scale overrides). The parent environment is inherited as usual.
-    pub envs: Vec<(String, String)>,
-}
-
-impl WorkerLaunch {
-    /// A launch spec with no extra environment.
-    pub fn new(program: PathBuf, args: Vec<String>) -> Self {
-        WorkerLaunch {
-            program,
-            args,
-            envs: Vec::new(),
-        }
-    }
-}
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
 
 /// Everything that can go wrong while coordinating a pool.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ClusterError {
-    /// The worker process could not be spawned at all.
+    /// The worker session could not be established at all.
     Spawn(String),
     /// A worker's `Hello` fingerprint disagrees with the coordinator's —
     /// the two sides expanded different campaigns (wrong flags, wrong
@@ -81,7 +60,16 @@ pub enum ClusterError {
         /// The worker's spec count.
         theirs: usize,
     },
-    /// A worker kept dying after exhausting its respawn budget.
+    /// The worker refused the handshake (shared-token mismatch). Never
+    /// retried.
+    Rejected {
+        /// Worker pool index.
+        worker: usize,
+        /// The worker's stated reason.
+        reason: String,
+    },
+    /// A worker kept dying after exhausting its respawn budget and no
+    /// surviving worker could absorb its unfinished share.
     WorkerLost {
         /// Worker pool index.
         worker: usize,
@@ -115,7 +103,7 @@ pub enum ClusterError {
 impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ClusterError::Spawn(detail) => write!(f, "failed to spawn worker: {detail}"),
+            ClusterError::Spawn(detail) => write!(f, "failed to start worker: {detail}"),
             ClusterError::FingerprintMismatch {
                 worker,
                 ours,
@@ -133,6 +121,9 @@ impl fmt::Display for ClusterError {
                 f,
                 "worker {worker} expanded {theirs} specs, coordinator has {ours}"
             ),
+            ClusterError::Rejected { worker, reason } => {
+                write!(f, "worker {worker} refused the handshake: {reason}")
+            }
             ClusterError::WorkerLost {
                 worker,
                 respawns,
@@ -160,55 +151,102 @@ impl std::error::Error for ClusterError {}
 pub struct ClusterOutcome {
     /// One `(index, record)` pair per dispatched spec, sorted by index.
     pub records: Vec<(usize, Value)>,
-    /// Worker respawns that occurred along the way.
+    /// Worker respawns/reconnects that occurred along the way.
     pub respawns: usize,
+    /// Worker slots that were declared lost (their work was re-dispatched
+    /// to the survivors).
+    pub lost_workers: usize,
 }
 
-/// A pool of worker processes executing spec indices.
-#[derive(Debug, Clone)]
-pub struct ProcessPool {
-    launch: WorkerLaunch,
-    workers: usize,
+/// Bound on the handshake round-trip for transports with deadline support
+/// (a daemon that accepts but never answers must not hang the pool).
+const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Base pause between a channel loss and the reconnect attempt; doubles
+/// per consecutive attempt (capped by [`RECONNECT_DELAY_MAX`]) so a daemon
+/// that is briefly busy — e.g. still computing a stale batch from the
+/// dropped session — is not hammered into a spuriously exhausted respawn
+/// budget. Long-running specs may still need a raised budget
+/// (`--max-respawns`) to ride out a reconnect window.
+const RECONNECT_DELAY: Duration = Duration::from_millis(50);
+
+/// Ceiling for the exponential reconnect backoff.
+const RECONNECT_DELAY_MAX: Duration = Duration::from_secs(5);
+
+/// A pool of workers — one [`Connector`] per slot — executing spec indices.
+///
+/// This is the generalization of the original process pool over the
+/// [`Transport`] seam: a pool of `ProcessConnector`s reproduces the old
+/// spawn-N-children behavior, while arbitrary connector lists mix local
+/// and remote workers in one pool.
+pub struct WorkerPool {
+    connectors: Vec<Box<dyn Connector>>,
     max_respawns: usize,
+    token: String,
 }
 
-impl ProcessPool {
-    /// A pool of `workers` processes (at least one) launched via `launch`,
-    /// with a default per-worker respawn budget of 2.
-    pub fn new(launch: WorkerLaunch, workers: usize) -> Self {
-        ProcessPool {
-            launch,
-            workers: workers.max(1),
+impl WorkerPool {
+    /// A pool with one worker slot per connector (at least one required).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `connectors` is empty.
+    pub fn new(connectors: Vec<Box<dyn Connector>>) -> Self {
+        assert!(
+            !connectors.is_empty(),
+            "worker pool needs at least one connector"
+        );
+        WorkerPool {
+            connectors,
             max_respawns: 2,
+            token: String::new(),
         }
     }
 
-    /// Overrides the per-worker respawn budget (0 = fail on first crash).
+    /// Overrides the per-worker respawn/reconnect budget (0 = a slot is
+    /// lost on its first channel failure).
     #[must_use]
     pub fn with_max_respawns(mut self, max_respawns: usize) -> Self {
         self.max_respawns = max_respawns;
         self
     }
 
-    /// The worker count this pool will actually spawn for `n` pending specs.
+    /// Sets the shared authentication token carried in the coordinator's
+    /// `Hello` (workers reject sessions whose token differs from theirs).
+    #[must_use]
+    pub fn with_token(mut self, token: impl Into<String>) -> Self {
+        self.token = token.into();
+        self
+    }
+
+    /// Total worker slots in this pool.
+    pub fn workers(&self) -> usize {
+        self.connectors.len()
+    }
+
+    /// The worker count this pool will actually start for `n` pending specs.
     pub fn effective_workers(&self, n: usize) -> usize {
-        self.workers.min(n.max(1))
+        self.connectors.len().min(n.max(1))
     }
 
     /// Dispatches `pending` spec indices across the pool and collects the
     /// records. `fingerprint`/`total` describe the campaign both sides
     /// expanded; `on_done` observes every completed run (in completion
     /// order, across workers) before the merge — the place to append
-    /// checkpoints or stream records. A sink error is fatal: the pool
-    /// aborts rather than silently continuing without durability.
+    /// checkpoints or stream records, and (via the mutable entry) to strip
+    /// payload the coordinator should not keep resident. A sink error is
+    /// fatal: the pool aborts rather than silently continuing without
+    /// durability.
     ///
     /// # Errors
     ///
-    /// Returns the first [`ClusterError`] (by worker index) if any worker
-    /// or the sink fails fatally; the remaining workers are aborted at
-    /// their next assignment boundary instead of draining their shards.
+    /// Returns the first fatal [`ClusterError`] (by worker index) if any
+    /// worker or the sink fails fatally; the remaining workers are aborted
+    /// at their next assignment boundary instead of draining the queue.
     /// Completed work was already visible through `on_done`, so a
-    /// journaling caller can resume.
+    /// journaling caller can resume. A non-fatal worker loss only surfaces
+    /// as [`ClusterError::WorkerLost`] when no surviving worker could
+    /// finish the queue.
     pub fn run<F>(
         &self,
         fingerprint: u64,
@@ -217,48 +255,51 @@ impl ProcessPool {
         on_done: F,
     ) -> Result<ClusterOutcome, ClusterError>
     where
-        F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
+        F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
         if pending.is_empty() {
             return Ok(ClusterOutcome {
                 records: Vec::new(),
                 respawns: 0,
+                lost_workers: 0,
             });
         }
         let workers = self.effective_workers(pending.len());
-        let shards = shard_round_robin(pending, workers);
+        let dispatch = Dispatch::new(pending);
         let results: Mutex<Vec<(usize, Value)>> = Mutex::new(Vec::with_capacity(pending.len()));
         let sink = Mutex::new(on_done);
         let respawns = AtomicUsize::new(0);
-        let abort = AtomicBool::new(false);
 
-        let outcomes: Vec<Result<(), ClusterError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
+        let ends: Vec<WorkerEnd> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self.connectors[..workers]
                 .iter()
                 .enumerate()
-                .map(|(worker, shard)| {
+                .map(|(worker, connector)| {
+                    let dispatch = &dispatch;
                     let results = &results;
                     let sink = &sink;
                     let respawns = &respawns;
-                    let abort = &abort;
                     scope.spawn(move || {
-                        let outcome = self.drive_shard(
+                        let end = self.drive_worker(
                             worker,
-                            shard,
+                            connector.as_ref(),
                             fingerprint,
                             total,
+                            dispatch,
                             results,
                             sink,
                             respawns,
-                            abort,
                         );
-                        if outcome.is_err() {
+                        if matches!(end, WorkerEnd::Fatal(_)) {
                             // Other workers stop at their next assignment
-                            // boundary instead of draining whole shards
-                            // whose merged report will be discarded.
-                            abort.store(true, Ordering::Relaxed);
+                            // boundary instead of draining a queue whose
+                            // merged report will be discarded.
+                            dispatch.abort();
                         }
-                        outcome
+                        if matches!(end, WorkerEnd::Lost(_)) {
+                            dispatch.worker_gone();
+                        }
+                        end
                     })
                 })
                 .collect();
@@ -267,74 +308,104 @@ impl ProcessPool {
                 .map(|h| h.join().expect("coordinator thread panicked"))
                 .collect()
         });
-        for outcome in outcomes {
-            outcome?;
+
+        let mut lost_workers = 0usize;
+        let mut first_lost: Option<ClusterError> = None;
+        for end in ends {
+            match end {
+                WorkerEnd::Completed => {}
+                WorkerEnd::Lost(e) => {
+                    lost_workers += 1;
+                    if first_lost.is_none() {
+                        first_lost = Some(e);
+                    }
+                }
+                // Fatal errors propagate in worker-index order (`ends` is
+                // ordered by slot).
+                WorkerEnd::Fatal(e) => return Err(e),
+            }
+        }
+
+        let collected = results.into_inner().expect("results mutex poisoned");
+        if collected.len() != pending.len() {
+            // Work remains: every slot that could have absorbed it is gone.
+            return Err(first_lost.unwrap_or_else(|| {
+                ClusterError::Merge(format!(
+                    "collected {} of {} records with no worker failure",
+                    collected.len(),
+                    pending.len()
+                ))
+            }));
         }
 
         let mut expected = pending.to_vec();
         expected.sort_unstable();
-        let collected = results.into_inner().expect("results mutex poisoned");
-        let merged =
-            merge_indexed(&expected, collected).map_err(|e| ClusterError::Merge(e.to_string()))?;
+        let merged = crate::shard::merge_indexed(&expected, collected)
+            .map_err(|e| ClusterError::Merge(e.to_string()))?;
         Ok(ClusterOutcome {
             records: expected.into_iter().zip(merged).collect(),
             respawns: respawns.load(Ordering::Relaxed),
+            lost_workers,
         })
     }
 
-    /// Serves one worker's shard, respawning the process on channel loss.
+    /// Drives one worker slot: session establishment, handshake, batched
+    /// assignment loop, and respawn/reconnect on channel loss.
     #[allow(clippy::too_many_arguments)]
-    fn drive_shard<F>(
+    fn drive_worker<F>(
         &self,
         worker: usize,
-        shard: &[usize],
+        connector: &dyn Connector,
         fingerprint: u64,
         total: usize,
+        dispatch: &Dispatch,
         results: &Mutex<Vec<(usize, Value)>>,
         sink: &Mutex<F>,
         respawns: &AtomicUsize,
-        abort: &AtomicBool,
-    ) -> Result<(), ClusterError>
+    ) -> WorkerEnd
     where
-        F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
+        F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
-        let mut remaining: VecDeque<usize> = shard.iter().copied().collect();
-        if remaining.is_empty() {
-            return Ok(());
-        }
         let mut respawns_left = self.max_respawns;
+        let mut attempts = 0usize;
         loop {
-            if abort.load(Ordering::Relaxed) {
-                // Another worker failed fatally; its error carries the
-                // diagnosis, so this shard just stops.
-                return Ok(());
+            if dispatch.is_aborted() || dispatch.is_drained() {
+                // Nothing left to do (or another worker failed fatally):
+                // do not even establish a session.
+                return WorkerEnd::Completed;
             }
-            let mut session = spawn_worker(&self.launch, worker)?;
-            let lost = match serve_session(
-                &mut session,
-                worker,
-                fingerprint,
-                total,
-                &mut remaining,
-                results,
-                sink,
-                abort,
-            ) {
-                Ok(()) => {
-                    session.shutdown();
-                    return Ok(());
+            if attempts > 0 {
+                let backoff = RECONNECT_DELAY
+                    .saturating_mul(1u32 << (attempts - 1).min(16) as u32)
+                    .min(RECONNECT_DELAY_MAX);
+                std::thread::sleep(backoff);
+            }
+            attempts += 1;
+            let lost = match connector.connect(worker) {
+                Ok(mut transport) => {
+                    match self.serve_session(
+                        worker,
+                        transport.as_mut(),
+                        fingerprint,
+                        total,
+                        dispatch,
+                        results,
+                        sink,
+                    ) {
+                        Ok(()) => {
+                            let _ = transport.send(&Message::Shutdown);
+                            return WorkerEnd::Completed;
+                        }
+                        Err(SessionEnd::Fatal(e)) => return WorkerEnd::Fatal(e),
+                        Err(SessionEnd::ChannelLost(detail)) => detail,
+                    }
                 }
-                Err(SessionEnd::Fatal(e)) => {
-                    session.kill();
-                    return Err(e);
-                }
-                Err(SessionEnd::ChannelLost(detail)) => {
-                    session.kill();
-                    detail
-                }
+                Err(e) => format!("{} unavailable: {e}", connector.describe()),
             };
             if respawns_left == 0 {
-                return Err(ClusterError::WorkerLost {
+                // The slot is lost; its unfinished work is already back in
+                // the shared queue for the surviving workers.
+                return WorkerEnd::Lost(ClusterError::WorkerLost {
                     worker,
                     respawns: self.max_respawns,
                     detail: lost,
@@ -344,166 +415,332 @@ impl ProcessPool {
             respawns.fetch_add(1, Ordering::Relaxed);
         }
     }
+
+    /// Handshakes one fresh session and streams it batches until the queue
+    /// drains, the channel dies, or the pool aborts.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_session<F>(
+        &self,
+        worker: usize,
+        transport: &mut dyn Transport,
+        fingerprint: u64,
+        total: usize,
+        dispatch: &Dispatch,
+        results: &Mutex<Vec<(usize, Value)>>,
+        sink: &Mutex<F>,
+    ) -> Result<(), SessionEnd>
+    where
+        F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
+    {
+        let threads = self.handshake(worker, transport, fingerprint, total)?;
+        loop {
+            if dispatch.is_aborted() {
+                // Another worker failed; stop at the assignment boundary.
+                let _ = transport.send(&Message::Shutdown);
+                return Ok(());
+            }
+            let Some(batch) = dispatch.pop_batch(threads) else {
+                return Ok(());
+            };
+            self.serve_batch(
+                worker,
+                transport,
+                fingerprint,
+                &batch,
+                dispatch,
+                results,
+                sink,
+            )?;
+        }
+    }
+
+    /// Runs the mutual handshake, returning the worker's advertised thread
+    /// count (the batch size for this session).
+    fn handshake(
+        &self,
+        worker: usize,
+        transport: &mut dyn Transport,
+        fingerprint: u64,
+        total: usize,
+    ) -> Result<usize, SessionEnd> {
+        let _ = transport.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let ours = Message::Hello(Hello {
+            worker_id: worker,
+            fingerprint,
+            spec_count: total,
+            token: self.token.clone(),
+            threads: 0,
+        });
+        if let Err(e) = transport.send(&ours) {
+            return Err(SessionEnd::ChannelLost(format!(
+                "handshake send failed: {e}"
+            )));
+        }
+        let reply = match transport.recv() {
+            Ok(reply) => reply,
+            Err(e) => return Err(SessionEnd::ChannelLost(format!("handshake failed: {e}"))),
+        };
+        let _ = transport.set_read_timeout(None);
+        match reply {
+            Message::Hello(hello) => {
+                if hello.token != self.token {
+                    return Err(SessionEnd::Fatal(ClusterError::Rejected {
+                        worker,
+                        reason: "worker token differs from the coordinator's".into(),
+                    }));
+                }
+                if hello.fingerprint != fingerprint {
+                    return Err(SessionEnd::Fatal(ClusterError::FingerprintMismatch {
+                        worker,
+                        ours: fingerprint,
+                        theirs: hello.fingerprint,
+                    }));
+                }
+                if hello.spec_count != total {
+                    return Err(SessionEnd::Fatal(ClusterError::SpecCountMismatch {
+                        worker,
+                        ours: total,
+                        theirs: hello.spec_count,
+                    }));
+                }
+                Ok(hello.threads.max(1))
+            }
+            Message::Reject(reason) => {
+                Err(SessionEnd::Fatal(ClusterError::Rejected { worker, reason }))
+            }
+            other => Err(SessionEnd::Fatal(ClusterError::Protocol {
+                worker,
+                detail: format!("expected Hello, got {other:?}"),
+            })),
+        }
+    }
+
+    /// Assigns one batch and collects its `Done`s; on channel loss the
+    /// unacknowledged remainder is returned to the queue.
+    #[allow(clippy::too_many_arguments)]
+    fn serve_batch<F>(
+        &self,
+        worker: usize,
+        transport: &mut dyn Transport,
+        fingerprint: u64,
+        batch: &[usize],
+        dispatch: &Dispatch,
+        results: &Mutex<Vec<(usize, Value)>>,
+        sink: &Mutex<F>,
+    ) -> Result<(), SessionEnd>
+    where
+        F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
+    {
+        let mut outstanding: VecDeque<usize> = batch.iter().copied().collect();
+        let assign = Message::Assign(Assign {
+            indices: batch.to_vec(),
+        });
+        if let Err(e) = transport.send(&assign) {
+            dispatch.requeue(&outstanding);
+            return Err(SessionEnd::ChannelLost(format!(
+                "assigning batch {batch:?} failed: {e}"
+            )));
+        }
+        while !outstanding.is_empty() {
+            let done = match transport.recv() {
+                Ok(Message::Done(done)) => done,
+                Ok(other) => {
+                    dispatch.requeue(&outstanding);
+                    return Err(SessionEnd::Fatal(ClusterError::Protocol {
+                        worker,
+                        detail: format!("expected Done, got {other:?}"),
+                    }));
+                }
+                Err(e) => {
+                    dispatch.requeue(&outstanding);
+                    return Err(SessionEnd::ChannelLost(format!(
+                        "reading result of batch {outstanding:?} failed: {e}"
+                    )));
+                }
+            };
+            let Done {
+                index,
+                seed,
+                outcome,
+            } = done;
+            let Some(pos) = outstanding.iter().position(|&i| i == index) else {
+                dispatch.requeue(&outstanding);
+                return Err(SessionEnd::Fatal(ClusterError::Protocol {
+                    worker,
+                    detail: format!("got result for unassigned spec {index}"),
+                }));
+            };
+            match outcome {
+                Outcome::Record(record) => {
+                    let mut entry = CheckpointEntry {
+                        fingerprint,
+                        index,
+                        seed,
+                        record,
+                    };
+                    let sunk = {
+                        let mut sink = sink.lock().expect("sink mutex poisoned");
+                        sink(&mut entry)
+                    };
+                    if let Err(detail) = sunk {
+                        // Durability lost (journal/stream write failed):
+                        // continuing would complete runs that can never be
+                        // resumed, so fail fast instead. The run itself was
+                        // never journaled, so it stays in `outstanding` and
+                        // goes back to the queue.
+                        dispatch.requeue(&outstanding);
+                        return Err(SessionEnd::Fatal(ClusterError::Io(detail)));
+                    }
+                    results
+                        .lock()
+                        .expect("results mutex poisoned")
+                        .push((index, entry.record));
+                    outstanding.remove(pos);
+                    dispatch.complete(1);
+                }
+                Outcome::Failed(detail) => {
+                    outstanding.remove(pos);
+                    dispatch.complete(1);
+                    dispatch.requeue(&outstanding);
+                    return Err(SessionEnd::Fatal(ClusterError::RunFailed { index, detail }));
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
-/// Why a worker session stopped serving its shard.
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field(
+                "connectors",
+                &self
+                    .connectors
+                    .iter()
+                    .map(|c| c.describe())
+                    .collect::<Vec<_>>(),
+            )
+            .field("max_respawns", &self.max_respawns)
+            .finish()
+    }
+}
+
+/// Why one worker slot's thread stopped.
+enum WorkerEnd {
+    /// Queue drained (from this worker's perspective).
+    Completed,
+    /// The slot exhausted its respawn budget; its work was re-queued.
+    Lost(ClusterError),
+    /// Unrecoverable: propagate to the caller.
+    Fatal(ClusterError),
+}
+
+/// Why a worker session stopped serving.
 enum SessionEnd {
     /// Unrecoverable: propagate to the caller.
     Fatal(ClusterError),
-    /// The channel died (worker crashed); the shard's remainder can be
-    /// re-dispatched to a respawned process.
+    /// The channel died (worker crashed / network drop); the slot's
+    /// unfinished work was re-queued and the session can be re-established.
     ChannelLost(String),
 }
 
-struct WorkerSession {
-    child: Child,
-    stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+/// The shared dispatch queue: pending spec indices plus an in-flight count,
+/// guarded by one mutex/condvar pair so idle workers can wait for work that
+/// a dying peer might hand back.
+struct Dispatch {
+    state: Mutex<DispatchState>,
+    wake: Condvar,
+    aborted: AtomicBool,
 }
 
-impl WorkerSession {
-    /// Graceful teardown: ask the worker to exit, close its stdin, reap.
-    fn shutdown(mut self) {
-        let _ = write_message(&mut self.stdin, &Message::Shutdown);
-        drop(self.stdin);
-        let _ = self.child.wait();
-    }
-
-    /// Hard teardown for error paths.
-    fn kill(mut self) {
-        let _ = self.child.kill();
-        let _ = self.child.wait();
-    }
+struct DispatchState {
+    queue: VecDeque<usize>,
+    in_flight: usize,
 }
 
-fn spawn_worker(launch: &WorkerLaunch, worker: usize) -> Result<WorkerSession, ClusterError> {
-    let mut cmd = Command::new(&launch.program);
-    cmd.args(&launch.args)
-        .env(WORKER_ID_ENV, worker.to_string())
-        .stdin(Stdio::piped())
-        .stdout(Stdio::piped())
-        .stderr(Stdio::inherit());
-    for (key, value) in &launch.envs {
-        cmd.env(key, value);
-    }
-    let mut child = cmd
-        .spawn()
-        .map_err(|e| ClusterError::Spawn(format!("{}: {e}", launch.program.display())))?;
-    let stdin = child.stdin.take().expect("piped stdin");
-    let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
-    Ok(WorkerSession {
-        child,
-        stdin,
-        stdout,
-    })
-}
-
-/// Handshakes one freshly-spawned worker and streams it assignments until
-/// its shard drains, the session ends, or the pool aborts.
-#[allow(clippy::too_many_arguments)]
-fn serve_session<F>(
-    session: &mut WorkerSession,
-    worker: usize,
-    fingerprint: u64,
-    total: usize,
-    remaining: &mut VecDeque<usize>,
-    results: &Mutex<Vec<(usize, Value)>>,
-    sink: &Mutex<F>,
-    abort: &AtomicBool,
-) -> Result<(), SessionEnd>
-where
-    F: FnMut(&CheckpointEntry) -> Result<(), String> + Send,
-{
-    match read_message(&mut session.stdout) {
-        Ok(Message::Hello(hello)) => {
-            if hello.fingerprint != fingerprint {
-                return Err(SessionEnd::Fatal(ClusterError::FingerprintMismatch {
-                    worker,
-                    ours: fingerprint,
-                    theirs: hello.fingerprint,
-                }));
-            }
-            if hello.spec_count != total {
-                return Err(SessionEnd::Fatal(ClusterError::SpecCountMismatch {
-                    worker,
-                    ours: total,
-                    theirs: hello.spec_count,
-                }));
-            }
+impl Dispatch {
+    fn new(pending: &[usize]) -> Self {
+        Dispatch {
+            state: Mutex::new(DispatchState {
+                queue: pending.iter().copied().collect(),
+                in_flight: 0,
+            }),
+            wake: Condvar::new(),
+            aborted: AtomicBool::new(false),
         }
-        Ok(other) => {
-            return Err(SessionEnd::Fatal(ClusterError::Protocol {
-                worker,
-                detail: format!("expected Hello, got {other:?}"),
-            }))
-        }
-        Err(e) => return Err(SessionEnd::ChannelLost(format!("handshake failed: {e}"))),
     }
 
-    while let Some(&index) = remaining.front() {
-        if abort.load(Ordering::Relaxed) {
-            // Another worker failed; stop at the assignment boundary and
-            // let the graceful-shutdown path reap this worker.
-            return Ok(());
-        }
-        if let Err(e) = write_message(&mut session.stdin, &Message::Assign(Assign { index })) {
-            return Err(SessionEnd::ChannelLost(format!(
-                "assign {index} failed: {e}"
-            )));
-        }
-        let done = match read_message(&mut session.stdout) {
-            Ok(Message::Done(done)) => done,
-            Ok(other) => {
-                return Err(SessionEnd::Fatal(ClusterError::Protocol {
-                    worker,
-                    detail: format!("expected Done, got {other:?}"),
-                }))
+    /// Pops up to `k` indices, waiting while the queue is empty but other
+    /// workers still hold in-flight work (a dying peer may re-queue it).
+    /// Returns `None` once everything is done or the pool aborted.
+    fn pop_batch(&self, k: usize) -> Option<Vec<usize>> {
+        let k = k.max(1);
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        loop {
+            if self.is_aborted() {
+                return None;
             }
-            Err(e) => {
-                return Err(SessionEnd::ChannelLost(format!(
-                    "reading result of spec {index} failed: {e}"
-                )))
+            if !state.queue.is_empty() {
+                let n = k.min(state.queue.len());
+                let batch: Vec<usize> = state.queue.drain(..n).collect();
+                state.in_flight += batch.len();
+                return Some(batch);
             }
-        };
-        let Done {
-            index: done_index,
-            seed,
-            outcome,
-        } = done;
-        if done_index != index {
-            return Err(SessionEnd::Fatal(ClusterError::Protocol {
-                worker,
-                detail: format!("assigned spec {index}, got result for {done_index}"),
-            }));
-        }
-        match outcome {
-            Outcome::Record(record) => {
-                let entry = CheckpointEntry {
-                    fingerprint,
-                    index,
-                    seed,
-                    record,
-                };
-                let sunk = {
-                    let mut sink = sink.lock().expect("sink mutex poisoned");
-                    sink(&entry)
-                };
-                if let Err(detail) = sunk {
-                    // Durability lost (journal/stream write failed):
-                    // continuing would complete runs that can never be
-                    // resumed, so fail fast instead.
-                    return Err(SessionEnd::Fatal(ClusterError::Io(detail)));
-                }
-                results
-                    .lock()
-                    .expect("results mutex poisoned")
-                    .push((index, entry.record));
-                remaining.pop_front();
+            if state.in_flight == 0 {
+                return None;
             }
-            Outcome::Failed(detail) => {
-                return Err(SessionEnd::Fatal(ClusterError::RunFailed { index, detail }))
-            }
+            state = self.wake.wait(state).expect("dispatch mutex poisoned");
         }
     }
-    Ok(())
+
+    /// Returns un-acknowledged indices to the front of the queue (order
+    /// preserved) after a channel loss.
+    fn requeue(&self, outstanding: &VecDeque<usize>) {
+        if outstanding.is_empty() {
+            // In-flight already settled; still wake waiters so idle-exit
+            // conditions re-evaluate.
+            self.wake.notify_all();
+            return;
+        }
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        for &index in outstanding.iter().rev() {
+            state.queue.push_front(index);
+        }
+        state.in_flight -= outstanding.len();
+        drop(state);
+        self.wake.notify_all();
+    }
+
+    /// Marks `n` in-flight indices as durably completed.
+    fn complete(&self, n: usize) {
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        state.in_flight -= n;
+        let done = state.queue.is_empty() && state.in_flight == 0;
+        drop(state);
+        if done {
+            self.wake.notify_all();
+        }
+    }
+
+    /// Fatal-error broadcast: waiters wake and bail.
+    fn abort(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+
+    fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Wakes waiters when a slot is lost (so survivors re-check the queue).
+    fn worker_gone(&self) {
+        self.wake.notify_all();
+    }
+
+    /// Whether all work is dispatched and acknowledged.
+    fn is_drained(&self) -> bool {
+        let state = self.state.lock().expect("dispatch mutex poisoned");
+        state.queue.is_empty() && state.in_flight == 0
+    }
 }

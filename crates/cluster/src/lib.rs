@@ -1,30 +1,38 @@
-//! Sharded multi-process campaign execution.
+//! Sharded multi-process and multi-machine campaign execution.
 //!
 //! The sweep engine in `qismet-bench` runs a campaign's independent,
 //! pre-seeded grid points across threads; this crate is the step from
 //! "bounded by cores" to "bounded by cluster". It knows nothing about VQAs —
-//! run payloads travel as [`serde::Value`] trees — and splits into four
+//! run payloads travel as [`serde::Value`] trees — and splits into five
 //! layers:
 //!
-//! * [`protocol`] — the five length-framed serde-JSON messages
-//!   (`Hello`/`Assign`/`Done`/`Checkpoint`/`Shutdown`) exchanged with worker
-//!   processes over their stdin/stdout. Specs are pure data addressed by
-//!   index, so no network stack is needed: both sides expand the same
-//!   campaign and agree on it via a [`Fingerprint`] handshake.
+//! * [`protocol`] — the six length-framed serde-JSON messages
+//!   (`Hello`/`Reject`/`Assign`/`Done`/`Checkpoint`/`Shutdown`) exchanged
+//!   with workers. Specs are pure data addressed by index: both sides
+//!   expand the same campaign and agree on it via a [`Fingerprint`]
+//!   handshake that also carries a shared authentication token.
+//! * [`transport`] — the byte-stream layer beneath the protocol: a
+//!   blocking [`transport::Transport`]/[`transport::Listener`] trait pair
+//!   with child-process stdio-pipe and TCP (`TCP_NODELAY`, read timeouts,
+//!   graceful EOF -> worker-lost) implementations, plus the
+//!   [`transport::Connector`]s the coordinator uses to (re)establish
+//!   sessions.
 //! * [`shard`] — deterministic partitioning of spec indices across workers
 //!   and the order-preserving merge of their results.
-//! * [`coordinator`] — [`coordinator::ProcessPool`], which spawns N worker
-//!   processes, streams each its shard one `Assign` at a time, collects
-//!   `Done` records into index-addressed slots, and respawns a crashed
-//!   worker to re-dispatch its unfinished shard.
+//! * [`coordinator`] — [`coordinator::WorkerPool`], one connector per
+//!   worker slot (spawned processes, remote TCP daemons, or any mix),
+//!   streaming thread-count-sized `Assign` batches from a shared dispatch
+//!   queue. Crashed process workers respawn, dropped TCP workers
+//!   reconnect, and a slot that stays gone has its unfinished work
+//!   re-dispatched to the surviving workers.
 //! * [`journal`] — an append-only JSONL checkpoint keyed by (campaign
 //!   fingerprint, spec index, seed) so an interrupted campaign resumes
 //!   instead of restarting.
 //!
-//! The merged result is **bit-identical** to a sequential in-process run:
-//! every record is produced by the same pure function of the same pure spec,
-//! and the JSON layer (`serde_json` shim) round-trips every finite `f64`
-//! bit-exactly.
+//! The merged result is **bit-identical** to a sequential in-process run —
+//! whatever the worker topology: every record is produced by the same pure
+//! function of the same pure spec, and the JSON layer (`serde_json` shim)
+//! round-trips every finite `f64` bit-exactly.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,13 +41,18 @@ pub mod coordinator;
 pub mod journal;
 pub mod protocol;
 pub mod shard;
+pub mod transport;
 
-pub use coordinator::{ClusterError, ClusterOutcome, ProcessPool, WorkerLaunch, WORKER_ID_ENV};
+pub use coordinator::{ClusterError, ClusterOutcome, WorkerPool};
 pub use journal::{load_journal, JournalWriter, LoadedJournal};
 pub use protocol::{
     read_message, write_message, Assign, CheckpointEntry, Done, Hello, Message, Outcome,
 };
 pub use shard::{merge_indexed, shard_round_robin, MergeError};
+pub use transport::{
+    ChildTransport, Connector, Listener, ProcessConnector, StdioTransport, TcpConnector,
+    TcpTransport, TcpTransportListener, Transport, WorkerLaunch, WORKER_ID_ENV,
+};
 
 /// Incremental FNV-1a content hash used to fingerprint campaign definitions.
 ///

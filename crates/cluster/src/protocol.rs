@@ -1,24 +1,37 @@
 //! The coordinator <-> worker wire protocol.
 //!
-//! Five message kinds cover the whole lifecycle:
+//! Six message kinds cover the whole lifecycle:
 //!
-//! * [`Hello`] (worker -> coordinator): handshake announcing the worker's
-//!   campaign [`fingerprint`](crate::Fingerprint) and spec count, so a
-//!   mis-launched worker (different grid flags, different binary) is
-//!   rejected before any work is assigned.
-//! * [`Assign`] (coordinator -> worker): run the spec at one index.
+//! * [`Hello`]: the mutual handshake. The coordinator sends one first
+//!   (announcing its campaign [`fingerprint`](crate::Fingerprint), spec
+//!   count, and shared authentication token); the worker verifies the token
+//!   and replies with its own `Hello` (same fields, plus its thread count),
+//!   so a mis-launched worker (different grid flags, different binary) — or
+//!   an unauthorized coordinator dialing a serve daemon — is rejected
+//!   before any work is assigned.
+//! * [`Reject`](Message::Reject) (worker -> coordinator): the worker
+//!   refused the handshake (token mismatch). Carries the reason and never
+//!   echoes the worker's own token.
+//! * [`Assign`] (coordinator -> worker): run a batch of spec indices. The
+//!   batch size tracks the worker's advertised [`Hello::threads`], so a
+//!   threaded worker can fan a whole batch across its own
+//!   `SweepExecutor` cores.
 //! * [`Done`] (worker -> coordinator): the outcome of one assigned index —
-//!   a serialized record, or a typed failure message.
+//!   a serialized record, or a typed failure message. One `Done` per index,
+//!   even for batched assignments.
 //! * [`Checkpoint`](Message::Checkpoint): a durably-completed run. This
 //!   variant is the line format of the [`journal`](crate::journal) rather
-//!   than pipe traffic: the coordinator appends one per `Done` to the
+//!   than channel traffic: the coordinator appends one per `Done` to the
 //!   checkpoint file, using the same serialization as the live channel.
-//! * [`Shutdown`](Message::Shutdown) (coordinator -> worker): drain and exit.
+//! * [`Shutdown`](Message::Shutdown) (coordinator -> worker): drain and
+//!   end the session.
 //!
 //! Framing is `<decimal byte length>\n<json body>\n`. The explicit length
 //! makes truncated or interleaved writes detectable instead of silently
 //! re-synchronizing mid-stream, and the trailing newline keeps the stream
-//! greppable when captured for debugging.
+//! greppable when captured for debugging. The framing is
+//! transport-agnostic — the same bytes flow over child-process pipes and
+//! TCP sockets (see [`crate::transport`]).
 
 use serde::{Deserialize, Serialize, Value};
 use std::io::{self, BufRead, Write};
@@ -27,22 +40,32 @@ use std::io::{self, BufRead, Write};
 /// corrupted length header into a giant allocation).
 const MAX_FRAME_BYTES: usize = 1 << 30;
 
-/// Worker handshake: sent once, immediately after startup.
+/// Handshake message, sent by both sides (coordinator first).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hello {
-    /// Worker index within the pool (from `QISMET_CLUSTER_WORKER_ID`).
+    /// Worker slot index within the pool (assigned by the coordinator; the
+    /// worker echoes it back).
     pub worker_id: usize,
-    /// The worker's own fingerprint of the expanded campaign.
+    /// The sender's own fingerprint of the expanded campaign.
     pub fingerprint: u64,
-    /// How many specs the worker's expansion produced.
+    /// How many specs the sender's expansion produced.
     pub spec_count: usize,
+    /// Shared authentication token. The worker compares the coordinator's
+    /// token against its own and answers [`Message::Reject`] on mismatch;
+    /// its reply carries its own (matching) token.
+    pub token: String,
+    /// How many executor threads the sender runs assignments on (workers
+    /// advertise it so the coordinator sizes [`Assign`] batches; the
+    /// coordinator sends 0).
+    pub threads: usize,
 }
 
-/// Coordinator order: execute the spec at `index`.
+/// Coordinator order: execute a batch of spec indices.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Assign {
-    /// Flat index into the campaign's expansion order.
-    pub index: usize,
+    /// Flat indices into the campaign's expansion order. The worker answers
+    /// with one [`Done`] per index.
+    pub indices: Vec<usize>,
 }
 
 /// The result payload of one assigned run.
@@ -85,15 +108,17 @@ pub struct CheckpointEntry {
 /// Every message that crosses a worker channel or a journal line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
-    /// Worker handshake.
+    /// Handshake (coordinator first, then the worker's reply).
     Hello(Hello),
-    /// Assign one spec index.
+    /// The worker refused the handshake; carries the reason.
+    Reject(String),
+    /// Assign a batch of spec indices.
     Assign(Assign),
     /// Outcome of one assigned index.
     Done(Done),
     /// A durably-completed run (journal line format).
     Checkpoint(CheckpointEntry),
-    /// Drain and exit.
+    /// Drain and end the session.
     Shutdown,
 }
 
@@ -180,8 +205,13 @@ mod tests {
                 worker_id: 3,
                 fingerprint: 0xdead_beef_cafe_f00d,
                 spec_count: 96,
+                token: "s3cret".into(),
+                threads: 4,
             }),
-            Message::Assign(Assign { index: 17 }),
+            Message::Reject("token mismatch".into()),
+            Message::Assign(Assign {
+                indices: vec![17, 18, 19],
+            }),
             Message::Done(Done {
                 index: 17,
                 seed: 0x5eed,
@@ -229,17 +259,17 @@ mod tests {
     #[test]
     fn consecutive_frames_parse_in_order() {
         let mut buf = Vec::new();
-        write_message(&mut buf, &Message::Assign(Assign { index: 1 })).unwrap();
-        write_message(&mut buf, &Message::Assign(Assign { index: 2 })).unwrap();
+        write_message(&mut buf, &Message::Assign(Assign { indices: vec![1] })).unwrap();
+        write_message(&mut buf, &Message::Assign(Assign { indices: vec![2] })).unwrap();
         write_message(&mut buf, &Message::Shutdown).unwrap();
         let mut cursor = io::Cursor::new(buf);
         assert_eq!(
             read_message(&mut cursor).unwrap(),
-            Message::Assign(Assign { index: 1 })
+            Message::Assign(Assign { indices: vec![1] })
         );
         assert_eq!(
             read_message(&mut cursor).unwrap(),
-            Message::Assign(Assign { index: 2 })
+            Message::Assign(Assign { indices: vec![2] })
         );
         assert_eq!(read_message(&mut cursor).unwrap(), Message::Shutdown);
         let eof = read_message(&mut cursor).unwrap_err();

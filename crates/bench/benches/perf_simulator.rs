@@ -4,9 +4,11 @@
 //! QISMET controller decision, and the campaign sweep engine itself.
 //!
 //! The `compiled_vs_interpreted` group additionally writes `BENCH_qsim.json`
-//! (mean ns per objective evaluation at 4/6/8 qubits, interpreted vs
-//! compiled) so successive PRs accumulate a perf trajectory; set
-//! `QISMET_PERF_SMOKE=1` for the short-measurement CI variant.
+//! (mean ns per objective evaluation at 4..20 qubits: interpreted vs the
+//! fused compiled kernels, plus a parallel column and a 20q threaded-apply
+//! measurement under the `parallel` feature) so successive PRs accumulate a
+//! perf trajectory; set `QISMET_PERF_SMOKE=1` for the short-measurement CI
+//! variant.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use qismet::{decide, TransientEstimate};
@@ -133,23 +135,89 @@ fn objective_workload(n: usize) -> (Ansatz, qismet_qsim::PauliSum, Vec<f64>) {
     (ansatz, tfim.hamiltonian(), params)
 }
 
-fn bench_compiled_vs_interpreted(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compiled_vs_interpreted");
-    let mut rows = Vec::new();
-    for n in [4usize, 6, 8] {
-        let (ansatz, h, params) = objective_workload(n);
+/// In-state kernel threads for the `parallel` column: the machine's core
+/// count, floored at 2 so the threaded code path is exercised (and honestly
+/// reported) even on single-core CI runners.
+fn bench_inner_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .clamp(2, 8)
+}
 
-        // Interpreted: the pre-compilation hot path — bind a fresh circuit,
-        // dispatch gate by gate, then one full state sweep per term.
-        group.bench_function(format!("interpreted_{n}q"), |b| {
-            b.iter(|| {
-                let bound = ansatz.bind(&params).unwrap();
-                let sv = StateVector::from_circuit(&bound).unwrap();
-                statevector::reference::expectation(&sv, &h)
-            })
+/// One trajectory row: objective-evaluation means at `n` qubits.
+struct PerfRow {
+    n: usize,
+    interpreted_ns: f64,
+    compiled_ns: f64,
+    /// Compiled path with in-state kernel threads (`parallel` feature and
+    /// `n` above the threading threshold only).
+    parallel_ns: Option<f64>,
+}
+
+/// Single-apply threaded sweep measurement (`parallel` feature only):
+/// one `CompiledCircuit` sweep, sequential vs `run_threaded`, as a JSON
+/// object string plus a human-readable summary line.
+#[cfg(feature = "parallel")]
+fn measure_threaded_apply(n: usize, threads: usize, cores: usize) -> (String, String) {
+    let (ansatz, _h, params) = objective_workload(n);
+    let bound = ansatz.bind(&params).unwrap();
+    let plan = CompiledCircuit::compile(&bound);
+    let mut sv = StateVector::new(n);
+    let sequential_ns = mean_ns(|| {
+        plan.run(&mut sv).unwrap();
+        criterion::black_box(&sv);
+    });
+    let threaded_ns = mean_ns(|| {
+        plan.run_threaded(&mut sv, threads).unwrap();
+        criterion::black_box(&sv);
+    });
+    let speedup = sequential_ns / threaded_ns;
+    (
+        format!(
+            "{{\"n_qubits\": {n}, \"threads\": {threads}, \"sequential_ns\": {sequential_ns:.1}, \"threaded_ns\": {threaded_ns:.1}, \"speedup\": {speedup:.2}}}"
+        ),
+        format!(
+            "  threaded apply {n}q x{threads}t: sequential {sequential_ns:.0} ns, threaded {threaded_ns:.0} ns ({speedup:.2}x on {cores} core(s))"
+        ),
+    )
+}
+
+fn bench_compiled_vs_interpreted(c: &mut Criterion) {
+    let smoke = perf_smoke();
+    let inner_threads = bench_inner_threads();
+    let mut group = c.benchmark_group("compiled_vs_interpreted");
+    let mut rows: Vec<PerfRow> = Vec::new();
+    for n in [4usize, 6, 8, 12, 16, 20] {
+        let (ansatz, h, params) = objective_workload(n);
+        let heavy = n >= 12;
+
+        // Big states get fewer criterion samples so the interactive run
+        // stays bounded; the JSON means below use their own calibrated
+        // budget either way.
+        group.sample_size(match (heavy, smoke) {
+            (false, false) => 20,
+            (false, true) => 5,
+            (true, false) => 5,
+            (true, true) => 2,
         });
 
-        // Compiled: rebind the plan in place, reuse the scratch state, fused
+        // Interpreted: the pre-compilation hot path — bind a fresh circuit,
+        // dispatch gate by gate, then one full state sweep per term. At 16q+
+        // one evaluation costs whole seconds, so the smoke run leaves the
+        // interactive bench to the JSON mean below.
+        if !(smoke && n >= 16) {
+            group.bench_function(format!("interpreted_{n}q"), |b| {
+                b.iter(|| {
+                    let bound = ansatz.bind(&params).unwrap();
+                    let sv = StateVector::from_circuit(&bound).unwrap();
+                    statevector::reference::expectation(&sv, &h)
+                })
+            });
+        }
+
+        // Compiled: rebind the plan in place, reuse the scratch state, and
+        // run the fused superop/permutation-table kernels with the blocked
         // single-sweep expectation.
         let mut plan = CompiledCircuit::compile(ansatz.circuit());
         let obs = CompiledObservable::compile(&h);
@@ -157,6 +225,16 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
         group.bench_function(format!("compiled_{n}q"), |b| {
             b.iter(|| backend.evaluate_plan(&mut plan, &params, &obs).unwrap())
         });
+
+        // Parallel: the same compiled path with in-state kernel threads.
+        // Only meaningful once the state clears the threading threshold
+        // (smaller states run the sequential sweep regardless).
+        let mut par_backend = CachedStatevectorBackend::with_inner_threads(inner_threads);
+        if cfg!(feature = "parallel") && n >= 16 {
+            group.bench_function(format!("parallel_{n}q_t{inner_threads}"), |b| {
+                b.iter(|| par_backend.evaluate_plan(&mut plan, &params, &obs).unwrap())
+            });
+        }
 
         // Matching wall-clock means for the trajectory file.
         let interpreted_ns = mean_ns(|| {
@@ -167,22 +245,52 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
         let compiled_ns = mean_ns(|| {
             criterion::black_box(backend.evaluate_plan(&mut plan, &params, &obs).unwrap());
         });
-        rows.push((n, interpreted_ns, compiled_ns));
+        let parallel_ns = (cfg!(feature = "parallel") && n >= 16).then(|| {
+            mean_ns(|| {
+                criterion::black_box(par_backend.evaluate_plan(&mut plan, &params, &obs).unwrap());
+            })
+        });
+        rows.push(PerfRow {
+            n,
+            interpreted_ns,
+            compiled_ns,
+            parallel_ns,
+        });
     }
     group.finish();
 
+    let cores = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+    // Single-apply threaded sweep at 20q (the headline in-state parallelism
+    // number; null without the `parallel` feature).
+    #[cfg(feature = "parallel")]
+    let (apply_json, apply_line) = measure_threaded_apply(20, inner_threads, cores);
+    #[cfg(not(feature = "parallel"))]
+    let (apply_json, apply_line) = ("null".to_string(), String::new());
+
     let entries: Vec<String> = rows
         .iter()
-        .map(|(n, i, cns)| {
+        .map(|r| {
+            let parallel = match r.parallel_ns {
+                Some(p) => format!(
+                    ", \"parallel_ns\": {p:.1}, \"parallel_speedup\": {:.2}",
+                    r.compiled_ns / p
+                ),
+                None => ", \"parallel_ns\": null, \"parallel_speedup\": null".to_string(),
+            };
             format!(
-                "    {{\"n_qubits\": {n}, \"interpreted_ns\": {i:.1}, \"compiled_ns\": {cns:.1}, \"speedup\": {:.2}}}",
-                i / cns
+                "    {{\"n_qubits\": {}, \"interpreted_ns\": {:.1}, \"compiled_ns\": {:.1}, \"speedup\": {:.2}{parallel}}}",
+                r.n,
+                r.interpreted_ns,
+                r.compiled_ns,
+                r.interpreted_ns / r.compiled_ns
             )
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"compiled_vs_interpreted\",\n  \"workload\": \"RealAmplitudes reps=4 ansatz over the open-boundary critical TFIM; mean ns per objective evaluation\",\n  \"smoke\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
-        perf_smoke(),
+        "{{\n  \"bench\": \"compiled_vs_interpreted\",\n  \"workload\": \"RealAmplitudes reps=4 ansatz over the open-boundary critical TFIM; mean ns per objective evaluation. speedup = interpreted/compiled; parallel_* = compiled path with in-state kernel threads (>= 16 qubits, parallel feature); threaded_apply = one CompiledCircuit sweep, run vs run_threaded\",\n  \"smoke\": {},\n  \"cores\": {cores},\n  \"inner_threads\": {inner_threads},\n  \"results\": [\n{}\n  ],\n  \"threaded_apply\": {apply_json}\n}}\n",
+        smoke,
         entries.join(",\n")
     );
     // Default to the workspace root (cargo runs bench binaries from the
@@ -194,11 +302,24 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
         Ok(()) => println!("\nwrote {path}"),
         Err(e) => eprintln!("\ncould not write {path}: {e}"),
     }
-    for (n, i, cns) in &rows {
+    for r in &rows {
+        let parallel = match r.parallel_ns {
+            Some(p) => format!(
+                ", parallel[{inner_threads}t] {p:.0} ns ({:.2}x)",
+                r.compiled_ns / p
+            ),
+            None => String::new(),
+        };
         println!(
-            "  {n}q: interpreted {i:.0} ns, compiled {cns:.0} ns ({:.2}x)",
-            i / cns
+            "  {}q: interpreted {:.0} ns, compiled {:.0} ns ({:.2}x){parallel}",
+            r.n,
+            r.interpreted_ns,
+            r.compiled_ns,
+            r.interpreted_ns / r.compiled_ns
         );
+    }
+    if !apply_line.is_empty() {
+        println!("{apply_line}");
     }
 }
 

@@ -69,6 +69,11 @@ EXECUTION OPTIONS:
                           In-process: sizes the sweep pool. With --workers/--serve:
                           each worker runs its assigned batches on <n> threads
                           (hybrid threads x processes/machines)
+    --inner-threads <n>   In-state kernel threads per run (needs --features
+                          parallel): each statevector apply/expectation splits
+                          its amplitude array across <n> threads, bit-identical
+                          to sequential. Composes with --threads: the budget is
+                          threads x inner-threads. Forwarded to workers
     --workers <n>         Shard across <n> local worker processes
     --connect <addrs>     Comma-separated remote worker daemons (host:port) to
                           dial; mixes freely with --workers
@@ -113,6 +118,7 @@ struct Args {
     trials: usize,
     seed: u64,
     threads: Option<usize>,
+    inner_threads: usize,
     name: String,
     workers: usize,
     connect: Vec<String>,
@@ -127,8 +133,9 @@ struct Args {
 }
 
 /// Flags (with a value) that configure the coordinator only and must not be
-/// forwarded to worker processes. (`--threads` and `--token` are *not*
-/// here: workers need them to size their executors and authenticate.)
+/// forwarded to worker processes. (`--threads`, `--inner-threads`, and
+/// `--token` are *not* here: workers need them to size their executors,
+/// configure their kernels, and authenticate.)
 const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--connect",
@@ -149,6 +156,7 @@ fn parse_args(argv: &[String]) -> Args {
         trials: 1,
         seed: 7,
         threads: None,
+        inner_threads: 1,
         name: "campaign".to_string(),
         workers: 0,
         connect: Vec::new(),
@@ -229,6 +237,11 @@ fn parse_args(argv: &[String]) -> Args {
                         .parse()
                         .unwrap_or_else(|_| die(&format!("invalid thread count `{value}`"))),
                 );
+            }
+            "--inner-threads" => {
+                args.inner_threads = value
+                    .parse()
+                    .unwrap_or_else(|_| die(&format!("invalid inner-thread count `{value}`")));
             }
             "--workers" => {
                 args.workers = value
@@ -344,6 +357,7 @@ fn main() {
         let opts = WorkerOptions {
             token: args.token,
             threads: args.threads.unwrap_or(1),
+            inner_threads: args.inner_threads,
             exit_after: env_usize(EXIT_AFTER_ENV),
             drop_after: None,
         };
@@ -365,6 +379,7 @@ fn main() {
         let opts = WorkerOptions {
             token: args.token,
             threads: args.threads.unwrap_or(1),
+            inner_threads: args.inner_threads,
             exit_after: None,
             drop_after: env_usize(DROP_AFTER_ENV),
         };
@@ -445,7 +460,8 @@ fn main() {
         let executor = match args.threads {
             Some(t) => SweepExecutor::with_threads(t),
             None => SweepExecutor::new(),
-        };
+        }
+        .with_inner_threads(args.inner_threads);
         println!(
             "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker(s)",
             campaign.name,

@@ -284,6 +284,11 @@ pub struct WorkerOptions {
     /// `parallel` feature; effectively 1 otherwise). Advertised in the
     /// `Hello` reply so the coordinator sizes batches to match.
     pub threads: usize,
+    /// In-state kernel threads per run (`0`/`1` = sequential statevector
+    /// sweeps). Composes with `threads`: the executor fan-out splits runs
+    /// across workers while each run's apply/expectation splits its own
+    /// amplitude array. Results are bit-identical either way.
+    pub inner_threads: usize,
     /// Fault injection: exit the process (code 17) after this many `Done`s
     /// (stdio workers; see [`EXIT_AFTER_ENV`]).
     pub exit_after: Option<usize>,
@@ -297,6 +302,7 @@ impl Default for WorkerOptions {
         WorkerOptions {
             token: String::new(),
             threads: 1,
+            inner_threads: 1,
             exit_after: None,
             drop_after: None,
         }
@@ -344,7 +350,7 @@ pub fn serve_session(
     opts: &WorkerOptions,
 ) -> Result<SessionOutcome, ClusterError> {
     let threads = opts.advertised_threads();
-    let executor = SweepExecutor::with_threads(threads);
+    let executor = SweepExecutor::with_threads(threads).with_inner_threads(opts.inner_threads);
     let coordinator = match transport.recv() {
         Ok(Message::Hello(hello)) => hello,
         Ok(other) => {

@@ -65,6 +65,7 @@ fn catch_run<R>(index: usize, f: impl FnOnce() -> R) -> Result<R, ExecutorError>
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SweepExecutor {
     threads: usize,
+    inner_threads: usize,
 }
 
 impl Default for SweepExecutor {
@@ -77,22 +78,44 @@ impl SweepExecutor {
     /// The default executor: all available cores when the `parallel`
     /// feature is enabled, sequential otherwise.
     pub fn new() -> Self {
-        if cfg!(feature = "parallel") {
-            SweepExecutor { threads: 0 }
-        } else {
-            SweepExecutor { threads: 1 }
+        let threads = if cfg!(feature = "parallel") { 0 } else { 1 };
+        SweepExecutor {
+            threads,
+            inner_threads: 1,
         }
     }
 
     /// A strictly sequential executor.
     pub fn sequential() -> Self {
-        SweepExecutor { threads: 1 }
+        SweepExecutor {
+            threads: 1,
+            inner_threads: 1,
+        }
     }
 
     /// An executor with an explicit worker count (`0` = all cores). More
     /// than one worker only takes effect under the `parallel` feature.
     pub fn with_threads(threads: usize) -> Self {
-        SweepExecutor { threads }
+        SweepExecutor {
+            threads,
+            inner_threads: 1,
+        }
+    }
+
+    /// Sets the in-state kernel thread count each worker configures on its
+    /// backend pool (`0`/`1` = sequential kernels). This splits the thread
+    /// budget between run-level fan-out (`threads`) and state-level
+    /// parallelism inside each statevector sweep; the two compose, so
+    /// `threads * inner_threads` should not exceed the machine. More than
+    /// one inner thread only takes effect under the `parallel` feature.
+    pub fn with_inner_threads(mut self, inner_threads: usize) -> Self {
+        self.inner_threads = inner_threads;
+        self
+    }
+
+    /// The configured in-state kernel thread count.
+    pub fn inner_threads(&self) -> usize {
+        self.inner_threads
     }
 
     /// The worker count this executor will actually use for `n` tasks.
@@ -169,6 +192,7 @@ impl SweepExecutor {
     {
         let workers = self.effective_threads(specs.len());
         if workers <= 1 || specs.len() <= 1 {
+            crate::set_worker_inner_threads(self.inner_threads);
             return specs
                 .iter()
                 .enumerate()
@@ -200,7 +224,9 @@ impl SweepExecutor {
             for _ in 0..workers {
                 let next = &next;
                 let abort = &abort;
+                let inner_threads = self.inner_threads;
                 handles.push(scope.spawn(move || {
+                    crate::set_worker_inner_threads(inner_threads);
                     let mut local = Vec::new();
                     loop {
                         if abort.load(Ordering::Relaxed) {
@@ -272,6 +298,7 @@ impl SweepExecutor {
         R: Send,
         F: Fn(&S) -> R + Sync,
     {
+        crate::set_worker_inner_threads(self.inner_threads);
         specs
             .iter()
             .enumerate()

@@ -49,6 +49,25 @@ thread_local! {
     static WORKER_BACKENDS: RefCell<BackendPool> = RefCell::new(BackendPool::new());
 }
 
+/// Sets the in-state (statevector kernel) thread count for every backend the
+/// *current worker thread* hands out from here on. The sweep executor calls
+/// this on each worker before it starts pulling specs, which is how the
+/// `--inner-threads` knob splits run-level parallelism (executor workers)
+/// from state-level parallelism (threaded apply/expectation inside one run).
+///
+/// `0` and `1` both mean sequential kernels. Rebuilding the pool drops the
+/// cached plans/scratch, so this is meant to be called once per worker, not
+/// per run. Results are unchanged by the setting — the threaded kernels are
+/// bit-identical to the sequential sweep, which the qsim suite pins.
+pub fn set_worker_inner_threads(inner_threads: usize) {
+    WORKER_BACKENDS.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.inner_threads() != inner_threads {
+            *pool = BackendPool::with_inner_threads(inner_threads);
+        }
+    });
+}
+
 /// Scale factor for iteration counts, read from `QISMET_BENCH_SCALE`
 /// (e.g. `0.1` for a 10x faster smoke run). Defaults to 1.
 pub fn bench_scale() -> f64 {

@@ -99,8 +99,7 @@ pub trait Backend: Send {
     ) -> Result<f64, GateError> {
         plan.rebind(params)?;
         let mut sv = StateVector::new(plan.n_qubits());
-        plan.apply(&mut sv)?;
-        Ok(observable.expectation(&sv))
+        plan.run_expectation(&mut sv, observable)
     }
 
     /// Evaluates a plan at many parameter points, in order. The plan's
@@ -217,8 +216,7 @@ impl Backend for StatevectorBackend {
         let p = self.cache.plan_for(circuit)?;
         let o = self.cache.observable_for(observable);
         let mut sv = StateVector::new(circuit.n_qubits());
-        self.cache.plans[p].apply(&mut sv)?;
-        Ok(self.cache.observables[o].1.expectation(&sv))
+        self.cache.plans[p].run_expectation(&mut sv, &self.cache.observables[o].1)
     }
 
     #[cfg(feature = "parallel")]
@@ -227,7 +225,7 @@ impl Backend for StatevectorBackend {
         circuits: &[Circuit],
         observable: &PauliSum,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_batch(circuits, observable)
+        parallel_batch(circuits, observable, 1)
     }
 
     #[cfg(feature = "parallel")]
@@ -237,7 +235,7 @@ impl Backend for StatevectorBackend {
         points: &[Vec<f64>],
         observable: &CompiledObservable,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_plan_batch(plan, points, observable)
+        parallel_plan_batch(plan, points, observable, 1)
     }
 
     fn clone_box(&self) -> Box<dyn Backend> {
@@ -260,6 +258,7 @@ impl Backend for StatevectorBackend {
 pub struct CachedStatevectorBackend {
     scratch: Option<StateVector>,
     cache: PlanCache,
+    inner_threads: usize,
 }
 
 impl CachedStatevectorBackend {
@@ -268,14 +267,54 @@ impl CachedStatevectorBackend {
     pub fn new() -> Self {
         CachedStatevectorBackend::default()
     }
+
+    /// Creates the backend with in-state parallelism: each single
+    /// evaluation's kernel sweeps are split across up to `inner_threads`
+    /// scoped workers (`parallel` feature; `<= 1`, small states, or
+    /// non-`parallel` builds run sequentially). Results are bitwise
+    /// identical at any setting.
+    pub fn with_inner_threads(inner_threads: usize) -> Self {
+        CachedStatevectorBackend {
+            inner_threads,
+            ..CachedStatevectorBackend::default()
+        }
+    }
+
+    /// The configured in-state thread fan-out (`0`/`1` = sequential).
+    pub fn inner_threads(&self) -> usize {
+        self.inner_threads
+    }
 }
 
-/// The reset scratch state for `n_qubits`, reusing the buffer when the
-/// width matches. A free function over the slot (not a method) so callers
-/// can keep disjoint borrows of the backend's plan cache alive.
-fn reset_scratch(slot: &mut Option<StateVector>, n_qubits: usize) -> &mut StateVector {
+/// Runs a bound plan on the scratch state (reset by the plan run itself,
+/// which lets real-amplitude plans take their `f64` fast path) and
+/// evaluates the compiled observable, honoring the in-state thread fan-out.
+/// The threaded and sequential paths are bitwise identical, so this only
+/// selects a schedule.
+fn execute(
+    plan: &CompiledCircuit,
+    observable: &CompiledObservable,
+    scratch: &mut StateVector,
+    inner_threads: usize,
+) -> Result<f64, GateError> {
+    #[cfg(feature = "parallel")]
+    if inner_threads > 1 {
+        plan.run_threaded(scratch, inner_threads)?;
+        return Ok(observable.expectation_threaded(scratch, inner_threads));
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = inner_threads;
+    plan.run_expectation(scratch, observable)
+}
+
+/// The scratch state for `n_qubits`, reusing the buffer when the width
+/// matches (no reset — [`execute`] runs plans through
+/// [`CompiledCircuit::run`], which resets). A free function over the slot
+/// (not a method) so callers can keep disjoint borrows of the backend's
+/// plan cache alive.
+fn scratch_for(slot: &mut Option<StateVector>, n_qubits: usize) -> &mut StateVector {
     match slot {
-        Some(sv) if sv.n_qubits() == n_qubits => sv.reset(),
+        Some(sv) if sv.n_qubits() == n_qubits => {}
         _ => *slot = Some(StateVector::new(n_qubits)),
     }
     slot.as_mut().expect("scratch populated above")
@@ -285,9 +324,13 @@ impl Backend for CachedStatevectorBackend {
     fn evaluate(&mut self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, GateError> {
         let p = self.cache.plan_for(circuit)?;
         let o = self.cache.observable_for(observable);
-        let scratch = reset_scratch(&mut self.scratch, circuit.n_qubits());
-        self.cache.plans[p].apply(scratch)?;
-        Ok(self.cache.observables[o].1.expectation(scratch))
+        let scratch = scratch_for(&mut self.scratch, circuit.n_qubits());
+        execute(
+            &self.cache.plans[p],
+            &self.cache.observables[o].1,
+            scratch,
+            self.inner_threads,
+        )
     }
 
     #[cfg(feature = "parallel")]
@@ -296,7 +339,7 @@ impl Backend for CachedStatevectorBackend {
         circuits: &[Circuit],
         observable: &PauliSum,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_batch(circuits, observable)
+        parallel_batch(circuits, observable, self.inner_threads)
     }
 
     fn evaluate_plan(
@@ -306,9 +349,8 @@ impl Backend for CachedStatevectorBackend {
         observable: &CompiledObservable,
     ) -> Result<f64, GateError> {
         plan.rebind(params)?;
-        let scratch = reset_scratch(&mut self.scratch, plan.n_qubits());
-        plan.apply(scratch)?;
-        Ok(observable.expectation(scratch))
+        let scratch = scratch_for(&mut self.scratch, plan.n_qubits());
+        execute(plan, observable, scratch, self.inner_threads)
     }
 
     #[cfg(feature = "parallel")]
@@ -318,7 +360,7 @@ impl Backend for CachedStatevectorBackend {
         points: &[Vec<f64>],
         observable: &CompiledObservable,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_plan_batch(plan, points, observable)
+        parallel_plan_batch(plan, points, observable, self.inner_threads)
     }
 
     fn clone_box(&self) -> Box<dyn Backend> {
@@ -345,6 +387,16 @@ impl SharedBackend {
     /// Creates a handle to a fresh cached backend.
     pub fn new() -> Self {
         SharedBackend::default()
+    }
+
+    /// Creates a handle to a cached backend configured with in-state
+    /// parallelism (see [`CachedStatevectorBackend::with_inner_threads`]).
+    pub fn with_inner_threads(inner_threads: usize) -> Self {
+        SharedBackend {
+            inner: Arc::new(Mutex::new(CachedStatevectorBackend::with_inner_threads(
+                inner_threads,
+            ))),
+        }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, CachedStatevectorBackend> {
@@ -399,6 +451,7 @@ impl Backend for SharedBackend {
 #[derive(Debug, Clone, Default)]
 pub struct BackendPool {
     slots: HashMap<usize, SharedBackend>,
+    inner_threads: usize,
 }
 
 impl BackendPool {
@@ -407,10 +460,30 @@ impl BackendPool {
         BackendPool::default()
     }
 
+    /// Creates an empty pool whose backends use in-state parallelism (see
+    /// [`CachedStatevectorBackend::with_inner_threads`]).
+    pub fn with_inner_threads(inner_threads: usize) -> Self {
+        BackendPool {
+            inner_threads,
+            ..BackendPool::default()
+        }
+    }
+
+    /// The in-state thread fan-out newly created backends receive.
+    pub fn inner_threads(&self) -> usize {
+        self.inner_threads
+    }
+
     /// A backend handle for `n_qubits`-wide circuits; all handles for one
     /// width share scratch state and plan cache.
     pub fn backend_for(&mut self, n_qubits: usize) -> Box<dyn Backend> {
-        Box::new(self.slots.entry(n_qubits).or_default().clone())
+        let inner_threads = self.inner_threads;
+        Box::new(
+            self.slots
+                .entry(n_qubits)
+                .or_insert_with(|| SharedBackend::with_inner_threads(inner_threads))
+                .clone(),
+        )
     }
 
     /// Number of distinct widths the pool currently serves.
@@ -432,13 +505,17 @@ impl BackendPool {
 /// The vendored dependency set has no `rayon`; scoped threads give the
 /// same fan-out with the standard library only.
 #[cfg(feature = "parallel")]
-fn parallel_batch(circuits: &[Circuit], observable: &PauliSum) -> Result<Vec<f64>, GateError> {
+fn parallel_batch(
+    circuits: &[Circuit],
+    observable: &PauliSum,
+    inner_threads: usize,
+) -> Result<Vec<f64>, GateError> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
         .min(circuits.len().max(1));
     if workers <= 1 || circuits.len() < 2 {
-        let mut backend = CachedStatevectorBackend::new();
+        let mut backend = CachedStatevectorBackend::with_inner_threads(inner_threads);
         return circuits
             .iter()
             .map(|c| backend.evaluate(c, observable))
@@ -451,7 +528,7 @@ fn parallel_batch(circuits: &[Circuit], observable: &PauliSum) -> Result<Vec<f64
         for (w, out) in results.chunks_mut(chunk).enumerate() {
             let start = w * chunk;
             scope.spawn(move || {
-                let mut backend = CachedStatevectorBackend::new();
+                let mut backend = CachedStatevectorBackend::with_inner_threads(inner_threads);
                 for (i, slot) in out.iter_mut().enumerate() {
                     *slot = backend.evaluate(&circuits[start + i], observable);
                 }
@@ -471,6 +548,7 @@ fn parallel_plan_batch(
     plan: &mut CompiledCircuit,
     points: &[Vec<f64>],
     observable: &CompiledObservable,
+    inner_threads: usize,
 ) -> Result<Vec<f64>, GateError> {
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -482,8 +560,7 @@ fn parallel_plan_batch(
             .iter()
             .map(|p| {
                 plan.rebind(p)?;
-                plan.run(&mut scratch)?;
-                Ok(observable.expectation(&scratch))
+                execute(plan, observable, &mut scratch, inner_threads)
             })
             .collect();
     }
@@ -499,8 +576,7 @@ fn parallel_plan_batch(
                 for (i, slot) in out.iter_mut().enumerate() {
                     *slot = local
                         .rebind(&points[start + i])
-                        .and_then(|()| local.run(&mut scratch))
-                        .map(|()| observable.expectation(&scratch));
+                        .and_then(|()| execute(&local, observable, &mut scratch, inner_threads));
                 }
             });
         }
@@ -777,6 +853,27 @@ mod tests {
             .evaluate_batch(&[], &h)
             .unwrap();
         assert!(out.is_empty());
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn inner_threads_backend_is_bitwise_identical() {
+        // 16 qubits crosses the in-state parallelism threshold, so the
+        // threaded schedule actually runs — and must not change a bit.
+        let h = observable(16);
+        let c = random_circuit(16, 77);
+        let a = CachedStatevectorBackend::new().evaluate(&c, &h).unwrap();
+        for t in [2usize, 4] {
+            let b = CachedStatevectorBackend::with_inner_threads(t)
+                .evaluate(&c, &h)
+                .unwrap();
+            assert_eq!(a.to_bits(), b.to_bits(), "inner_threads={t}");
+        }
+        // Pool-served backends propagate the knob.
+        let mut pool = BackendPool::with_inner_threads(4);
+        assert_eq!(pool.inner_threads(), 4);
+        let via_pool = pool.backend_for(16).evaluate(&c, &h).unwrap();
+        assert_eq!(a.to_bits(), via_pool.to_bits());
     }
 
     #[test]

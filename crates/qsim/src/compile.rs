@@ -27,12 +27,10 @@
 
 use crate::circuit::Circuit;
 use crate::gate::{Gate, GateError, Param};
+use crate::kernels::{self, Mat2};
 use crate::pauli::PauliSum;
 use crate::statevector::StateVector;
 use qismet_mathkit::Complex64;
-
-/// A stack-allocated 2x2 unitary (row-major).
-type Mat2 = [[Complex64; 2]; 2];
 
 const ID2: Mat2 = [
     [Complex64::ONE, Complex64::ZERO],
@@ -90,7 +88,7 @@ fn gate_mat2(gate: Gate, params: &[f64]) -> Result<Mat2, GateError> {
         ],
         Gate::Rx(p) => {
             let t = angle(p)? / 2.0;
-            let (c, s) = (t.cos(), t.sin());
+            let (s, c) = t.sin_cos();
             [
                 [C::from_re(c), C::new(0.0, -s)],
                 [C::new(0.0, -s), C::from_re(c)],
@@ -98,7 +96,7 @@ fn gate_mat2(gate: Gate, params: &[f64]) -> Result<Mat2, GateError> {
         }
         Gate::Ry(p) => {
             let t = angle(p)? / 2.0;
-            let (c, s) = (t.cos(), t.sin());
+            let (s, c) = t.sin_cos();
             [
                 [C::from_re(c), C::from_re(-s)],
                 [C::from_re(s), C::from_re(c)],
@@ -120,6 +118,327 @@ fn gate_mat2(gate: Gate, params: &[f64]) -> Result<Mat2, GateError> {
 /// halved-multiply real kernel.
 fn gate_is_real(g: Gate) -> bool {
     matches!(g, Gate::H | Gate::X | Gate::Z | Gate::Ry(_))
+}
+
+/// Resolves a parameter against the binding vector.
+fn param_value(p: Param, values: &[f64]) -> Result<f64, GateError> {
+    match p {
+        Param::Fixed(v) => Ok(v),
+        Param::Free(k) => values.get(k).copied().ok_or(GateError::UnboundParameter),
+    }
+}
+
+/// Widest qubit support a lowered CX/CZ/SWAP/RZZ ladder table may span
+/// (table size `2^s`; 8 qubits = 256 entries — the most a `u8` local
+/// configuration index can address, and still L1 resident). The wide cap
+/// lets a full linear-entanglement ladder lower into **one** table pass:
+/// contiguous supports take the block-permutation kernel, which moves
+/// `2^shift`-amplitude blocks instead of gathering single amplitudes.
+const LADDER_MAX_QUBITS: usize = 8;
+
+/// Minimum state width for the real-amplitude run mode: below this the
+/// thread-local scratch borrow and the complex write-back pass cost more
+/// than the halved sweeps save.
+const REAL_RUN_MIN_QUBITS: usize = 6;
+
+thread_local! {
+    /// Per-thread real-amplitude state for plans where
+    /// [`CompiledCircuit::runs_real`] holds: grown on demand, reused across
+    /// runs, written back into the caller's [`StateVector`] at the end of
+    /// each run.
+    static REAL_STATE: core::cell::RefCell<Vec<f64>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
+/// Minimum state width for in-state thread parallelism: below 2^15
+/// amplitudes a full sweep takes microseconds and thread dispatch would
+/// dominate. The threshold only gates a performance choice — sequential and
+/// threaded paths are bitwise identical either way.
+#[cfg(feature = "parallel")]
+const PARALLEL_MIN_QUBITS: usize = 15;
+
+/// Maximum superoperator support (dense `2^k x 2^k` matrices; k = 3 keeps
+/// the 8x8 matrix and its 8-amplitude orbit in registers).
+const SUPEROP_MAX_QUBITS: usize = 3;
+
+/// Minimum state width for fusing **parameterized** content into dense
+/// superops. A free angle inside a superop makes every rebind pay an
+/// `O(gates * 2^2k)` matrix rebuild; below this width the state sweep is so
+/// cheap (L1-resident) that the rebuild dominates the objective evaluation,
+/// so small plans keep free angles in 2x2 fused segments / specialized RZZ
+/// slots instead (trig-only rebinds). Angle-free content (Clifford
+/// preludes, fixed-angle circuits) fuses densely at every width — its
+/// matrices are built once at compile time.
+const DENSE_FUSION_MIN_QUBITS: usize = 12;
+
+/// A constituent gate of a fused superop or ladder table, recorded with
+/// **global** qubit indices so rebinding can rebuild the fused form without
+/// any local-index bookkeeping (the support set is fixed once lowering
+/// finishes, so global -> local translation is stable).
+#[derive(Debug, Clone, Copy)]
+enum LocalGate {
+    /// One-qubit gate on wire `q`.
+    OneQ { q: usize, g: Gate },
+    /// CX with control `c`, target `t`.
+    Cx { c: usize, t: usize },
+    /// CZ on `a`, `b`.
+    Cz { a: usize, b: usize },
+    /// SWAP on `a`, `b`.
+    Swap { a: usize, b: usize },
+    /// RZZ on `a`, `b` with (possibly free) angle `p`.
+    Rzz { a: usize, b: usize, p: Param },
+}
+
+impl LocalGate {
+    fn is_free(&self) -> bool {
+        matches!(
+            self,
+            LocalGate::OneQ {
+                g: Gate::Rx(Param::Free(_))
+                    | Gate::Ry(Param::Free(_))
+                    | Gate::Rz(Param::Free(_))
+                    | Gate::Phase(Param::Free(_)),
+                ..
+            } | LocalGate::Rzz {
+                p: Param::Free(_),
+                ..
+            }
+        )
+    }
+
+    fn is_real(&self) -> bool {
+        match self {
+            LocalGate::OneQ { g, .. } => gate_is_real(*g),
+            LocalGate::Cx { .. } | LocalGate::Cz { .. } | LocalGate::Swap { .. } => true,
+            LocalGate::Rzz { .. } => false,
+        }
+    }
+}
+
+/// A multi-qubit superoperator: adjacent gates on an overlapping qubit set
+/// fused into one dense `2^k x 2^k` matrix (k <= [`SUPEROP_MAX_QUBITS`]),
+/// applied in a single cache-blocked gather/scatter sweep.
+#[derive(Debug, Clone)]
+struct SuperOp {
+    /// Support, global qubit indices, ascending.
+    qubits: Vec<usize>,
+    /// Row-major `2^k x 2^k` matrix over the local basis (local bit `j` =
+    /// `qubits[j]`); only the top-left `2^k x 2^k` block of the fixed-size
+    /// backing store is used.
+    m: [Complex64; 64],
+    /// All constituent gates are real-for-any-angle: the apply kernel skips
+    /// the imaginary halves of the matrix entries (exact zeros).
+    real: bool,
+    /// Contains at least one free parameter (rebuilt on rebind).
+    free: bool,
+    /// Constituents in application order, global qubit indices.
+    gates: Vec<LocalGate>,
+}
+
+impl SuperOp {
+    fn k(&self) -> usize {
+        self.qubits.len()
+    }
+
+    fn local_bit(&self, q: usize) -> usize {
+        let j = self
+            .qubits
+            .iter()
+            .position(|&x| x == q)
+            .expect("qubit in superop support");
+        1usize << j
+    }
+
+    /// Rebuilds the dense matrix from the constituent gates: start from the
+    /// identity and absorb each gate as a row operation (butterfly for 1q
+    /// gates, row swap/scale for the specialized 2q gates). This is
+    /// O(gates * 2^(2k)) — far cheaper than chaining `2^k x 2^k` products —
+    /// and allocation-free, which keeps rebinding on the objective hot path.
+    fn rebuild(&mut self, values: &[f64]) -> Result<(), GateError> {
+        let d = 1usize << self.k();
+        self.m = [Complex64::ZERO; 64];
+        for r in 0..d {
+            self.m[r * d + r] = Complex64::ONE;
+        }
+        for gi in 0..self.gates.len() {
+            match self.gates[gi] {
+                LocalGate::OneQ { q, g } => {
+                    let u = gate_mat2(g, values)?;
+                    let lbit = self.local_bit(q);
+                    for r0 in 0..d {
+                        if r0 & lbit != 0 {
+                            continue;
+                        }
+                        let r1 = r0 | lbit;
+                        for c in 0..d {
+                            let x = self.m[r0 * d + c];
+                            let y = self.m[r1 * d + c];
+                            self.m[r0 * d + c] = u[0][0] * x + u[0][1] * y;
+                            self.m[r1 * d + c] = u[1][0] * x + u[1][1] * y;
+                        }
+                    }
+                }
+                LocalGate::Cx { c, t } => {
+                    let (cbit, tbit) = (self.local_bit(c), self.local_bit(t));
+                    for r in 0..d {
+                        if r & cbit != 0 && r & tbit == 0 {
+                            let r2 = r | tbit;
+                            for col in 0..d {
+                                self.m.swap(r * d + col, r2 * d + col);
+                            }
+                        }
+                    }
+                }
+                LocalGate::Cz { a, b } => {
+                    let (abit, bbit) = (self.local_bit(a), self.local_bit(b));
+                    for r in 0..d {
+                        if r & abit != 0 && r & bbit != 0 {
+                            for col in 0..d {
+                                self.m[r * d + col] = -self.m[r * d + col];
+                            }
+                        }
+                    }
+                }
+                LocalGate::Swap { a, b } => {
+                    let (abit, bbit) = (self.local_bit(a), self.local_bit(b));
+                    for r in 0..d {
+                        if r & abit != 0 && r & bbit == 0 {
+                            let r2 = (r & !abit) | bbit;
+                            for col in 0..d {
+                                self.m.swap(r * d + col, r2 * d + col);
+                            }
+                        }
+                    }
+                }
+                LocalGate::Rzz { a, b, p } => {
+                    let theta = param_value(p, values)?;
+                    let minus = Complex64::cis(-theta / 2.0);
+                    let plus = Complex64::cis(theta / 2.0);
+                    let (abit, bbit) = (self.local_bit(a), self.local_bit(b));
+                    for r in 0..d {
+                        let ph = if (r & abit != 0) == (r & bbit != 0) {
+                            minus
+                        } else {
+                            plus
+                        };
+                        for col in 0..d {
+                            self.m[r * d + col] *= ph;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A lowered CX/CZ/SWAP/RZZ ladder: a pure index-permutation + diagonal
+/// phase over its local support, precomputed into lookup tables and applied
+/// in one sweep instead of one sweep per gate.
+#[derive(Debug, Clone)]
+struct PermTable {
+    /// Support, global qubit indices, ascending.
+    qubits: Vec<usize>,
+    /// `1 << q` per support qubit, ascending (kernel orbit expansion).
+    bits: Vec<usize>,
+    /// Amplitude offset of each local configuration.
+    offs: Vec<usize>,
+    /// `src[l] = pi^-1(l)`: which local config lands on `l`.
+    src: Vec<u8>,
+    /// Output phase of local config `l`.
+    phase: Vec<Complex64>,
+    /// `Some(qubits[0])` when the support is a contiguous qubit run
+    /// `[k, k+s)`: local config `l` then sits at amplitude offset
+    /// `l << k` and every orbit is one contiguous region, so the kernel
+    /// permutes `2^k`-amplitude blocks instead of gathering amplitudes
+    /// through the `offs` indirection.
+    contig_shift: Option<usize>,
+    /// Identity permutation (CZ/RZZ-only ladder): in-place phase sweep.
+    diagonal: bool,
+    /// All phases exactly one (CX/SWAP-only ladder): pure permutation.
+    unit: bool,
+    /// Contains a free RZZ angle (tables are rebuilt on rebind).
+    free: bool,
+    /// Constituents in application order, global qubit indices.
+    gates: Vec<LocalGate>,
+}
+
+impl PermTable {
+    fn local_index(&self, q: usize) -> usize {
+        self.qubits
+            .iter()
+            .position(|&x| x == q)
+            .expect("qubit in table support")
+    }
+
+    /// Recomputes the permutation and phase tables by composing the
+    /// constituent gates over the `2^s` local configurations
+    /// (`pi' = g o pi`, `phase'(c) = phase(c) * phase_g(pi(c))`), then
+    /// inverting into the gather form the kernel consumes.
+    fn rebuild(&mut self, values: &[f64]) -> Result<(), GateError> {
+        let s = self.qubits.len();
+        let size = 1usize << s;
+        let mut pi = [0u8; 1 << LADDER_MAX_QUBITS];
+        let mut ph = [Complex64::ONE; 1 << LADDER_MAX_QUBITS];
+        for (c, slot) in pi.iter_mut().enumerate().take(size) {
+            *slot = c as u8;
+        }
+        ph[..size].fill(Complex64::ONE);
+        for gi in 0..self.gates.len() {
+            match self.gates[gi] {
+                LocalGate::Cx { c, t } => {
+                    let (cbit, tbit) = (1u8 << self.local_index(c), 1u8 << self.local_index(t));
+                    for x in pi.iter_mut().take(size) {
+                        if *x & cbit != 0 {
+                            *x ^= tbit;
+                        }
+                    }
+                }
+                LocalGate::Swap { a, b } => {
+                    let (abit, bbit) = (1u8 << self.local_index(a), 1u8 << self.local_index(b));
+                    for x in pi.iter_mut().take(size) {
+                        let pa = *x & abit != 0;
+                        let pb = *x & bbit != 0;
+                        if pa != pb {
+                            *x ^= abit | bbit;
+                        }
+                    }
+                }
+                LocalGate::Cz { a, b } => {
+                    let (abit, bbit) = (1u8 << self.local_index(a), 1u8 << self.local_index(b));
+                    for (x, f) in pi.iter().zip(ph.iter_mut()).take(size) {
+                        if *x & abit != 0 && *x & bbit != 0 {
+                            *f = -*f;
+                        }
+                    }
+                }
+                LocalGate::Rzz { a, b, p } => {
+                    let theta = param_value(p, values)?;
+                    let minus = Complex64::cis(-theta / 2.0);
+                    let plus = Complex64::cis(theta / 2.0);
+                    let (abit, bbit) = (1u8 << self.local_index(a), 1u8 << self.local_index(b));
+                    for (x, f) in pi.iter().zip(ph.iter_mut()).take(size) {
+                        *f *= if (*x & abit != 0) == (*x & bbit != 0) {
+                            minus
+                        } else {
+                            plus
+                        };
+                    }
+                }
+                LocalGate::OneQ { .. } => unreachable!("ladders hold only 2q perm/phase gates"),
+            }
+        }
+        self.src.resize(size, 0);
+        self.phase.resize(size, Complex64::ONE);
+        for c in 0..size {
+            let l = pi[c] as usize;
+            self.src[l] = c as u8;
+            self.phase[l] = ph[c];
+        }
+        self.diagonal = (0..size).all(|c| pi[c] as usize == c);
+        self.unit = self.phase[..size].iter().all(|&f| f == Complex64::ONE);
+        Ok(())
+    }
 }
 
 /// One lowered operation of an execution plan.
@@ -144,6 +463,11 @@ enum PlanOp {
         plus: Complex64,
         minus: Complex64,
     },
+    /// Dense k-qubit superoperator; indexes [`CompiledCircuit::supers`].
+    Super { idx: usize },
+    /// Precomputed permutation + phase ladder table; indexes
+    /// [`CompiledCircuit::tables`].
+    Table { idx: usize },
 }
 
 /// A rebindable slot: plan state that must be recomputed when the free
@@ -155,14 +479,20 @@ enum Slot {
     Fused { op: usize, seg: usize },
     /// RZZ whose angle is the free parameter `param`.
     Rzz { op: usize, param: usize },
+    /// Superop containing at least one free angle (matrix rebuilt from its
+    /// constituents on rebind).
+    Super { idx: usize },
+    /// Ladder table containing at least one free RZZ angle.
+    Table { idx: usize },
 }
 
-/// A fused one-qubit segment accumulated during lowering. Segments on
-/// different wires interleave in program order, so each keeps its own gate
-/// list rather than a range into a shared one.
+/// A fused one-qubit segment accumulated during lowering. Segments stay
+/// *unplaced* while pending: a wire's segment only commutes with operations
+/// on other wires, so deferring placement until the wire is next touched
+/// (or lowering ends) lets an entangler absorb the whole segment into a
+/// superop with no identity placeholder left behind.
 #[derive(Debug, Clone)]
 struct Segment {
-    op: usize,
     gates: Vec<Gate>,
     free: bool,
 }
@@ -249,6 +579,10 @@ pub struct CompiledCircuit {
     /// Constituent gates of parameterized fused segments, in application
     /// order (rebind recomputes their product).
     fused_gates: Vec<Vec<Gate>>,
+    /// Dense multi-qubit superoperators referenced by [`PlanOp::Super`].
+    supers: Vec<SuperOp>,
+    /// Permutation/phase ladder tables referenced by [`PlanOp::Table`].
+    tables: Vec<PermTable>,
     slots: Vec<Slot>,
     bound: bool,
     source_len: usize,
@@ -256,6 +590,390 @@ pub struct CompiledCircuit {
     /// angle-blind. Used by backend plan caches to match circuits that share
     /// a structure.
     key: Vec<(u8, u8, u8)>,
+    /// Every op preserves real amplitude vectors **for any parameter
+    /// binding** (real 1q segments, CX/CZ/SWAP, real superops, RZZ-free
+    /// tables). [`CompiledCircuit::run`] then evolves an `f64` scratch state
+    /// from `|0...0>` — half the flops and memory traffic of the complex
+    /// sweep — and writes the amplitudes back at the end.
+    real_run: bool,
+}
+
+/// Working state of the lowering pass.
+///
+/// Fusion legality is tracked per wire with three facts:
+///
+/// * `pending[q]` — an unplaced run of one-qubit gates on `q` (commutes
+///   with everything on other wires, so placement is deferred).
+/// * `wire_super[q]` / `wire_table[q]` — the open superop/ladder that was
+///   the last thing to touch `q`, if any.
+/// * `last_touch[q]` — `1 +` the plan position of the last *placed* op
+///   touching `q` (0 = untouched). A gate may be merged back into an open
+///   group `G` at plan position `p` exactly when every operand wire
+///   satisfies `last_touch <= p`: all ops placed after `G` are then
+///   disjoint from the gate's support, so it commutes back to `G`.
+struct Lowering {
+    ops: Vec<PlanOp>,
+    slots: Vec<Slot>,
+    fused_gates: Vec<Vec<Gate>>,
+    supers: Vec<SuperOp>,
+    super_pos: Vec<usize>,
+    tables: Vec<PermTable>,
+    table_pos: Vec<usize>,
+    pending: Vec<Option<Segment>>,
+    wire_super: Vec<Option<usize>>,
+    wire_table: Vec<Option<usize>>,
+    last_touch: Vec<usize>,
+    /// Free-parameter content may enter dense superops (state wide enough
+    /// that sweep cost dominates the per-rebind matrix rebuild; see
+    /// [`DENSE_FUSION_MIN_QUBITS`]).
+    dense_param: bool,
+}
+
+impl Lowering {
+    fn new(n: usize) -> Self {
+        Lowering {
+            ops: Vec::new(),
+            slots: Vec::new(),
+            fused_gates: Vec::new(),
+            supers: Vec::new(),
+            super_pos: Vec::new(),
+            tables: Vec::new(),
+            table_pos: Vec::new(),
+            pending: (0..n).map(|_| None).collect(),
+            wire_super: vec![None; n],
+            wire_table: vec![None; n],
+            last_touch: vec![0; n],
+            dense_param: n >= DENSE_FUSION_MIN_QUBITS,
+        }
+    }
+
+    /// Places wire `q`'s pending segment at the current end of the plan
+    /// (legal: nothing has touched `q` since the segment began).
+    fn flush_segment(&mut self, q: usize) {
+        let Some(seg) = self.pending[q].take() else {
+            return;
+        };
+        let pos = self.ops.len();
+        let real = seg.gates.iter().all(|&g| gate_is_real(g));
+        self.ops.push(if real {
+            PlanOp::OneQReal {
+                qubit: q,
+                m: [[1.0, 0.0], [0.0, 1.0]],
+            }
+        } else {
+            PlanOp::OneQ { qubit: q, u: ID2 }
+        });
+        if seg.free {
+            self.slots.push(Slot::Fused {
+                op: pos,
+                seg: self.fused_gates.len(),
+            });
+            self.fused_gates.push(seg.gates);
+        } else {
+            let u = fused_mat2(&seg.gates, &[]).expect("segment has no free parameters");
+            write_one_q(&mut self.ops[pos], &u);
+        }
+        self.last_touch[q] = pos + 1;
+    }
+
+    /// Moves wire `q`'s pending segment (if any) into superop `s`.
+    fn absorb_segment(&mut self, s: usize, q: usize) {
+        let Some(seg) = self.pending[q].take() else {
+            return;
+        };
+        let sup = &mut self.supers[s];
+        sup.free |= seg.free;
+        for g in seg.gates {
+            sup.real &= gate_is_real(g);
+            sup.gates.push(LocalGate::OneQ { q, g });
+        }
+    }
+
+    /// Marks superop `s` as the latest content of wire `q`.
+    fn claim_for_super(&mut self, s: usize, q: usize) {
+        self.last_touch[q] = self.super_pos[s] + 1;
+        self.wire_super[q] = Some(s);
+        self.wire_table[q] = None;
+    }
+
+    /// Marks ladder `t` as the latest content of wire `q`.
+    fn claim_for_table(&mut self, t: usize, q: usize) {
+        self.last_touch[q] = self.table_pos[t] + 1;
+        self.wire_table[q] = Some(t);
+        self.wire_super[q] = None;
+    }
+
+    fn two_q_local(g: Gate, a: usize, b: usize) -> LocalGate {
+        match g {
+            Gate::Cx => LocalGate::Cx { c: a, t: b },
+            Gate::Cz => LocalGate::Cz { a, b },
+            Gate::Swap => LocalGate::Swap { a, b },
+            Gate::Rzz(p) => LocalGate::Rzz { a, b, p },
+            _ => unreachable!("two-qubit gates only"),
+        }
+    }
+
+    fn push_2q_into_super(&mut self, s: usize, g: Gate, a: usize, b: usize) {
+        let lg = Self::two_q_local(g, a, b);
+        let sup = &mut self.supers[s];
+        sup.free |= lg.is_free();
+        sup.real &= lg.is_real();
+        sup.gates.push(lg);
+    }
+
+    fn push_2q_into_table(&mut self, t: usize, g: Gate, a: usize, b: usize) {
+        let lg = Self::two_q_local(g, a, b);
+        let tab = &mut self.tables[t];
+        tab.free |= lg.is_free();
+        tab.gates.push(lg);
+    }
+
+    fn one_q(&mut self, g: Gate, q: usize) {
+        // A wire whose latest content is an open superop feeds the gate
+        // straight into the dense matrix: the apply sweep gets it for free.
+        // Free angles stay out of small-state superops (rebind economics;
+        // see `dense_param`) — the wire leaves its superop instead.
+        if let Some(s) = self.wire_super[q] {
+            let lg = LocalGate::OneQ { q, g };
+            if self.dense_param || !lg.is_free() {
+                let sup = &mut self.supers[s];
+                sup.free |= lg.is_free();
+                sup.real &= lg.is_real();
+                sup.gates.push(lg);
+                return;
+            }
+            self.wire_super[q] = None;
+        }
+        // Ladders hold only permutation/phase gates; the wire leaves its
+        // ladder (if any) and accumulates a one-qubit segment instead.
+        self.wire_table[q] = None;
+        let free = matches!(g.param(), Some(Param::Free(_)));
+        match &mut self.pending[q] {
+            Some(seg) => {
+                seg.gates.push(g);
+                seg.free |= free;
+            }
+            slot @ None => {
+                *slot = Some(Segment {
+                    gates: vec![g],
+                    free,
+                })
+            }
+        }
+    }
+
+    /// Whether wire `q`'s pending segment carries a free parameter.
+    fn pending_free(&self, q: usize) -> bool {
+        self.pending[q].as_ref().is_some_and(|seg| seg.free)
+    }
+
+    fn two_q(&mut self, g: Gate, a: usize, b: usize) {
+        // Free angles stay out of small-state superops (rebind economics;
+        // see `dense_param`).
+        let free_2q = matches!(g, Gate::Rzz(Param::Free(_)));
+        // 1. Both wires current in the same open superop: extend it.
+        if let (Some(sa), Some(sb)) = (self.wire_super[a], self.wire_super[b]) {
+            if sa == sb && (self.dense_param || !free_2q) {
+                self.push_2q_into_super(sa, g, a, b);
+                return;
+            }
+        }
+        // 2. One wire current in a superop that can legally take the other:
+        //    the `last_touch` test proves every op placed since the superop
+        //    opened is disjoint from the joining wire, so the gate (and the
+        //    joining wire's still-pending segment) commutes back into it.
+        for (wa, wb) in [(a, b), (b, a)] {
+            let Some(s) = self.wire_super[wa] else {
+                continue;
+            };
+            if !self.dense_param && (free_2q || self.pending_free(wb)) {
+                continue;
+            }
+            let in_support = self.supers[s].qubits.contains(&wb);
+            let fits = in_support || self.supers[s].k() < SUPEROP_MAX_QUBITS;
+            if fits && self.last_touch[wb] <= self.super_pos[s] {
+                if !in_support {
+                    let qs = &mut self.supers[s].qubits;
+                    let at = qs.partition_point(|&x| x < wb);
+                    qs.insert(at, wb);
+                }
+                self.absorb_segment(s, wb);
+                self.push_2q_into_super(s, g, a, b);
+                self.claim_for_super(s, wb);
+                return;
+            }
+        }
+        // 3. A pending segment on either wire seeds a fresh superop (the
+        //    dense matrix absorbs the segment's gates for free). On small
+        //    states free-parameter segments stay 2x2 rebind slots instead:
+        //    place them here and let the entangler open a ladder below.
+        if self.pending[a].is_some() || self.pending[b].is_some() {
+            let adds_free = free_2q || self.pending_free(a) || self.pending_free(b);
+            if self.dense_param || !adds_free {
+                let idx = self.supers.len();
+                let pos = self.ops.len();
+                self.ops.push(PlanOp::Super { idx });
+                self.supers.push(SuperOp {
+                    qubits: if a < b { vec![a, b] } else { vec![b, a] },
+                    m: [Complex64::ZERO; 64],
+                    real: true,
+                    free: false,
+                    gates: Vec::new(),
+                });
+                self.super_pos.push(pos);
+                self.absorb_segment(idx, a);
+                self.absorb_segment(idx, b);
+                self.push_2q_into_super(idx, g, a, b);
+                self.claim_for_super(idx, a);
+                self.claim_for_super(idx, b);
+                return;
+            }
+            // Place every free pending segment now — each still commutes to
+            // this position — so the ladder opened below can keep growing
+            // across wires without later segment placements blocking the
+            // `last_touch` legality test mid-ladder.
+            for q in 0..self.pending.len() {
+                if self.pending_free(q) {
+                    self.flush_segment(q);
+                }
+            }
+            self.flush_segment(a);
+            self.flush_segment(b);
+        }
+        // 4. Pure entangler ladders: extend the open ladder when legal.
+        if let (Some(ta), Some(tb)) = (self.wire_table[a], self.wire_table[b]) {
+            if ta == tb {
+                self.push_2q_into_table(ta, g, a, b);
+                return;
+            }
+        }
+        for (wa, wb) in [(a, b), (b, a)] {
+            let Some(t) = self.wire_table[wa] else {
+                continue;
+            };
+            let in_support = self.tables[t].qubits.contains(&wb);
+            let fits = in_support || self.tables[t].qubits.len() < LADDER_MAX_QUBITS;
+            if fits && self.last_touch[wb] <= self.table_pos[t] {
+                if !in_support {
+                    let qs = &mut self.tables[t].qubits;
+                    let at = qs.partition_point(|&x| x < wb);
+                    qs.insert(at, wb);
+                }
+                self.push_2q_into_table(t, g, a, b);
+                self.claim_for_table(t, wb);
+                return;
+            }
+        }
+        // 5. Open a fresh ladder.
+        let idx = self.tables.len();
+        let pos = self.ops.len();
+        self.ops.push(PlanOp::Table { idx });
+        self.tables.push(PermTable {
+            qubits: if a < b { vec![a, b] } else { vec![b, a] },
+            bits: Vec::new(),
+            offs: Vec::new(),
+            src: Vec::new(),
+            phase: Vec::new(),
+            contig_shift: None,
+            diagonal: false,
+            unit: false,
+            free: false,
+            gates: Vec::new(),
+        });
+        self.table_pos.push(pos);
+        self.push_2q_into_table(idx, g, a, b);
+        self.claim_for_table(idx, a);
+        self.claim_for_table(idx, b);
+    }
+
+    /// Flushes pending segments and finalizes every fused group: non-free
+    /// superops/tables are built now, free ones become rebind slots, and
+    /// single-gate ladders fall back to the specialized per-gate kernels.
+    #[allow(clippy::type_complexity)]
+    fn finish(
+        mut self,
+    ) -> (
+        Vec<PlanOp>,
+        Vec<Slot>,
+        Vec<Vec<Gate>>,
+        Vec<SuperOp>,
+        Vec<PermTable>,
+    ) {
+        for q in 0..self.pending.len() {
+            self.flush_segment(q);
+        }
+        for (idx, sup) in self.supers.iter_mut().enumerate() {
+            if sup.free {
+                self.slots.push(Slot::Super { idx });
+            } else {
+                sup.rebuild(&[]).expect("superop has no free parameters");
+            }
+        }
+        for (idx, tab) in self.tables.iter_mut().enumerate() {
+            if tab.gates.len() == 1 {
+                // A ladder that never grew lowers to the specialized
+                // single-gate kernel (cheaper than a table gather).
+                let pos = self.table_pos[idx];
+                self.ops[pos] = match tab.gates[0] {
+                    LocalGate::Cx { c, t } => PlanOp::Cx {
+                        control: c,
+                        target: t,
+                    },
+                    LocalGate::Cz { a, b } => PlanOp::Cz { a, b },
+                    LocalGate::Swap { a, b } => PlanOp::Swap { a, b },
+                    LocalGate::Rzz { a, b, p } => match p {
+                        Param::Fixed(theta) => PlanOp::Rzz {
+                            a,
+                            b,
+                            plus: Complex64::cis(theta / 2.0),
+                            minus: Complex64::cis(-theta / 2.0),
+                        },
+                        Param::Free(k) => {
+                            self.slots.push(Slot::Rzz { op: pos, param: k });
+                            PlanOp::Rzz {
+                                a,
+                                b,
+                                plus: Complex64::ONE,
+                                minus: Complex64::ONE,
+                            }
+                        }
+                    },
+                    LocalGate::OneQ { .. } => unreachable!("ladders hold only 2q gates"),
+                };
+                continue;
+            }
+            tab.bits = tab.qubits.iter().map(|&q| 1usize << q).collect();
+            let size = 1usize << tab.qubits.len();
+            let mut offs = Vec::with_capacity(size);
+            for l in 0..size {
+                let mut off = 0usize;
+                for (j, &bit) in tab.bits.iter().enumerate() {
+                    if l >> j & 1 == 1 {
+                        off += bit;
+                    }
+                }
+                offs.push(off);
+            }
+            tab.offs = offs;
+            tab.contig_shift = tab
+                .qubits
+                .windows(2)
+                .all(|w| w[1] == w[0] + 1)
+                .then(|| tab.qubits[0]);
+            if tab.free {
+                self.slots.push(Slot::Table { idx });
+            } else {
+                tab.rebuild(&[]).expect("table has no free parameters");
+            }
+        }
+        (
+            self.ops,
+            self.slots,
+            self.fused_gates,
+            self.supers,
+            self.tables,
+        )
+    }
 }
 
 impl CompiledCircuit {
@@ -276,10 +994,6 @@ impl CompiledCircuit {
 
     fn lower(circuit: &Circuit, template: bool) -> Self {
         let n = circuit.n_qubits();
-        let mut ops: Vec<PlanOp> = Vec::new();
-        let mut slots: Vec<Slot> = Vec::new();
-        let mut segments: Vec<Segment> = Vec::new();
-        let mut pending: Vec<Option<usize>> = vec![None; n];
         let mut key = Vec::with_capacity(circuit.len());
         let mut next_slot = 0usize;
         // In template mode every parameterized gate's angle becomes the next
@@ -303,97 +1017,34 @@ impl CompiledCircuit {
                 g
             }
         };
+        let mut lw = Lowering::new(n);
         for op in circuit.ops() {
             let g = remap(op.gate);
             key.push((kind_tag(g), op.qubits[0] as u8, op.qubits[1] as u8));
             if g.arity() == 1 {
-                let q = op.qubits[0];
-                let free = matches!(g.param(), Some(Param::Free(_)));
-                match pending[q] {
-                    Some(seg_idx) => {
-                        let seg = &mut segments[seg_idx];
-                        seg.gates.push(g);
-                        seg.free |= free;
-                    }
-                    None => {
-                        ops.push(PlanOp::OneQ { qubit: q, u: ID2 });
-                        pending[q] = Some(segments.len());
-                        segments.push(Segment {
-                            op: ops.len() - 1,
-                            gates: vec![g],
-                            free,
-                        });
-                    }
-                }
+                lw.one_q(g, op.qubits[0]);
             } else {
-                let (a, b) = (op.qubits[0], op.qubits[1]);
-                pending[a] = None;
-                pending[b] = None;
-                match g {
-                    Gate::Cx => ops.push(PlanOp::Cx {
-                        control: a,
-                        target: b,
-                    }),
-                    Gate::Cz => ops.push(PlanOp::Cz { a, b }),
-                    Gate::Swap => ops.push(PlanOp::Swap { a, b }),
-                    Gate::Rzz(p) => match p {
-                        Param::Fixed(theta) => ops.push(PlanOp::Rzz {
-                            a,
-                            b,
-                            plus: Complex64::cis(theta / 2.0),
-                            minus: Complex64::cis(-theta / 2.0),
-                        }),
-                        Param::Free(k) => {
-                            ops.push(PlanOp::Rzz {
-                                a,
-                                b,
-                                plus: Complex64::ONE,
-                                minus: Complex64::ONE,
-                            });
-                            slots.push(Slot::Rzz {
-                                op: ops.len() - 1,
-                                param: k,
-                            });
-                        }
-                    },
-                    _ => unreachable!("one-qubit gates handled above"),
-                }
+                lw.two_q(g, op.qubits[0], op.qubits[1]);
             }
         }
-        // Angle-independent segments get their fused matrix baked in now;
-        // parameterized segments become rebind slots owning their gate list.
-        // Segments made only of real-for-any-angle gates are lowered to the
-        // real kernel variant (the choice depends on gate kinds, never on
-        // angle values, so rebinding preserves it).
-        let mut fused_gates: Vec<Vec<Gate>> = Vec::new();
-        for seg in segments {
-            let real = seg.gates.iter().all(|&g| gate_is_real(g));
-            let qubit = match ops[seg.op] {
-                PlanOp::OneQ { qubit, .. } => qubit,
-                _ => unreachable!("segment placeholders are OneQ"),
-            };
-            if real {
-                ops[seg.op] = PlanOp::OneQReal {
-                    qubit,
-                    m: [[1.0, 0.0], [0.0, 1.0]],
-                };
-            }
-            if seg.free {
-                slots.push(Slot::Fused {
-                    op: seg.op,
-                    seg: fused_gates.len(),
-                });
-                fused_gates.push(seg.gates);
-            } else {
-                let u = fused_mat2(&seg.gates, &[]).expect("segment has no free parameters");
-                write_one_q(&mut ops[seg.op], &u);
-            }
-        }
+        let (ops, slots, fused_gates, supers, tables) = lw.finish();
         let n_params = if template {
             next_slot
         } else {
             circuit.n_params()
         };
+        let real_run = ops.iter().all(|op| match *op {
+            PlanOp::OneQReal { .. }
+            | PlanOp::Cx { .. }
+            | PlanOp::Cz { .. }
+            | PlanOp::Swap { .. } => true,
+            PlanOp::OneQ { .. } | PlanOp::Rzz { .. } => false,
+            PlanOp::Super { idx } => supers[idx].real,
+            PlanOp::Table { idx } => tables[idx]
+                .gates
+                .iter()
+                .all(|g| !matches!(g, LocalGate::Rzz { .. })),
+        });
         CompiledCircuit {
             n_qubits: n,
             n_params,
@@ -401,8 +1052,11 @@ impl CompiledCircuit {
             source_len: circuit.len(),
             ops,
             fused_gates,
+            supers,
+            tables,
             slots,
             key,
+            real_run,
         }
     }
 
@@ -484,6 +1138,8 @@ impl CompiledCircuit {
         let CompiledCircuit {
             ops,
             fused_gates,
+            supers,
+            tables,
             slots,
             ..
         } = self;
@@ -500,6 +1156,8 @@ impl CompiledCircuit {
                         *minus = Complex64::cis(-theta / 2.0);
                     }
                 }
+                Slot::Super { idx } => supers[idx].rebuild(values)?,
+                Slot::Table { idx } => tables[idx].rebuild(values)?,
             }
         }
         self.bound = true;
@@ -525,28 +1183,338 @@ impl CompiledCircuit {
             self.n_qubits,
             "plan width must match state width"
         );
+        let amps = sv.amps_mut();
         for op in &self.ops {
-            match op {
-                PlanOp::OneQ { qubit, u } => sv.apply_1q(u, *qubit),
-                PlanOp::OneQReal { qubit, m } => sv.apply_1q_real(m, *qubit),
-                PlanOp::Cx { control, target } => sv.apply_cx(*control, *target),
-                PlanOp::Cz { a, b } => sv.apply_cz(*a, *b),
-                PlanOp::Swap { a, b } => sv.apply_swap(*a, *b),
-                PlanOp::Rzz { a, b, plus, minus } => sv.apply_rzz_phases(*minus, *plus, *a, *b),
-            }
+            self.apply_op(op, amps);
         }
         Ok(())
+    }
+
+    /// Applies one lowered op to an amplitude slice. The slice may be the
+    /// full state or one region of a parallel partition: every kernel only
+    /// combines amplitudes whose indices differ below the op's alignment
+    /// (`1 << (highest support qubit + 1)`), so any slice whose length is a
+    /// multiple of that alignment is closed under the op.
+    fn apply_op(&self, op: &PlanOp, amps: &mut [Complex64]) {
+        match *op {
+            PlanOp::OneQ { qubit, ref u } => kernels::apply_1q(amps, u, 1usize << qubit),
+            PlanOp::OneQReal { qubit, ref m } => kernels::apply_1q_real(amps, m, 1usize << qubit),
+            PlanOp::Cx { control, target } => {
+                kernels::apply_cx(amps, 1usize << control, 1usize << target)
+            }
+            PlanOp::Cz { a, b } => kernels::apply_cz(amps, 1usize << a, 1usize << b),
+            PlanOp::Swap { a, b } => kernels::apply_swap(amps, 1usize << a, 1usize << b),
+            PlanOp::Rzz { a, b, plus, minus } => {
+                kernels::apply_rzz_phases(amps, minus, plus, 1usize << a, 1usize << b)
+            }
+            PlanOp::Super { idx } => {
+                let sup = &self.supers[idx];
+                let q = &sup.qubits;
+                if sup.k() == 2 {
+                    kernels::apply_super2(
+                        amps,
+                        &sup.m[..16],
+                        1usize << q[0],
+                        1usize << q[1],
+                        sup.real,
+                    );
+                } else {
+                    kernels::apply_super3(
+                        amps,
+                        &sup.m[..64],
+                        1usize << q[0],
+                        1usize << q[1],
+                        1usize << q[2],
+                        sup.real,
+                    );
+                }
+            }
+            PlanOp::Table { idx } => {
+                let t = &self.tables[idx];
+                if let Some(shift) = t.contig_shift {
+                    kernels::apply_table_contig(amps, shift, &t.src, &t.phase, t.diagonal, t.unit);
+                } else {
+                    kernels::apply_table(
+                        amps, &t.bits, &t.offs, &t.src, &t.phase, t.diagonal, t.unit,
+                    );
+                }
+            }
+        }
+    }
+
+    /// `true` when every op preserves real amplitude vectors for any
+    /// parameter binding, so [`CompiledCircuit::run`] evolves an `f64`
+    /// scratch state instead of the complex one (half the flops and memory
+    /// traffic). Hardware-efficient `RealAmplitudes`-family ansatz circuits
+    /// — Ry rotations plus CX/CZ/SWAP entanglers — always qualify.
+    pub fn runs_real(&self) -> bool {
+        self.real_run
+    }
+
+    /// Real twin of [`CompiledCircuit::apply_op`]: one lowered op on an
+    /// `f64` amplitude slice. Only called on plans where
+    /// [`CompiledCircuit::runs_real`] holds, which excludes the complex op
+    /// kinds by construction.
+    fn apply_op_real(&self, op: &PlanOp, amps: &mut [f64]) {
+        match *op {
+            PlanOp::OneQReal { qubit, ref m } => {
+                kernels::apply_1q_real_f64(amps, m, 1usize << qubit)
+            }
+            PlanOp::Cx { control, target } => {
+                kernels::apply_cx(amps, 1usize << control, 1usize << target)
+            }
+            PlanOp::Cz { a, b } => kernels::apply_cz(amps, 1usize << a, 1usize << b),
+            PlanOp::Swap { a, b } => kernels::apply_swap(amps, 1usize << a, 1usize << b),
+            PlanOp::Super { idx } => {
+                let sup = &self.supers[idx];
+                let q = &sup.qubits;
+                if sup.k() == 2 {
+                    kernels::apply_super2_f64(amps, &sup.m[..16], 1usize << q[0], 1usize << q[1]);
+                } else {
+                    kernels::apply_super3_f64(
+                        amps,
+                        &sup.m[..64],
+                        1usize << q[0],
+                        1usize << q[1],
+                        1usize << q[2],
+                    );
+                }
+            }
+            PlanOp::Table { idx } => {
+                let t = &self.tables[idx];
+                if let Some(shift) = t.contig_shift {
+                    kernels::apply_table_contig_f64(
+                        amps, shift, &t.src, &t.phase, t.diagonal, t.unit,
+                    );
+                } else {
+                    kernels::apply_table_f64(
+                        amps, &t.bits, &t.offs, &t.src, &t.phase, t.diagonal, t.unit,
+                    );
+                }
+            }
+            PlanOp::OneQ { .. } | PlanOp::Rzz { .. } => {
+                unreachable!("complex op in a real-run plan")
+            }
+        }
+    }
+
+    /// Borrows the per-thread real-state scratch sized for this plan, runs
+    /// `f` on it (initialized to `|0...0>`), and writes the evolved real
+    /// amplitudes back into `sv`.
+    fn run_real_with<R>(
+        &self,
+        sv: &mut StateVector,
+        f: impl FnOnce(&mut [f64]) -> R,
+    ) -> Result<R, GateError> {
+        if !self.bound {
+            return Err(GateError::UnboundParameter);
+        }
+        assert_eq!(
+            sv.n_qubits(),
+            self.n_qubits,
+            "plan width must match state width"
+        );
+        Ok(REAL_STATE.with(|cell| {
+            let mut r = cell.borrow_mut();
+            let dim = 1usize << self.n_qubits;
+            r.clear();
+            r.resize(dim, 0.0);
+            r[0] = 1.0;
+            let out = f(&mut r);
+            for (a, &x) in sv.amps_mut().iter_mut().zip(r.iter()) {
+                *a = Complex64::new(x, 0.0);
+            }
+            out
+        }))
     }
 
     /// Resets `sv` to `|0...0>` and applies the plan — the zero-allocation
     /// equivalent of [`StateVector::from_circuit`] on a reused buffer.
     ///
+    /// Plans where [`CompiledCircuit::runs_real`] holds take the
+    /// real-amplitude fast path; [`CompiledCircuit::apply`], which must
+    /// accept arbitrary (complex) starting states, never does.
+    ///
     /// # Errors
     ///
     /// [`GateError::UnboundParameter`] if the plan has unbound slots.
     pub fn run(&self, sv: &mut StateVector) -> Result<(), GateError> {
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            return self.run_real_with(sv, |r| {
+                for op in &self.ops {
+                    self.apply_op_real(op, r);
+                }
+            });
+        }
         sv.reset();
         self.apply(sv)
+    }
+
+    /// [`CompiledCircuit::run`] followed by
+    /// [`CompiledObservable::expectation`], fused so real-run plans compute
+    /// the energy **on the `f64` state** before the complex write-back —
+    /// half the expectation sweep's memory traffic. The returned value is
+    /// bitwise identical to the two-call sequence: every dropped product
+    /// has an exactly-zero imaginary factor, and adding `±0.0` to the
+    /// accumulator lanes (which never hold `-0.0`) cannot change their
+    /// bits. `sv` still holds the evolved state afterwards.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the plan has unbound slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on plan/state/observable width mismatch.
+    pub fn run_expectation(
+        &self,
+        sv: &mut StateVector,
+        obs: &CompiledObservable,
+    ) -> Result<f64, GateError> {
+        assert_eq!(obs.n_qubits(), self.n_qubits, "observable width");
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            return self.run_real_with(sv, |r| {
+                for op in &self.ops {
+                    self.apply_op_real(op, r);
+                }
+                obs.expectation_real(r)
+            });
+        }
+        sv.reset();
+        self.apply(sv)?;
+        Ok(obs.expectation(sv))
+    }
+
+    /// Smallest power-of-two slice length closed under `op` (see
+    /// [`CompiledCircuit::apply_op`]).
+    #[cfg(feature = "parallel")]
+    fn op_align(&self, op: &PlanOp) -> usize {
+        let hi = match *op {
+            PlanOp::OneQ { qubit, .. } | PlanOp::OneQReal { qubit, .. } => qubit,
+            PlanOp::Cx {
+                control: a,
+                target: b,
+            }
+            | PlanOp::Cz { a, b }
+            | PlanOp::Swap { a, b }
+            | PlanOp::Rzz { a, b, .. } => a.max(b),
+            PlanOp::Super { idx } => *self.supers[idx].qubits.last().expect("superop has support"),
+            PlanOp::Table { idx } => *self.tables[idx].qubits.last().expect("table has support"),
+        };
+        1usize << (hi + 1)
+    }
+
+    /// Applies the plan with the sweeps over the amplitude array split
+    /// across up to `threads` scoped workers.
+    ///
+    /// Workers own **disjoint contiguous regions** whose boundaries are
+    /// aligned to every op in their batch, so no amplitude is ever touched
+    /// by two threads and each region computes exactly the numbers the
+    /// sequential sweep would — the result is bitwise identical to
+    /// [`CompiledCircuit::apply`] at any thread count. Consecutive ops that
+    /// admit a common partition are batched into one `thread::scope` so the
+    /// spawn cost amortizes over many sweeps; ops aligned wider than half
+    /// the state (i.e. touching the top qubit) run sequentially.
+    ///
+    /// States below a minimum width (where a full sweep is microseconds and
+    /// dispatch would dominate), or `threads <= 1`, fall back to the
+    /// sequential path.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the plan has unbound slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[cfg(feature = "parallel")]
+    pub fn apply_threaded(&self, sv: &mut StateVector, threads: usize) -> Result<(), GateError> {
+        if threads <= 1 || self.n_qubits < PARALLEL_MIN_QUBITS {
+            return self.apply(sv);
+        }
+        if !self.bound {
+            return Err(GateError::UnboundParameter);
+        }
+        assert_eq!(
+            sv.n_qubits(),
+            self.n_qubits,
+            "plan width must match state width"
+        );
+        let amps = sv.amps_mut();
+        self.apply_ops_threaded(amps, threads, Self::apply_op);
+        Ok(())
+    }
+
+    /// The threaded batching sweep shared by the complex and real-amplitude
+    /// paths: batches consecutive ops that admit a common aligned partition
+    /// into one `thread::scope`, splitting `amps` into disjoint contiguous
+    /// regions (see [`CompiledCircuit::apply_threaded`] for the
+    /// bitwise-identity argument).
+    #[cfg(feature = "parallel")]
+    fn apply_ops_threaded<T: Send>(
+        &self,
+        amps: &mut [T],
+        threads: usize,
+        apply: fn(&Self, &PlanOp, &mut [T]),
+    ) {
+        let dim = amps.len();
+        let mut i = 0usize;
+        while i < self.ops.len() {
+            let align = self.op_align(&self.ops[i]);
+            if align * 2 > dim {
+                // Top-qubit op: no legal split, run it on this thread.
+                apply(self, &self.ops[i], amps);
+                i += 1;
+                continue;
+            }
+            // Grow the batch while a common aligned partition exists.
+            let mut batch_align = align;
+            let mut j = i + 1;
+            while j < self.ops.len() {
+                let a = self.op_align(&self.ops[j]);
+                if a * 2 > dim {
+                    break;
+                }
+                batch_align = batch_align.max(a);
+                j += 1;
+            }
+            let region = dim.div_ceil(threads).next_multiple_of(batch_align);
+            let ops = &self.ops[i..j];
+            std::thread::scope(|scope| {
+                for chunk in amps.chunks_mut(region) {
+                    scope.spawn(move || {
+                        for op in ops {
+                            apply(self, op, chunk);
+                        }
+                    });
+                }
+            });
+            i = j;
+        }
+    }
+
+    /// Resets `sv` and applies the plan with in-state parallelism — the
+    /// threaded counterpart of [`CompiledCircuit::run`], bitwise identical
+    /// to it at any thread count.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if the plan has unbound slots.
+    #[cfg(feature = "parallel")]
+    pub fn run_threaded(&self, sv: &mut StateVector, threads: usize) -> Result<(), GateError> {
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            return self.run_real_with(sv, |r| {
+                if threads <= 1 || self.n_qubits < PARALLEL_MIN_QUBITS {
+                    for op in &self.ops {
+                        self.apply_op_real(op, r);
+                    }
+                } else {
+                    self.apply_ops_threaded(r, threads, Self::apply_op_real);
+                }
+            });
+        }
+        sv.reset();
+        self.apply_threaded(sv, threads)
     }
 
     /// Runs the plan on a freshly allocated zero state.
@@ -556,7 +1524,7 @@ impl CompiledCircuit {
     /// [`GateError::UnboundParameter`] if the plan has unbound slots.
     pub fn state(&self) -> Result<StateVector, GateError> {
         let mut sv = StateVector::new(self.n_qubits);
-        self.apply(&mut sv)?;
+        self.run(&mut sv)?;
         Ok(sv)
     }
 }
@@ -682,8 +1650,269 @@ impl CompiledObservable {
         self.diag.len()
     }
 
+    /// Diagonal contribution of one cache-block of amplitudes starting at
+    /// global index `start`.
+    fn diag_block(&self, amps: &[Complex64], start: usize) -> f64 {
+        let mut acc = 0.0;
+        if let Some(w) = &self.diag_table {
+            // Four independent accumulator lanes break the FP-add latency
+            // chain (the sweep is otherwise serialized on one add per
+            // amplitude). The lane partition is fixed by index, so the
+            // threaded path — which reuses this block function on the same
+            // block boundaries — still adds identical partials in identical
+            // order.
+            let ws = &w[start..start + amps.len()];
+            let mut lanes = [0.0f64; 4];
+            let mut ac = amps.chunks_exact(4);
+            let mut wc = ws.chunks_exact(4);
+            for (a4, w4) in (&mut ac).zip(&mut wc) {
+                for k in 0..4 {
+                    lanes[k] += a4[k].norm_sqr() * w4[k];
+                }
+            }
+            for (a, wv) in ac.remainder().iter().zip(wc.remainder()) {
+                lanes[0] += a.norm_sqr() * wv;
+            }
+            acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        } else {
+            for (i, a) in amps.iter().enumerate() {
+                let c = start + i;
+                let p = a.norm_sqr();
+                for &(coeff, z) in &self.diag {
+                    acc += if (c & z).count_ones().is_multiple_of(2) {
+                        coeff * p
+                    } else {
+                        -coeff * p
+                    };
+                }
+            }
+        }
+        acc
+    }
+
+    /// One off-diagonal term over the pair-index block `[p0, p1)`.
+    ///
+    /// Pair index `p` enumerates the Hermitian pairs `(c, c ^ x_mask)`
+    /// exactly once by inserting a zero at the term's lowest X bit:
+    /// `c = (p & (b-1)) | ((p & !(b-1)) << 1)` — the same visit order as a
+    /// flat sweep skipping indices with that bit set.
+    fn offdiag_block(t: &OffDiagTerm, amps: &[Complex64], p0: usize, p1: usize) -> f64 {
+        let low = t.pair_bit - 1;
+        // Four independent accumulator lanes (round-robin over pair
+        // indices) break the FP-add latency chain; the lane partition is
+        // fixed, so sequential and threaded sweeps — which share this block
+        // function and its block boundaries — stay bitwise identical.
+        let mut lanes = [0.0f64; 4];
+        if t.z_mask == 0 && !t.use_im {
+            // Pure-X term (no Y, no Z): every pair contributes with the
+            // same sign, and only the real part of conj(a_d) * a_c is
+            // needed — a two-multiply inner loop.
+            if t.pair_bit >= 8 {
+                // Within a run of pair indices sharing their high bits, both
+                // pair members advance linearly (`c0 + i` and
+                // `(c0 ^ x_mask) + i`), so the sweep walks two contiguous
+                // slices and the loads pack.
+                let mut p = p0;
+                while p < p1 {
+                    let c0 = (p & low) | ((p & !low) << 1);
+                    let run = (t.pair_bit - (p & low)).min(p1 - p);
+                    let a = &amps[c0..c0 + run];
+                    let d = &amps[c0 ^ t.x_mask..][..run];
+                    let mut ac = a.chunks_exact(4);
+                    let mut dc = d.chunks_exact(4);
+                    for (a4, d4) in (&mut ac).zip(&mut dc) {
+                        for k in 0..4 {
+                            lanes[k] += d4[k].re * a4[k].re + d4[k].im * a4[k].im;
+                        }
+                    }
+                    for (av, dv) in ac.remainder().iter().zip(dc.remainder()) {
+                        lanes[0] += dv.re * av.re + dv.im * av.im;
+                    }
+                    p += run;
+                }
+            } else {
+                let mut p = p0;
+                while p + 4 <= p1 {
+                    for (k, lane) in lanes.iter_mut().enumerate() {
+                        let c = ((p + k) & low) | (((p + k) & !low) << 1);
+                        let d = amps[c ^ t.x_mask];
+                        let a = amps[c];
+                        *lane += d.re * a.re + d.im * a.im;
+                    }
+                    p += 4;
+                }
+                while p < p1 {
+                    let c = (p & low) | ((p & !low) << 1);
+                    let d = amps[c ^ t.x_mask];
+                    let a = amps[c];
+                    lanes[0] += d.re * a.re + d.im * a.im;
+                    p += 1;
+                }
+            }
+        } else {
+            let term = |p: usize| -> f64 {
+                let c = (p & low) | ((p & !low) << 1);
+                let v = amps[c ^ t.x_mask].conj() * amps[c];
+                let m = if t.use_im { v.im } else { v.re };
+                if (c & t.z_mask).count_ones().is_multiple_of(2) {
+                    m
+                } else {
+                    -m
+                }
+            };
+            let mut p = p0;
+            while p + 4 <= p1 {
+                for (k, lane) in lanes.iter_mut().enumerate() {
+                    *lane += term(p + k);
+                }
+                p += 4;
+            }
+            while p < p1 {
+                lanes[0] += term(p);
+                p += 1;
+            }
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    /// Real twin of [`CompiledObservable::diag_block`] on an `f64` state.
+    fn diag_block_real(&self, amps: &[f64], start: usize) -> f64 {
+        let mut acc = 0.0;
+        if let Some(w) = &self.diag_table {
+            let ws = &w[start..start + amps.len()];
+            let mut lanes = [0.0f64; 4];
+            let mut ac = amps.chunks_exact(4);
+            let mut wc = ws.chunks_exact(4);
+            for (a4, w4) in (&mut ac).zip(&mut wc) {
+                for k in 0..4 {
+                    lanes[k] += (a4[k] * a4[k]) * w4[k];
+                }
+            }
+            for (a, wv) in ac.remainder().iter().zip(wc.remainder()) {
+                lanes[0] += (a * a) * wv;
+            }
+            acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+        } else {
+            for (i, a) in amps.iter().enumerate() {
+                let c = start + i;
+                let p = a * a;
+                for &(coeff, z) in &self.diag {
+                    acc += if (c & z).count_ones().is_multiple_of(2) {
+                        coeff * p
+                    } else {
+                        -coeff * p
+                    };
+                }
+            }
+        }
+        acc
+    }
+
+    /// Real twin of [`CompiledObservable::offdiag_block`] on an `f64`
+    /// state. Terms with an odd Y count (`use_im`) have purely imaginary
+    /// matrix elements, so they contribute exactly zero on a real state.
+    fn offdiag_block_real(t: &OffDiagTerm, amps: &[f64], p0: usize, p1: usize) -> f64 {
+        if t.use_im {
+            return 0.0;
+        }
+        let low = t.pair_bit - 1;
+        let mut lanes = [0.0f64; 4];
+        if t.z_mask == 0 {
+            if t.pair_bit >= 8 {
+                let mut p = p0;
+                while p < p1 {
+                    let c0 = (p & low) | ((p & !low) << 1);
+                    let run = (t.pair_bit - (p & low)).min(p1 - p);
+                    let a = &amps[c0..c0 + run];
+                    let d = &amps[c0 ^ t.x_mask..][..run];
+                    let mut ac = a.chunks_exact(4);
+                    let mut dc = d.chunks_exact(4);
+                    for (a4, d4) in (&mut ac).zip(&mut dc) {
+                        for k in 0..4 {
+                            lanes[k] += d4[k] * a4[k];
+                        }
+                    }
+                    for (av, dv) in ac.remainder().iter().zip(dc.remainder()) {
+                        lanes[0] += dv * av;
+                    }
+                    p += run;
+                }
+            } else {
+                let mut p = p0;
+                while p + 4 <= p1 {
+                    for (k, lane) in lanes.iter_mut().enumerate() {
+                        let c = ((p + k) & low) | (((p + k) & !low) << 1);
+                        *lane += amps[c ^ t.x_mask] * amps[c];
+                    }
+                    p += 4;
+                }
+                while p < p1 {
+                    let c = (p & low) | ((p & !low) << 1);
+                    lanes[0] += amps[c ^ t.x_mask] * amps[c];
+                    p += 1;
+                }
+            }
+        } else {
+            let term = |p: usize| -> f64 {
+                let c = (p & low) | ((p & !low) << 1);
+                let m = amps[c ^ t.x_mask] * amps[c];
+                if (c & t.z_mask).count_ones().is_multiple_of(2) {
+                    m
+                } else {
+                    -m
+                }
+            };
+            let mut p = p0;
+            while p + 4 <= p1 {
+                for (k, lane) in lanes.iter_mut().enumerate() {
+                    *lane += term(p + k);
+                }
+                p += 4;
+            }
+            while p < p1 {
+                lanes[0] += term(p);
+                p += 1;
+            }
+        }
+        (lanes[0] + lanes[1]) + (lanes[2] + lanes[3])
+    }
+
+    /// The fused expectation on a **real** amplitude vector (the
+    /// real-run scratch of [`CompiledCircuit::run_expectation`]). Same
+    /// block structure and lane partition as
+    /// [`CompiledObservable::expectation`], so the result is bitwise
+    /// identical to running the complex kernels over the written-back
+    /// state (every dropped product has an exactly-zero factor).
+    fn expectation_real(&self, amps: &[f64]) -> f64 {
+        assert_eq!(amps.len(), 1usize << self.n_qubits, "observable width");
+        let mut total = 0.0;
+        if !self.diag.is_empty() {
+            let mut acc = 0.0;
+            for (bi, chunk) in amps.chunks(kernels::BLOCK).enumerate() {
+                acc += self.diag_block_real(chunk, bi * kernels::BLOCK);
+            }
+            total += acc;
+        }
+        let n_pairs = amps.len() >> 1;
+        for t in &self.offdiag {
+            let mut acc = 0.0;
+            let mut p0 = 0usize;
+            while p0 < n_pairs {
+                let p1 = (p0 + kernels::BLOCK).min(n_pairs);
+                acc += Self::offdiag_block_real(t, amps, p0, p1);
+                p0 = p1;
+            }
+            total += t.prefactor * acc;
+        }
+        total
+    }
+
     /// The fused expectation `<psi| H |psi>`; agrees with the legacy
     /// per-term kernel to `<= 1e-12`.
+    ///
+    /// All sweeps run in cache-sized blocks whose partial sums are combined
+    /// in block order — the exact reduction the threaded path reproduces,
+    /// so sequential and threaded results are bitwise identical.
     ///
     /// # Panics
     ///
@@ -692,56 +1921,105 @@ impl CompiledObservable {
         assert_eq!(sv.n_qubits(), self.n_qubits, "observable width");
         let amps = sv.amplitudes();
         let mut total = 0.0;
-        if let Some(w) = &self.diag_table {
+        if !self.diag.is_empty() {
             let mut acc = 0.0;
-            for (a, wc) in amps.iter().zip(w.iter()) {
-                acc += a.norm_sqr() * wc;
-            }
-            total += acc;
-        } else if !self.diag.is_empty() {
-            let mut acc = 0.0;
-            for (c, a) in amps.iter().enumerate() {
-                let p = a.norm_sqr();
-                for &(coeff, z) in &self.diag {
-                    acc += if (c & z).count_ones() % 2 == 0 {
-                        coeff * p
-                    } else {
-                        -coeff * p
-                    };
-                }
+            for (bi, chunk) in amps.chunks(kernels::BLOCK).enumerate() {
+                acc += self.diag_block(chunk, bi * kernels::BLOCK);
             }
             total += acc;
         }
-        let dim = amps.len();
+        let n_pairs = amps.len() >> 1;
         for t in &self.offdiag {
             let mut acc = 0.0;
-            let b = t.pair_bit;
-            let mut base = 0usize;
-            if t.z_mask == 0 && !t.use_im {
-                // Pure-X term (no Y, no Z): every pair contributes with the
-                // same sign, and only the real part of conj(a_d) * a_c is
-                // needed — a two-multiply inner loop.
-                while base < dim {
-                    for c in base..base + b {
-                        let d = amps[c ^ t.x_mask];
-                        let a = amps[c];
-                        acc += d.re * a.re + d.im * a.im;
+            let mut p0 = 0usize;
+            while p0 < n_pairs {
+                let p1 = (p0 + kernels::BLOCK).min(n_pairs);
+                acc += Self::offdiag_block(t, amps, p0, p1);
+                p0 = p1;
+            }
+            total += t.prefactor * acc;
+        }
+        total
+    }
+
+    /// Value of work item `item` in the flattened (diag blocks, then
+    /// per-term pair blocks) schedule shared by the threaded reduction.
+    #[cfg(feature = "parallel")]
+    fn item_value(
+        &self,
+        amps: &[Complex64],
+        item: usize,
+        diag_items: usize,
+        pair_blocks: usize,
+    ) -> f64 {
+        if item < diag_items {
+            let start = item * kernels::BLOCK;
+            let end = (start + kernels::BLOCK).min(amps.len());
+            self.diag_block(&amps[start..end], start)
+        } else {
+            let k = item - diag_items;
+            let t = &self.offdiag[k / pair_blocks];
+            let p0 = (k % pair_blocks) * kernels::BLOCK;
+            let p1 = (p0 + kernels::BLOCK).min(amps.len() >> 1);
+            Self::offdiag_block(t, amps, p0, p1)
+        }
+    }
+
+    /// The fused expectation with the block sweeps split across up to
+    /// `threads` scoped workers.
+    ///
+    /// Workers fill disjoint slots of a per-block partial-sum table; the
+    /// reduction then combines those partials in exactly the order the
+    /// sequential path uses, so the result is bitwise identical to
+    /// [`CompiledObservable::expectation`] at any thread count. Narrow
+    /// states (or `threads <= 1`) fall back to the sequential path.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    #[cfg(feature = "parallel")]
+    pub fn expectation_threaded(&self, sv: &StateVector, threads: usize) -> f64 {
+        if threads <= 1 || self.n_qubits < PARALLEL_MIN_QUBITS {
+            return self.expectation(sv);
+        }
+        assert_eq!(sv.n_qubits(), self.n_qubits, "observable width");
+        let amps = sv.amplitudes();
+        let n_pairs = amps.len() >> 1;
+        let pair_blocks = n_pairs.div_ceil(kernels::BLOCK);
+        let diag_items = if self.diag.is_empty() {
+            0
+        } else {
+            amps.len().div_ceil(kernels::BLOCK)
+        };
+        let n_items = diag_items + self.offdiag.len() * pair_blocks;
+        if n_items == 0 {
+            return 0.0;
+        }
+        let mut partials = vec![0.0f64; n_items];
+        let per = n_items.div_ceil(threads);
+        std::thread::scope(|scope| {
+            for (w, chunk) in partials.chunks_mut(per).enumerate() {
+                let start = w * per;
+                scope.spawn(move || {
+                    for (k, slot) in chunk.iter_mut().enumerate() {
+                        *slot = self.item_value(amps, start + k, diag_items, pair_blocks);
                     }
-                    base += b << 1;
-                }
-            } else {
-                while base < dim {
-                    for c in base..base + b {
-                        let v = amps[c ^ t.x_mask].conj() * amps[c];
-                        let m = if t.use_im { v.im } else { v.re };
-                        acc += if (c & t.z_mask).count_ones() % 2 == 0 {
-                            m
-                        } else {
-                            -m
-                        };
-                    }
-                    base += b << 1;
-                }
+                });
+            }
+        });
+        let mut total = 0.0;
+        if diag_items > 0 {
+            let mut acc = 0.0;
+            for &v in &partials[..diag_items] {
+                acc += v;
+            }
+            total += acc;
+        }
+        for (ti, t) in self.offdiag.iter().enumerate() {
+            let mut acc = 0.0;
+            let base = diag_items + ti * pair_blocks;
+            for &v in &partials[base..base + pair_blocks] {
+                acc += v;
             }
             total += t.prefactor * acc;
         }
@@ -805,21 +2083,111 @@ mod tests {
         let mut c = Circuit::new(2);
         c.h(0).rz(0.3, 0).ry(0.4, 0).cx(0, 1).h(1).s(1);
         let plan = CompiledCircuit::compile(&c);
-        // h/rz/ry fuse, cx stands alone, h/s fuse: 3 lowered ops from 6.
+        // Everything collapses into one 2-qubit superop: the h/rz/ry run
+        // seeds it, the cx extends it, and the trailing h/s on qubit 1
+        // (fresh in the superop) are absorbed for free.
         assert_eq!(plan.source_len(), 6);
-        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.len(), 1);
+        let direct = StateVector::from_circuit(&c).unwrap();
+        let compiled = plan.state().unwrap();
+        assert!(compiled.fidelity(&direct) > 1.0 - TOL);
     }
 
     #[test]
     fn fusion_respects_two_qubit_barriers() {
-        // s(0) ... cx(0,1) ... s(0): the two S gates must NOT fuse across
-        // the entangler. S S |+> would differ from S CX S |+>0.
+        // s(0) ... cx(0,1) ... s(0): the two S gates must NOT merge into a
+        // single-qubit product across the entangler. S S |+> would differ
+        // from S CX S |+>0. The superop absorbs all four gates in circuit
+        // order, which preserves the barrier.
         let mut c = Circuit::new(2);
         c.h(0).s(0).cx(0, 1).s(0);
         let direct = StateVector::from_circuit(&c).unwrap();
-        let compiled = CompiledCircuit::compile(&c).state().unwrap();
+        let plan = CompiledCircuit::compile(&c);
+        let compiled = plan.state().unwrap();
         assert!(compiled.fidelity(&direct) > 1.0 - TOL);
-        assert_eq!(CompiledCircuit::compile(&c).len(), 4 - 1); // h+s fuse only
+        assert_eq!(plan.len(), 1);
+    }
+
+    #[test]
+    fn ghz_chain_lowers_to_superop_plus_ladder() {
+        let n = 8;
+        let mut c = Circuit::new(n);
+        c.h(0);
+        for q in 0..n - 1 {
+            c.cx(q, q + 1);
+        }
+        let plan = CompiledCircuit::compile(&c);
+        // h + the first two CXs fill a 3-qubit superop; the remaining pure
+        // CX chain (5 gates over 6 wires) becomes one permutation table.
+        assert_eq!(plan.len(), 2);
+        let direct = StateVector::from_circuit(&c).unwrap();
+        let compiled = plan.state().unwrap();
+        for (a, b) in direct.amplitudes().iter().zip(compiled.amplitudes()) {
+            assert!(a.approx_eq(*b, TOL), "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn free_rzz_ladder_rebinds() {
+        let mut c = Circuit::new(3);
+        c.rzz(Param::Free(0), 0, 1)
+            .rzz(Param::Free(1), 1, 2)
+            .cx(0, 2);
+        let mut plan = CompiledCircuit::compile(&c);
+        assert_eq!(plan.len(), 1);
+        plan.rebind(&[0.4, -1.1]).unwrap();
+        // Exercise on a dense state: prefix rotations run first, then the
+        // rebound ladder plan.
+        let mut prefix = Circuit::new(3);
+        for q in 0..3 {
+            prefix.ry(0.3 + q as f64, q).rz(1.1 - q as f64, q);
+        }
+        let mut sv = StateVector::from_circuit(&prefix).unwrap();
+        plan.apply(&mut sv).unwrap();
+
+        let mut full = prefix.clone();
+        full.rzz(0.4, 0, 1).rzz(-1.1, 1, 2).cx(0, 2);
+        let direct = StateVector::from_circuit(&full).unwrap();
+        for (a, b) in direct.amplitudes().iter().zip(sv.amplitudes()) {
+            assert!(a.approx_eq(*b, TOL), "{a} vs {b}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threaded_apply_bitwise_identical_at_any_thread_count() {
+        // 16 qubits crosses PARALLEL_MIN_QUBITS, so the threaded path
+        // actually partitions the state.
+        let c = random_circuit(16, 99);
+        let plan = CompiledCircuit::compile(&c);
+        let mut seq = StateVector::new(16);
+        plan.run(&mut seq).unwrap();
+        for threads in [2usize, 3, 4, 8] {
+            let mut par = StateVector::new(16);
+            plan.run_threaded(&mut par, threads).unwrap();
+            assert_eq!(seq.amplitudes(), par.amplitudes(), "threads={threads}");
+        }
+    }
+
+    #[cfg(feature = "parallel")]
+    #[test]
+    fn threaded_expectation_bitwise_identical_at_any_thread_count() {
+        let c = random_circuit(16, 7);
+        let sv = CompiledCircuit::compile(&c).state().unwrap();
+        let h = crate::PauliSum::from_labels(&[
+            (0.75, "ZZIIIIIIIIIIIIII"),
+            (-0.5, "IXXIIIIIIIIIIIII"),
+            (0.25, "IIIYZIIIIIIIIIII"),
+            (1.5, "XIIIIIIIIIIIIIIX"),
+            (-0.4, "ZIIIIIIIZIIIIIIZ"),
+        ])
+        .unwrap();
+        let obs = CompiledObservable::compile(&h);
+        let seq = obs.expectation(&sv);
+        for threads in [2usize, 3, 4, 8] {
+            let par = obs.expectation_threaded(&sv, threads);
+            assert_eq!(seq.to_bits(), par.to_bits(), "threads={threads}");
+        }
     }
 
     #[test]

@@ -162,7 +162,7 @@ impl Gate {
             }
             Gate::Rx(p) => {
                 let t = angle(p)? / 2.0;
-                let (c, s) = (t.cos(), t.sin());
+                let (s, c) = t.sin_cos();
                 m(&[
                     &[C::from_re(c), C::new(0.0, -s)],
                     &[C::new(0.0, -s), C::from_re(c)],
@@ -170,7 +170,7 @@ impl Gate {
             }
             Gate::Ry(p) => {
                 let t = angle(p)? / 2.0;
-                let (c, s) = (t.cos(), t.sin());
+                let (s, c) = t.sin_cos();
                 m(&[
                     &[C::from_re(c), C::from_re(-s)],
                     &[C::from_re(s), C::from_re(c)],

@@ -51,6 +51,7 @@ mod density;
 mod expectation;
 mod fidelity;
 mod gate;
+mod kernels;
 mod kraus;
 mod pauli;
 pub mod statevector;

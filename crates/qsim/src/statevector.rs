@@ -8,6 +8,7 @@
 use crate::circuit::Circuit;
 use crate::counts::Counts;
 use crate::gate::{Gate, GateError};
+use crate::kernels;
 use crate::pauli::{Pauli, PauliString, PauliSum};
 use qismet_mathkit::Complex64;
 use rand::Rng;
@@ -96,9 +97,19 @@ impl StateVector {
         &self.amps
     }
 
+    /// Mutable amplitude slice — the seam the compiled-plan executor uses to
+    /// run slice kernels (including region-partitioned parallel applies)
+    /// directly on the state.
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+
     /// Squared-norm of the state (should be 1 up to round-off).
     pub fn norm_sqr(&self) -> f64 {
-        self.amps.iter().map(|a| a.norm_sqr()).sum()
+        self.amps
+            .chunks(kernels::BLOCK)
+            .map(kernels::norm_sqr_block)
+            .sum()
     }
 
     /// Applies every gate of a bound circuit in order.
@@ -161,99 +172,22 @@ impl StateVector {
     /// identical kernel arithmetic).
     pub(crate) fn apply_1q(&mut self, u: &[[Complex64; 2]; 2], qubit: usize) {
         assert!(qubit < self.n_qubits, "qubit out of range");
-        let stride = 1usize << qubit;
-        let dim = self.amps.len();
-        let mut base = 0usize;
-        while base < dim {
-            for offset in base..base + stride {
-                let i0 = offset;
-                let i1 = offset + stride;
-                let a0 = self.amps[i0];
-                let a1 = self.amps[i1];
-                self.amps[i0] = u[0][0] * a0 + u[0][1] * a1;
-                self.amps[i1] = u[1][0] * a0 + u[1][1] * a1;
-            }
-            base += stride << 1;
-        }
-    }
-
-    /// Applies a **real** 2x2 unitary on `qubit`: the compiled-plan fast
-    /// path for the RY-only ansatz families (`RealAmplitudes`), where the
-    /// complex butterfly's imaginary-part products are all exact zeros —
-    /// this kernel simply never issues them, halving the multiply count.
-    pub(crate) fn apply_1q_real(&mut self, m: &[[f64; 2]; 2], qubit: usize) {
-        assert!(qubit < self.n_qubits, "qubit out of range");
-        let stride = 1usize << qubit;
-        let (m00, m01, m10, m11) = (m[0][0], m[0][1], m[1][0], m[1][1]);
-        // Chunked split runs the butterflies over paired slices with no
-        // per-amplitude bounds checks.
-        for chunk in self.amps.chunks_exact_mut(stride << 1) {
-            let (lo, hi) = chunk.split_at_mut(stride);
-            for (a, b) in lo.iter_mut().zip(hi.iter_mut()) {
-                let a0 = *a;
-                let a1 = *b;
-                *a = Complex64::new(m00 * a0.re + m01 * a1.re, m00 * a0.im + m01 * a1.im);
-                *b = Complex64::new(m10 * a0.re + m11 * a1.re, m10 * a0.im + m11 * a1.im);
-            }
-        }
-    }
-
-    /// Visits every basis index with both `lo_bit` and `hi_bit` clear
-    /// (`lo_bit < hi_bit`, both powers of two), i.e. the canonical member of
-    /// each 4-amplitude orbit of a two-qubit gate. Only `dim / 4` indices are
-    /// enumerated, versus branching over all `2^n`.
-    #[inline(always)]
-    fn for_each_two_qubit_base(
-        &mut self,
-        lo_bit: usize,
-        hi_bit: usize,
-        mut f: impl FnMut(&mut Vec<Complex64>, usize),
-    ) {
-        let dim = self.amps.len();
-        let mut outer = 0usize;
-        while outer < dim {
-            let mut mid = outer;
-            let outer_end = outer + hi_bit;
-            while mid < outer_end {
-                for idx in mid..mid + lo_bit {
-                    f(&mut self.amps, idx);
-                }
-                mid += lo_bit << 1;
-            }
-            outer += hi_bit << 1;
-        }
+        kernels::apply_1q(&mut self.amps, u, 1usize << qubit);
     }
 
     pub(crate) fn apply_cx(&mut self, control: usize, target: usize) {
         assert!(control < self.n_qubits && target < self.n_qubits && control != target);
-        let cbit = 1usize << control;
-        let tbit = 1usize << target;
-        let (lo, hi) = (cbit.min(tbit), cbit.max(tbit));
-        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
-            // Swap the target pair in the control=1 half of the orbit.
-            amps.swap(idx | cbit, idx | cbit | tbit);
-        });
+        kernels::apply_cx(&mut self.amps, 1usize << control, 1usize << target);
     }
 
     pub(crate) fn apply_cz(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
-        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
-            let i11 = idx | abit | bbit;
-            amps[i11] = -amps[i11];
-        });
+        kernels::apply_cz(&mut self.amps, 1usize << a, 1usize << b);
     }
 
     pub(crate) fn apply_swap(&mut self, a: usize, b: usize) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
-        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
-            amps.swap(idx | abit, idx | bbit);
-        });
+        kernels::apply_swap(&mut self.amps, 1usize << a, 1usize << b);
     }
 
     fn apply_rzz(&mut self, theta: f64, a: usize, b: usize) {
@@ -272,20 +206,20 @@ impl StateVector {
         b: usize,
     ) {
         assert!(a < self.n_qubits && b < self.n_qubits && a != b);
-        let abit = 1usize << a;
-        let bbit = 1usize << b;
-        let (lo, hi) = (abit.min(bbit), abit.max(bbit));
-        self.for_each_two_qubit_base(lo, hi, |amps, idx| {
-            amps[idx] *= minus;
-            amps[idx | abit] *= plus;
-            amps[idx | bbit] *= plus;
-            amps[idx | abit | bbit] *= minus;
-        });
+        kernels::apply_rzz_phases(&mut self.amps, minus, plus, 1usize << a, 1usize << b);
     }
 
     /// Probability of each computational basis outcome.
     pub fn probabilities(&self) -> Vec<f64> {
-        self.amps.iter().map(|a| a.norm_sqr()).collect()
+        let mut out = vec![0.0f64; self.amps.len()];
+        for (amps, probs) in self
+            .amps
+            .chunks(kernels::BLOCK)
+            .zip(out.chunks_mut(kernels::BLOCK))
+        {
+            kernels::write_probabilities(amps, probs);
+        }
+        out
     }
 
     /// Samples `shots` measurement outcomes in the computational basis.
@@ -307,14 +241,11 @@ impl StateVector {
         cdf: &mut Vec<f64>,
     ) -> Counts {
         // Single pass: accumulate |amp|^2 directly into the CDF, skipping
-        // the intermediate probability vector entirely.
-        cdf.clear();
-        cdf.reserve(self.amps.len());
-        let mut acc = 0.0;
-        for a in &self.amps {
-            acc += a.norm_sqr();
-            cdf.push(acc);
-        }
+        // the intermediate probability vector entirely. The squared norms
+        // are produced by the chunked kernel helper; the prefix sum adds
+        // them in index order, keeping the CDF bits (and hence the RNG
+        // consumption) identical to the historical scalar loop.
+        let acc = kernels::cdf_fill(&self.amps, cdf);
         let total = acc.max(f64::MIN_POSITIVE);
         let last = cdf.len() - 1;
         let mut counts = Counts::new(self.n_qubits);

@@ -17,7 +17,7 @@ use qismet_mathkit::rng_from_seed;
 use qismet_optim::{GainSchedule, Proposer, Spsa};
 use qismet_qsim::{
     statevector, Backend, CachedStatevectorBackend, Circuit, CompiledCircuit, CompiledObservable,
-    DensityMatrix, KrausChannel, StateVector,
+    DensityMatrix, KrausChannel, StateVector, MAX_LANES,
 };
 use qismet_vqa::{Ansatz, AnsatzKind, Boundary, Entanglement, Tfim};
 use std::time::Instant;
@@ -153,6 +153,11 @@ struct PerfRow {
     /// Compiled path with in-state kernel threads (`parallel` feature and
     /// `n` above the threading threshold only).
     parallel_ns: Option<f64>,
+    /// Lane-batched SoA engine, mean ns **per point** at B = 8 lanes
+    /// (steady-state `evaluate_plan_batch`: rebind + lockstep
+    /// expectation-only sweep, divided by the lane count; states small
+    /// enough for the lane-batched path only).
+    batched_ns: Option<f64>,
 }
 
 /// Single-apply threaded sweep measurement (`parallel` feature only):
@@ -250,14 +255,61 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
                 criterion::black_box(par_backend.evaluate_plan(&mut plan, &params, &obs).unwrap());
             })
         });
+
+        // Lane-batched SoA engine at B = 8: measure through the backend
+        // seam campaigns actually hit — `evaluate_plan_batch` rebinds the
+        // backend's cached lane snapshot at 8 fresh parameter points and
+        // evaluates them in lockstep (expectation-only, no state
+        // write-back). After the first call the batch cache is in steady
+        // state, so each iteration is one rebind + one lockstep sweep.
+        // Reported per point so it compares directly against `compiled_ns`
+        // (which also pays a rebind per evaluation). Only states the
+        // lane-batched backend path covers.
+        let batched_ns = (n <= 14).then(|| {
+            let batch_points: Vec<Vec<f64>> = (0..MAX_LANES)
+                .map(|l| params.iter().map(|p| p + 0.01 * l as f64).collect())
+                .collect();
+            mean_ns(|| {
+                criterion::black_box(
+                    backend
+                        .evaluate_plan_batch(&mut plan, &batch_points, &obs)
+                        .unwrap(),
+                );
+            }) / MAX_LANES as f64
+        });
         rows.push(PerfRow {
             n,
             interpreted_ns,
             compiled_ns,
             parallel_ns,
+            batched_ns,
         });
     }
     group.finish();
+
+    // CI perf-smoke floor: at 8 qubits the 8-lane SoA engine must beat the
+    // scalar compiled path per point end to end. The floor is calibrated to
+    // what the seam robustly delivers on the bench host, not to the sweep
+    // speedup alone: per-point cost is rebind + sweep, the per-lane rebind
+    // (trig-dominated) is the *same* scalar work on both sides, and the
+    // scalar comparator already runs the f64 real-mode kernels near the
+    // machine's store/FMA limit — so while the batched sweep itself runs
+    // ~1.9x the scalar sweep (and 12q evaluates ~2x end to end), Amdahl
+    // caps the 8q end-to-end ratio near 1.4x, measured 1.2-1.4x across
+    // runs on the single-core CI host. 1.15x is the regression guard: a
+    // batched kernel falling back to scalar-equivalent code drops below
+    // it, noise does not.
+    if smoke {
+        let eight = rows.iter().find(|r| r.n == 8).expect("8q row present");
+        let batched = eight.batched_ns.expect("8q is lane-batchable");
+        let speedup = eight.compiled_ns / batched;
+        assert!(
+            speedup >= 1.15,
+            "batched-over-compiled floor violated at 8q/B=8: {speedup:.2}x < 1.15x \
+             (compiled {:.0} ns, batched {batched:.0} ns/point)",
+            eight.compiled_ns
+        );
+    }
 
     let cores = std::thread::available_parallelism()
         .map(|p| p.get())
@@ -279,8 +331,15 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
                 ),
                 None => ", \"parallel_ns\": null, \"parallel_speedup\": null".to_string(),
             };
+            let batched = match r.batched_ns {
+                Some(bns) => format!(
+                    ", \"batched_ns\": {bns:.1}, \"batched_speedup\": {:.2}",
+                    r.compiled_ns / bns
+                ),
+                None => ", \"batched_ns\": null, \"batched_speedup\": null".to_string(),
+            };
             format!(
-                "    {{\"n_qubits\": {}, \"interpreted_ns\": {:.1}, \"compiled_ns\": {:.1}, \"speedup\": {:.2}{parallel}}}",
+                "    {{\"n_qubits\": {}, \"interpreted_ns\": {:.1}, \"compiled_ns\": {:.1}, \"speedup\": {:.2}{parallel}{batched}}}",
                 r.n,
                 r.interpreted_ns,
                 r.compiled_ns,
@@ -289,7 +348,7 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
         })
         .collect();
     let json = format!(
-        "{{\n  \"bench\": \"compiled_vs_interpreted\",\n  \"workload\": \"RealAmplitudes reps=4 ansatz over the open-boundary critical TFIM; mean ns per objective evaluation. speedup = interpreted/compiled; parallel_* = compiled path with in-state kernel threads (>= 16 qubits, parallel feature); threaded_apply = one CompiledCircuit sweep, run vs run_threaded\",\n  \"smoke\": {},\n  \"cores\": {cores},\n  \"inner_threads\": {inner_threads},\n  \"results\": [\n{}\n  ],\n  \"threaded_apply\": {apply_json}\n}}\n",
+        "{{\n  \"bench\": \"compiled_vs_interpreted\",\n  \"workload\": \"RealAmplitudes reps=4 ansatz over the open-boundary critical TFIM; mean ns per objective evaluation. speedup = interpreted/compiled; parallel_* = compiled path with in-state kernel threads (>= 16 qubits, parallel feature); batched_* = lane-batched SoA engine per-point cost at B=8 lanes vs compiled (lane-batchable states only); threaded_apply = one CompiledCircuit sweep, run vs run_threaded\",\n  \"smoke\": {},\n  \"cores\": {cores},\n  \"inner_threads\": {inner_threads},\n  \"results\": [\n{}\n  ],\n  \"threaded_apply\": {apply_json}\n}}\n",
         smoke,
         entries.join(",\n")
     );
@@ -310,8 +369,15 @@ fn bench_compiled_vs_interpreted(c: &mut Criterion) {
             ),
             None => String::new(),
         };
+        let batched = match r.batched_ns {
+            Some(bns) => format!(
+                ", batched[B=8] {bns:.0} ns/pt ({:.2}x)",
+                r.compiled_ns / bns
+            ),
+            None => String::new(),
+        };
         println!(
-            "  {}q: interpreted {:.0} ns, compiled {:.0} ns ({:.2}x){parallel}",
+            "  {}q: interpreted {:.0} ns, compiled {:.0} ns ({:.2}x){parallel}{batched}",
             r.n,
             r.interpreted_ns,
             r.compiled_ns,

@@ -74,6 +74,10 @@ EXECUTION OPTIONS:
                           its amplitude array across <n> threads, bit-identical
                           to sequential. Composes with --threads: the budget is
                           threads x inner-threads. Forwarded to workers
+    --batch-lanes <n>     Lockstep trial batching: group up to <n> consecutive
+                          trials of one scenario into a single lane-batched
+                          trajectory group (bitwise identical to scalar runs).
+                          Must be 1, 4, or 8; in-process execution only
     --workers <n>         Shard across <n> local worker processes
     --connect <addrs>     Comma-separated remote worker daemons (host:port) to
                           dial; mixes freely with --workers
@@ -119,6 +123,7 @@ struct Args {
     seed: u64,
     threads: Option<usize>,
     inner_threads: usize,
+    batch_lanes: usize,
     name: String,
     workers: usize,
     connect: Vec<String>,
@@ -157,6 +162,7 @@ fn parse_args(argv: &[String]) -> Args {
         seed: 7,
         threads: None,
         inner_threads: 1,
+        batch_lanes: 1,
         name: "campaign".to_string(),
         workers: 0,
         connect: Vec::new(),
@@ -243,6 +249,17 @@ fn parse_args(argv: &[String]) -> Args {
                     .parse()
                     .unwrap_or_else(|_| die(&format!("invalid inner-thread count `{value}`")));
             }
+            "--batch-lanes" => {
+                // The SoA engine is built for lane widths 4 and 8 (half and
+                // full register); anything else silently degrades, so it is
+                // a hard error rather than a clamp.
+                args.batch_lanes = match value.parse::<usize>() {
+                    Ok(n @ (1 | 4 | 8)) => n,
+                    _ => die(&format!(
+                        "invalid --batch-lanes `{value}`: must be 1, 4, or 8"
+                    )),
+                };
+            }
             "--workers" => {
                 args.workers = value
                     .parse()
@@ -308,6 +325,12 @@ fn parse_args(argv: &[String]) -> Args {
     }
     if args.summary_only && args.jsonl.is_none() {
         die("--summary-only requires --jsonl <path> (the series live in the stream)");
+    }
+    if args.batch_lanes > 1 && (distributed || args.serve.is_some() || args.worker_mode) {
+        // Cluster workers execute arbitrary spec subsets one at a time, so
+        // lane grouping cannot apply there; refusing beats silently running
+        // without the requested batching.
+        die("--batch-lanes applies to in-process execution; drop --workers/--connect/--serve");
     }
     args
 }
@@ -461,7 +484,8 @@ fn main() {
             Some(t) => SweepExecutor::with_threads(t),
             None => SweepExecutor::new(),
         }
-        .with_inner_threads(args.inner_threads);
+        .with_inner_threads(args.inner_threads)
+        .with_batch_lanes(args.batch_lanes);
         println!(
             "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} worker(s)",
             campaign.name,

@@ -12,7 +12,10 @@
 
 use crate::report::{CampaignReport, RunRecord};
 use crate::scenario::{Campaign, RunKind, RunSpec};
-use crate::{run_kalman_instance, run_scheme, SchemeOutcome};
+use crate::{
+    lockstep_capable, run_kalman_instance, run_scheme, run_scheme_lockstep, SchemeOutcome,
+};
+use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 
 /// A typed failure from a fallible sweep ([`SweepExecutor::try_run_specs`]).
@@ -66,6 +69,7 @@ fn catch_run<R>(index: usize, f: impl FnOnce() -> R) -> Result<R, ExecutorError>
 pub struct SweepExecutor {
     threads: usize,
     inner_threads: usize,
+    batch_lanes: usize,
 }
 
 impl Default for SweepExecutor {
@@ -82,6 +86,7 @@ impl SweepExecutor {
         SweepExecutor {
             threads,
             inner_threads: 1,
+            batch_lanes: 1,
         }
     }
 
@@ -90,6 +95,7 @@ impl SweepExecutor {
         SweepExecutor {
             threads: 1,
             inner_threads: 1,
+            batch_lanes: 1,
         }
     }
 
@@ -99,6 +105,7 @@ impl SweepExecutor {
         SweepExecutor {
             threads,
             inner_threads: 1,
+            batch_lanes: 1,
         }
     }
 
@@ -116,6 +123,25 @@ impl SweepExecutor {
     /// The configured in-state kernel thread count.
     pub fn inner_threads(&self) -> usize {
         self.inner_threads
+    }
+
+    /// Sets the lockstep lane count: consecutive trials of one scenario
+    /// (same app/scheme/iterations/magnitude, per-trial seeds) are grouped
+    /// into batches of up to `lanes` and run as one lane-batched trajectory
+    /// group through [`run_scheme_lockstep`]. `1` disables grouping.
+    /// Results are **bitwise identical** to `batch_lanes = 1` — lanes keep
+    /// independent seeds and the SoA engine is bitwise equal to the scalar
+    /// path — so this is purely a throughput knob. Scenarios whose scheme
+    /// is not [`lockstep_capable`] (QISMET, Only-Transients, Kalman) run
+    /// scalar regardless.
+    pub fn with_batch_lanes(mut self, lanes: usize) -> Self {
+        self.batch_lanes = lanes.max(1);
+        self
+    }
+
+    /// The configured lockstep lane count.
+    pub fn batch_lanes(&self) -> usize {
+        self.batch_lanes
     }
 
     /// The worker count this executor will actually use for `n` tasks.
@@ -148,12 +174,35 @@ impl SweepExecutor {
     /// Returns the lowest-indexed run failure.
     pub fn try_run(&self, campaign: &Campaign) -> Result<CampaignReport, ExecutorError> {
         let specs = campaign.expand();
-        let records = self.try_run_specs(&specs, run_one)?;
+        let records = if self.batch_lanes > 1 {
+            self.try_run_specs_lockstep(&specs)?
+        } else {
+            self.try_run_specs(&specs, run_one)?
+        };
         Ok(CampaignReport {
             name: campaign.name.clone(),
             seed: campaign.seed,
             records,
         })
+    }
+
+    /// Runs the expanded spec list with lockstep trial-grouping: each group
+    /// of up to `batch_lanes` consecutive same-scenario trials becomes one
+    /// unit of work (a [`run_scheme_lockstep`] call); groups are then
+    /// scheduled exactly like individual specs (sequential or worker
+    /// fan-out). A panic inside a group is attributed to the group's first
+    /// spec index.
+    fn try_run_specs_lockstep(&self, specs: &[RunSpec]) -> Result<Vec<RunRecord>, ExecutorError> {
+        let groups = lockstep_groups(specs, self.batch_lanes);
+        let nested = self
+            .try_run_specs(&groups, |g| run_group(specs, g.clone()))
+            .map_err(|e| match e {
+                ExecutorError::RunPanicked { index, message } => ExecutorError::RunPanicked {
+                    index: groups[index].start,
+                    message,
+                },
+            })?;
+        Ok(nested.into_iter().flatten().collect())
     }
 
     /// Runs an arbitrary per-spec function over a slice of independent
@@ -355,6 +404,52 @@ fn record_from_outcome(spec: &RunSpec, outcome: SchemeOutcome) -> RunRecord {
     }
 }
 
+/// Splits an expanded (ordered) spec list into lockstep groups: maximal
+/// runs of up to `lanes` consecutive specs that belong to the same scenario
+/// and carry a [`lockstep_capable`] scheme. Everything else becomes a
+/// singleton group. Concatenating the groups reproduces the input order.
+fn lockstep_groups(specs: &[RunSpec], lanes: usize) -> Vec<Range<usize>> {
+    let mut groups = Vec::new();
+    let mut i = 0;
+    while i < specs.len() {
+        let batchable = matches!(&specs[i].kind, RunKind::Scheme(s) if lockstep_capable(*s));
+        let mut j = i + 1;
+        if batchable {
+            while j < specs.len()
+                && j - i < lanes
+                && specs[j].scenario == specs[i].scenario
+                && specs[j].kind == specs[i].kind
+            {
+                j += 1;
+            }
+        }
+        groups.push(i..j);
+        i = j;
+    }
+    groups
+}
+
+/// Runs one lockstep group. Singletons take the scalar [`run_one`] path
+/// (bitwise the `batch_lanes = 1` behavior); multi-spec groups run their
+/// trials as lanes of one [`run_scheme_lockstep`] trajectory group.
+fn run_group(specs: &[RunSpec], group: Range<usize>) -> Vec<RunRecord> {
+    if group.len() == 1 {
+        return vec![run_one(&specs[group.start])];
+    }
+    let lead = &specs[group.start];
+    let scheme = match &lead.kind {
+        RunKind::Scheme(s) => *s,
+        RunKind::Kalman(_) => unreachable!("kalman specs are never grouped"),
+    };
+    let seeds: Vec<u64> = specs[group.clone()].iter().map(|s| s.seed).collect();
+    let outcomes = run_scheme_lockstep(&lead.app, scheme, lead.iterations, lead.magnitude, &seeds);
+    specs[group]
+        .iter()
+        .zip(outcomes)
+        .map(|(spec, outcome)| record_from_outcome(spec, outcome))
+        .collect()
+}
+
 /// Convenience: runs `campaign` with the default executor.
 pub fn run_campaign(campaign: &Campaign) -> CampaignReport {
     SweepExecutor::new().run(campaign)
@@ -445,6 +540,56 @@ mod tests {
         let a = SweepExecutor::sequential().try_run(&campaign).unwrap();
         let b = SweepExecutor::sequential().run(&campaign);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn lockstep_groups_split_scenarios_and_lane_limit() {
+        let campaign = Campaign::new("g", 3)
+            .with(
+                ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Baseline, 25).with_trials(5),
+            )
+            .with(ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Qismet, 25).with_trials(2))
+            .with(
+                ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Blocking, 25).with_trials(3),
+            );
+        let specs = campaign.expand();
+        let groups = lockstep_groups(&specs, 4);
+        let shape: Vec<(usize, usize)> = groups.iter().map(|g| (g.start, g.len())).collect();
+        // Baseline: 4-lane group + remainder; Qismet: scalar singletons;
+        // Blocking: one 3-lane group.
+        assert_eq!(shape, vec![(0, 4), (4, 1), (5, 1), (6, 1), (7, 3)]);
+        assert_eq!(lockstep_groups(&specs, 1).len(), specs.len());
+    }
+
+    #[test]
+    fn batch_lanes_campaign_is_bitwise_identical_to_scalar() {
+        // The seam-2 acceptance bar: a campaign mixing lockstep-capable and
+        // scalar-only schemes, with trial counts that don't divide the lane
+        // width, must produce byte-identical reports with and without
+        // `--batch-lanes` (and regardless of worker fan-out).
+        let campaign = Campaign::new("lanes", 17)
+            .with(
+                ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Baseline, 30).with_trials(5),
+            )
+            .with(ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Qismet, 30).with_trials(2))
+            .with(
+                ScenarioSpec::new(AppSpec::by_id(1).unwrap(), Scheme::Blocking, 30).with_trials(3),
+            );
+        let scalar = SweepExecutor::sequential().run(&campaign);
+        for lanes in [4, 8] {
+            for executor in [
+                SweepExecutor::sequential().with_batch_lanes(lanes),
+                SweepExecutor::with_threads(3).with_batch_lanes(lanes),
+            ] {
+                let batched = executor.run(&campaign);
+                assert_eq!(scalar, batched, "lanes {lanes}");
+                for (a, b) in scalar.records.iter().zip(&batched.records) {
+                    for (x, y) in a.series.iter().zip(&b.series) {
+                        assert_eq!(x.to_bits(), y.to_bits(), "lanes {lanes}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! CLI argument-validation tests for the `campaign` binary, run against the
+//! real executable (`CARGO_BIN_EXE_campaign`). These pin the typed-error
+//! contract: a bad flag exits with status 2 and a named error on stderr,
+//! before any work starts.
+
+use std::process::Command;
+
+const CAMPAIGN_BIN: &str = env!("CARGO_BIN_EXE_campaign");
+
+fn run_campaign_cli(args: &[&str]) -> (i32, String) {
+    let out = Command::new(CAMPAIGN_BIN)
+        .args(args)
+        .output()
+        .expect("spawn campaign binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn batch_lanes_rejects_unsupported_widths() {
+    // The SoA engine supports lane widths 1 (scalar), 4, and 8 only; every
+    // other value must die with a typed usage error, not clamp or ignore.
+    for bad in ["0", "2", "3", "5", "6", "7", "9", "16", "x", "-4"] {
+        let (code, stderr) = run_campaign_cli(&["--batch-lanes", bad]);
+        assert_eq!(code, 2, "--batch-lanes {bad} must exit 2");
+        assert!(
+            stderr.contains("invalid --batch-lanes") && stderr.contains("must be 1, 4, or 8"),
+            "--batch-lanes {bad} stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn batch_lanes_rejects_missing_value_and_cluster_modes() {
+    let (code, stderr) = run_campaign_cli(&["--batch-lanes"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("missing value"), "stderr: {stderr}");
+
+    // Cluster workers pull specs one at a time, so lane grouping cannot
+    // apply; combining the flags is refused instead of silently ignored.
+    for extra in [
+        &["--workers", "2"][..],
+        &["--connect", "localhost:1"][..],
+        &["--serve", "127.0.0.1:0"][..],
+    ] {
+        let mut args = vec!["--batch-lanes", "4"];
+        args.extend_from_slice(extra);
+        let (code, stderr) = run_campaign_cli(&args);
+        assert_eq!(code, 2, "{extra:?} must exit 2");
+        assert!(
+            stderr.contains("--batch-lanes applies to in-process execution"),
+            "{extra:?} stderr: {stderr}"
+        );
+    }
+}
+
+#[test]
+fn batch_lanes_accepts_supported_widths() {
+    // Valid widths parse and the run completes end to end on a tiny grid
+    // (exit 0), exercising the wired-through executor path.
+    let (code, stderr) = run_campaign_cli(&[
+        "--apps",
+        "1",
+        "--schemes",
+        "baseline",
+        "--iterations",
+        "20",
+        "--trials",
+        "4",
+        "--batch-lanes",
+        "4",
+        "--name",
+        "cli-lanes-smoke",
+    ]);
+    assert_eq!(code, 0, "stderr: {stderr}");
+}

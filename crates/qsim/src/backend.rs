@@ -30,6 +30,7 @@
 //! assert_eq!(single.to_bits(), batch[0].to_bits());
 //! ```
 
+use crate::batch::{BatchStateVector, BatchedCircuit, LANE_BATCH_MAX_QUBITS, MAX_LANES};
 use crate::circuit::Circuit;
 use crate::compile::{CompiledCircuit, CompiledObservable};
 use crate::gate::GateError;
@@ -235,7 +236,20 @@ impl Backend for StatevectorBackend {
         points: &[Vec<f64>],
         observable: &CompiledObservable,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_plan_batch(plan, points, observable, 1)
+        let mut batch = BatchScratch::default();
+        parallel_plan_batch(plan, points, observable, &mut batch, 1)
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn evaluate_plan_batch(
+        &mut self,
+        plan: &mut CompiledCircuit,
+        points: &[Vec<f64>],
+        observable: &CompiledObservable,
+    ) -> Result<Vec<f64>, GateError> {
+        let mut scratch = None;
+        let mut batch = BatchScratch::default();
+        lane_batch_eval(plan, points, observable, &mut scratch, &mut batch, 1)
     }
 
     fn clone_box(&self) -> Box<dyn Backend> {
@@ -257,6 +271,7 @@ impl Backend for StatevectorBackend {
 #[derive(Debug, Clone, Default)]
 pub struct CachedStatevectorBackend {
     scratch: Option<StateVector>,
+    batch: BatchScratch,
     cache: PlanCache,
     inner_threads: usize,
 }
@@ -320,6 +335,140 @@ fn scratch_for(slot: &mut Option<StateVector>, n_qubits: usize) -> &mut StateVec
     slot.as_mut().expect("scratch populated above")
 }
 
+/// Cached lane-batch bindings and states, one slot per lane width (at most
+/// the full- and half-width slots in practice): [`lane_batch_into`] rebinds
+/// a cached [`BatchedCircuit`] in place across evaluation batches instead
+/// of reallocating its per-lane storage per chunk, falling back to a fresh
+/// bind when the plan structure changed (see [`BatchedCircuit::matches`]).
+/// Purely a reuse cache — rebinding is bitwise identical to fresh binding.
+#[derive(Debug, Clone, Default)]
+struct BatchScratch {
+    slots: Vec<(BatchedCircuit, BatchStateVector)>,
+}
+
+impl BatchScratch {
+    /// The batched binding and state for `chunk`, rebound in place when the
+    /// cached slot for this lane width still matches `plan`.
+    fn bind<'a>(
+        &'a mut self,
+        plan: &mut CompiledCircuit,
+        chunk: &[Vec<f64>],
+    ) -> Result<(&'a BatchedCircuit, &'a mut BatchStateVector), GateError> {
+        let lanes = chunk.len();
+        let n = plan.n_qubits();
+        let k = match self.slots.iter().position(|(bc, _)| bc.lanes() == lanes) {
+            Some(k) => {
+                let (bc, bsv) = &mut self.slots[k];
+                if bc.matches(plan) {
+                    bc.rebind(plan, chunk)?;
+                } else {
+                    *bc = BatchedCircuit::bind(plan, chunk)?;
+                    if bsv.n_qubits() != n {
+                        *bsv = BatchStateVector::new(n, lanes);
+                    }
+                }
+                k
+            }
+            None => {
+                let bc = BatchedCircuit::bind(plan, chunk)?;
+                self.slots.push((bc, BatchStateVector::new(n, lanes)));
+                self.slots.len() - 1
+            }
+        };
+        let (bc, bsv) = &mut self.slots[k];
+        Ok((&*bc, bsv))
+    }
+}
+
+/// Evaluates a run of plan points through the lane-batched engine into
+/// per-point result slots: greedy full-width ([`MAX_LANES`]) chunks, then
+/// one half-width chunk, then a scalar remainder. Wide states (above
+/// [`LANE_BATCH_MAX_QUBITS`], where the in-state schedule wins) and chunks
+/// that fail to bind (preserving per-point error attribution) take the
+/// scalar loop instead. Per-lane arithmetic is the exact scalar path, so
+/// every grouping is bitwise identical to the sequential loop.
+fn lane_batch_into(
+    plan: &mut CompiledCircuit,
+    points: &[Vec<f64>],
+    observable: &CompiledObservable,
+    scratch: &mut Option<StateVector>,
+    batch: &mut BatchScratch,
+    inner_threads: usize,
+    out: &mut [Result<f64, GateError>],
+) {
+    debug_assert_eq!(points.len(), out.len());
+    let n = plan.n_qubits();
+    fn scalar(
+        plan: &mut CompiledCircuit,
+        point: &[f64],
+        observable: &CompiledObservable,
+        scratch: &mut Option<StateVector>,
+        inner_threads: usize,
+    ) -> Result<f64, GateError> {
+        plan.rebind(point)?;
+        let sv = scratch_for(scratch, plan.n_qubits());
+        execute(plan, observable, sv, inner_threads)
+    }
+    let mut i = 0usize;
+    while i < points.len() {
+        let rem = points.len() - i;
+        let lanes = if n > LANE_BATCH_MAX_QUBITS {
+            1
+        } else if rem >= MAX_LANES {
+            MAX_LANES
+        } else if rem >= MAX_LANES / 2 {
+            MAX_LANES / 2
+        } else {
+            1
+        };
+        if lanes == 1 {
+            out[i] = scalar(plan, &points[i], observable, scratch, inner_threads);
+            i += 1;
+            continue;
+        }
+        let chunk = &points[i..i + lanes];
+        match batch.bind(plan, chunk) {
+            Ok((batched, bsv)) => {
+                let mut vals = [0.0f64; MAX_LANES];
+                batched.run_expectation_only(bsv, observable, &mut vals);
+                for (slot, v) in out[i..i + lanes].iter_mut().zip(vals) {
+                    *slot = Ok(v);
+                }
+            }
+            Err(_) => {
+                for (k, p) in chunk.iter().enumerate() {
+                    out[i + k] = scalar(plan, p, observable, scratch, inner_threads);
+                }
+            }
+        }
+        i += lanes;
+    }
+}
+
+/// Lane-batched [`Backend::evaluate_plan_batch`] body shared by both
+/// statevector backends (and, under `parallel`, by each fan-out worker's
+/// chunk): bitwise identical to the sequential per-point loop.
+fn lane_batch_eval(
+    plan: &mut CompiledCircuit,
+    points: &[Vec<f64>],
+    observable: &CompiledObservable,
+    scratch: &mut Option<StateVector>,
+    batch: &mut BatchScratch,
+    inner_threads: usize,
+) -> Result<Vec<f64>, GateError> {
+    let mut out: Vec<Result<f64, GateError>> = vec![Ok(0.0); points.len()];
+    lane_batch_into(
+        plan,
+        points,
+        observable,
+        scratch,
+        batch,
+        inner_threads,
+        &mut out,
+    );
+    out.into_iter().collect()
+}
+
 impl Backend for CachedStatevectorBackend {
     fn evaluate(&mut self, circuit: &Circuit, observable: &PauliSum) -> Result<f64, GateError> {
         let p = self.cache.plan_for(circuit)?;
@@ -360,7 +509,30 @@ impl Backend for CachedStatevectorBackend {
         points: &[Vec<f64>],
         observable: &CompiledObservable,
     ) -> Result<Vec<f64>, GateError> {
-        parallel_plan_batch(plan, points, observable, self.inner_threads)
+        parallel_plan_batch(
+            plan,
+            points,
+            observable,
+            &mut self.batch,
+            self.inner_threads,
+        )
+    }
+
+    #[cfg(not(feature = "parallel"))]
+    fn evaluate_plan_batch(
+        &mut self,
+        plan: &mut CompiledCircuit,
+        points: &[Vec<f64>],
+        observable: &CompiledObservable,
+    ) -> Result<Vec<f64>, GateError> {
+        lane_batch_eval(
+            plan,
+            points,
+            observable,
+            &mut self.scratch,
+            &mut self.batch,
+            self.inner_threads,
+        )
     }
 
     fn clone_box(&self) -> Box<dyn Backend> {
@@ -497,6 +669,21 @@ impl BackendPool {
     }
 }
 
+/// Host thread count for batch fan-out, resolved once per process.
+/// `std::thread::available_parallelism` re-reads cgroup limits on every
+/// call on Linux (file opens + parsing, >10us inside a container) — far
+/// more than a small lane-batched evaluation, so the per-call lookup was
+/// dominating `evaluate_plan_batch` on small states.
+#[cfg(feature = "parallel")]
+fn host_parallelism() -> usize {
+    static HOST: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *HOST.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
 /// Evaluates a batch across threads with `std::thread::scope`, one cached
 /// scratch state per worker. Results are written back by index, so the
 /// output order (and, since evaluations are independent, every bit of
@@ -510,10 +697,7 @@ fn parallel_batch(
     observable: &PauliSum,
     inner_threads: usize,
 ) -> Result<Vec<f64>, GateError> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(circuits.len().max(1));
+    let workers = host_parallelism().min(circuits.len().max(1));
     if workers <= 1 || circuits.len() < 2 {
         let mut backend = CachedStatevectorBackend::with_inner_threads(inner_threads);
         return circuits
@@ -539,30 +723,23 @@ fn parallel_batch(
 }
 
 /// Plan-batch fan-out: each worker clones the plan (one allocation per
-/// worker per batch, not per point) and a scratch state, then rebinds and
-/// executes its chunk. Per-point arithmetic is independent of the scratch
-/// and of binding order, so results are bitwise identical to the
-/// sequential loop.
+/// worker per batch, not per point) and runs its contiguous chunk of
+/// points through the lane-batched engine. Per-point arithmetic is
+/// independent of the scratch, of binding order, and of lane grouping, so
+/// results are bitwise identical to the sequential loop at any worker
+/// count.
 #[cfg(feature = "parallel")]
 fn parallel_plan_batch(
     plan: &mut CompiledCircuit,
     points: &[Vec<f64>],
     observable: &CompiledObservable,
+    batch: &mut BatchScratch,
     inner_threads: usize,
 ) -> Result<Vec<f64>, GateError> {
-    let workers = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(points.len().max(1));
+    let workers = host_parallelism().min(points.len().max(1));
     if workers <= 1 || points.len() < 2 {
-        let mut scratch = StateVector::new(plan.n_qubits());
-        return points
-            .iter()
-            .map(|p| {
-                plan.rebind(p)?;
-                execute(plan, observable, &mut scratch, inner_threads)
-            })
-            .collect();
+        let mut scratch = None;
+        return lane_batch_eval(plan, points, observable, &mut scratch, batch, inner_threads);
     }
     let mut results: Vec<Result<f64, GateError>> = vec![Ok(0.0); points.len()];
     let chunk = points.len().div_ceil(workers);
@@ -572,12 +749,17 @@ fn parallel_plan_batch(
             let start = w * chunk;
             scope.spawn(move || {
                 let mut local = template.clone();
-                let mut scratch = StateVector::new(local.n_qubits());
-                for (i, slot) in out.iter_mut().enumerate() {
-                    *slot = local
-                        .rebind(&points[start + i])
-                        .and_then(|()| execute(&local, observable, &mut scratch, inner_threads));
-                }
+                let mut scratch = None;
+                let mut local_batch = BatchScratch::default();
+                lane_batch_into(
+                    &mut local,
+                    &points[start..start + out.len()],
+                    observable,
+                    &mut scratch,
+                    &mut local_batch,
+                    inner_threads,
+                    out,
+                );
             });
         }
     });
@@ -744,6 +926,81 @@ mod tests {
             .evaluate_plan_batch(&mut plan, &[], &obs)
             .unwrap()
             .is_empty());
+    }
+
+    #[test]
+    fn lane_batched_plan_batch_agrees_bitwise_with_singles() {
+        use crate::gate::Param;
+        // 21 points drives every grouping the greedy chunker produces:
+        // two 8-lane batches, one 4-lane batch, one scalar point. A 6q
+        // ry+cx ansatz exercises the batched real-f64 path; adding rz
+        // opts into the complex batched path.
+        for with_rz in [false, true] {
+            let n = 6;
+            let h = observable(n);
+            let obs = CompiledObservable::compile(&h);
+            let mut ansatz = Circuit::new(n);
+            let mut k = 0usize;
+            for _ in 0..3 {
+                for q in 0..n {
+                    ansatz.ry(Param::Free(k), q);
+                    k += 1;
+                    if with_rz {
+                        ansatz.rz(Param::Free(k), q);
+                        k += 1;
+                    }
+                }
+                for q in 0..n - 1 {
+                    ansatz.cx(q, q + 1);
+                }
+            }
+            let mut rng = rng_from_seed(13);
+            let points: Vec<Vec<f64>> = (0..21)
+                .map(|_| (0..k).map(|_| rng.gen::<f64>() * 3.0 - 1.5).collect())
+                .collect();
+            for mut backend in [
+                Box::new(StatevectorBackend::new()) as Box<dyn Backend>,
+                Box::new(CachedStatevectorBackend::new()) as Box<dyn Backend>,
+                Box::new(SharedBackend::new()) as Box<dyn Backend>,
+            ] {
+                let mut plan = CompiledCircuit::compile(&ansatz);
+                let singles: Vec<f64> = points
+                    .iter()
+                    .map(|p| backend.evaluate_plan(&mut plan, p, &obs).unwrap())
+                    .collect();
+                let batch = backend
+                    .evaluate_plan_batch(&mut plan, &points, &obs)
+                    .unwrap();
+                for (i, (a, b)) in singles.iter().zip(&batch).enumerate() {
+                    assert_eq!(
+                        a.to_bits(),
+                        b.to_bits(),
+                        "{} with_rz={with_rz} point {i}",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_plan_batch_propagates_short_point_errors() {
+        use crate::gate::Param;
+        let h = observable(3);
+        let obs = CompiledObservable::compile(&h);
+        let mut ansatz = Circuit::new(3);
+        for (k, q) in (0..3).enumerate() {
+            ansatz.ry(Param::Free(k), q);
+        }
+        ansatz.cx(0, 1).cx(1, 2);
+        let mut plan = CompiledCircuit::compile(&ansatz);
+        let mut backend = CachedStatevectorBackend::new();
+        // A short point buried inside a would-be 8-lane chunk must error.
+        let mut points: Vec<Vec<f64>> = (0..9).map(|i| vec![0.1 * i as f64; 3]).collect();
+        points[5] = vec![0.2];
+        assert!(backend
+            .evaluate_plan_batch(&mut plan, &points, &obs)
+            .is_err());
     }
 
     #[test]

@@ -1,0 +1,1410 @@
+//! Lane-batched (structure-of-arrays) statevector execution.
+//!
+//! A VQA workload is thousands of evaluations of the *same* compiled plan
+//! at different parameter points — SPSA's θ⁺/θ⁻ pairs, gradient stencils,
+//! independent campaign trials. At the paper's 4–12 qubit scale each single
+//! evaluation is so small that per-op dispatch and strided butterfly access
+//! dominate; this module amortizes the decoded op stream across `B` states
+//! at once instead of making one state faster.
+//!
+//! [`BatchStateVector`] holds `B` independent states interleaved
+//! **lane-major**: amplitude `i` of lane `l` lives at `amps[i * B + l]`,
+//! so every per-amplitude access of the scalar kernels widens to a
+//! contiguous `B`-element lane row and the innermost loops become stride-1
+//! — the autovectorizer packs them where the scalar butterflies stride.
+//! [`BatchedCircuit::bind`] drives one decoded op stream with `B` parameter
+//! sets by *snapshot binding*: for each lane it runs the scalar
+//! [`CompiledCircuit::rebind`] (the exact arithmetic of the sequential
+//! path) and copies the parameter-dependent values — per-lane 2x2 matrices,
+//! superop matrices, RZZ and table phases — into entry-major, lane-minor
+//! storage. Structural data (index permutations, support sets, real-mode
+//! flags) is angle-independent and shared across lanes.
+//!
+//! **Determinism contract:** lane `l` of every batched apply and batched
+//! expectation is bitwise identical to the scalar path evaluating point
+//! `l` on its own, because the per-lane arithmetic (operation order,
+//! accumulation grouping, unit/diagonal branch selection, real-mode
+//! gating) is the exact scalar expression. The `batched_equivalence`
+//! proptest suite pins this for random circuits and lane counts.
+
+use crate::compile::{
+    CompiledCircuit, CompiledObservable, OffDiagTerm, PlanOp, REAL_RUN_MIN_QUBITS,
+};
+use crate::gate::GateError;
+use crate::kernels;
+use crate::statevector::StateVector;
+use qismet_mathkit::Complex64;
+
+/// Maximum lane count of a batched state. Eight f64 pairs fill two AVX-512
+/// (or four AVX2) vectors per lane row; wider batches would spill the
+/// per-orbit gather buffers out of registers.
+pub const MAX_LANES: usize = kernels::MAX_LANES;
+
+/// Widest state the lane-batched path is worth taking: beyond this the
+/// batch no longer fits in cache alongside its scratch and the in-state
+/// threaded path (which splits one large state across cores) wins instead.
+/// Purely a performance gate — batched results are bitwise identical to
+/// sequential at every width.
+pub(crate) const LANE_BATCH_MAX_QUBITS: usize = 14;
+
+/// `B` independent statevectors in one structure-of-arrays allocation,
+/// interleaved lane-major (`amps[i * lanes + l]` is amplitude `i` of lane
+/// `l`).
+///
+/// # Examples
+///
+/// ```
+/// use qismet_qsim::BatchStateVector;
+///
+/// let b = BatchStateVector::new(3, 4);
+/// assert_eq!(b.n_qubits(), 3);
+/// assert_eq!(b.lanes(), 4);
+/// // Every lane starts in |000>.
+/// assert_eq!(b.amplitude(0, 2).re, 1.0);
+/// assert_eq!(b.amplitude(5, 2).re, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchStateVector {
+    n_qubits: usize,
+    lanes: usize,
+    amps: Vec<Complex64>,
+}
+
+impl BatchStateVector {
+    /// Creates `lanes` states of `n_qubits` qubits, each in `|0...0>`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is zero or exceeds [`MAX_LANES`].
+    pub fn new(n_qubits: usize, lanes: usize) -> Self {
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count must be in 1..={MAX_LANES}"
+        );
+        let mut b = BatchStateVector {
+            n_qubits,
+            lanes,
+            amps: vec![Complex64::ZERO; (1usize << n_qubits) * lanes],
+        };
+        b.reset();
+        b
+    }
+
+    /// Resets every lane to `|0...0>` in place.
+    pub fn reset(&mut self) {
+        self.amps.fill(Complex64::ZERO);
+        self.amps[..self.lanes].fill(Complex64::ONE);
+    }
+
+    /// State width per lane.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Amplitude `idx` of lane `lane`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `idx` or `lane` is out of range.
+    pub fn amplitude(&self, idx: usize, lane: usize) -> Complex64 {
+        assert!(lane < self.lanes, "lane out of range");
+        self.amps[idx * self.lanes + lane]
+    }
+
+    /// Copies one lane out into an owned [`StateVector`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `lane` is out of range.
+    pub fn lane_state(&self, lane: usize) -> StateVector {
+        assert!(lane < self.lanes, "lane out of range");
+        let mut sv = StateVector::new(self.n_qubits);
+        sv.fill_from_strided(&self.amps, self.lanes, lane);
+        sv
+    }
+
+    pub(crate) fn amps(&self) -> &[Complex64] {
+        &self.amps
+    }
+
+    pub(crate) fn amps_mut(&mut self) -> &mut [Complex64] {
+        &mut self.amps
+    }
+}
+
+/// One lowered op of a batched plan: the structural twin of
+/// [`PlanOp`] with every parameter-dependent value widened to per-lane
+/// entry-major storage (`data[e * lanes + l]`).
+#[derive(Debug, Clone)]
+enum BatchOp {
+    /// Per-lane fused 2x2 unitaries (`u[e * lanes + l]`, `e` row-major).
+    OneQ {
+        qubit: usize,
+        u: Vec<Complex64>,
+    },
+    /// Per-lane fused **real** 2x2 unitaries.
+    OneQReal {
+        qubit: usize,
+        m: Vec<f64>,
+    },
+    /// Structural (lane-independent) two-qubit ops.
+    Cx {
+        control: usize,
+        target: usize,
+    },
+    Cz {
+        a: usize,
+        b: usize,
+    },
+    Swap {
+        a: usize,
+        b: usize,
+    },
+    /// Per-lane RZZ diagonal phases.
+    Rzz {
+        a: usize,
+        b: usize,
+        plus: Vec<Complex64>,
+        minus: Vec<Complex64>,
+    },
+    /// Per-lane dense superoperator matrices over a shared support. A
+    /// complex superop fills `m`; a **real** superop fills `mre` instead
+    /// (the exactly-real entries as a bare `f64` plane, so the lane loops
+    /// load them stride-1 rather than gathering `.re` out of interleaved
+    /// complex pairs).
+    Super {
+        qubits: Vec<usize>,
+        real: bool,
+        m: Vec<Complex64>,
+        mre: Vec<f64>,
+    },
+    /// Shared permutation structure with per-lane phases and `unit` flags
+    /// (the permutation and `diagonal` flag are angle-independent, so they
+    /// are identical across lanes of one compiled structure).
+    Table {
+        bits: Vec<usize>,
+        offs: Vec<usize>,
+        src: Vec<u8>,
+        contig_shift: Option<usize>,
+        diagonal: bool,
+        phase: Vec<Complex64>,
+        unit: Vec<bool>,
+    },
+}
+
+thread_local! {
+    /// Per-thread real-amplitude batched state for plans on the
+    /// real-run fast path (see [`CompiledCircuit::runs_real`]); grown on
+    /// demand and reused across runs like the scalar real scratch.
+    static BATCH_REAL_STATE: core::cell::RefCell<Vec<f64>> =
+        const { core::cell::RefCell::new(Vec::new()) };
+}
+
+/// A [`CompiledCircuit`] snapshot-bound at `B` parameter points: one
+/// decoded op stream whose parameter-dependent data is widened per lane,
+/// executed by the lane-batched kernels.
+///
+/// # Examples
+///
+/// ```
+/// use qismet_qsim::{
+///     BatchStateVector, BatchedCircuit, Circuit, CompiledCircuit,
+///     CompiledObservable, Param, PauliSum,
+/// };
+///
+/// let mut c = Circuit::new(2);
+/// c.ry(Param::Free(0), 0).cx(0, 1);
+/// let mut plan = CompiledCircuit::compile(&c);
+/// let obs = CompiledObservable::compile(&PauliSum::from_labels(&[(1.0, "ZZ")]).unwrap());
+/// let points = vec![vec![0.3], vec![0.7], vec![1.1], vec![1.5]];
+/// let batched = BatchedCircuit::bind(&mut plan, &points).unwrap();
+/// let mut bsv = BatchStateVector::new(2, 4);
+/// let mut out = [0.0f64; 4];
+/// batched.run_expectation(&mut bsv, &obs, &mut out);
+/// // Lane 0 is bitwise identical to the scalar path at points[0].
+/// let mut sv = qismet_qsim::StateVector::new(2);
+/// plan.rebind(&points[0]).unwrap();
+/// let scalar = plan.run_expectation(&mut sv, &obs).unwrap();
+/// assert_eq!(scalar.to_bits(), out[0].to_bits());
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchedCircuit {
+    n_qubits: usize,
+    lanes: usize,
+    real_run: bool,
+    ops: Vec<BatchOp>,
+}
+
+impl BatchedCircuit {
+    /// Snapshot-binds `plan` at each of `points` (one lane per point): for
+    /// each lane the scalar [`CompiledCircuit::rebind`] runs — the exact
+    /// arithmetic of the sequential path, so per-lane op data is bitwise
+    /// identical to what a scalar evaluation at that point would use — and
+    /// the parameter-dependent values are copied into per-lane storage.
+    /// The plan's residual binding afterwards is the last point's.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if any point is shorter than the
+    /// plan's parameter count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty or longer than [`MAX_LANES`].
+    pub fn bind(plan: &mut CompiledCircuit, points: &[Vec<f64>]) -> Result<Self, GateError> {
+        let lanes = points.len();
+        assert!(
+            (1..=MAX_LANES).contains(&lanes),
+            "lane count must be in 1..={MAX_LANES}"
+        );
+        plan.rebind(&points[0])?;
+        let ops = plan
+            .ops
+            .iter()
+            .map(|op| Self::skeleton(plan, op, lanes))
+            .collect();
+        let mut this = BatchedCircuit {
+            n_qubits: plan.n_qubits(),
+            lanes,
+            real_run: plan.real_run,
+            ops,
+        };
+        this.rebind(plan, points)?;
+        Ok(this)
+    }
+
+    /// Re-snapshots this binding at a fresh set of points without
+    /// allocating — the hot-path twin of [`Self::bind`] for loops that
+    /// evaluate one plan at thousands of point batches. Runs the same
+    /// per-lane scalar [`CompiledCircuit::rebind`] + snapshot protocol
+    /// into the existing per-lane storage, so the result is bitwise
+    /// identical to a fresh [`Self::bind`] at the same points.
+    ///
+    /// # Errors
+    ///
+    /// [`GateError::UnboundParameter`] if any point is shorter than the
+    /// plan's parameter count. The binding is left partially updated on
+    /// error and must be successfully rebound before its next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points.len()` differs from the bound lane count or
+    /// when `plan` does not structurally match the plan this binding was
+    /// built from (see [`Self::matches`]).
+    pub fn rebind(
+        &mut self,
+        plan: &mut CompiledCircuit,
+        points: &[Vec<f64>],
+    ) -> Result<(), GateError> {
+        assert_eq!(points.len(), self.lanes, "one point per bound lane");
+        assert!(
+            self.matches(plan),
+            "rebind requires the plan structure this binding was built from"
+        );
+        for (li, point) in points.iter().enumerate() {
+            plan.rebind(point)?;
+            for (op, bop) in plan.ops.iter().zip(self.ops.iter_mut()) {
+                Self::snapshot_lane(plan, op, bop, self.lanes, li);
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when `plan` has the structure this binding was built from —
+    /// same width, real-run mode, op stream, and angle-independent op data
+    /// — which is exactly the precondition of [`Self::rebind`]. Callers
+    /// caching a binding check this and fall back to a fresh
+    /// [`Self::bind`] when the plan changed underneath them.
+    pub fn matches(&self, plan: &CompiledCircuit) -> bool {
+        if plan.n_qubits() != self.n_qubits
+            || plan.real_run != self.real_run
+            || plan.ops.len() != self.ops.len()
+        {
+            return false;
+        }
+        plan.ops
+            .iter()
+            .zip(self.ops.iter())
+            .all(|(op, bop)| match (op, bop) {
+                (PlanOp::OneQ { qubit, .. }, BatchOp::OneQ { qubit: q, .. })
+                | (PlanOp::OneQReal { qubit, .. }, BatchOp::OneQReal { qubit: q, .. }) => {
+                    qubit == q
+                }
+                (
+                    PlanOp::Cx { control, target },
+                    BatchOp::Cx {
+                        control: c,
+                        target: t,
+                    },
+                ) => control == c && target == t,
+                (PlanOp::Cz { a, b }, BatchOp::Cz { a: x, b: y })
+                | (PlanOp::Swap { a, b }, BatchOp::Swap { a: x, b: y })
+                | (PlanOp::Rzz { a, b, .. }, BatchOp::Rzz { a: x, b: y, .. }) => a == x && b == y,
+                (
+                    PlanOp::Super { idx },
+                    BatchOp::Super {
+                        qubits,
+                        real,
+                        m,
+                        mre,
+                    },
+                ) => {
+                    let sup = &plan.supers[*idx];
+                    let d = 1usize << sup.k();
+                    let plane = if sup.real { mre.len() } else { m.len() };
+                    sup.qubits == *qubits && sup.real == *real && d * d * self.lanes == plane
+                }
+                (
+                    PlanOp::Table { idx },
+                    BatchOp::Table {
+                        bits,
+                        offs,
+                        src,
+                        contig_shift,
+                        diagonal,
+                        phase,
+                        ..
+                    },
+                ) => {
+                    let t = &plan.tables[*idx];
+                    t.contig_shift == *contig_shift
+                        && t.diagonal == *diagonal
+                        && t.phase.len() * self.lanes == phase.len()
+                        && t.bits == *bits
+                        && t.offs == *offs
+                        && t.src == *src
+                }
+                _ => false,
+            })
+    }
+
+    /// Allocates one batched op's storage with its structural data filled
+    /// in (per-lane slots zeroed; [`Self::snapshot_lane`] fills them).
+    fn skeleton(plan: &CompiledCircuit, op: &PlanOp, lanes: usize) -> BatchOp {
+        match *op {
+            PlanOp::OneQ { qubit, .. } => BatchOp::OneQ {
+                qubit,
+                u: vec![Complex64::ZERO; 4 * lanes],
+            },
+            PlanOp::OneQReal { qubit, .. } => BatchOp::OneQReal {
+                qubit,
+                m: vec![0.0; 4 * lanes],
+            },
+            PlanOp::Cx { control, target } => BatchOp::Cx { control, target },
+            PlanOp::Cz { a, b } => BatchOp::Cz { a, b },
+            PlanOp::Swap { a, b } => BatchOp::Swap { a, b },
+            PlanOp::Rzz { a, b, .. } => BatchOp::Rzz {
+                a,
+                b,
+                plus: vec![Complex64::ZERO; lanes],
+                minus: vec![Complex64::ZERO; lanes],
+            },
+            PlanOp::Super { idx } => {
+                let sup = &plan.supers[idx];
+                let d = 1usize << sup.k();
+                BatchOp::Super {
+                    qubits: sup.qubits.clone(),
+                    real: sup.real,
+                    m: if sup.real {
+                        Vec::new()
+                    } else {
+                        vec![Complex64::ZERO; d * d * lanes]
+                    },
+                    mre: if sup.real {
+                        vec![0.0; d * d * lanes]
+                    } else {
+                        Vec::new()
+                    },
+                }
+            }
+            PlanOp::Table { idx } => {
+                let t = &plan.tables[idx];
+                BatchOp::Table {
+                    bits: t.bits.clone(),
+                    offs: t.offs.clone(),
+                    src: t.src.clone(),
+                    contig_shift: t.contig_shift,
+                    diagonal: t.diagonal,
+                    phase: vec![Complex64::ZERO; t.phase.len() * lanes],
+                    unit: vec![false; lanes],
+                }
+            }
+        }
+    }
+
+    /// Copies lane `li`'s parameter-dependent values out of the freshly
+    /// rebound `plan` into the batched op storage.
+    fn snapshot_lane(
+        plan: &CompiledCircuit,
+        op: &PlanOp,
+        bop: &mut BatchOp,
+        lanes: usize,
+        li: usize,
+    ) {
+        match (op, bop) {
+            (PlanOp::OneQ { u, .. }, BatchOp::OneQ { u: store, .. }) => {
+                let es = [u[0][0], u[0][1], u[1][0], u[1][1]];
+                for (chunk, v) in store.chunks_exact_mut(lanes).zip(es) {
+                    chunk[li] = v;
+                }
+            }
+            (PlanOp::OneQReal { m, .. }, BatchOp::OneQReal { m: store, .. }) => {
+                let es = [m[0][0], m[0][1], m[1][0], m[1][1]];
+                for (chunk, v) in store.chunks_exact_mut(lanes).zip(es) {
+                    chunk[li] = v;
+                }
+            }
+            (
+                PlanOp::Rzz { plus, minus, .. },
+                BatchOp::Rzz {
+                    plus: p, minus: mn, ..
+                },
+            ) => {
+                p[li] = *plus;
+                mn[li] = *minus;
+            }
+            (
+                PlanOp::Super { idx },
+                BatchOp::Super {
+                    real,
+                    m: store,
+                    mre: store_re,
+                    ..
+                },
+            ) => {
+                let sup = &plan.supers[*idx];
+                if *real {
+                    // Real superop entries are exactly real by construction;
+                    // `.re` preserves their bits in the f64 plane.
+                    for (chunk, v) in store_re.chunks_exact_mut(lanes).zip(sup.m.iter()) {
+                        chunk[li] = v.re;
+                    }
+                } else {
+                    for (chunk, &v) in store.chunks_exact_mut(lanes).zip(sup.m.iter()) {
+                        chunk[li] = v;
+                    }
+                }
+            }
+            (
+                PlanOp::Table { idx },
+                BatchOp::Table {
+                    src,
+                    diagonal,
+                    phase,
+                    unit,
+                    ..
+                },
+            ) => {
+                let t = &plan.tables[*idx];
+                debug_assert_eq!(
+                    src, &t.src,
+                    "table permutation is angle-independent across lanes"
+                );
+                debug_assert_eq!(*diagonal, t.diagonal);
+                unit[li] = t.unit;
+                // A unit lane's phases are never read by the permutation
+                // kernels (its branch selects the bare source amplitude),
+                // so skip the scatter copy — at 8 lanes a fused CX-ladder
+                // table would otherwise pay `phase.len()` strided writes
+                // per rebind for values that are all 1. Diagonal tables
+                // are the exception: their kernel branch multiplies every
+                // lane by its phase (exactly as the scalar path does), so
+                // they always need the snapshot.
+                if !t.unit || t.diagonal {
+                    for (chunk, &ph) in phase.chunks_exact_mut(lanes).zip(t.phase.iter()) {
+                        chunk[li] = ph;
+                    }
+                }
+            }
+            (PlanOp::Cx { .. }, BatchOp::Cx { .. })
+            | (PlanOp::Cz { .. }, BatchOp::Cz { .. })
+            | (PlanOp::Swap { .. }, BatchOp::Swap { .. }) => {}
+            _ => unreachable!("skeleton and plan op streams are aligned"),
+        }
+    }
+
+    /// State width per lane.
+    pub fn n_qubits(&self) -> usize {
+        self.n_qubits
+    }
+
+    /// Number of bound lanes.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// `true` when every lane takes the real-amplitude fast path (the
+    /// real-run property is structural, so all lanes agree).
+    pub fn runs_real(&self) -> bool {
+        self.real_run
+    }
+
+    /// Applies one batched op to a lane-major complex amplitude slice.
+    fn apply_op(&self, op: &BatchOp, amps: &mut [Complex64]) {
+        let lanes = self.lanes;
+        match op {
+            BatchOp::OneQ { qubit, u } => kernels::apply_1q_batch(amps, u, lanes, 1usize << qubit),
+            BatchOp::OneQReal { qubit, m } => {
+                kernels::apply_1q_real_batch(amps, m, lanes, 1usize << qubit)
+            }
+            BatchOp::Cx { control, target } => {
+                kernels::apply_cx_batch(amps, lanes, 1usize << control, 1usize << target)
+            }
+            BatchOp::Cz { a, b } => kernels::apply_cz_batch(amps, lanes, 1usize << a, 1usize << b),
+            BatchOp::Swap { a, b } => {
+                kernels::apply_swap_batch(amps, lanes, 1usize << a, 1usize << b)
+            }
+            BatchOp::Rzz { a, b, plus, minus } => {
+                kernels::apply_rzz_batch(amps, lanes, minus, plus, 1usize << a, 1usize << b)
+            }
+            BatchOp::Super {
+                qubits,
+                real,
+                m,
+                mre,
+            } => {
+                if qubits.len() == 2 {
+                    kernels::apply_super2_batch(
+                        amps,
+                        lanes,
+                        m,
+                        mre,
+                        1usize << qubits[0],
+                        1usize << qubits[1],
+                        *real,
+                    );
+                } else {
+                    kernels::apply_super3_batch(
+                        amps,
+                        lanes,
+                        m,
+                        mre,
+                        1usize << qubits[0],
+                        1usize << qubits[1],
+                        1usize << qubits[2],
+                        *real,
+                    );
+                }
+            }
+            BatchOp::Table {
+                bits,
+                offs,
+                src,
+                contig_shift,
+                diagonal,
+                phase,
+                unit,
+            } => {
+                if let Some(shift) = contig_shift {
+                    kernels::apply_table_contig_batch(
+                        amps, lanes, *shift, src, phase, *diagonal, unit,
+                    );
+                } else {
+                    kernels::apply_table_batch(
+                        amps, lanes, bits, offs, src, phase, *diagonal, unit,
+                    );
+                }
+            }
+        }
+    }
+
+    /// Real twin of [`Self::apply_op`] on a lane-major `f64` slice; only
+    /// called when [`Self::runs_real`] holds, which excludes the complex op
+    /// kinds by construction.
+    fn apply_op_real(&self, op: &BatchOp, amps: &mut Vec<f64>) {
+        let lanes = self.lanes;
+        match op {
+            BatchOp::OneQReal { qubit, m } => {
+                kernels::apply_1q_real_f64_batch(amps, m, lanes, 1usize << qubit)
+            }
+            BatchOp::Cx { control, target } => {
+                kernels::apply_cx_batch(amps, lanes, 1usize << control, 1usize << target)
+            }
+            BatchOp::Cz { a, b } => kernels::apply_cz_batch(amps, lanes, 1usize << a, 1usize << b),
+            BatchOp::Swap { a, b } => {
+                kernels::apply_swap_batch(amps, lanes, 1usize << a, 1usize << b)
+            }
+            BatchOp::Super { qubits, mre, .. } => {
+                if qubits.len() == 2 {
+                    kernels::apply_super2_f64_batch(
+                        amps,
+                        lanes,
+                        mre,
+                        1usize << qubits[0],
+                        1usize << qubits[1],
+                    );
+                } else {
+                    kernels::apply_super3_f64_batch(
+                        amps,
+                        lanes,
+                        mre,
+                        1usize << qubits[0],
+                        1usize << qubits[1],
+                        1usize << qubits[2],
+                    );
+                }
+            }
+            BatchOp::Table {
+                bits,
+                offs,
+                src,
+                contig_shift,
+                diagonal,
+                phase,
+                unit,
+            } => {
+                if let Some(shift) = contig_shift {
+                    kernels::apply_table_contig_f64_batch(
+                        amps, lanes, *shift, src, phase, *diagonal, unit,
+                    );
+                } else {
+                    kernels::apply_table_f64_batch(
+                        amps, lanes, bits, offs, src, phase, *diagonal, unit,
+                    );
+                }
+            }
+            BatchOp::OneQ { .. } | BatchOp::Rzz { .. } => {
+                unreachable!("complex op in a real-run batched plan")
+            }
+        }
+    }
+
+    /// Resets every lane to `|0...0>` and applies the batched plan — the
+    /// lane-batched twin of [`CompiledCircuit::run`], including the
+    /// real-amplitude fast path under the same width gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width or lane-count mismatch.
+    pub fn run(&self, bsv: &mut BatchStateVector) {
+        self.check_state(bsv);
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            self.run_real_with(bsv, |_, _| ());
+            return;
+        }
+        bsv.reset();
+        for op in &self.ops {
+            self.apply_op(op, bsv.amps_mut());
+        }
+    }
+
+    /// [`Self::run`] fused with the batched expectation, writing one energy
+    /// per lane into `out` — the lane-batched twin of
+    /// [`CompiledCircuit::run_expectation`]: real-run plans compute every
+    /// lane's energy on the `f64` state before the complex write-back.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width, lane-count, or observable mismatch, or when `out`
+    /// is shorter than the lane count.
+    pub fn run_expectation(
+        &self,
+        bsv: &mut BatchStateVector,
+        obs: &CompiledObservable,
+        out: &mut [f64],
+    ) {
+        self.check_state(bsv);
+        assert_eq!(obs.n_qubits(), self.n_qubits, "observable width");
+        assert!(out.len() >= self.lanes, "one output slot per lane");
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            self.run_real_with(bsv, |r, lanes| expectation_real_batch(obs, r, lanes, out));
+            return;
+        }
+        bsv.reset();
+        for op in &self.ops {
+            self.apply_op(op, bsv.amps_mut());
+        }
+        expectation_batch(obs, bsv.amps(), self.lanes, out);
+    }
+
+    /// [`Self::run_expectation`] minus the complex write-back: real-run
+    /// plans leave `bsv` untouched (stale), so callers that only consume
+    /// the per-lane energies skip materializing `lanes * 2^n` complex
+    /// amplitudes per evaluation. Non-real plans still evolve `bsv` in
+    /// place. Backend-internal — the public API keeps the "state reflects
+    /// the run" contract.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width, lane-count, or observable mismatch, or when `out`
+    /// is shorter than the lane count.
+    pub(crate) fn run_expectation_only(
+        &self,
+        bsv: &mut BatchStateVector,
+        obs: &CompiledObservable,
+        out: &mut [f64],
+    ) {
+        self.check_state(bsv);
+        assert_eq!(obs.n_qubits(), self.n_qubits, "observable width");
+        assert!(out.len() >= self.lanes, "one output slot per lane");
+        if self.real_run && self.n_qubits >= REAL_RUN_MIN_QUBITS {
+            self.run_real_scratch(|r, lanes| expectation_real_batch(obs, r, lanes, out));
+            return;
+        }
+        bsv.reset();
+        for op in &self.ops {
+            self.apply_op(op, bsv.amps_mut());
+        }
+        expectation_batch(obs, bsv.amps(), self.lanes, out);
+    }
+
+    /// Evolves the thread-local `f64` batched scratch from all-lanes
+    /// `|0...0>` and runs `f` on the final state — the batched twin of the
+    /// scalar real-run scratch protocol, without the complex write-back.
+    fn run_real_scratch(&self, f: impl FnOnce(&[f64], usize)) {
+        BATCH_REAL_STATE.with(|cell| {
+            let mut r = cell.borrow_mut();
+            let n = (1usize << self.n_qubits) * self.lanes;
+            r.clear();
+            r.resize(n, 0.0);
+            r[..self.lanes].fill(1.0);
+            for op in &self.ops {
+                self.apply_op_real(op, &mut r);
+            }
+            f(&r, self.lanes);
+        });
+    }
+
+    /// [`Self::run_real_scratch`] followed by writing the (exactly real)
+    /// amplitudes back into `bsv`.
+    fn run_real_with(&self, bsv: &mut BatchStateVector, f: impl FnOnce(&[f64], usize)) {
+        self.run_real_scratch(|r, lanes| {
+            f(r, lanes);
+            for (a, &x) in bsv.amps_mut().iter_mut().zip(r.iter()) {
+                *a = Complex64::new(x, 0.0);
+            }
+        });
+    }
+
+    fn check_state(&self, bsv: &BatchStateVector) {
+        assert_eq!(
+            bsv.n_qubits(),
+            self.n_qubits,
+            "plan width must match state width"
+        );
+        assert_eq!(bsv.lanes(), self.lanes, "plan and state lane counts");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Lane-batched expectation twins.
+//
+// These replicate CompiledObservable's block sweeps branch for branch —
+// the four-accumulator grouping of the diagonal sweep, the run-packed
+// pure-X pair walk, the per-term `total += prefactor * acc` combination,
+// the BLOCK chunking — with every per-amplitude access widened to a lane
+// row, so lane `l` of the batched result is bitwise identical to the
+// scalar expectation of lane `l`'s state.
+// ---------------------------------------------------------------------------
+
+use kernels::{lane_dispatch, lane_row};
+
+/// Per-lane diagonal contribution of the amplitude-index block
+/// `[start, start + rows)`; `block` is its lane-major slice. Monomorphized
+/// on the lane count `L` (see [`kernels::lane_dispatch`]) so the lane
+/// loops have compile-time trip counts.
+fn diag_block_batch<const L: usize>(
+    obs: &CompiledObservable,
+    block: &[Complex64],
+    start: usize,
+    out: &mut [f64; L],
+) {
+    let rows = block.len() / L;
+    if let Some(w) = &obs.diag_table {
+        let ws = &w[start..start + rows];
+        let mut fp = [[0.0f64; L]; 4];
+        let mut i = 0usize;
+        while i + 4 <= rows {
+            for k in 0..4 {
+                let row = lane_row::<L, _>(block, (i + k) * L);
+                let wv = ws[i + k];
+                let lane_acc = &mut fp[k];
+                for la in 0..L {
+                    lane_acc[la] += row[la].norm_sqr() * wv;
+                }
+            }
+            i += 4;
+        }
+        while i < rows {
+            let row = lane_row::<L, _>(block, i * L);
+            let wv = ws[i];
+            for la in 0..L {
+                fp[0][la] += row[la].norm_sqr() * wv;
+            }
+            i += 1;
+        }
+        for la in 0..L {
+            out[la] = (fp[0][la] + fp[1][la]) + (fp[2][la] + fp[3][la]);
+        }
+    } else {
+        let mut acc = [0.0f64; L];
+        for i in 0..rows {
+            let c = start + i;
+            let row = lane_row::<L, _>(block, i * L);
+            for &(coeff, z) in &obs.diag {
+                let signed = if (c & z).count_ones().is_multiple_of(2) {
+                    coeff
+                } else {
+                    -coeff
+                };
+                for la in 0..L {
+                    acc[la] += signed * row[la].norm_sqr();
+                }
+            }
+        }
+        *out = acc;
+    }
+}
+
+/// Per-lane contribution of one off-diagonal term over the pair-index
+/// block `[p0, p1)` on a lane-major complex state.
+fn offdiag_block_batch<const L: usize>(
+    t: &OffDiagTerm,
+    amps: &[Complex64],
+    p0: usize,
+    p1: usize,
+    out: &mut [f64; L],
+) {
+    let low = t.pair_bit - 1;
+    let mut fp = [[0.0f64; L]; 4];
+    if t.z_mask == 0 && !t.use_im {
+        if t.pair_bit >= 8 {
+            let mut p = p0;
+            while p < p1 {
+                let c0 = (p & low) | ((p & !low) << 1);
+                let run = (t.pair_bit - (p & low)).min(p1 - p);
+                let d0 = c0 ^ t.x_mask;
+                let mut i = 0usize;
+                while i + 4 <= run {
+                    for (k, lane_acc) in fp.iter_mut().enumerate() {
+                        let a = lane_row::<L, _>(amps, (c0 + i + k) * L);
+                        let d = lane_row::<L, _>(amps, (d0 + i + k) * L);
+                        for la in 0..L {
+                            lane_acc[la] += d[la].re * a[la].re + d[la].im * a[la].im;
+                        }
+                    }
+                    i += 4;
+                }
+                while i < run {
+                    let a = lane_row::<L, _>(amps, (c0 + i) * L);
+                    let d = lane_row::<L, _>(amps, (d0 + i) * L);
+                    for la in 0..L {
+                        fp[0][la] += d[la].re * a[la].re + d[la].im * a[la].im;
+                    }
+                    i += 1;
+                }
+                p += run;
+            }
+        } else {
+            let mut p = p0;
+            while p + 4 <= p1 {
+                for (k, lane_acc) in fp.iter_mut().enumerate() {
+                    let c = ((p + k) & low) | (((p + k) & !low) << 1);
+                    let a = lane_row::<L, _>(amps, c * L);
+                    let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+                    for la in 0..L {
+                        lane_acc[la] += d[la].re * a[la].re + d[la].im * a[la].im;
+                    }
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let c = (p & low) | ((p & !low) << 1);
+                let a = lane_row::<L, _>(amps, c * L);
+                let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+                for la in 0..L {
+                    fp[0][la] += d[la].re * a[la].re + d[la].im * a[la].im;
+                }
+                p += 1;
+            }
+        }
+    } else {
+        let lane_term = |p: usize, k: usize, fp: &mut [[f64; L]; 4]| {
+            let c = (p & low) | ((p & !low) << 1);
+            let a = lane_row::<L, _>(amps, c * L);
+            let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+            let neg = !(c & t.z_mask).count_ones().is_multiple_of(2);
+            let lane_acc = &mut fp[k];
+            for la in 0..L {
+                let v = d[la].conj() * a[la];
+                let m = if t.use_im { v.im } else { v.re };
+                lane_acc[la] += if neg { -m } else { m };
+            }
+        };
+        let mut p = p0;
+        while p + 4 <= p1 {
+            for k in 0..4 {
+                lane_term(p + k, k, &mut fp);
+            }
+            p += 4;
+        }
+        while p < p1 {
+            lane_term(p, 0, &mut fp);
+            p += 1;
+        }
+    }
+    for la in 0..L {
+        out[la] = (fp[0][la] + fp[1][la]) + (fp[2][la] + fp[3][la]);
+    }
+}
+
+/// Real twin of [`diag_block_batch`] on a lane-major `f64` state.
+fn diag_block_real_batch<const L: usize>(
+    obs: &CompiledObservable,
+    block: &[f64],
+    start: usize,
+    out: &mut [f64; L],
+) {
+    let rows = block.len() / L;
+    if let Some(w) = &obs.diag_table {
+        let ws = &w[start..start + rows];
+        let mut fp = [[0.0f64; L]; 4];
+        let mut i = 0usize;
+        while i + 4 <= rows {
+            for k in 0..4 {
+                let row = lane_row::<L, _>(block, (i + k) * L);
+                let wv = ws[i + k];
+                let lane_acc = &mut fp[k];
+                for la in 0..L {
+                    lane_acc[la] += (row[la] * row[la]) * wv;
+                }
+            }
+            i += 4;
+        }
+        while i < rows {
+            let row = lane_row::<L, _>(block, i * L);
+            let wv = ws[i];
+            for la in 0..L {
+                fp[0][la] += (row[la] * row[la]) * wv;
+            }
+            i += 1;
+        }
+        for la in 0..L {
+            out[la] = (fp[0][la] + fp[1][la]) + (fp[2][la] + fp[3][la]);
+        }
+    } else {
+        let mut acc = [0.0f64; L];
+        for i in 0..rows {
+            let c = start + i;
+            let row = lane_row::<L, _>(block, i * L);
+            for &(coeff, z) in &obs.diag {
+                let signed = if (c & z).count_ones().is_multiple_of(2) {
+                    coeff
+                } else {
+                    -coeff
+                };
+                for la in 0..L {
+                    acc[la] += signed * (row[la] * row[la]);
+                }
+            }
+        }
+        *out = acc;
+    }
+}
+
+/// Real twin of [`offdiag_block_batch`]: odd-Y terms contribute exactly
+/// zero on a real state, matching the scalar real kernel.
+fn offdiag_block_real_batch<const L: usize>(
+    t: &OffDiagTerm,
+    amps: &[f64],
+    p0: usize,
+    p1: usize,
+    out: &mut [f64; L],
+) {
+    if t.use_im {
+        out.fill(0.0);
+        return;
+    }
+    let low = t.pair_bit - 1;
+    let mut fp = [[0.0f64; L]; 4];
+    if t.z_mask == 0 {
+        if t.pair_bit >= 8 {
+            let mut p = p0;
+            while p < p1 {
+                let c0 = (p & low) | ((p & !low) << 1);
+                let run = (t.pair_bit - (p & low)).min(p1 - p);
+                let d0 = c0 ^ t.x_mask;
+                let mut i = 0usize;
+                while i + 4 <= run {
+                    for (k, lane_acc) in fp.iter_mut().enumerate() {
+                        let a = lane_row::<L, _>(amps, (c0 + i + k) * L);
+                        let d = lane_row::<L, _>(amps, (d0 + i + k) * L);
+                        for la in 0..L {
+                            lane_acc[la] += d[la] * a[la];
+                        }
+                    }
+                    i += 4;
+                }
+                while i < run {
+                    let a = lane_row::<L, _>(amps, (c0 + i) * L);
+                    let d = lane_row::<L, _>(amps, (d0 + i) * L);
+                    for la in 0..L {
+                        fp[0][la] += d[la] * a[la];
+                    }
+                    i += 1;
+                }
+                p += run;
+            }
+        } else {
+            let mut p = p0;
+            while p + 4 <= p1 {
+                for (k, lane_acc) in fp.iter_mut().enumerate() {
+                    let c = ((p + k) & low) | (((p + k) & !low) << 1);
+                    let a = lane_row::<L, _>(amps, c * L);
+                    let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+                    for la in 0..L {
+                        lane_acc[la] += d[la] * a[la];
+                    }
+                }
+                p += 4;
+            }
+            while p < p1 {
+                let c = (p & low) | ((p & !low) << 1);
+                let a = lane_row::<L, _>(amps, c * L);
+                let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+                for la in 0..L {
+                    fp[0][la] += d[la] * a[la];
+                }
+                p += 1;
+            }
+        }
+    } else {
+        let lane_term = |p: usize, k: usize, fp: &mut [[f64; L]; 4]| {
+            let c = (p & low) | ((p & !low) << 1);
+            let a = lane_row::<L, _>(amps, c * L);
+            let d = lane_row::<L, _>(amps, (c ^ t.x_mask) * L);
+            let neg = !(c & t.z_mask).count_ones().is_multiple_of(2);
+            let lane_acc = &mut fp[k];
+            for la in 0..L {
+                let m = d[la] * a[la];
+                lane_acc[la] += if neg { -m } else { m };
+            }
+        };
+        let mut p = p0;
+        while p + 4 <= p1 {
+            for k in 0..4 {
+                lane_term(p + k, k, &mut fp);
+            }
+            p += 4;
+        }
+        while p < p1 {
+            lane_term(p, 0, &mut fp);
+            p += 1;
+        }
+    }
+    for la in 0..L {
+        out[la] = (fp[0][la] + fp[1][la]) + (fp[2][la] + fp[3][la]);
+    }
+}
+
+/// The lane-batched fused expectation: one energy per lane, each bitwise
+/// identical to [`CompiledObservable::expectation`] on that lane's state
+/// (same BLOCK chunking, same block-order partial combination, same
+/// per-term prefactor application).
+pub(crate) fn expectation_batch(
+    obs: &CompiledObservable,
+    amps: &[Complex64],
+    lanes: usize,
+    out: &mut [f64],
+) {
+    lane_dispatch!(lanes, expectation_batch_mono(obs, amps, out));
+}
+
+fn expectation_batch_mono<const L: usize>(
+    obs: &CompiledObservable,
+    amps: &[Complex64],
+    out: &mut [f64],
+) {
+    let dim = amps.len() / L;
+    let mut total = [0.0f64; L];
+    let mut blk = [0.0f64; L];
+    if !obs.diag.is_empty() {
+        let mut acc = [0.0f64; L];
+        let mut start = 0usize;
+        while start < dim {
+            let end = (start + kernels::BLOCK).min(dim);
+            diag_block_batch(obs, &amps[start * L..end * L], start, &mut blk);
+            for la in 0..L {
+                acc[la] += blk[la];
+            }
+            start = end;
+        }
+        for la in 0..L {
+            total[la] += acc[la];
+        }
+    }
+    let n_pairs = dim >> 1;
+    for t in &obs.offdiag {
+        let mut acc = [0.0f64; L];
+        let mut p0 = 0usize;
+        while p0 < n_pairs {
+            let p1 = (p0 + kernels::BLOCK).min(n_pairs);
+            offdiag_block_batch(t, amps, p0, p1, &mut blk);
+            for la in 0..L {
+                acc[la] += blk[la];
+            }
+            p0 = p1;
+        }
+        for la in 0..L {
+            total[la] += t.prefactor * acc[la];
+        }
+    }
+    out[..L].copy_from_slice(&total);
+}
+
+/// Real twin of [`expectation_batch`] on the lane-major `f64` real-run
+/// state.
+pub(crate) fn expectation_real_batch(
+    obs: &CompiledObservable,
+    amps: &[f64],
+    lanes: usize,
+    out: &mut [f64],
+) {
+    lane_dispatch!(lanes, expectation_real_batch_mono(obs, amps, out));
+}
+
+fn expectation_real_batch_mono<const L: usize>(
+    obs: &CompiledObservable,
+    amps: &[f64],
+    out: &mut [f64],
+) {
+    let dim = amps.len() / L;
+    let mut total = [0.0f64; L];
+    let mut blk = [0.0f64; L];
+    if !obs.diag.is_empty() {
+        let mut acc = [0.0f64; L];
+        let mut start = 0usize;
+        while start < dim {
+            let end = (start + kernels::BLOCK).min(dim);
+            diag_block_real_batch(obs, &amps[start * L..end * L], start, &mut blk);
+            for la in 0..L {
+                acc[la] += blk[la];
+            }
+            start = end;
+        }
+        for la in 0..L {
+            total[la] += acc[la];
+        }
+    }
+    let n_pairs = dim >> 1;
+    for t in &obs.offdiag {
+        let mut acc = [0.0f64; L];
+        let mut p0 = 0usize;
+        while p0 < n_pairs {
+            let p1 = (p0 + kernels::BLOCK).min(n_pairs);
+            offdiag_block_real_batch(t, amps, p0, p1, &mut blk);
+            for la in 0..L {
+                acc[la] += blk[la];
+            }
+            p0 = p1;
+        }
+        for la in 0..L {
+            total[la] += t.prefactor * acc[la];
+        }
+    }
+    out[..L].copy_from_slice(&total);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use crate::gate::Param;
+    use crate::pauli::PauliSum;
+    use qismet_mathkit::rng_from_seed;
+    use rand::Rng;
+
+    const ML: usize = MAX_LANES;
+
+    fn ansatz(n: usize) -> (Circuit, usize) {
+        let mut c = Circuit::new(n);
+        let mut k = 0usize;
+        for _ in 0..3 {
+            for q in 0..n {
+                c.ry(Param::Free(k), q);
+                k += 1;
+            }
+            for q in 0..n - 1 {
+                c.cx(q, q + 1);
+            }
+        }
+        (c, k)
+    }
+
+    fn mixed_ansatz(n: usize) -> (Circuit, usize) {
+        let mut c = Circuit::new(n);
+        let mut k = 0usize;
+        for layer in 0..3 {
+            for q in 0..n {
+                c.ry(Param::Free(k), q);
+                k += 1;
+                c.rz(Param::Free(k), q);
+                k += 1;
+            }
+            for q in 0..n - 1 {
+                if (layer + q) % 2 == 0 {
+                    c.rzz(Param::Free(k), q, q + 1);
+                    k += 1;
+                } else {
+                    c.cz(q, q + 1);
+                }
+            }
+        }
+        (c, k)
+    }
+
+    fn tfim(n: usize) -> PauliSum {
+        let mut labels: Vec<(f64, String)> = Vec::new();
+        for q in 0..n - 1 {
+            let mut l = vec!['I'; n];
+            l[q] = 'Z';
+            l[q + 1] = 'Z';
+            labels.push((-1.0, l.into_iter().collect()));
+        }
+        for q in 0..n {
+            let mut l = vec!['I'; n];
+            l[q] = 'X';
+            labels.push((-0.7, l.into_iter().collect()));
+        }
+        let refs: Vec<(f64, &str)> = labels.iter().map(|(c, s)| (*c, s.as_str())).collect();
+        PauliSum::from_labels(&refs).unwrap()
+    }
+
+    fn points(k: usize, lanes: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = rng_from_seed(seed);
+        (0..lanes)
+            .map(|_| (0..k).map(|_| rng.gen::<f64>() * 4.0 - 2.0).collect())
+            .collect()
+    }
+
+    #[test]
+    fn batched_state_and_energy_match_scalar_bitwise() {
+        for (n, lanes) in [(3usize, 2usize), (4, 4), (5, 8), (7, 4), (8, 8)] {
+            let (c, k) = ansatz(n);
+            let obs = CompiledObservable::compile(&tfim(n));
+            let mut plan = CompiledCircuit::compile(&c);
+            let pts = points(k, lanes, 41 + n as u64);
+            let batched = BatchedCircuit::bind(&mut plan, &pts).unwrap();
+            let mut bsv = BatchStateVector::new(n, lanes);
+            let mut out = [0.0f64; ML];
+            batched.run_expectation(&mut bsv, &obs, &mut out);
+            for (l, p) in pts.iter().enumerate() {
+                plan.rebind(p).unwrap();
+                let mut sv = StateVector::new(n);
+                let e = plan.run_expectation(&mut sv, &obs).unwrap();
+                assert_eq!(e.to_bits(), out[l].to_bits(), "{n}q lane {l} energy");
+                let lane = bsv.lane_state(l);
+                for (i, (a, b)) in sv.amplitudes().iter().zip(lane.amplitudes()).enumerate() {
+                    assert_eq!(a.re.to_bits(), b.re.to_bits(), "{n}q lane {l} amp {i} re");
+                    assert_eq!(a.im.to_bits(), b.im.to_bits(), "{n}q lane {l} amp {i} im");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_mixed_ops_match_scalar_bitwise() {
+        // rz/rzz content opts out of the real-run mode and exercises the
+        // complex batched kernels, including per-lane table phases.
+        for (n, lanes) in [(4usize, 4usize), (6, 8), (7, 3)] {
+            let (c, k) = mixed_ansatz(n);
+            let obs = CompiledObservable::compile(&tfim(n));
+            let mut plan = CompiledCircuit::compile(&c);
+            assert!(!plan.runs_real());
+            let pts = points(k, lanes, 97 + n as u64);
+            let batched = BatchedCircuit::bind(&mut plan, &pts).unwrap();
+            let mut bsv = BatchStateVector::new(n, lanes);
+            let mut out = [0.0f64; ML];
+            batched.run_expectation(&mut bsv, &obs, &mut out);
+            for (l, p) in pts.iter().enumerate() {
+                plan.rebind(p).unwrap();
+                let mut sv = StateVector::new(n);
+                let e = plan.run_expectation(&mut sv, &obs).unwrap();
+                assert_eq!(e.to_bits(), out[l].to_bits(), "{n}q lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_unit_lanes_stay_bitwise_identical() {
+        // A free RZZ ladder whose angle is 0.0 in one lane makes that
+        // lane's table `unit` while the others are not — the per-lane
+        // branch blend must still match the scalar path exactly.
+        let n = 5;
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.h(q);
+        }
+        c.rzz(Param::Free(0), 0, 1).rzz(Param::Free(1), 1, 2);
+        c.rzz(Param::Free(2), 2, 3).rzz(Param::Free(3), 3, 4);
+        let obs = CompiledObservable::compile(&tfim(n));
+        let mut plan = CompiledCircuit::compile(&c);
+        let pts = vec![
+            vec![0.0, 0.0, 0.0, 0.0],
+            vec![0.4, -0.9, 1.3, 0.2],
+            vec![0.0, 0.1, 0.0, -0.5],
+            vec![2.2, 0.0, -1.1, 0.0],
+        ];
+        let batched = BatchedCircuit::bind(&mut plan, &pts).unwrap();
+        let mut bsv = BatchStateVector::new(n, 4);
+        let mut out = [0.0f64; ML];
+        batched.run_expectation(&mut bsv, &obs, &mut out);
+        for (l, p) in pts.iter().enumerate() {
+            plan.rebind(p).unwrap();
+            let mut sv = StateVector::new(n);
+            let e = plan.run_expectation(&mut sv, &obs).unwrap();
+            assert_eq!(e.to_bits(), out[l].to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn rebind_equals_fresh_bind_per_lane() {
+        let (c, k) = ansatz(6);
+        let mut plan = CompiledCircuit::compile(&c);
+        let pts = points(k, 4, 7);
+        // Bind after the plan has already been rebound at other points:
+        // snapshot binding must leave no stale state behind.
+        plan.rebind(&points(k, 1, 99)[0]).unwrap();
+        let reused = BatchedCircuit::bind(&mut plan, &pts).unwrap();
+        let mut fresh_plan = CompiledCircuit::compile(&c);
+        let fresh = BatchedCircuit::bind(&mut fresh_plan, &pts).unwrap();
+        let obs = CompiledObservable::compile(&tfim(6));
+        let (mut b1, mut b2) = (BatchStateVector::new(6, 4), BatchStateVector::new(6, 4));
+        let (mut o1, mut o2) = ([0.0f64; ML], [0.0f64; ML]);
+        reused.run_expectation(&mut b1, &obs, &mut o1);
+        fresh.run_expectation(&mut b2, &obs, &mut o2);
+        for l in 0..4 {
+            assert_eq!(o1[l].to_bits(), o2[l].to_bits(), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn batch_state_accessors_work() {
+        let mut b = BatchStateVector::new(2, 4);
+        assert_eq!(b.amplitude(0, 3), Complex64::ONE);
+        assert_eq!(b.amplitude(3, 0), Complex64::ZERO);
+        b.amps_mut()[4 + 2] = Complex64::new(0.5, -0.5); // amp 1, lane 2
+        let lane = b.lane_state(2);
+        assert_eq!(lane.amplitudes()[1], Complex64::new(0.5, -0.5));
+        b.reset();
+        assert_eq!(b.amplitude(1, 2), Complex64::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "lane count")]
+    fn oversized_lane_count_panics() {
+        BatchStateVector::new(2, MAX_LANES + 1);
+    }
+
+    #[test]
+    fn short_point_errors() {
+        let (c, _) = ansatz(3);
+        let mut plan = CompiledCircuit::compile(&c);
+        assert!(BatchedCircuit::bind(&mut plan, &[vec![0.1]]).is_err());
+    }
+}

@@ -139,7 +139,7 @@ const LADDER_MAX_QUBITS: usize = 8;
 /// Minimum state width for the real-amplitude run mode: below this the
 /// thread-local scratch borrow and the complex write-back pass cost more
 /// than the halved sweeps save.
-const REAL_RUN_MIN_QUBITS: usize = 6;
+pub(crate) const REAL_RUN_MIN_QUBITS: usize = 6;
 
 thread_local! {
     /// Per-thread real-amplitude state for plans where
@@ -219,16 +219,16 @@ impl LocalGate {
 /// fused into one dense `2^k x 2^k` matrix (k <= [`SUPEROP_MAX_QUBITS`]),
 /// applied in a single cache-blocked gather/scatter sweep.
 #[derive(Debug, Clone)]
-struct SuperOp {
+pub(crate) struct SuperOp {
     /// Support, global qubit indices, ascending.
-    qubits: Vec<usize>,
+    pub(crate) qubits: Vec<usize>,
     /// Row-major `2^k x 2^k` matrix over the local basis (local bit `j` =
     /// `qubits[j]`); only the top-left `2^k x 2^k` block of the fixed-size
     /// backing store is used.
-    m: [Complex64; 64],
+    pub(crate) m: [Complex64; 64],
     /// All constituent gates are real-for-any-angle: the apply kernel skips
     /// the imaginary halves of the matrix entries (exact zeros).
-    real: bool,
+    pub(crate) real: bool,
     /// Contains at least one free parameter (rebuilt on rebind).
     free: bool,
     /// Constituents in application order, global qubit indices.
@@ -236,7 +236,7 @@ struct SuperOp {
 }
 
 impl SuperOp {
-    fn k(&self) -> usize {
+    pub(crate) fn k(&self) -> usize {
         self.qubits.len()
     }
 
@@ -336,27 +336,27 @@ impl SuperOp {
 /// phase over its local support, precomputed into lookup tables and applied
 /// in one sweep instead of one sweep per gate.
 #[derive(Debug, Clone)]
-struct PermTable {
+pub(crate) struct PermTable {
     /// Support, global qubit indices, ascending.
-    qubits: Vec<usize>,
+    pub(crate) qubits: Vec<usize>,
     /// `1 << q` per support qubit, ascending (kernel orbit expansion).
-    bits: Vec<usize>,
+    pub(crate) bits: Vec<usize>,
     /// Amplitude offset of each local configuration.
-    offs: Vec<usize>,
+    pub(crate) offs: Vec<usize>,
     /// `src[l] = pi^-1(l)`: which local config lands on `l`.
-    src: Vec<u8>,
+    pub(crate) src: Vec<u8>,
     /// Output phase of local config `l`.
-    phase: Vec<Complex64>,
+    pub(crate) phase: Vec<Complex64>,
     /// `Some(qubits[0])` when the support is a contiguous qubit run
     /// `[k, k+s)`: local config `l` then sits at amplitude offset
     /// `l << k` and every orbit is one contiguous region, so the kernel
     /// permutes `2^k`-amplitude blocks instead of gathering amplitudes
     /// through the `offs` indirection.
-    contig_shift: Option<usize>,
+    pub(crate) contig_shift: Option<usize>,
     /// Identity permutation (CZ/RZZ-only ladder): in-place phase sweep.
-    diagonal: bool,
+    pub(crate) diagonal: bool,
     /// All phases exactly one (CX/SWAP-only ladder): pure permutation.
-    unit: bool,
+    pub(crate) unit: bool,
     /// Contains a free RZZ angle (tables are rebuilt on rebind).
     free: bool,
     /// Constituents in application order, global qubit indices.
@@ -443,7 +443,7 @@ impl PermTable {
 
 /// One lowered operation of an execution plan.
 #[derive(Debug, Clone, Copy)]
-enum PlanOp {
+pub(crate) enum PlanOp {
     /// A (possibly fused) 2x2 unitary on one qubit.
     OneQ { qubit: usize, u: Mat2 },
     /// A (possibly fused) **real** 2x2 unitary on one qubit — the
@@ -575,14 +575,14 @@ fn kind_tag(g: Gate) -> u8 {
 pub struct CompiledCircuit {
     n_qubits: usize,
     n_params: usize,
-    ops: Vec<PlanOp>,
+    pub(crate) ops: Vec<PlanOp>,
     /// Constituent gates of parameterized fused segments, in application
     /// order (rebind recomputes their product).
     fused_gates: Vec<Vec<Gate>>,
     /// Dense multi-qubit superoperators referenced by [`PlanOp::Super`].
-    supers: Vec<SuperOp>,
+    pub(crate) supers: Vec<SuperOp>,
     /// Permutation/phase ladder tables referenced by [`PlanOp::Table`].
-    tables: Vec<PermTable>,
+    pub(crate) tables: Vec<PermTable>,
     slots: Vec<Slot>,
     bound: bool,
     source_len: usize,
@@ -595,7 +595,7 @@ pub struct CompiledCircuit {
     /// tables). [`CompiledCircuit::run`] then evolves an `f64` scratch state
     /// from `|0...0>` — half the flops and memory traffic of the complex
     /// sweep — and writes the amplitudes back at the end.
-    real_run: bool,
+    pub(crate) real_run: bool,
 }
 
 /// Working state of the lowering pass.
@@ -1536,18 +1536,18 @@ const DIAG_TABLE_MAX_QUBITS: usize = 16;
 
 /// One off-diagonal (X/Y-carrying) term of a compiled observable.
 #[derive(Debug, Clone, Copy)]
-struct OffDiagTerm {
+pub(crate) struct OffDiagTerm {
     /// `2 * coeff * sign(i^y)` — the `i^y` global phase and the Hermitian
     /// pair doubling, hoisted out of the sweep entirely.
-    prefactor: f64,
+    pub(crate) prefactor: f64,
     /// `true` when the term has an odd number of Y factors (the pair sum
     /// then lives in the imaginary part).
-    use_im: bool,
-    x_mask: usize,
-    z_mask: usize,
+    pub(crate) use_im: bool,
+    pub(crate) x_mask: usize,
+    pub(crate) z_mask: usize,
     /// Lowest set bit of `x_mask`: enumerating indices with this bit clear
     /// visits each `(c, c ^ x_mask)` pair exactly once.
-    pair_bit: usize,
+    pub(crate) pair_bit: usize,
 }
 
 /// A [`PauliSum`] compiled into a fused expectation kernel.
@@ -1576,10 +1576,10 @@ pub struct CompiledObservable {
     n_terms: usize,
     /// `(coeff, z_mask)` of diagonal terms; used directly when the weight
     /// table is too wide to materialize.
-    diag: Vec<(f64, usize)>,
+    pub(crate) diag: Vec<(f64, usize)>,
     /// Per-basis-index diagonal weight `w[c] = sum_j c_j (-1)^{|c & z_j|}`.
-    diag_table: Option<Vec<f64>>,
-    offdiag: Vec<OffDiagTerm>,
+    pub(crate) diag_table: Option<Vec<f64>>,
+    pub(crate) offdiag: Vec<OffDiagTerm>,
 }
 
 impl CompiledObservable {

@@ -104,6 +104,16 @@ impl StateVector {
         &mut self.amps
     }
 
+    /// Fills the state from a strided amplitude slice: amplitude `i` is
+    /// read from `src[i * stride + offset]`. This is the lane-extraction
+    /// seam of the batched (structure-of-arrays) engine, where `stride` is
+    /// the lane count and `offset` the lane index.
+    pub(crate) fn fill_from_strided(&mut self, src: &[Complex64], stride: usize, offset: usize) {
+        for (i, a) in self.amps.iter_mut().enumerate() {
+            *a = src[i * stride + offset];
+        }
+    }
+
     /// Squared-norm of the state (should be 1 up to round-off).
     pub fn norm_sqr(&self) -> f64 {
         self.amps

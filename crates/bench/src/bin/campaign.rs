@@ -35,13 +35,13 @@
 use qismet_bench::{
     f2, f4, parse_scheme, parse_threshold, print_table, run_campaign_distributed, scaled,
     serve_campaign, serve_worker, CampaignGrid, CampaignReport, DistributedOptions,
-    RunsJsonlWriter, Scheme, SweepExecutor, WorkerOptions, DROP_AFTER_ENV, EXIT_AFTER_ENV,
-    MAX_SESSIONS_ENV,
+    RunsJsonlWriter, Scheme, SweepExecutor, WorkerOptions,
 };
-use qismet_cluster::{TcpTransportListener, WorkerLaunch};
+use qismet_cluster::{FaultPlan, TcpTransportListener, WorkerLaunch};
 use qismet_qnoise::Machine;
 use qismet_vqa::AppSpec;
 use std::path::PathBuf;
+use std::time::Duration;
 
 const USAGE: &str = "\
 campaign — declarative QISMET sweep runner
@@ -90,6 +90,25 @@ EXECUTION OPTIONS:
     --jsonl <path>        Stream per-run records to a JSONL file as they complete
     --summary-only        Drop per-run series from the merged report once streamed
                           (requires --jsonl; series stay in the JSONL)
+
+RESILIENCE & CHAOS OPTIONS:
+    --assign-timeout <secs>    Coordinator read deadline per assignment: a worker
+                               silent for this long (no Done, no Ping keepalive)
+                               is hung — cut the channel, re-dispatch its work
+                               (default: off)
+    --heartbeat <secs>         Worker keepalive interval while a batch computes;
+                               must be shorter than --assign-timeout (default: 2)
+    --handshake-timeout <secs> Handshake deadline for new sessions, coordinator
+                               and --serve daemon alike (default: 10)
+    --connect-timeout <secs>   TCP dial deadline per connect attempt
+    --speculative              Duplicate in-flight work onto idle workers near
+                               the campaign tail; first result wins, reports
+                               stay bitwise-identical
+    --quarantine-after <n>     Retire a worker slot for good after <n> failed
+                               sessions across its lifetime (default: off)
+    --chaos-plan <file>        Execute a JSON fault plan on the workers
+                               (deterministic fault injection for testing)
+    --chaos-seed <n>           Generate and execute a seeded random fault plan
     -h, --help            Print this help
 ";
 
@@ -135,12 +154,24 @@ struct Args {
     jsonl: Option<PathBuf>,
     summary_only: bool,
     worker_mode: bool,
+    assign_timeout: Option<Duration>,
+    heartbeat: Option<Duration>,
+    handshake_timeout: Option<Duration>,
+    connect_timeout: Option<Duration>,
+    speculative: bool,
+    quarantine_after: Option<usize>,
+    chaos_plan: Option<PathBuf>,
+    chaos_seed: Option<u64>,
+    chaos_json: Option<String>,
 }
 
 /// Flags (with a value) that configure the coordinator only and must not be
-/// forwarded to worker processes. (`--threads`, `--inner-threads`, and
-/// `--token` are *not* here: workers need them to size their executors,
-/// configure their kernels, and authenticate.)
+/// forwarded to worker processes. (`--threads`, `--inner-threads`,
+/// `--token`, `--heartbeat`, and `--handshake-timeout` are *not* here:
+/// workers need them to size their executors, configure their kernels,
+/// authenticate, and pace their keepalives. `--chaos-plan`/`--chaos-seed`
+/// are stripped too — the coordinator resolves them into one concrete plan
+/// and forwards it via the hidden `--chaos-json`.)
 const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--workers",
     "--connect",
@@ -148,7 +179,23 @@ const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--checkpoint",
     "--max-respawns",
     "--jsonl",
+    "--assign-timeout",
+    "--connect-timeout",
+    "--quarantine-after",
+    "--chaos-plan",
+    "--chaos-seed",
 ];
+
+/// Parses a duration flag as seconds; zero, negative, and non-numeric
+/// values are configuration errors, not clamps.
+fn parse_secs(flag: &str, value: &str) -> Duration {
+    match value.parse::<f64>() {
+        Ok(secs) if secs.is_finite() && secs > 0.0 => Duration::from_secs_f64(secs),
+        _ => die(&format!(
+            "invalid {flag} `{value}`: must be a positive number of seconds"
+        )),
+    }
+}
 
 fn parse_args(argv: &[String]) -> Args {
     let mut args = Args {
@@ -174,6 +221,15 @@ fn parse_args(argv: &[String]) -> Args {
         jsonl: None,
         summary_only: false,
         worker_mode: false,
+        assign_timeout: None,
+        heartbeat: None,
+        handshake_timeout: None,
+        connect_timeout: None,
+        speculative: false,
+        quarantine_after: None,
+        chaos_plan: None,
+        chaos_seed: None,
+        chaos_json: None,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -196,6 +252,11 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--worker" => {
                 args.worker_mode = true;
+                i += 1;
+                continue;
+            }
+            "--speculative" => {
+                args.speculative = true;
                 i += 1;
                 continue;
             }
@@ -289,6 +350,41 @@ fn parse_args(argv: &[String]) -> Args {
             "--jsonl" => {
                 args.jsonl = Some(PathBuf::from(value));
             }
+            "--assign-timeout" => {
+                args.assign_timeout = Some(parse_secs(flag, value));
+            }
+            "--heartbeat" => {
+                args.heartbeat = Some(parse_secs(flag, value));
+            }
+            "--handshake-timeout" => {
+                args.handshake_timeout = Some(parse_secs(flag, value));
+            }
+            "--connect-timeout" => {
+                args.connect_timeout = Some(parse_secs(flag, value));
+            }
+            "--quarantine-after" => {
+                args.quarantine_after = match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => Some(n),
+                    _ => die(&format!(
+                        "invalid --quarantine-after `{value}`: must be a positive strike count"
+                    )),
+                };
+            }
+            "--chaos-plan" => {
+                args.chaos_plan = Some(PathBuf::from(value));
+            }
+            "--chaos-seed" => {
+                args.chaos_seed = Some(
+                    value
+                        .parse()
+                        .unwrap_or_else(|_| die(&format!("invalid chaos seed `{value}`"))),
+                );
+            }
+            // Hidden: a concrete fault plan the coordinator resolved and
+            // forwarded to its spawned workers (never needed by hand).
+            "--chaos-json" => {
+                args.chaos_json = Some(value.clone());
+            }
             "--name" => {
                 args.name = value.clone();
             }
@@ -332,58 +428,119 @@ fn parse_args(argv: &[String]) -> Args {
         // without the requested batching.
         die("--batch-lanes applies to in-process execution; drop --workers/--connect/--serve");
     }
+    if args.serve.is_some()
+        && (args.assign_timeout.is_some()
+            || args.connect_timeout.is_some()
+            || args.speculative
+            || args.quarantine_after.is_some())
+    {
+        die("--assign-timeout/--connect-timeout/--speculative/--quarantine-after belong on the coordinator, not --serve");
+    }
+    if let (Some(heartbeat), Some(deadline)) = (args.heartbeat, args.assign_timeout) {
+        if heartbeat >= deadline {
+            // A keepalive slower than the deadline can never land in time,
+            // so every slow batch would be misread as a hang.
+            die("--heartbeat must be shorter than --assign-timeout");
+        }
+    }
+    if args.chaos_plan.is_some() && args.chaos_seed.is_some() {
+        die("--chaos-plan and --chaos-seed are mutually exclusive");
+    }
+    let chaos_requested =
+        args.chaos_plan.is_some() || args.chaos_seed.is_some() || args.chaos_json.is_some();
+    if chaos_requested && !distributed && args.serve.is_none() && !args.worker_mode {
+        die("--chaos-plan/--chaos-seed inject faults into workers: add --workers/--connect or --serve");
+    }
     args
 }
 
+/// Resolves the fault plan this invocation should execute (worker/serve
+/// side) or forward (coordinator side). Precedence: a concrete forwarded
+/// plan, then an explicit plan file, then a seed, then the legacy env
+/// hooks. Malformed plans are configuration errors.
+fn resolve_chaos_plan(args: &Args, workers: usize, specs: usize) -> Option<FaultPlan> {
+    if let Some(json) = &args.chaos_json {
+        return Some(FaultPlan::from_json(json).unwrap_or_else(|e| die(&e)));
+    }
+    if let Some(path) = &args.chaos_plan {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| die(&format!("cannot read chaos plan `{}`: {e}", path.display())));
+        return Some(FaultPlan::from_json(&text).unwrap_or_else(|e| die(&e)));
+    }
+    if let Some(seed) = args.chaos_seed {
+        return Some(FaultPlan::random(seed, workers, specs));
+    }
+    FaultPlan::from_env().unwrap_or_else(|e| die(&e))
+}
+
 /// The argv a worker process is launched with: the grid flags verbatim
-/// (including `--threads`/`--token`), coordinator-only execution flags
-/// stripped, plus `--worker`.
-fn worker_argv(argv: &[String]) -> Vec<String> {
-    let mut out = Vec::with_capacity(argv.len() + 1);
+/// (including `--threads`/`--token`/`--heartbeat`), coordinator-only
+/// execution flags stripped, the resolved chaos plan (if any) appended as
+/// `--chaos-json`, plus `--worker`.
+fn worker_argv(argv: &[String], chaos_json: Option<&str>) -> Vec<String> {
+    let mut out = Vec::with_capacity(argv.len() + 3);
     let mut i = 0;
     while i < argv.len() {
         let flag = argv[i].as_str();
         if COORDINATOR_VALUE_FLAGS.contains(&flag) {
             i += 2;
-        } else if flag == "--resume" || flag == "--summary-only" || flag == "--worker" {
+        } else if flag == "--resume"
+            || flag == "--summary-only"
+            || flag == "--worker"
+            || flag == "--speculative"
+        {
             i += 1;
         } else {
             out.push(argv[i].clone());
             i += 1;
         }
     }
+    if let Some(json) = chaos_json {
+        out.push("--chaos-json".to_string());
+        out.push(json.to_string());
+    }
     out.push("--worker".to_string());
     out
-}
-
-fn env_usize(name: &str) -> Option<usize> {
-    std::env::var(name).ok().and_then(|v| v.parse().ok())
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let args = parse_args(&argv);
     let grid = CampaignGrid {
-        apps: args.apps,
-        machines: args.machines,
-        schemes: args.schemes,
-        thresholds: args.thresholds,
-        magnitudes: args.magnitudes,
+        apps: args.apps.clone(),
+        machines: args.machines.clone(),
+        schemes: args.schemes.clone(),
+        thresholds: args.thresholds.clone(),
+        magnitudes: args.magnitudes.clone(),
         iterations: args.iterations,
         trials: args.trials,
     };
-    let campaign = grid.into_campaign(args.name, args.seed);
+    let campaign = grid.into_campaign(args.name.clone(), args.seed);
+
+    // Worker/serve sides resolve their own plan (forwarded json, plan
+    // file, seed, or legacy env hooks); seed-derived plans on these sides
+    // address all slots (`workers = 0`) since the pool size is unknown.
+    let worker_opts = |plan: Option<FaultPlan>| {
+        let mut opts = WorkerOptions {
+            token: args.token.clone(),
+            threads: args.threads.unwrap_or(1),
+            inner_threads: args.inner_threads,
+            plan,
+            ..WorkerOptions::default()
+        };
+        if let Some(heartbeat) = args.heartbeat {
+            opts.heartbeat = Some(heartbeat);
+        }
+        if let Some(timeout) = args.handshake_timeout {
+            opts.handshake_timeout = timeout;
+        }
+        opts
+    };
 
     if args.worker_mode {
         // Hidden cluster-worker mode: stdout belongs to the protocol, so
         // nothing below this point may run.
-        let opts = WorkerOptions {
-            token: args.token,
-            threads: args.threads.unwrap_or(1),
-            inner_threads: args.inner_threads,
-            exit_after: env_usize(EXIT_AFTER_ENV),
-            drop_after: None,
-        };
+        let opts = worker_opts(resolve_chaos_plan(&args, 0, campaign.len()));
         if let Err(e) = serve_worker(&campaign, &opts) {
             eprintln!("worker error: {e}");
             std::process::exit(3);
@@ -393,19 +550,13 @@ fn main() {
 
     if let Some(addr) = &args.serve {
         // Remote-worker daemon mode: accept coordinator sessions forever.
-        let mut listener = TcpTransportListener::bind(addr)
+        let listener = TcpTransportListener::bind(addr)
             .unwrap_or_else(|e| die(&format!("cannot bind `{addr}`: {e}")));
         let bound = listener
             .socket_addr()
             .map(|a| a.to_string())
             .unwrap_or_else(|_| addr.clone());
-        let opts = WorkerOptions {
-            token: args.token,
-            threads: args.threads.unwrap_or(1),
-            inner_threads: args.inner_threads,
-            exit_after: None,
-            drop_after: env_usize(DROP_AFTER_ENV),
-        };
+        let opts = worker_opts(resolve_chaos_plan(&args, 0, campaign.len()));
         println!(
             "serving campaign `{}` ({} specs, fingerprint {:#018x}) on {bound}, {} thread(s)",
             campaign.name,
@@ -417,7 +568,7 @@ fn main() {
         // listener is already bound, so connecting is safe from here on).
         use std::io::Write as _;
         let _ = std::io::stdout().flush();
-        match serve_campaign(&campaign, &mut listener, &opts, env_usize(MAX_SESSIONS_ENV)) {
+        match serve_campaign(&campaign, Box::new(listener), &opts) {
             Ok(sessions) => {
                 println!("served {sessions} session(s), exiting");
                 return;
@@ -432,9 +583,24 @@ fn main() {
     let n = campaign.len();
     let distributed = args.workers > 0 || !args.connect.is_empty();
     let report = if distributed {
+        // Explicit chaos flags resolve to ONE concrete plan here and travel
+        // to spawned workers as `--chaos-json`, so a seeded plan is
+        // identical on every worker. The legacy env hooks are *not*
+        // forwarded — workers inherit the environment and adapt them
+        // locally, exactly as before.
+        let forwarded_chaos: Option<String> =
+            if args.chaos_plan.is_some() || args.chaos_seed.is_some() {
+                resolve_chaos_plan(&args, args.workers + args.connect.len(), campaign.len())
+                    .map(|plan| plan.to_json())
+            } else {
+                None
+            };
         let launch = if args.workers > 0 {
             let program = std::env::current_exe().expect("resolve current executable");
-            Some(WorkerLaunch::new(program, worker_argv(&argv)))
+            Some(WorkerLaunch::new(
+                program,
+                worker_argv(&argv, forwarded_chaos.as_deref()),
+            ))
         } else {
             None
         };
@@ -447,6 +613,11 @@ fn main() {
             max_respawns: args.max_respawns,
             stream_jsonl: args.jsonl.clone(),
             summary_only: args.summary_only,
+            assign_timeout: args.assign_timeout,
+            handshake_timeout: args.handshake_timeout,
+            connect_timeout: args.connect_timeout,
+            speculative: args.speculative,
+            quarantine_after: args.quarantine_after,
         };
         println!(
             "campaign `{}`: {} scenarios, {} runs, {} iterations each, {} local worker(s) + {} remote worker(s), fingerprint {:#018x}",
@@ -462,12 +633,13 @@ fn main() {
         match run_campaign_distributed(&campaign, launch, &opts) {
             Ok((report, stats)) => {
                 println!(
-                    "completed {n} runs in {:.2}s ({} resumed from checkpoint, {} executed, {} worker respawn(s), {} worker(s) lost)",
+                    "completed {n} runs in {:.2}s ({} resumed from checkpoint, {} executed, {} worker respawn(s), {} worker(s) lost, {} worker(s) quarantined)",
                     started.elapsed().as_secs_f64(),
                     stats.resumed,
                     stats.executed,
                     stats.respawns,
                     stats.lost_workers,
+                    stats.quarantined_workers,
                 );
                 report
             }

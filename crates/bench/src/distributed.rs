@@ -27,30 +27,21 @@ use crate::report::{CampaignReport, RunRecord, RunsJsonlWriter};
 use crate::scenario::{Campaign, RunSpec};
 use crate::SweepExecutor;
 use qismet_cluster::{
-    load_journal, CheckpointEntry, ClusterError, Connector, Done, Hello, JournalWriter, Listener,
-    Message, Outcome, ProcessConnector, StdioTransport, TcpConnector, Transport, WorkerLaunch,
-    WorkerPool,
+    load_journal, CheckpointEntry, ClusterError, Connector, Done, FaultListener, FaultPlan,
+    FaultTransport, Hello, JournalWriter, Listener, Message, Outcome, ProcessConnector,
+    StdioTransport, TcpConnector, Transport, WorkerLaunch, WorkerPool, WORKER_ID_ENV,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::io;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{mpsc, Mutex};
 use std::time::Duration;
 
-/// Fault-injection hook for tests and CI: a worker process exits (code 17)
-/// after sending this many `Done` messages, simulating a mid-campaign
-/// crash / OOM-kill with a deterministic cut point.
-pub const EXIT_AFTER_ENV: &str = "QISMET_CLUSTER_EXIT_AFTER";
-
-/// Fault-injection hook for tests and CI: a `--serve` daemon drops each
-/// session after sending this many `Done` messages, simulating a network
-/// disconnect with a deterministic cut point (the daemon itself survives).
-pub const DROP_AFTER_ENV: &str = "QISMET_NET_DROP_AFTER";
-
-/// Test/CI hook: a `--serve` daemon exits after accepting this many
-/// sessions instead of serving forever.
-pub const MAX_SESSIONS_ENV: &str = "QISMET_NET_MAX_SESSIONS";
+// The legacy fault-injection env hooks now live on the chaos seam
+// (`FaultPlan::from_env` translates them); re-exported here so existing
+// callers keep compiling.
+pub use qismet_cluster::{DROP_AFTER_ENV, EXIT_AFTER_ENV, MAX_SESSIONS_ENV};
 
 /// How a distributed campaign should execute.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -76,6 +67,22 @@ pub struct DistributedOptions {
     /// but its `series` are empty — the full series live in the JSONL.
     /// Requires `stream_jsonl`.
     pub summary_only: bool,
+    /// Per-`Assign` read deadline: a worker silent for this long (no
+    /// `Done`, no `Ping`) is treated as hung and its channel cut. `None`
+    /// disables the deadline (legacy behavior).
+    pub assign_timeout: Option<Duration>,
+    /// Handshake read deadline per session attempt; `None` keeps the pool
+    /// default.
+    pub handshake_timeout: Option<Duration>,
+    /// TCP connect deadline per dial attempt; `None` keeps the connector
+    /// default.
+    pub connect_timeout: Option<Duration>,
+    /// Straggler mitigation: when idle workers outnumber remaining work,
+    /// duplicate in-flight indices onto them (first result wins).
+    pub speculative: bool,
+    /// Quarantine a worker slot for good after this many lifetime session
+    /// failures; `None` never quarantines.
+    pub quarantine_after: Option<usize>,
 }
 
 impl Default for DistributedOptions {
@@ -89,6 +96,11 @@ impl Default for DistributedOptions {
             max_respawns: 2,
             stream_jsonl: None,
             summary_only: false,
+            assign_timeout: None,
+            handshake_timeout: None,
+            connect_timeout: None,
+            speculative: false,
+            quarantine_after: None,
         }
     }
 }
@@ -106,6 +118,8 @@ pub struct DistributedStats {
     pub respawns: usize,
     /// Worker slots lost for good (their work re-dispatched to survivors).
     pub lost_workers: usize,
+    /// Worker slots quarantined after repeated session failures.
+    pub quarantined_workers: usize,
 }
 
 /// Runs `campaign` across a pool of workers — `opts.workers` spawned
@@ -153,7 +167,11 @@ pub fn run_campaign_distributed(
         }
     }
     for addr in &opts.connect {
-        connectors.push(Box::new(TcpConnector::new(addr.clone())));
+        let mut connector = TcpConnector::new(addr.clone());
+        if let Some(timeout) = opts.connect_timeout {
+            connector = connector.with_connect_timeout(timeout);
+        }
+        connectors.push(Box::new(connector));
     }
     if connectors.is_empty() {
         return Err(ClusterError::Spawn(
@@ -211,33 +229,39 @@ pub fn run_campaign_distributed(
     // remains resumable).
     let summary_only = opts.summary_only;
     let sink_state = Mutex::new((journal, stream));
-    let outcome = WorkerPool::new(connectors)
+    let mut pool = WorkerPool::new(connectors)
         .with_max_respawns(opts.max_respawns)
         .with_token(opts.token.clone())
-        .run(
-            fingerprint,
-            total,
-            &pending,
-            |entry: &mut CheckpointEntry| {
-                let mut state = sink_state.lock().expect("sink mutex poisoned");
-                let (journal, stream) = &mut *state;
-                if let Some(j) = journal {
-                    j.append(entry)
-                        .map_err(|e| format!("checkpoint append failed: {e}"))?;
+        .with_assign_timeout(opts.assign_timeout)
+        .with_speculative(opts.speculative)
+        .with_quarantine_after(opts.quarantine_after);
+    if let Some(timeout) = opts.handshake_timeout {
+        pool = pool.with_handshake_timeout(timeout);
+    }
+    let outcome = pool.run(
+        fingerprint,
+        total,
+        &pending,
+        |entry: &mut CheckpointEntry| {
+            let mut state = sink_state.lock().expect("sink mutex poisoned");
+            let (journal, stream) = &mut *state;
+            if let Some(j) = journal {
+                j.append(entry)
+                    .map_err(|e| format!("checkpoint append failed: {e}"))?;
+            }
+            if let Some(s) = stream {
+                let mut record = RunRecord::from_value(&entry.record)
+                    .map_err(|e| format!("spec {}: malformed record: {e}", entry.index))?;
+                s.append(&record)
+                    .map_err(|e| format!("jsonl stream append failed: {e}"))?;
+                if summary_only {
+                    record.series.clear();
+                    entry.record = record.to_value();
                 }
-                if let Some(s) = stream {
-                    let mut record = RunRecord::from_value(&entry.record)
-                        .map_err(|e| format!("spec {}: malformed record: {e}", entry.index))?;
-                    s.append(&record)
-                        .map_err(|e| format!("jsonl stream append failed: {e}"))?;
-                    if summary_only {
-                        record.series.clear();
-                        entry.record = record.to_value();
-                    }
-                }
-                Ok(())
-            },
-        )?;
+            }
+            Ok(())
+        },
+    )?;
 
     // Merge resumed + fresh records into expansion order — the same
     // exactly-once merge the shard layer guarantees.
@@ -265,6 +289,7 @@ pub fn run_campaign_distributed(
         executed,
         respawns: outcome.respawns,
         lost_workers: outcome.lost_workers,
+        quarantined_workers: outcome.quarantined_workers,
     };
     Ok((report, stats))
 }
@@ -289,12 +314,18 @@ pub struct WorkerOptions {
     /// across workers while each run's apply/expectation splits its own
     /// amplitude array. Results are bit-identical either way.
     pub inner_threads: usize,
-    /// Fault injection: exit the process (code 17) after this many `Done`s
-    /// (stdio workers; see [`EXIT_AFTER_ENV`]).
-    pub exit_after: Option<usize>,
-    /// Fault injection: drop the session after this many `Done`s (serve
-    /// daemons; see [`DROP_AFTER_ENV`]).
-    pub drop_after: Option<usize>,
+    /// Worker-initiated keepalive: while a batch computes, send a `Ping`
+    /// whenever no result has been produced for this long, so a
+    /// coordinator with an assign deadline can tell *slow* (frames still
+    /// flowing) from *hung* (silence). `None` disables pings.
+    pub heartbeat: Option<Duration>,
+    /// How long a serve daemon lets an accepted-but-silent connection
+    /// stall the accept loop before shedding it.
+    pub handshake_timeout: Duration,
+    /// Deterministic fault injection: the plan this worker executes
+    /// against its own channel (see [`qismet_cluster::chaos`]). `None` (the
+    /// default) runs the channel clean.
+    pub plan: Option<FaultPlan>,
 }
 
 impl Default for WorkerOptions {
@@ -303,8 +334,9 @@ impl Default for WorkerOptions {
             token: String::new(),
             threads: 1,
             inner_threads: 1,
-            exit_after: None,
-            drop_after: None,
+            heartbeat: Some(Duration::from_secs(2)),
+            handshake_timeout: Duration::from_secs(10),
+            plan: None,
         }
     }
 }
@@ -331,8 +363,23 @@ pub enum SessionOutcome {
     CoordinatorGone,
     /// The handshake was refused (token mismatch).
     Rejected,
-    /// The fault-injection hook dropped the session mid-stream.
+    /// The channel was cut mid-stream (an injected fault or a network
+    /// reset); from the worker's side this is a normal session end.
     Dropped,
+}
+
+/// Classifies a channel I/O failure: clean closes and connection cuts are
+/// normal session ends for a worker; anything else is a real error.
+fn channel_end(op: &str, e: io::Error) -> Result<SessionOutcome, ClusterError> {
+    match e.kind() {
+        io::ErrorKind::UnexpectedEof | io::ErrorKind::BrokenPipe => {
+            Ok(SessionOutcome::CoordinatorGone)
+        }
+        io::ErrorKind::ConnectionAborted | io::ErrorKind::ConnectionReset => {
+            Ok(SessionOutcome::Dropped)
+        }
+        _ => Err(ClusterError::Io(format!("{op} failed: {e}"))),
+    }
 }
 
 /// Serves one coordinator session over `transport`: mutual handshake, then
@@ -359,10 +406,7 @@ pub fn serve_session(
                 detail: format!("expected coordinator Hello, got {other:?}"),
             })
         }
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-            return Ok(SessionOutcome::CoordinatorGone)
-        }
-        Err(e) => return Err(ClusterError::Io(format!("handshake read failed: {e}"))),
+        Err(e) => return channel_end("handshake read", e),
     };
     let worker_id = coordinator.worker_id;
     if coordinator.token != opts.token {
@@ -383,15 +427,11 @@ pub fn serve_session(
     // authenticated coordinator may legitimately idle between batches.
     let _ = transport.set_read_timeout(None);
 
-    let mut completed = 0usize;
     loop {
         let message = match transport.recv() {
             Ok(message) => message,
-            // Coordinator exited (crash or impolite teardown): stop quietly.
-            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
-                return Ok(SessionOutcome::CoordinatorGone)
-            }
-            Err(e) => return Err(ClusterError::Io(format!("worker read failed: {e}"))),
+            // Coordinator exited or the channel was cut: stop quietly.
+            Err(e) => return channel_end("worker read", e),
         };
         match message {
             Message::Assign(assign) => {
@@ -415,7 +455,7 @@ pub fn serve_session(
                 // when the whole batch does), so the coordinator journals
                 // finished work at single-run granularity even when a
                 // threaded worker dies mid-batch.
-                let (tx, rx) = std::sync::mpsc::channel::<(usize, u64, Outcome)>();
+                let (tx, rx) = mpsc::channel::<(usize, u64, Outcome)>();
                 // The executor shares the closure across its threads, so
                 // the (per-thread) sender lives behind a mutex.
                 let tx = Mutex::new(tx);
@@ -438,11 +478,31 @@ pub fn serve_session(
                         });
                     });
                     for _ in 0..batch.len() {
-                        let (index, seed, outcome) =
-                            rx.recv().expect("executor thread closed the channel");
+                        let (index, seed, outcome) = loop {
+                            // Keepalive while the batch computes: a `Ping`
+                            // per quiet heartbeat interval keeps frames
+                            // flowing, so a coordinator assign deadline
+                            // fires on hung workers, not slow ones.
+                            match opts.heartbeat.filter(|_| session_end.is_none()) {
+                                Some(interval) => match rx.recv_timeout(interval) {
+                                    Ok(result) => break result,
+                                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                                        if let Err(e) = transport.send(&Message::Ping) {
+                                            session_end = Some(channel_end("ping", e));
+                                        }
+                                    }
+                                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                                        panic!("executor thread closed the channel")
+                                    }
+                                },
+                                None => {
+                                    break rx.recv().expect("executor thread closed the channel")
+                                }
+                            }
+                        };
                         if session_end.is_some() {
-                            // Already ending (send failure or drop hook):
-                            // drain the executor without acknowledging.
+                            // Already ending (channel cut mid-batch): drain
+                            // the executor without acknowledging.
                             continue;
                         }
                         if let Err(e) = transport.send(&Message::Done(Done {
@@ -450,20 +510,8 @@ pub fn serve_session(
                             seed,
                             outcome,
                         })) {
-                            session_end = Some(Err(ClusterError::Io(format!("done failed: {e}"))));
+                            session_end = Some(channel_end("done", e));
                             continue;
-                        }
-                        completed += 1;
-                        if opts.exit_after == Some(completed) {
-                            // Fault-injection hook: simulate a crash at a
-                            // deterministic point, *after* the Done was
-                            // flushed.
-                            std::process::exit(17);
-                        }
-                        if opts.drop_after == Some(completed) {
-                            // Fault-injection hook: simulate a network
-                            // drop; the rest of the batch goes un-acked.
-                            session_end = Some(Ok(SessionOutcome::Dropped));
                         }
                     }
                 });
@@ -471,6 +519,9 @@ pub fn serve_session(
                     return end;
                 }
             }
+            // The coordinator answers our keepalive `Ping`s; replies may
+            // queue up behind a batch and surface here. Not actionable.
+            Message::Pong => continue,
             Message::Shutdown => return Ok(SessionOutcome::Shutdown),
             other => {
                 return Err(ClusterError::Protocol {
@@ -484,7 +535,9 @@ pub fn serve_session(
 
 /// The stdio worker half: serves exactly one coordinator session over
 /// stdin/stdout. Invoked by the hidden `campaign --worker` mode with the
-/// campaign rebuilt from the same grid flags the coordinator parsed.
+/// campaign rebuilt from the same grid flags the coordinator parsed. When
+/// the options carry a [`FaultPlan`], the channel runs through a
+/// [`FaultTransport`] (slot learned from `QISMET_CLUSTER_WORKER_ID`).
 ///
 /// # Errors
 ///
@@ -492,20 +545,27 @@ pub fn serve_session(
 /// failures. A cleanly closed stdin is a normal shutdown, not an error.
 pub fn serve_worker(campaign: &Campaign, opts: &WorkerOptions) -> Result<(), ClusterError> {
     let specs = campaign.expand();
-    let mut transport = StdioTransport::new();
-    serve_session(campaign, &specs, &mut transport, opts).map(|_| ())
+    let stdio = Box::new(StdioTransport::new());
+    let mut transport: Box<dyn Transport> = match &opts.plan {
+        Some(plan) if !plan.faults.is_empty() => {
+            let slot = std::env::var(WORKER_ID_ENV)
+                .ok()
+                .and_then(|v| v.parse().ok());
+            Box::new(FaultTransport::new(stdio, plan.clone(), slot))
+        }
+        _ => stdio,
+    };
+    serve_session(campaign, &specs, transport.as_mut(), opts).map(|_| ())
 }
-
-/// Bound on how long an accepted-but-silent connection may stall the serve
-/// loop before being shed.
-const SERVE_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 
 /// The long-running worker daemon behind `campaign --serve <addr>`:
 /// accepts coordinator sessions from `listener` one at a time and serves
 /// each until shutdown or disconnect. Coordinator disconnects, rejected
 /// handshakes, and per-session errors do **not** stop the daemon — it
 /// returns to `accept` and waits for the next campaign, forever (or until
-/// `max_sessions` sessions have been accepted, when set).
+/// the fault plan's `max_sessions` have been accepted, when set). When the
+/// options carry a [`FaultPlan`] with faults, every accepted session runs
+/// through a [`FaultTransport`] sharing one once-per-process fault state.
 ///
 /// Returns the number of sessions accepted.
 ///
@@ -515,11 +575,17 @@ const SERVE_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
 /// listening socket died).
 pub fn serve_campaign(
     campaign: &Campaign,
-    listener: &mut dyn Listener,
+    listener: Box<dyn Listener>,
     opts: &WorkerOptions,
-    max_sessions: Option<usize>,
 ) -> Result<usize, ClusterError> {
     let specs = campaign.expand();
+    let max_sessions = opts.plan.as_ref().and_then(|p| p.max_sessions);
+    let mut listener: Box<dyn Listener> = match &opts.plan {
+        Some(plan) if !plan.faults.is_empty() => {
+            Box::new(FaultListener::new(listener, plan.clone()))
+        }
+        _ => listener,
+    };
     let mut sessions = 0usize;
     loop {
         if let Some(max) = max_sessions {
@@ -532,7 +598,7 @@ pub fn serve_campaign(
             .map_err(|e| ClusterError::Io(format!("accept failed: {e}")))?;
         sessions += 1;
         let peer = transport.peer();
-        let _ = transport.set_read_timeout(Some(SERVE_HANDSHAKE_TIMEOUT));
+        let _ = transport.set_read_timeout(Some(opts.handshake_timeout));
         match serve_session(campaign, &specs, transport.as_mut(), opts) {
             Ok(outcome) => {
                 eprintln!("[serve] session {sessions} from {peer}: {outcome:?}");

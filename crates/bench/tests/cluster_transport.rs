@@ -9,15 +9,18 @@
 //! Remote workers are real [`serve_campaign`] daemons on loopback listener
 //! threads (the same loop `campaign --serve` enters); process workers are
 //! the real `campaign` binary in `--worker` mode. Disconnects are injected
-//! deterministically with `WorkerOptions::drop_after`, which makes a
-//! daemon drop a session after sending N results.
+//! deterministically through the chaos seam: a [`FaultPlan`] with a
+//! `Disconnect` fault makes a daemon drop each session after sending N
+//! results.
 
 use proptest::prelude::*;
 use qismet_bench::{
     run_campaign_distributed, serve_campaign, Campaign, CampaignGrid, CampaignReport,
     DistributedOptions, Scheme, SweepExecutor, WorkerOptions,
 };
-use qismet_cluster::{ClusterError, TcpTransportListener, WorkerLaunch};
+use qismet_cluster::{
+    ClusterError, Fault, FaultKind, FaultPlan, TcpTransportListener, WorkerLaunch,
+};
 use std::path::PathBuf;
 use std::thread::JoinHandle;
 
@@ -82,15 +85,18 @@ fn launch(case: &GridCase) -> WorkerLaunch {
 /// `max_sessions` accepted sessions).
 fn spawn_serve(
     campaign: &Campaign,
-    opts: WorkerOptions,
+    mut opts: WorkerOptions,
     max_sessions: usize,
 ) -> (String, JoinHandle<usize>) {
-    let mut listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
+    let listener = TcpTransportListener::bind("127.0.0.1:0").unwrap();
     let addr = listener.socket_addr().unwrap().to_string();
     let campaign = campaign.clone();
-    let handle = std::thread::spawn(move || {
-        serve_campaign(&campaign, &mut listener, &opts, Some(max_sessions)).unwrap()
-    });
+    // The daemon exits after `max_sessions` accepted sessions (carried on
+    // the fault plan) so the test thread can join it.
+    let plan = opts.plan.get_or_insert_with(FaultPlan::new);
+    plan.max_sessions = Some(max_sessions);
+    let handle =
+        std::thread::spawn(move || serve_campaign(&campaign, Box::new(listener), &opts).unwrap());
     (addr, handle)
 }
 
@@ -98,9 +104,20 @@ fn worker_opts(threads: usize) -> WorkerOptions {
     WorkerOptions {
         token: TOKEN.into(),
         threads,
-        inner_threads: 1,
-        exit_after: None,
-        drop_after: None,
+        ..WorkerOptions::default()
+    }
+}
+
+/// A plan that drops every session after it has sent `after_dones` results
+/// (the chaos-seam equivalent of the old `drop_after` hook).
+fn drop_plan(after_dones: usize) -> FaultPlan {
+    FaultPlan {
+        faults: vec![Fault {
+            worker: None,
+            after_dones,
+            kind: FaultKind::Disconnect,
+        }],
+        max_sessions: None,
     }
 }
 
@@ -196,7 +213,7 @@ fn mid_campaign_disconnect_redispatches_to_the_surviving_worker() {
     // refuses to come back; with a zero reconnect budget its slot is lost
     // immediately and worker B must absorb A's unfinished share.
     let mut dropping = worker_opts(1);
-    dropping.drop_after = Some(1);
+    dropping.plan = Some(drop_plan(1));
     let (addr_a, serve_a) = spawn_serve(&case.campaign, dropping, 1);
     let (addr_b, serve_b) = spawn_serve(&case.campaign, worker_opts(1), 1);
 
@@ -222,7 +239,7 @@ fn dropped_sessions_reconnect_through_the_whole_campaign() {
     // reconnect its way through the whole campaign on this single worker
     // (one session per run — the final session's drop goes unobserved).
     let mut dropping = worker_opts(1);
-    dropping.drop_after = Some(1);
+    dropping.plan = Some(drop_plan(1));
     let (addr, serve) = spawn_serve(&case.campaign, dropping, total);
 
     let mut opts = remote_opts(vec![addr]);

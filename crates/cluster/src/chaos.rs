@@ -1,0 +1,798 @@
+//! Deterministic fault injection: the single seam every cluster fault
+//! flows through.
+//!
+//! QISMET's premise is that long campaigns must *navigate transient
+//! disruptions*; this module makes our own cluster's disruption surface a
+//! first-class, reproducible input instead of a pair of ad-hoc environment
+//! hooks. A [`FaultPlan`] is a seeded, serializable schedule of faults,
+//! each addressed by worker slot and session event count; the plan is
+//! executed by [`FaultTransport`] / [`FaultListener`] wrappers that
+//! implement the ordinary [`Transport`] / [`Listener`] traits, so the
+//! protocol, coordinator, and worker code under test are byte-for-byte the
+//! production paths — only the stream beneath them misbehaves, on
+//! schedule.
+//!
+//! The legacy env hooks (`QISMET_CLUSTER_EXIT_AFTER`,
+//! `QISMET_NET_DROP_AFTER`, `QISMET_NET_MAX_SESSIONS`) survive as thin
+//! adapters: [`FaultPlan::from_env`] translates them into an equivalent
+//! plan, so existing CI jobs and scripts keep working unchanged.
+//!
+//! ## Fault taxonomy
+//!
+//! | [`FaultKind`]      | Effect at trigger                                     |
+//! |--------------------|-------------------------------------------------------|
+//! | `Disconnect`       | channel ops fail (`ConnectionAborted`) for the session|
+//! | `Hang`             | channel ops block forever (process alive, no frames)  |
+//! | `SlowFrames(ms)`   | every subsequent send sleeps `ms` first               |
+//! | `TruncateFrame`    | next frame is cut mid-body, then the channel dies     |
+//! | `CorruptFrame`     | next frame is replaced by garbage, then the channel   |
+//! |                    | dies                                                  |
+//! | `CrashProcess`     | `std::process::exit(17)` (the whole worker process)   |
+//! | `CrashOnSpec(i)`   | session dies when spec `i` is assigned — once per     |
+//! |                    | process lifetime                                      |
+//! | `PoisonSpec(i)`    | session dies when spec `i` is assigned — every time   |
+//!
+//! Count-addressed faults (`after_dones`) trigger once the session has sent
+//! that many [`Done`](crate::protocol::Done) frames — matching the legacy
+//! hooks' "after N results" semantics. Spec-addressed faults trigger when
+//! an [`Assign`](crate::protocol::Assign) containing the spec arrives
+//! (gated on `after_dones` too, normally 0).
+//!
+//! `CrashOnSpec` is "once" *per process lifetime*: a long-lived serve
+//! daemon survives it exactly once across all its sessions, which is the
+//! re-dispatch-then-succeed scenario. A per-session stdio worker process is
+//! respawned with fresh state, so there `CrashOnSpec` degenerates to
+//! `PoisonSpec` — which the coordinator's poison-spec quarantine is built
+//! to absorb.
+
+use crate::protocol::Message;
+use crate::transport::{Listener, Transport};
+use serde::{Deserialize, Serialize};
+use std::collections::HashSet;
+use std::io;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Env hook: a worker process exits with code 17 after sending this many
+/// `Done` frames. Adapter for [`FaultKind::CrashProcess`].
+pub const EXIT_AFTER_ENV: &str = "QISMET_CLUSTER_EXIT_AFTER";
+
+/// Env hook: a serve-daemon session disconnects after sending this many
+/// `Done` frames. Adapter for [`FaultKind::Disconnect`].
+pub const DROP_AFTER_ENV: &str = "QISMET_NET_DROP_AFTER";
+
+/// Env hook: a serve daemon accepts at most this many sessions. Adapter
+/// for [`FaultPlan::max_sessions`].
+pub const MAX_SESSIONS_ENV: &str = "QISMET_NET_MAX_SESSIONS";
+
+/// Exit code used by [`FaultKind::CrashProcess`] (and the legacy
+/// [`EXIT_AFTER_ENV`] hook) so a chaos crash is distinguishable from a
+/// panic in logs.
+pub const CRASH_EXIT_CODE: i32 = 17;
+
+/// One kind of injected misbehavior. See the [module docs](self) for the
+/// full taxonomy table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Channel operations fail with `ConnectionAborted` from the trigger on.
+    Disconnect,
+    /// Channel operations block forever; the process stays alive but sends
+    /// no frames (detectable only via deadlines, not EOF).
+    Hang,
+    /// Every send after the trigger sleeps this many milliseconds first
+    /// (a straggler, not a failure).
+    SlowFrames(u64),
+    /// The next frame after the trigger is truncated mid-body; the channel
+    /// then dies.
+    TruncateFrame,
+    /// The next frame after the trigger is replaced with non-protocol
+    /// garbage; the channel then dies.
+    CorruptFrame,
+    /// The whole worker process exits with [`CRASH_EXIT_CODE`].
+    CrashProcess,
+    /// The session dies when an `Assign` containing this spec index
+    /// arrives — once per process lifetime.
+    CrashOnSpec(usize),
+    /// The session dies *every time* an `Assign` containing this spec
+    /// index arrives (the poison-spec scenario).
+    PoisonSpec(usize),
+}
+
+/// One scheduled fault: where, when, what.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Fault {
+    /// Which pool slot this fault applies to (`None` = every slot). A
+    /// stdio worker learns its slot from `QISMET_CLUSTER_WORKER_ID`; a
+    /// serve-daemon session learns it from the coordinator's `Hello`.
+    pub worker: Option<usize>,
+    /// The fault arms once the session has sent this many `Done` frames.
+    pub after_dones: usize,
+    /// What goes wrong.
+    pub kind: FaultKind,
+}
+
+/// A deterministic, serializable schedule of faults.
+///
+/// Plans travel as JSON (`campaign --chaos-plan <file>`), derive from a
+/// seed ([`FaultPlan::random`], `--chaos-seed`), or adapt the legacy env
+/// hooks ([`FaultPlan::from_env`]). The same plan against the same
+/// campaign reproduces the same fault sequence.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// The scheduled faults, evaluated independently.
+    pub faults: Vec<Fault>,
+    /// For serve daemons: stop accepting sessions after this many
+    /// (`None` = unlimited).
+    pub max_sessions: Option<usize>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults, unlimited sessions).
+    pub fn new() -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            max_sessions: None,
+        }
+    }
+
+    /// True when the plan schedules nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty() && self.max_sessions.is_none()
+    }
+
+    /// Translates the legacy env hooks into a plan.
+    ///
+    /// Returns `Ok(None)` when none of the variables are set.
+    ///
+    /// # Errors
+    ///
+    /// A description of the offending variable when one is set to a
+    /// non-numeric value.
+    pub fn from_env() -> Result<Option<FaultPlan>, String> {
+        let read = |name: &str| -> Result<Option<usize>, String> {
+            match std::env::var(name) {
+                Ok(raw) => raw
+                    .trim()
+                    .parse::<usize>()
+                    .map(Some)
+                    .map_err(|_| format!("{name} must be a non-negative integer, got {raw:?}")),
+                Err(_) => Ok(None),
+            }
+        };
+        let mut plan = FaultPlan::new();
+        if let Some(n) = read(EXIT_AFTER_ENV)? {
+            plan.faults.push(Fault {
+                worker: None,
+                after_dones: n,
+                kind: FaultKind::CrashProcess,
+            });
+        }
+        if let Some(n) = read(DROP_AFTER_ENV)? {
+            plan.faults.push(Fault {
+                worker: None,
+                after_dones: n,
+                kind: FaultKind::Disconnect,
+            });
+        }
+        plan.max_sessions = read(MAX_SESSIONS_ENV)?;
+        Ok(if plan.is_empty() { None } else { Some(plan) })
+    }
+
+    /// A seeded pseudo-random plan of 1–3 faults over `workers` slots and
+    /// `specs` spec indices. Deterministic in `seed`; slow-frame delays are
+    /// bounded (<= 50 ms) so chaos suites stay fast.
+    pub fn random(seed: u64, workers: usize, specs: usize) -> FaultPlan {
+        let mut rng = SplitMix64::new(seed);
+        let count = 1 + (rng.next() % 3) as usize;
+        let mut faults = Vec::with_capacity(count);
+        for _ in 0..count {
+            // Mostly slot-addressed, so some slots stay healthy and the
+            // campaign usually completes instead of erroring out.
+            let worker = if workers > 0 && !rng.next().is_multiple_of(4) {
+                Some((rng.next() % workers as u64) as usize)
+            } else {
+                None
+            };
+            let after_dones = 1 + (rng.next() % 3) as usize;
+            let spec = |r: u64| (r % specs.max(1) as u64) as usize;
+            let kind = match rng.next() % 8 {
+                0 => FaultKind::Disconnect,
+                1 => FaultKind::Hang,
+                2 => FaultKind::SlowFrames(5 + rng.next() % 46),
+                3 => FaultKind::TruncateFrame,
+                4 => FaultKind::CorruptFrame,
+                5 => FaultKind::CrashProcess,
+                6 => FaultKind::CrashOnSpec(spec(rng.next())),
+                _ => FaultKind::PoisonSpec(spec(rng.next())),
+            };
+            faults.push(Fault {
+                worker,
+                after_dones,
+                kind,
+            });
+        }
+        FaultPlan {
+            faults,
+            max_sessions: None,
+        }
+    }
+
+    /// Serializes the plan to its JSON file format.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("FaultPlan serializes infallibly")
+    }
+
+    /// Parses a plan from its JSON file format.
+    ///
+    /// # Errors
+    ///
+    /// A description of the parse failure.
+    pub fn from_json(text: &str) -> Result<FaultPlan, String> {
+        serde_json::from_str(text).map_err(|e| format!("invalid fault plan: {e}"))
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new()
+    }
+}
+
+/// Fault state shared across every session of one process (so "once per
+/// process lifetime" faults stay once even when a daemon serves many
+/// sessions).
+#[derive(Debug, Default)]
+pub struct ChaosState {
+    consumed: Mutex<HashSet<usize>>,
+}
+
+impl ChaosState {
+    /// Fresh shared state (nothing consumed yet).
+    pub fn new() -> Arc<Self> {
+        Arc::new(ChaosState::default())
+    }
+
+    /// Marks fault `index` consumed; true if it was not already.
+    fn consume(&self, index: usize) -> bool {
+        self.consumed
+            .lock()
+            .expect("chaos state lock poisoned")
+            .insert(index)
+    }
+}
+
+/// What a triggered garbling fault writes next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Garble {
+    Truncate,
+    Corrupt,
+}
+
+/// A [`Transport`] wrapper that executes a [`FaultPlan`] against the
+/// stream. Wraps the *worker side* of a session (stdio worker or daemon
+/// session); the coordinator side always runs the production transport.
+pub struct FaultTransport {
+    inner: Box<dyn Transport>,
+    plan: FaultPlan,
+    shared: Arc<ChaosState>,
+    slot: Option<usize>,
+    dones_sent: usize,
+    fired: Vec<bool>,
+    dead: bool,
+    hung: bool,
+    slow_millis: u64,
+    garble: Option<Garble>,
+}
+
+impl FaultTransport {
+    /// Wraps `inner`, executing `plan`. `slot` is the worker's pool slot if
+    /// already known (stdio workers read `QISMET_CLUSTER_WORKER_ID`);
+    /// daemon sessions pass `None` and learn it from the coordinator's
+    /// `Hello`.
+    pub fn new(inner: Box<dyn Transport>, plan: FaultPlan, slot: Option<usize>) -> Self {
+        FaultTransport::with_shared(inner, plan, slot, ChaosState::new())
+    }
+
+    /// Like [`FaultTransport::new`] but sharing once-per-process fault
+    /// state with other sessions (used by [`FaultListener`]).
+    pub fn with_shared(
+        inner: Box<dyn Transport>,
+        plan: FaultPlan,
+        slot: Option<usize>,
+        shared: Arc<ChaosState>,
+    ) -> Self {
+        let fired = vec![false; plan.faults.len()];
+        FaultTransport {
+            inner,
+            plan,
+            shared,
+            slot,
+            dones_sent: 0,
+            fired,
+            dead: false,
+            hung: false,
+            slow_millis: 0,
+            garble: None,
+        }
+    }
+
+    fn applies(&self, fault: &Fault) -> bool {
+        match fault.worker {
+            None => true,
+            Some(slot) => self.slot == Some(slot),
+        }
+    }
+
+    /// Fires every armed count-addressed fault. Called at each channel
+    /// operation boundary so faults land deterministically between frames.
+    fn check_triggers(&mut self) {
+        for i in 0..self.plan.faults.len() {
+            if self.fired[i] {
+                continue;
+            }
+            let fault = self.plan.faults[i].clone();
+            if !self.applies(&fault) || self.dones_sent < fault.after_dones {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::Disconnect => self.dead = true,
+                FaultKind::Hang => self.hung = true,
+                FaultKind::SlowFrames(millis) => self.slow_millis = millis,
+                FaultKind::TruncateFrame => self.garble = Some(Garble::Truncate),
+                FaultKind::CorruptFrame => self.garble = Some(Garble::Corrupt),
+                FaultKind::CrashProcess => std::process::exit(CRASH_EXIT_CODE),
+                // Spec-addressed faults trigger on Assign contents, not here.
+                FaultKind::CrashOnSpec(_) | FaultKind::PoisonSpec(_) => continue,
+            }
+            self.fired[i] = true;
+        }
+    }
+
+    /// Enforces terminal states: a dead channel errors, a hung channel
+    /// blocks until the process is killed.
+    fn gate(&mut self) -> io::Result<()> {
+        if self.hung {
+            loop {
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        }
+        if self.dead {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "chaos: connection dropped by fault plan",
+            ));
+        }
+        Ok(())
+    }
+
+    /// The armed spec fault hit by this assignment, if any.
+    fn spec_fault_hit(&mut self, indices: &[usize]) -> bool {
+        for i in 0..self.plan.faults.len() {
+            let fault = self.plan.faults[i].clone();
+            if !self.applies(&fault) || self.dones_sent < fault.after_dones {
+                continue;
+            }
+            match fault.kind {
+                FaultKind::CrashOnSpec(spec)
+                    if indices.contains(&spec) && self.shared.consume(i) =>
+                {
+                    return true;
+                }
+                FaultKind::PoisonSpec(spec) if indices.contains(&spec) => {
+                    return true;
+                }
+                _ => {}
+            }
+        }
+        false
+    }
+}
+
+impl std::fmt::Debug for FaultTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultTransport")
+            .field("peer", &self.inner.peer())
+            .field("slot", &self.slot)
+            .field("dones_sent", &self.dones_sent)
+            .field("dead", &self.dead)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Transport for FaultTransport {
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        self.check_triggers();
+        self.gate()?;
+        if let Some(garble) = self.garble.take() {
+            let bytes: &[u8] = match garble {
+                // A frame that claims 64 bytes but delivers 9: the peer's
+                // read_exact hits EOF mid-body once we die.
+                Garble::Truncate => b"64\n{\"Done\":{\"",
+                // A header that is not a number at all.
+                Garble::Corrupt => b"\xff\xfenot a frame\n\x00garbage\n",
+            };
+            let _ = self.inner.send_raw(bytes);
+            self.dead = true;
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionAborted,
+                "chaos: frame garbled by fault plan",
+            ));
+        }
+        if self.slow_millis > 0 {
+            std::thread::sleep(Duration::from_millis(self.slow_millis));
+        }
+        self.inner.send(msg)?;
+        if matches!(msg, Message::Done(_)) {
+            self.dones_sent += 1;
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Message> {
+        self.check_triggers();
+        self.gate()?;
+        let msg = self.inner.recv()?;
+        if self.slot.is_none() {
+            if let Message::Hello(hello) = &msg {
+                self.slot = Some(hello.worker_id);
+            }
+        }
+        if let Message::Assign(assign) = &msg {
+            if self.spec_fault_hit(&assign.indices) {
+                self.dead = true;
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "chaos: session killed by spec fault",
+                ));
+            }
+        }
+        Ok(msg)
+    }
+
+    fn peer(&self) -> String {
+        format!("chaos({})", self.inner.peer())
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.inner.set_read_timeout(timeout)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.inner.send_raw(bytes)
+    }
+}
+
+/// A [`Listener`] wrapper that wraps every accepted session in a
+/// [`FaultTransport`] sharing one [`ChaosState`], so once-per-process
+/// faults stay once across a daemon's whole lifetime.
+pub struct FaultListener {
+    inner: Box<dyn Listener>,
+    plan: FaultPlan,
+    shared: Arc<ChaosState>,
+}
+
+impl FaultListener {
+    /// Wraps `inner`, applying `plan` to every accepted session.
+    pub fn new(inner: Box<dyn Listener>, plan: FaultPlan) -> Self {
+        FaultListener {
+            inner,
+            plan,
+            shared: ChaosState::new(),
+        }
+    }
+}
+
+impl std::fmt::Debug for FaultListener {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FaultListener")
+            .field("plan", &self.plan)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Listener for FaultListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Transport>> {
+        let session = self.inner.accept()?;
+        Ok(Box::new(FaultTransport::with_shared(
+            session,
+            self.plan.clone(),
+            None,
+            Arc::clone(&self.shared),
+        )))
+    }
+
+    fn local_addr(&self) -> io::Result<String> {
+        self.inner.local_addr()
+    }
+}
+
+/// SplitMix64: tiny, dependency-free PRNG for [`FaultPlan::random`]. Not
+/// the campaign RNG — plans only need stable stream-from-seed behavior.
+struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{Assign, Done, Hello, Outcome};
+    use serde::Value;
+    use std::collections::VecDeque;
+
+    /// Records sends and replays scripted incoming messages; no real peer.
+    /// State lives behind an `Arc` so tests can inspect it after handing
+    /// the transport to a `FaultTransport`.
+    #[derive(Debug, Default)]
+    struct MockState {
+        sent: Vec<Message>,
+        raw: Vec<Vec<u8>>,
+        incoming: VecDeque<Message>,
+    }
+
+    #[derive(Default)]
+    struct MockTransport {
+        state: Arc<Mutex<MockState>>,
+    }
+
+    impl MockTransport {
+        fn scripted(incoming: &[Message]) -> (Box<Self>, Arc<Mutex<MockState>>) {
+            let state = Arc::new(Mutex::new(MockState {
+                incoming: incoming.iter().cloned().collect(),
+                ..MockState::default()
+            }));
+            (
+                Box::new(MockTransport {
+                    state: Arc::clone(&state),
+                }),
+                state,
+            )
+        }
+    }
+
+    impl Transport for MockTransport {
+        fn send(&mut self, msg: &Message) -> io::Result<()> {
+            self.state.lock().unwrap().sent.push(msg.clone());
+            Ok(())
+        }
+
+        fn recv(&mut self) -> io::Result<Message> {
+            self.state
+                .lock()
+                .unwrap()
+                .incoming
+                .pop_front()
+                .ok_or_else(|| {
+                    io::Error::new(io::ErrorKind::UnexpectedEof, "mock script exhausted")
+                })
+        }
+
+        fn peer(&self) -> String {
+            "mock".into()
+        }
+
+        fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+            self.state.lock().unwrap().raw.push(bytes.to_vec());
+            Ok(())
+        }
+    }
+
+    fn done(index: usize) -> Message {
+        Message::Done(Done {
+            index,
+            seed: index as u64,
+            outcome: Outcome::Record(Value::U64(index as u64)),
+        })
+    }
+
+    fn assign(indices: &[usize]) -> Message {
+        Message::Assign(Assign {
+            indices: indices.to_vec(),
+        })
+    }
+
+    fn plan(kind: FaultKind, worker: Option<usize>, after_dones: usize) -> FaultPlan {
+        FaultPlan {
+            faults: vec![Fault {
+                worker,
+                after_dones,
+                kind,
+            }],
+            max_sessions: None,
+        }
+    }
+
+    #[test]
+    fn plan_roundtrips_through_json() {
+        let plan = FaultPlan {
+            faults: vec![
+                Fault {
+                    worker: Some(1),
+                    after_dones: 2,
+                    kind: FaultKind::SlowFrames(25),
+                },
+                Fault {
+                    worker: None,
+                    after_dones: 0,
+                    kind: FaultKind::PoisonSpec(7),
+                },
+            ],
+            max_sessions: Some(3),
+        };
+        let text = plan.to_json();
+        assert_eq!(FaultPlan::from_json(&text).unwrap(), plan);
+        assert!(FaultPlan::from_json("{broken").is_err());
+    }
+
+    #[test]
+    fn random_plans_are_deterministic_in_the_seed() {
+        let a = FaultPlan::random(42, 3, 16);
+        let b = FaultPlan::random(42, 3, 16);
+        assert_eq!(a, b);
+        assert!(!a.faults.is_empty() && a.faults.len() <= 3);
+        // Different seeds diverge somewhere in a small window.
+        assert!((0..32u64).any(|s| FaultPlan::random(s, 3, 16) != a));
+    }
+
+    #[test]
+    fn env_adapter_translates_the_legacy_hooks() {
+        // Env mutation: keep all three vars inside this single test to
+        // avoid cross-test races.
+        for var in [EXIT_AFTER_ENV, DROP_AFTER_ENV, MAX_SESSIONS_ENV] {
+            std::env::remove_var(var);
+        }
+        assert_eq!(FaultPlan::from_env(), Ok(None));
+        std::env::set_var(EXIT_AFTER_ENV, "3");
+        std::env::set_var(DROP_AFTER_ENV, "2");
+        std::env::set_var(MAX_SESSIONS_ENV, "5");
+        let plan = FaultPlan::from_env().unwrap().unwrap();
+        assert_eq!(plan.max_sessions, Some(5));
+        assert_eq!(
+            plan.faults,
+            vec![
+                Fault {
+                    worker: None,
+                    after_dones: 3,
+                    kind: FaultKind::CrashProcess,
+                },
+                Fault {
+                    worker: None,
+                    after_dones: 2,
+                    kind: FaultKind::Disconnect,
+                },
+            ]
+        );
+        std::env::set_var(EXIT_AFTER_ENV, "not-a-number");
+        assert!(FaultPlan::from_env().is_err());
+        for var in [EXIT_AFTER_ENV, DROP_AFTER_ENV, MAX_SESSIONS_ENV] {
+            std::env::remove_var(var);
+        }
+    }
+
+    #[test]
+    fn disconnect_fires_after_the_scheduled_done_count() {
+        let (mock, _state) = MockTransport::scripted(&[]);
+        let mut t = FaultTransport::new(mock, plan(FaultKind::Disconnect, None, 2), Some(0));
+        t.send(&done(0)).unwrap();
+        t.send(&done(1)).unwrap();
+        let err = t.send(&done(2)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+        // Dead is terminal: recv fails too.
+        assert_eq!(
+            t.recv().unwrap_err().kind(),
+            io::ErrorKind::ConnectionAborted
+        );
+    }
+
+    #[test]
+    fn slot_addressed_faults_skip_other_workers() {
+        let (mock, _state) = MockTransport::scripted(&[]);
+        let mut t = FaultTransport::new(mock, plan(FaultKind::Disconnect, Some(1), 0), Some(0));
+        for i in 0..4 {
+            t.send(&done(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn daemon_sessions_learn_their_slot_from_the_hello() {
+        let (mock, _state) = MockTransport::scripted(&[Message::Hello(Hello {
+            worker_id: 1,
+            fingerprint: 0,
+            spec_count: 4,
+            token: String::new(),
+            threads: 0,
+        })]);
+        let mut t = FaultTransport::new(mock, plan(FaultKind::Disconnect, Some(1), 0), None);
+        // Slot unknown: the slot-1 fault cannot apply yet, so the Hello
+        // gets through — and teaches the transport it *is* slot 1.
+        t.recv().unwrap();
+        let err = t.send(&done(0)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+    }
+
+    #[test]
+    fn slow_frames_delay_but_do_not_fail() {
+        let (mock, _state) = MockTransport::scripted(&[]);
+        let mut t = FaultTransport::new(mock, plan(FaultKind::SlowFrames(1), None, 1), Some(0));
+        for i in 0..3 {
+            t.send(&done(i)).unwrap();
+        }
+    }
+
+    #[test]
+    fn garbling_faults_emit_raw_bytes_then_die() {
+        for (kind, expect_prefix) in [
+            (FaultKind::TruncateFrame, b"64\n".as_slice()),
+            (FaultKind::CorruptFrame, b"\xff\xfe".as_slice()),
+        ] {
+            let (mock, state) = MockTransport::scripted(&[]);
+            let mut t = FaultTransport::new(mock, plan(kind, None, 1), Some(0));
+            t.send(&done(0)).unwrap();
+            let err = t.send(&done(1)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionAborted);
+            let state = state.lock().unwrap();
+            // The clean frame went through; the garbled one went out raw.
+            assert_eq!(state.sent, vec![done(0)]);
+            assert_eq!(state.raw.len(), 1);
+            assert!(state.raw[0].starts_with(expect_prefix));
+        }
+    }
+
+    #[test]
+    fn poison_spec_kills_every_matching_assign() {
+        let shared = ChaosState::new();
+        for _session in 0..3 {
+            let (mock, _state) = MockTransport::scripted(&[assign(&[3, 7])]);
+            let mut t = FaultTransport::with_shared(
+                mock,
+                plan(FaultKind::PoisonSpec(7), None, 0),
+                Some(0),
+                Arc::clone(&shared),
+            );
+            let err = t.recv().unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::ConnectionReset);
+        }
+    }
+
+    #[test]
+    fn crash_on_spec_is_consumed_after_one_strike() {
+        let shared = ChaosState::new();
+        let make = |shared: &Arc<ChaosState>| {
+            let (mock, _state) = MockTransport::scripted(&[assign(&[7])]);
+            FaultTransport::with_shared(
+                mock,
+                plan(FaultKind::CrashOnSpec(7), None, 0),
+                Some(0),
+                Arc::clone(shared),
+            )
+        };
+        let mut first = make(&shared);
+        assert_eq!(
+            first.recv().unwrap_err().kind(),
+            io::ErrorKind::ConnectionReset
+        );
+        // Second session sharing state: the once-fault is spent.
+        let mut second = make(&shared);
+        assert_eq!(second.recv().unwrap(), assign(&[7]));
+    }
+
+    #[test]
+    fn unrelated_assigns_pass_through_spec_faults() {
+        let (mock, _state) = MockTransport::scripted(&[assign(&[0, 1])]);
+        let mut t = FaultTransport::new(mock, plan(FaultKind::PoisonSpec(7), None, 0), Some(0));
+        assert_eq!(t.recv().unwrap(), assign(&[0, 1]));
+    }
+}

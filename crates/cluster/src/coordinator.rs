@@ -10,26 +10,51 @@
 //! append and any streaming writers live) before being merged into
 //! index-addressed slots.
 //!
-//! Fault model: a worker whose channel dies (crash, OOM-kill, network
-//! drop) has its un-acknowledged batch returned to the front of the shared
-//! queue and its session re-established through the connector (respawn for
-//! processes, reconnect for TCP), consuming respawn budget. A slot whose
-//! budget runs out is declared lost — its unfinished work stays in the
-//! queue and is **re-dispatched to the surviving workers**; the pool only
-//! fails with [`ClusterError::WorkerLost`] if work remains when every slot
-//! is gone. A worker that stays alive but reports a failed run
-//! ([`Outcome::Failed`], e.g. a panicking spec) is a deterministic error:
-//! retrying would fail the same way, so the pool shuts down and returns
-//! [`ClusterError::RunFailed`].
+//! ## Fault model
 //!
-//! Whatever the topology, the merged records are **byte-identical** to a
-//! sequential in-process run: results are keyed by spec index and every
-//! record is a pure function of its pure spec.
+//! * **Channel loss** (crash, OOM-kill, network drop, corrupted frame): the
+//!   un-acknowledged remainder of the batch returns to the shared queue as
+//!   *suspects* — re-dispatched one index at a time so any further crash is
+//!   precisely attributable — and the session is re-established through the
+//!   connector (respawn for processes, reconnect for TCP) behind an
+//!   exponential backoff. Reconnects consume the slot's respawn budget,
+//!   which measures *consecutive* failures: a session that delivered at
+//!   least one result refills it.
+//! * **Hang** (worker alive, frames stopped): with an assign deadline
+//!   configured ([`WorkerPool::with_assign_timeout`]), silence past the
+//!   deadline tears the session down exactly like a channel loss. Workers
+//!   that are merely *slow* stay alive by sending
+//!   [`Ping`](crate::protocol::Message::Ping) heartbeats while they
+//!   compute; the coordinator answers each with a `Pong` and resets the
+//!   deadline.
+//! * **Slot exhaustion**: a slot whose budget runs out is declared lost;
+//!   with [`WorkerPool::with_quarantine_after`], a slot that keeps striking
+//!   (even non-consecutively) is quarantined. Either way its unfinished
+//!   work is **re-dispatched to the surviving workers**; the pool only
+//!   fails with [`ClusterError::WorkerLost`] if work remains when every
+//!   slot is gone.
+//! * **Poison specs**: a crash attributed to one specific spec twice
+//!   (tunable via [`WorkerPool::with_poison_after`]) stops being retried —
+//!   the spec is isolated and reported as a typed
+//!   [`ClusterError::PoisonedSpecs`] while every other spec completes and
+//!   journals as usual. Attributed crashes do not consume the slot's
+//!   respawn budget: the spec is at fault, not the worker.
+//! * **Stragglers**: with [`WorkerPool::with_speculative`], an idle worker
+//!   duplicates in-flight assignments instead of idling at the tail of the
+//!   campaign; the first result per index wins and duplicates are
+//!   discarded, so byte-identity is unaffected.
+//! * **Deterministic run failure** ([`Outcome::Failed`], e.g. a panicking
+//!   spec): retrying would fail the same way, so the pool shuts down and
+//!   returns [`ClusterError::RunFailed`].
+//!
+//! Whatever the topology or fault sequence, the merged records are
+//! **byte-identical** to a sequential in-process run: results are keyed by
+//! spec index and every record is a pure function of its pure spec.
 
 use crate::protocol::{Assign, CheckpointEntry, Done, Hello, Message, Outcome};
 use crate::transport::{Connector, Transport};
 use serde::Value;
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
@@ -40,6 +65,9 @@ use std::time::Duration;
 pub enum ClusterError {
     /// The worker session could not be established at all.
     Spawn(String),
+    /// The pool was configured with nonsense (zero timeouts, zero
+    /// thresholds). Caught before any session starts.
+    Config(String),
     /// A worker's `Hello` fingerprint disagrees with the coordinator's —
     /// the two sides expanded different campaigns (wrong flags, wrong
     /// binary). Never retried.
@@ -78,6 +106,27 @@ pub enum ClusterError {
         /// The final channel failure.
         detail: String,
     },
+    /// A worker accumulated too many lifetime channel strikes (see
+    /// [`WorkerPool::with_quarantine_after`]) and was removed from the
+    /// pool; its unfinished work was re-dispatched.
+    WorkerQuarantined {
+        /// Worker pool index.
+        worker: usize,
+        /// Lifetime strikes accumulated.
+        strikes: usize,
+        /// The final channel failure.
+        detail: String,
+    },
+    /// One or more specs repeatedly killed the workers assigned to them
+    /// and were isolated instead of burning the respawn budget. Every
+    /// *other* spec completed and reached the `on_done` sink (so a
+    /// journaling caller can resume after fixing the cause).
+    PoisonedSpecs {
+        /// The isolated spec indices, sorted.
+        indices: Vec<usize>,
+        /// How many other specs completed.
+        completed: usize,
+    },
     /// A worker reported a failed run (e.g. the spec panicked). The failure
     /// is deterministic, so it is not retried.
     RunFailed {
@@ -104,6 +153,7 @@ impl fmt::Display for ClusterError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClusterError::Spawn(detail) => write!(f, "failed to start worker: {detail}"),
+            ClusterError::Config(detail) => write!(f, "invalid pool configuration: {detail}"),
             ClusterError::FingerprintMismatch {
                 worker,
                 ours,
@@ -132,6 +182,21 @@ impl fmt::Display for ClusterError {
                 f,
                 "worker {worker} lost after {respawns} respawn(s): {detail}"
             ),
+            ClusterError::WorkerQuarantined {
+                worker,
+                strikes,
+                detail,
+            } => write!(
+                f,
+                "worker {worker} quarantined after {strikes} channel strike(s): {detail}"
+            ),
+            ClusterError::PoisonedSpecs { indices, completed } => write!(
+                f,
+                "{} spec(s) {:?} repeatedly killed their workers and were poisoned/isolated \
+                 ({completed} other spec(s) completed; resume after fixing the cause)",
+                indices.len(),
+                indices
+            ),
             ClusterError::RunFailed { index, detail } => {
                 write!(f, "spec {index} failed: {detail}")
             }
@@ -156,11 +221,19 @@ pub struct ClusterOutcome {
     /// Worker slots that were declared lost (their work was re-dispatched
     /// to the survivors).
     pub lost_workers: usize,
+    /// Worker slots quarantined for accumulating channel strikes (their
+    /// work was re-dispatched to the survivors).
+    pub quarantined_workers: usize,
 }
 
-/// Bound on the handshake round-trip for transports with deadline support
-/// (a daemon that accepts but never answers must not hang the pool).
-const HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Default bound on the handshake round-trip (a daemon that accepts but
+/// never answers must not hang the pool). Override via
+/// [`WorkerPool::with_handshake_timeout`].
+pub const DEFAULT_HANDSHAKE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Default precise-strike count after which a spec is poisoned. Override
+/// via [`WorkerPool::with_poison_after`].
+pub const DEFAULT_POISON_AFTER: usize = 2;
 
 /// Base pause between a channel loss and the reconnect attempt; doubles
 /// per consecutive attempt (capped by [`RECONNECT_DELAY_MAX`]) so a daemon
@@ -183,6 +256,11 @@ pub struct WorkerPool {
     connectors: Vec<Box<dyn Connector>>,
     max_respawns: usize,
     token: String,
+    assign_timeout: Option<Duration>,
+    handshake_timeout: Duration,
+    speculative: bool,
+    quarantine_after: Option<usize>,
+    poison_after: usize,
 }
 
 impl WorkerPool {
@@ -200,11 +278,17 @@ impl WorkerPool {
             connectors,
             max_respawns: 2,
             token: String::new(),
+            assign_timeout: None,
+            handshake_timeout: DEFAULT_HANDSHAKE_TIMEOUT,
+            speculative: false,
+            quarantine_after: None,
+            poison_after: DEFAULT_POISON_AFTER,
         }
     }
 
-    /// Overrides the per-worker respawn/reconnect budget (0 = a slot is
-    /// lost on its first channel failure).
+    /// Overrides the per-worker budget of *consecutive* session failures
+    /// (0 = a slot is lost on its first channel failure). A session that
+    /// delivered at least one result refills the budget.
     #[must_use]
     pub fn with_max_respawns(mut self, max_respawns: usize) -> Self {
         self.max_respawns = max_respawns;
@@ -219,6 +303,53 @@ impl WorkerPool {
         self
     }
 
+    /// Bounds how long a session may go silent mid-batch before it is torn
+    /// down and its shard re-dispatched (`None` = wait forever, the
+    /// legacy behavior). Workers heartbeat while computing, so this
+    /// detects *hung* workers, not slow specs — set it well above the
+    /// worker heartbeat interval.
+    #[must_use]
+    pub fn with_assign_timeout(mut self, timeout: Option<Duration>) -> Self {
+        self.assign_timeout = timeout;
+        self
+    }
+
+    /// Replaces the default handshake round-trip bound
+    /// ([`DEFAULT_HANDSHAKE_TIMEOUT`]).
+    #[must_use]
+    pub fn with_handshake_timeout(mut self, timeout: Duration) -> Self {
+        self.handshake_timeout = timeout;
+        self
+    }
+
+    /// Enables speculative tail execution: an idle worker duplicates
+    /// in-flight assignments instead of idling; the first result per index
+    /// wins and duplicates are discarded (byte-identity is unaffected —
+    /// records are pure functions of their spec).
+    #[must_use]
+    pub fn with_speculative(mut self, speculative: bool) -> Self {
+        self.speculative = speculative;
+        self
+    }
+
+    /// Quarantines a slot after this many *lifetime* channel strikes
+    /// (`None` = never). Unlike the respawn budget, strikes do not reset
+    /// on productive sessions — this catches a flaky worker that limps
+    /// along failing every few batches.
+    #[must_use]
+    pub fn with_quarantine_after(mut self, strikes: Option<usize>) -> Self {
+        self.quarantine_after = strikes;
+        self
+    }
+
+    /// Sets how many crashes must be precisely attributed to one spec
+    /// before it is poisoned (isolated and reported instead of retried).
+    #[must_use]
+    pub fn with_poison_after(mut self, strikes: usize) -> Self {
+        self.poison_after = strikes;
+        self
+    }
+
     /// Total worker slots in this pool.
     pub fn workers(&self) -> usize {
         self.connectors.len()
@@ -227,6 +358,32 @@ impl WorkerPool {
     /// The worker count this pool will actually start for `n` pending specs.
     pub fn effective_workers(&self, n: usize) -> usize {
         self.connectors.len().min(n.max(1))
+    }
+
+    /// Rejects zero/nonsense durations and thresholds before any session
+    /// starts.
+    fn validate(&self) -> Result<(), ClusterError> {
+        if self.handshake_timeout.is_zero() {
+            return Err(ClusterError::Config(
+                "handshake timeout must be positive".into(),
+            ));
+        }
+        if matches!(self.assign_timeout, Some(t) if t.is_zero()) {
+            return Err(ClusterError::Config(
+                "assign timeout must be positive (omit it to wait forever)".into(),
+            ));
+        }
+        if self.poison_after == 0 {
+            return Err(ClusterError::Config(
+                "poison-after threshold must be at least 1".into(),
+            ));
+        }
+        if self.quarantine_after == Some(0) {
+            return Err(ClusterError::Config(
+                "quarantine-after threshold must be at least 1 (omit it to disable)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Dispatches `pending` spec indices across the pool and collects the
@@ -246,7 +403,8 @@ impl WorkerPool {
     /// Completed work was already visible through `on_done`, so a
     /// journaling caller can resume. A non-fatal worker loss only surfaces
     /// as [`ClusterError::WorkerLost`] when no surviving worker could
-    /// finish the queue.
+    /// finish the queue; poisoned specs surface as
+    /// [`ClusterError::PoisonedSpecs`] after everything else completed.
     pub fn run<F>(
         &self,
         fingerprint: u64,
@@ -257,15 +415,17 @@ impl WorkerPool {
     where
         F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
+        self.validate()?;
         if pending.is_empty() {
             return Ok(ClusterOutcome {
                 records: Vec::new(),
                 respawns: 0,
                 lost_workers: 0,
+                quarantined_workers: 0,
             });
         }
         let workers = self.effective_workers(pending.len());
-        let dispatch = Dispatch::new(pending);
+        let dispatch = Dispatch::new(pending, self.speculative, self.poison_after);
         let results: Mutex<Vec<(usize, Value)>> = Mutex::new(Vec::with_capacity(pending.len()));
         let sink = Mutex::new(on_done);
         let respawns = AtomicUsize::new(0);
@@ -296,7 +456,7 @@ impl WorkerPool {
                             // merged report will be discarded.
                             dispatch.abort();
                         }
-                        if matches!(end, WorkerEnd::Lost(_)) {
+                        if matches!(end, WorkerEnd::Lost(_) | WorkerEnd::Quarantined(_)) {
                             dispatch.worker_gone();
                         }
                         end
@@ -310,12 +470,19 @@ impl WorkerPool {
         });
 
         let mut lost_workers = 0usize;
+        let mut quarantined_workers = 0usize;
         let mut first_lost: Option<ClusterError> = None;
         for end in ends {
             match end {
                 WorkerEnd::Completed => {}
                 WorkerEnd::Lost(e) => {
                     lost_workers += 1;
+                    if first_lost.is_none() {
+                        first_lost = Some(e);
+                    }
+                }
+                WorkerEnd::Quarantined(e) => {
+                    quarantined_workers += 1;
                     if first_lost.is_none() {
                         first_lost = Some(e);
                     }
@@ -327,7 +494,8 @@ impl WorkerPool {
         }
 
         let collected = results.into_inner().expect("results mutex poisoned");
-        if collected.len() != pending.len() {
+        let poisoned = dispatch.poisoned_indices();
+        if collected.len() + poisoned.len() != pending.len() {
             // Work remains: every slot that could have absorbed it is gone.
             return Err(first_lost.unwrap_or_else(|| {
                 ClusterError::Merge(format!(
@@ -336,6 +504,14 @@ impl WorkerPool {
                     pending.len()
                 ))
             }));
+        }
+        if !poisoned.is_empty() {
+            // Everything else completed (and reached the sink); the
+            // poisoned remainder is a typed report, not a mystery.
+            return Err(ClusterError::PoisonedSpecs {
+                indices: poisoned,
+                completed: collected.len(),
+            });
         }
 
         let mut expected = pending.to_vec();
@@ -346,6 +522,7 @@ impl WorkerPool {
             records: expected.into_iter().zip(merged).collect(),
             respawns: respawns.load(Ordering::Relaxed),
             lost_workers,
+            quarantined_workers,
         })
     }
 
@@ -367,9 +544,10 @@ impl WorkerPool {
         F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
         let mut respawns_left = self.max_respawns;
+        let mut strikes = 0usize;
         let mut attempts = 0usize;
         loop {
-            if dispatch.is_aborted() || dispatch.is_drained() {
+            if dispatch.is_aborted() || dispatch.is_finished() {
                 // Nothing left to do (or another worker failed fatally):
                 // do not even establish a session.
                 return WorkerEnd::Completed;
@@ -381,7 +559,7 @@ impl WorkerPool {
                 std::thread::sleep(backoff);
             }
             attempts += 1;
-            let lost = match connector.connect(worker) {
+            let loss = match connector.connect(worker) {
                 Ok(mut transport) => {
                     match self.serve_session(
                         worker,
@@ -397,18 +575,46 @@ impl WorkerPool {
                             return WorkerEnd::Completed;
                         }
                         Err(SessionEnd::Fatal(e)) => return WorkerEnd::Fatal(e),
-                        Err(SessionEnd::ChannelLost(detail)) => detail,
+                        Err(SessionEnd::ChannelLost(loss)) => loss,
                     }
                 }
-                Err(e) => format!("{} unavailable: {e}", connector.describe()),
+                Err(e) => SessionLoss {
+                    detail: format!("{} unavailable: {e}", connector.describe()),
+                    productive: false,
+                    spec_blamed: false,
+                },
             };
+            if loss.productive {
+                // The budget measures *consecutive* failures: results
+                // flowed this session, so the slot earned a fresh budget
+                // (and a fresh backoff ramp).
+                respawns_left = self.max_respawns;
+                attempts = 0;
+            }
+            strikes += 1;
+            if let Some(limit) = self.quarantine_after {
+                if strikes >= limit {
+                    // The slot's unfinished work is already back in the
+                    // shared queue for the surviving workers.
+                    return WorkerEnd::Quarantined(ClusterError::WorkerQuarantined {
+                        worker,
+                        strikes,
+                        detail: loss.detail,
+                    });
+                }
+            }
+            if loss.spec_blamed {
+                // The crash was attributed to a poisonous spec, not this
+                // worker: reconnect without charging the respawn budget.
+                continue;
+            }
             if respawns_left == 0 {
                 // The slot is lost; its unfinished work is already back in
                 // the shared queue for the surviving workers.
                 return WorkerEnd::Lost(ClusterError::WorkerLost {
                     worker,
                     respawns: self.max_respawns,
-                    detail: lost,
+                    detail: loss.detail,
                 });
             }
             respawns_left -= 1;
@@ -433,6 +639,7 @@ impl WorkerPool {
         F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
         let threads = self.handshake(worker, transport, fingerprint, total)?;
+        let mut accepted = 0usize;
         loop {
             if dispatch.is_aborted() {
                 // Another worker failed; stop at the assignment boundary.
@@ -450,12 +657,14 @@ impl WorkerPool {
                 dispatch,
                 results,
                 sink,
+                &mut accepted,
             )?;
         }
     }
 
     /// Runs the mutual handshake, returning the worker's advertised thread
-    /// count (the batch size for this session).
+    /// count (the batch size for this session). Leaves the session's
+    /// assign deadline installed as the read timeout.
     fn handshake(
         &self,
         worker: usize,
@@ -463,7 +672,7 @@ impl WorkerPool {
         fingerprint: u64,
         total: usize,
     ) -> Result<usize, SessionEnd> {
-        let _ = transport.set_read_timeout(Some(HANDSHAKE_TIMEOUT));
+        let _ = transport.set_read_timeout(Some(self.handshake_timeout));
         let ours = Message::Hello(Hello {
             worker_id: worker,
             fingerprint,
@@ -472,15 +681,13 @@ impl WorkerPool {
             threads: 0,
         });
         if let Err(e) = transport.send(&ours) {
-            return Err(SessionEnd::ChannelLost(format!(
-                "handshake send failed: {e}"
-            )));
+            return Err(SessionEnd::lost(format!("handshake send failed: {e}")));
         }
         let reply = match transport.recv() {
             Ok(reply) => reply,
-            Err(e) => return Err(SessionEnd::ChannelLost(format!("handshake failed: {e}"))),
+            Err(e) => return Err(SessionEnd::lost(format!("handshake failed: {e}"))),
         };
-        let _ = transport.set_read_timeout(None);
+        let _ = transport.set_read_timeout(self.assign_timeout);
         match reply {
             Message::Hello(hello) => {
                 if hello.token != self.token {
@@ -515,47 +722,78 @@ impl WorkerPool {
         }
     }
 
-    /// Assigns one batch and collects its `Done`s; on channel loss the
-    /// unacknowledged remainder is returned to the queue.
+    /// Assigns one batch and collects its `Done`s; on channel loss (or a
+    /// deadline expiry with no heartbeat) the unacknowledged remainder is
+    /// returned to the queue with crash blame recorded.
     #[allow(clippy::too_many_arguments)]
     fn serve_batch<F>(
         &self,
         worker: usize,
         transport: &mut dyn Transport,
         fingerprint: u64,
-        batch: &[usize],
+        batch: &Batch,
         dispatch: &Dispatch,
         results: &Mutex<Vec<(usize, Value)>>,
         sink: &Mutex<F>,
+        accepted: &mut usize,
     ) -> Result<(), SessionEnd>
     where
         F: FnMut(&mut CheckpointEntry) -> Result<(), String> + Send,
     {
-        let mut outstanding: VecDeque<usize> = batch.iter().copied().collect();
+        let mut outstanding: VecDeque<usize> = batch.indices.iter().copied().collect();
+        let lose = |dispatch: &Dispatch,
+                    outstanding: &VecDeque<usize>,
+                    accepted: usize,
+                    detail: String| {
+            let blamed = dispatch.settle_loss(outstanding, batch.suspect);
+            SessionEnd::ChannelLost(SessionLoss {
+                detail,
+                productive: accepted > 0,
+                spec_blamed: blamed,
+            })
+        };
         let assign = Message::Assign(Assign {
-            indices: batch.to_vec(),
+            indices: batch.indices.clone(),
         });
         if let Err(e) = transport.send(&assign) {
-            dispatch.requeue(&outstanding);
-            return Err(SessionEnd::ChannelLost(format!(
-                "assigning batch {batch:?} failed: {e}"
-            )));
+            let indices = &batch.indices;
+            return Err(lose(
+                dispatch,
+                &outstanding,
+                *accepted,
+                format!("assigning batch {indices:?} failed: {e}"),
+            ));
         }
         while !outstanding.is_empty() {
             let done = match transport.recv() {
                 Ok(Message::Done(done)) => done,
+                Ok(Message::Ping) => {
+                    // The worker is alive, just still computing: answer and
+                    // keep waiting (the read deadline restarts per frame).
+                    if let Err(e) = transport.send(&Message::Pong) {
+                        return Err(lose(
+                            dispatch,
+                            &outstanding,
+                            *accepted,
+                            format!("heartbeat reply failed: {e}"),
+                        ));
+                    }
+                    continue;
+                }
                 Ok(other) => {
-                    dispatch.requeue(&outstanding);
+                    dispatch.settle_loss(&outstanding, false);
                     return Err(SessionEnd::Fatal(ClusterError::Protocol {
                         worker,
                         detail: format!("expected Done, got {other:?}"),
                     }));
                 }
                 Err(e) => {
-                    dispatch.requeue(&outstanding);
-                    return Err(SessionEnd::ChannelLost(format!(
-                        "reading result of batch {outstanding:?} failed: {e}"
-                    )));
+                    return Err(lose(
+                        dispatch,
+                        &outstanding,
+                        *accepted,
+                        format!("reading result of batch {outstanding:?} failed: {e}"),
+                    ));
                 }
             };
             let Done {
@@ -564,7 +802,7 @@ impl WorkerPool {
                 outcome,
             } = done;
             let Some(pos) = outstanding.iter().position(|&i| i == index) else {
-                dispatch.requeue(&outstanding);
+                dispatch.settle_loss(&outstanding, false);
                 return Err(SessionEnd::Fatal(ClusterError::Protocol {
                     worker,
                     detail: format!("got result for unassigned spec {index}"),
@@ -572,6 +810,14 @@ impl WorkerPool {
             };
             match outcome {
                 Outcome::Record(record) => {
+                    *accepted += 1;
+                    outstanding.remove(pos);
+                    if !dispatch.complete(index) {
+                        // A speculative twin finished first; this duplicate
+                        // is byte-identical by construction, so drop it
+                        // without re-journaling.
+                        continue;
+                    }
                     let mut entry = CheckpointEntry {
                         fingerprint,
                         index,
@@ -585,23 +831,21 @@ impl WorkerPool {
                     if let Err(detail) = sunk {
                         // Durability lost (journal/stream write failed):
                         // continuing would complete runs that can never be
-                        // resumed, so fail fast instead. The run itself was
-                        // never journaled, so it stays in `outstanding` and
-                        // goes back to the queue.
-                        dispatch.requeue(&outstanding);
+                        // resumed, so fail fast instead. The run was
+                        // journaled as completed in dispatch but the pool
+                        // aborts, so no further work depends on it.
+                        dispatch.settle_loss(&outstanding, false);
                         return Err(SessionEnd::Fatal(ClusterError::Io(detail)));
                     }
                     results
                         .lock()
                         .expect("results mutex poisoned")
                         .push((index, entry.record));
-                    outstanding.remove(pos);
-                    dispatch.complete(1);
                 }
                 Outcome::Failed(detail) => {
                     outstanding.remove(pos);
-                    dispatch.complete(1);
-                    dispatch.requeue(&outstanding);
+                    dispatch.complete(index);
+                    dispatch.settle_loss(&outstanding, false);
                     return Err(SessionEnd::Fatal(ClusterError::RunFailed { index, detail }));
                 }
             }
@@ -622,7 +866,10 @@ impl fmt::Debug for WorkerPool {
                     .collect::<Vec<_>>(),
             )
             .field("max_respawns", &self.max_respawns)
-            .finish()
+            .field("assign_timeout", &self.assign_timeout)
+            .field("speculative", &self.speculative)
+            .field("quarantine_after", &self.quarantine_after)
+            .finish_non_exhaustive()
     }
 }
 
@@ -632,95 +879,239 @@ enum WorkerEnd {
     Completed,
     /// The slot exhausted its respawn budget; its work was re-queued.
     Lost(ClusterError),
+    /// The slot hit its lifetime strike cap; its work was re-queued.
+    Quarantined(ClusterError),
     /// Unrecoverable: propagate to the caller.
     Fatal(ClusterError),
+}
+
+/// What a lost session reports back to [`WorkerPool::drive_worker`].
+struct SessionLoss {
+    /// Human-readable failure description.
+    detail: String,
+    /// Whether the session delivered at least one result before dying
+    /// (refills the respawn budget — the failure streak restarted).
+    productive: bool,
+    /// Whether the crash was attributed to a specific spec (does not
+    /// charge the slot's respawn budget).
+    spec_blamed: bool,
 }
 
 /// Why a worker session stopped serving.
 enum SessionEnd {
     /// Unrecoverable: propagate to the caller.
     Fatal(ClusterError),
-    /// The channel died (worker crashed / network drop); the slot's
-    /// unfinished work was re-queued and the session can be re-established.
-    ChannelLost(String),
+    /// The channel died (worker crashed / hung past the deadline /
+    /// network drop); the slot's unfinished work was re-queued and the
+    /// session can be re-established.
+    ChannelLost(SessionLoss),
 }
 
-/// The shared dispatch queue: pending spec indices plus an in-flight count,
-/// guarded by one mutex/condvar pair so idle workers can wait for work that
-/// a dying peer might hand back.
+impl SessionEnd {
+    fn lost(detail: String) -> Self {
+        SessionEnd::ChannelLost(SessionLoss {
+            detail,
+            productive: false,
+            spec_blamed: false,
+        })
+    }
+}
+
+/// One assignment handed to a session.
+struct Batch {
+    indices: Vec<usize>,
+    /// Suspect batches are crash-implicated singletons: a further loss
+    /// while one is outstanding is a precise blame strike on that spec.
+    suspect: bool,
+}
+
+/// The shared dispatch queue, guarded by one mutex/condvar pair so idle
+/// workers can wait for work that a dying peer might hand back.
+///
+/// Fresh work flows through `queue` in batches; crash-implicated work
+/// flows through `suspects` one index at a time (so repeated crashes are
+/// attributable to a single spec, feeding the poison counter). `holders`
+/// tracks how many live sessions are computing each index — normally one,
+/// two when speculation duplicates a straggler's assignment.
 struct Dispatch {
     state: Mutex<DispatchState>,
     wake: Condvar,
     aborted: AtomicBool,
+    speculative: bool,
+    poison_after: usize,
 }
 
 struct DispatchState {
+    /// Never-dispatched (or cleanly returned) work, in dispatch order.
     queue: VecDeque<usize>,
-    in_flight: usize,
+    /// Crash-implicated work, re-dispatched as singletons.
+    suspects: VecDeque<usize>,
+    /// index -> live sessions currently computing it.
+    holders: BTreeMap<usize, usize>,
+    /// Indices whose first result has been accepted.
+    completed: BTreeSet<usize>,
+    /// index -> precise crash strikes (suspect-singleton losses only).
+    blame: BTreeMap<usize, usize>,
+    /// Indices isolated after reaching the poison threshold.
+    poisoned: BTreeSet<usize>,
+    /// Total indices this run must settle (completed + poisoned).
+    target: usize,
+}
+
+impl DispatchState {
+    fn is_finished(&self) -> bool {
+        self.completed.len() + self.poisoned.len() >= self.target
+    }
+
+    fn is_settled(&self, index: usize) -> bool {
+        self.completed.contains(&index) || self.poisoned.contains(&index)
+    }
 }
 
 impl Dispatch {
-    fn new(pending: &[usize]) -> Self {
+    fn new(pending: &[usize], speculative: bool, poison_after: usize) -> Self {
         Dispatch {
             state: Mutex::new(DispatchState {
                 queue: pending.iter().copied().collect(),
-                in_flight: 0,
+                suspects: VecDeque::new(),
+                holders: BTreeMap::new(),
+                completed: BTreeSet::new(),
+                blame: BTreeMap::new(),
+                poisoned: BTreeSet::new(),
+                target: pending.len(),
             }),
             wake: Condvar::new(),
             aborted: AtomicBool::new(false),
+            speculative,
+            poison_after,
         }
     }
 
-    /// Pops up to `k` indices, waiting while the queue is empty but other
-    /// workers still hold in-flight work (a dying peer may re-queue it).
-    /// Returns `None` once everything is done or the pool aborted.
-    fn pop_batch(&self, k: usize) -> Option<Vec<usize>> {
+    /// Pops the next assignment: a suspect singleton first, else up to `k`
+    /// fresh indices, else (with speculation) duplicates of in-flight
+    /// work. Waits while other workers still hold in-flight work (a dying
+    /// peer may hand it back); returns `None` once every index is settled
+    /// or the pool aborted.
+    fn pop_batch(&self, k: usize) -> Option<Batch> {
         let k = k.max(1);
         let mut state = self.state.lock().expect("dispatch mutex poisoned");
         loop {
             if self.is_aborted() {
                 return None;
             }
-            if !state.queue.is_empty() {
-                let n = k.min(state.queue.len());
-                let batch: Vec<usize> = state.queue.drain(..n).collect();
-                state.in_flight += batch.len();
-                return Some(batch);
+            while let Some(&front) = state.suspects.front() {
+                if state.is_settled(front) {
+                    state.suspects.pop_front();
+                    continue;
+                }
+                state.suspects.pop_front();
+                *state.holders.entry(front).or_insert(0) += 1;
+                return Some(Batch {
+                    indices: vec![front],
+                    suspect: true,
+                });
             }
-            if state.in_flight == 0 {
+            let mut batch = Vec::new();
+            while batch.len() < k {
+                let Some(index) = state.queue.pop_front() else {
+                    break;
+                };
+                if !state.is_settled(index) {
+                    batch.push(index);
+                }
+            }
+            if !batch.is_empty() {
+                for &index in &batch {
+                    *state.holders.entry(index).or_insert(0) += 1;
+                }
+                return Some(Batch {
+                    indices: batch,
+                    suspect: false,
+                });
+            }
+            if state.is_finished() {
                 return None;
+            }
+            if self.speculative {
+                // Tail speculation: mirror in-flight work not already
+                // duplicated, so one straggler cannot stall the campaign.
+                let dups: Vec<usize> = state
+                    .holders
+                    .iter()
+                    .filter(|&(&index, &holders)| holders == 1 && !state.is_settled(index))
+                    .map(|(&index, _)| index)
+                    .take(k)
+                    .collect();
+                if !dups.is_empty() {
+                    for &index in &dups {
+                        *state.holders.entry(index).or_insert(0) += 1;
+                    }
+                    return Some(Batch {
+                        indices: dups,
+                        suspect: false,
+                    });
+                }
             }
             state = self.wake.wait(state).expect("dispatch mutex poisoned");
         }
     }
 
-    /// Returns un-acknowledged indices to the front of the queue (order
-    /// preserved) after a channel loss.
-    fn requeue(&self, outstanding: &VecDeque<usize>) {
+    /// Records an accepted result for `index`. Returns `true` if it is the
+    /// first (the caller sinks and keeps it), `false` for a speculative
+    /// duplicate (the caller drops it).
+    fn complete(&self, index: usize) -> bool {
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        if let Some(holders) = state.holders.get_mut(&index) {
+            *holders -= 1;
+            if *holders == 0 {
+                state.holders.remove(&index);
+            }
+        }
+        let first = state.completed.insert(index);
+        drop(state);
+        self.wake.notify_all();
+        first
+    }
+
+    /// Settles a lost session's outstanding indices: anything no other
+    /// live session holds goes back as a suspect, and — when the lost
+    /// batch was itself a suspect singleton — earns a precise blame strike
+    /// that can poison the spec. Returns whether blame was assigned (a
+    /// blamed loss does not charge the worker's respawn budget).
+    fn settle_loss(&self, outstanding: &VecDeque<usize>, was_suspect: bool) -> bool {
         if outstanding.is_empty() {
             // In-flight already settled; still wake waiters so idle-exit
             // conditions re-evaluate.
             self.wake.notify_all();
-            return;
+            return false;
         }
         let mut state = self.state.lock().expect("dispatch mutex poisoned");
-        for &index in outstanding.iter().rev() {
-            state.queue.push_front(index);
+        let mut blamed = false;
+        for &index in outstanding {
+            if let Some(holders) = state.holders.get_mut(&index) {
+                *holders -= 1;
+                if *holders == 0 {
+                    state.holders.remove(&index);
+                }
+            }
+            if state.is_settled(index) || state.holders.contains_key(&index) {
+                // Completed, already poisoned, or a twin is still on it.
+                continue;
+            }
+            if was_suspect {
+                let strikes = state.blame.entry(index).or_insert(0);
+                *strikes += 1;
+                blamed = true;
+                if *strikes >= self.poison_after {
+                    state.poisoned.insert(index);
+                    continue;
+                }
+            }
+            state.suspects.push_back(index);
         }
-        state.in_flight -= outstanding.len();
         drop(state);
         self.wake.notify_all();
-    }
-
-    /// Marks `n` in-flight indices as durably completed.
-    fn complete(&self, n: usize) {
-        let mut state = self.state.lock().expect("dispatch mutex poisoned");
-        state.in_flight -= n;
-        let done = state.queue.is_empty() && state.in_flight == 0;
-        drop(state);
-        if done {
-            self.wake.notify_all();
-        }
+        blamed
     }
 
     /// Fatal-error broadcast: waiters wake and bail.
@@ -738,9 +1129,15 @@ impl Dispatch {
         self.wake.notify_all();
     }
 
-    /// Whether all work is dispatched and acknowledged.
-    fn is_drained(&self) -> bool {
+    /// Whether every index is settled (completed or poisoned).
+    fn is_finished(&self) -> bool {
         let state = self.state.lock().expect("dispatch mutex poisoned");
-        state.queue.is_empty() && state.in_flight == 0
+        state.is_finished()
+    }
+
+    /// The poisoned indices, sorted.
+    fn poisoned_indices(&self) -> Vec<usize> {
+        let state = self.state.lock().expect("dispatch mutex poisoned");
+        state.poisoned.iter().copied().collect()
     }
 }

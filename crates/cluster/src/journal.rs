@@ -6,8 +6,18 @@
 //! [`load_journal`] replays every line whose fingerprint matches the
 //! campaign being run; lines from other campaigns are counted and skipped,
 //! and a torn final line (the interrupted write itself) is tolerated.
+//!
+//! Every line the writer appends is prefixed with a 16-hex-digit FNV-1a
+//! checksum of the JSON body (`<checksum> <json>`), so corruption in the
+//! *middle* of a journal — a flipped bit, an overwritten block, a partial
+//! line from an interleaved writer — is detected and the damaged line
+//! skipped (counted in [`LoadedJournal::mismatched`]) instead of silently
+//! resuming from a record that was never durably written. Bare legacy
+//! lines without a checksum still load, so pre-existing journals resume
+//! unchanged.
 
 use crate::protocol::{CheckpointEntry, Message};
+use crate::Fingerprint;
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
 use std::io::{self, Read, Seek, SeekFrom, Write};
@@ -56,17 +66,18 @@ impl JournalWriter {
         })
     }
 
-    /// Appends one completed run and flushes it to the OS.
+    /// Appends one completed run (checksum-prefixed) and flushes it to the
+    /// OS.
     ///
     /// # Errors
     ///
     /// Propagates write/flush failures; the journal may then hold a torn
     /// final line, which [`load_journal`] tolerates.
     pub fn append(&mut self, entry: &CheckpointEntry) -> io::Result<()> {
-        let line = serde_json::to_string(&Message::Checkpoint(entry.clone()))
+        let body = serde_json::to_string(&Message::Checkpoint(entry.clone()))
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let line = format!("{:016x} {body}\n", line_checksum(&body));
         self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
         self.file.flush()?;
         self.appended += 1;
         Ok(())
@@ -93,6 +104,30 @@ pub struct LoadedJournal {
     pub foreign: usize,
     /// Lines that failed to parse (torn trailing writes, stray text).
     pub corrupt: usize,
+    /// Lines whose checksum prefix did not match their body (mid-journal
+    /// corruption); skipped rather than replayed.
+    pub mismatched: usize,
+}
+
+/// FNV-1a over the JSON body of one journal line.
+fn line_checksum(body: &str) -> u64 {
+    let mut hash = Fingerprint::new();
+    hash.update(body.as_bytes());
+    hash.finish()
+}
+
+/// Splits a `<16-hex-digit checksum> <json>` line. Returns `None` for
+/// legacy (bare JSON) lines, `Some(Err(()))` for a checksum mismatch, and
+/// `Some(Ok(body))` when the checksum verifies.
+fn split_checksummed(line: &str) -> Option<Result<&str, ()>> {
+    let (prefix, body) = line.split_at_checked(16)?;
+    let body = body.strip_prefix(' ')?;
+    let stored = u64::from_str_radix(prefix, 16).ok()?;
+    Some(if stored == line_checksum(body) {
+        Ok(body)
+    } else {
+        Err(())
+    })
 }
 
 /// Replays the journal at `path`, keeping entries for `fingerprint`.
@@ -113,12 +148,21 @@ pub fn load_journal(path: &Path, fingerprint: u64) -> io::Result<LoadedJournal> 
         entries: BTreeMap::new(),
         foreign: 0,
         corrupt: 0,
+        mismatched: 0,
     };
     for line in text.lines() {
         if line.trim().is_empty() {
             continue;
         }
-        match serde_json::from_str::<Message>(line) {
+        let body = match split_checksummed(line) {
+            Some(Ok(body)) => body,
+            Some(Err(())) => {
+                loaded.mismatched += 1;
+                continue;
+            }
+            None => line, // legacy bare-JSON line (or torn fragment)
+        };
+        match serde_json::from_str::<Message>(body) {
             Ok(Message::Checkpoint(entry)) if entry.fingerprint == fingerprint => {
                 loaded.entries.insert(entry.index, entry);
             }
@@ -196,6 +240,78 @@ mod tests {
         assert!(reloaded.entries.contains_key(&0));
         assert!(reloaded.entries.contains_key(&5));
         assert_eq!(reloaded.corrupt, 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupted_middle_line_is_skipped_not_replayed() {
+        let path = temp_path("middle");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 0, 1.0)).unwrap();
+            w.append(&entry(7, 1, 2.0)).unwrap();
+            w.append(&entry(7, 2, 3.0)).unwrap();
+        }
+        // Flip one byte in the middle line's JSON body (simulating disk or
+        // torn-block corruption) without touching its checksum prefix.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let mut lines: Vec<String> = text.lines().map(str::to_owned).collect();
+        assert_eq!(lines.len(), 3);
+        let victim = lines[1].clone();
+        let flip_at = victim.len() - 5;
+        let mut bytes = victim.into_bytes();
+        bytes[flip_at] ^= 0x20;
+        lines[1] = String::from_utf8(bytes).unwrap();
+        std::fs::write(&path, format!("{}\n", lines.join("\n"))).unwrap();
+
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.mismatched, 1);
+        assert_eq!(loaded.corrupt, 0);
+        assert_eq!(loaded.entries.len(), 2);
+        assert!(loaded.entries.contains_key(&0));
+        assert!(!loaded.entries.contains_key(&1));
+        assert!(loaded.entries.contains_key(&2));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn checksum_prefix_forgery_does_not_load() {
+        let path = temp_path("forged");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 0, 1.0)).unwrap();
+        }
+        // A line with a well-formed prefix but the wrong checksum: the body
+        // parses fine, so only verification can reject it.
+        let body = serde_json::to_string(&Message::Checkpoint(entry(7, 9, -4.0))).unwrap();
+        let forged = format!("{:016x} {body}\n", 0xdead_beef_u64);
+        {
+            let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+            f.write_all(forged.as_bytes()).unwrap();
+        }
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.mismatched, 1);
+        assert_eq!(loaded.entries.len(), 1);
+        assert!(!loaded.entries.contains_key(&9));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn legacy_unchecksummed_lines_still_load() {
+        let path = temp_path("legacy");
+        let _ = std::fs::remove_file(&path);
+        // A pre-checksum journal: bare JSON lines, no prefix.
+        let old = serde_json::to_string(&Message::Checkpoint(entry(7, 4, 8.5))).unwrap();
+        std::fs::write(&path, format!("{old}\n")).unwrap();
+        {
+            let mut w = JournalWriter::append_to(&path).unwrap();
+            w.append(&entry(7, 5, 9.5)).unwrap();
+        }
+        let loaded = load_journal(&path, 7).unwrap();
+        assert_eq!(loaded.entries.len(), 2);
+        assert_eq!(loaded.mismatched + loaded.corrupt + loaded.foreign, 0);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -26,8 +26,12 @@
 //!   reconnect, and a slot that stays gone has its unfinished work
 //!   re-dispatched to the surviving workers.
 //! * [`journal`] — an append-only JSONL checkpoint keyed by (campaign
-//!   fingerprint, spec index, seed) so an interrupted campaign resumes
-//!   instead of restarting.
+//!   fingerprint, spec index, seed), each line checksummed, so an
+//!   interrupted campaign resumes instead of restarting — even past
+//!   corrupted lines.
+//! * [`chaos`] — deterministic fault injection: a seeded, serializable
+//!   [`chaos::FaultPlan`] executed by transport wrappers, so every fault
+//!   the coordinator must survive is reproducible on demand.
 //!
 //! The merged result is **bit-identical** to a sequential in-process run —
 //! whatever the worker topology: every record is produced by the same pure
@@ -37,12 +41,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod coordinator;
 pub mod journal;
 pub mod protocol;
 pub mod shard;
 pub mod transport;
 
+pub use chaos::{
+    Fault, FaultKind, FaultListener, FaultPlan, FaultTransport, DROP_AFTER_ENV, EXIT_AFTER_ENV,
+    MAX_SESSIONS_ENV,
+};
 pub use coordinator::{ClusterError, ClusterOutcome, WorkerPool};
 pub use journal::{load_journal, JournalWriter, LoadedJournal};
 pub use protocol::{

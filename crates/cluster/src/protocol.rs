@@ -23,6 +23,14 @@
 //!   variant is the line format of the [`journal`](crate::journal) rather
 //!   than channel traffic: the coordinator appends one per `Done` to the
 //!   checkpoint file, using the same serialization as the live channel.
+//! * [`Ping`](Message::Ping) / [`Pong`](Message::Pong): the liveness
+//!   heartbeat. A worker whose batch is still computing sends `Ping` at its
+//!   configured interval so the coordinator's per-`Assign` deadline
+//!   distinguishes a *slow* worker (frames still flowing) from a *hung* one
+//!   (silence past the deadline — the session is torn down and its shard
+//!   re-dispatched). The coordinator answers each `Ping` with a `Pong`,
+//!   which the worker discards; the reply exists so heartbeat traffic
+//!   exercises both directions of the channel.
 //! * [`Shutdown`](Message::Shutdown) (coordinator -> worker): drain and
 //!   end the session.
 //!
@@ -118,6 +126,10 @@ pub enum Message {
     Done(Done),
     /// A durably-completed run (journal line format).
     Checkpoint(CheckpointEntry),
+    /// Worker liveness heartbeat, sent while a batch is still computing.
+    Ping,
+    /// Coordinator acknowledgement of a [`Ping`](Message::Ping).
+    Pong,
     /// Drain and end the session.
     Shutdown,
 }
@@ -228,6 +240,8 @@ mod tests {
                 seed: 3,
                 record,
             }),
+            Message::Ping,
+            Message::Pong,
             Message::Shutdown,
         ];
         for msg in &messages {

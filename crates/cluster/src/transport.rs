@@ -22,10 +22,11 @@
 //!   treats local and remote workers uniformly.
 
 use crate::protocol::{read_message, write_message, Message};
-use std::io::{self, BufReader};
+use std::io::{self, BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::process::{Child, ChildStdin, ChildStdout, Command, Stdio};
+use std::process::{Child, ChildStdin, Command, Stdio};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError};
 use std::time::Duration;
 
 /// Environment variable carrying the worker's pool slot index to a spawned
@@ -68,6 +69,25 @@ pub trait Transport: Send {
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         let _ = timeout;
         Ok(())
+    }
+
+    /// Writes raw bytes to the stream without framing them, then flushes.
+    ///
+    /// This deliberately bypasses the protocol layer; it exists so the
+    /// [`chaos`](crate::chaos) fault injector can emit truncated or
+    /// corrupted frames that the *peer's* parser must survive. Production
+    /// code paths never call it.
+    ///
+    /// # Errors
+    ///
+    /// [`io::ErrorKind::Unsupported`] for transports that cannot expose
+    /// their raw stream; otherwise propagates write failures.
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let _ = bytes;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "transport does not expose a raw byte stream",
+        ))
     }
 }
 
@@ -114,13 +134,23 @@ impl WorkerLaunch {
 
 /// Coordinator-side transport over a spawned worker process's stdio pipes.
 ///
-/// Dropping the transport kills and reaps the child, so an errored session
-/// can never leak a zombie worker.
+/// Pipes have no kernel-level read deadline, so a dedicated reader thread
+/// owns the child's stdout and forwards parsed frames over an in-process
+/// channel; [`Transport::recv`] then honors
+/// [`Transport::set_read_timeout`] via a bounded channel wait. That makes a
+/// *hung* local worker (process alive, frames stopped) detectable exactly
+/// like a hung TCP peer.
+///
+/// Dropping the transport kills and reaps the child (which unblocks and
+/// joins the reader thread), so an errored session can never leak a zombie
+/// worker.
 #[derive(Debug)]
 pub struct ChildTransport {
     child: Child,
     stdin: ChildStdin,
-    stdout: BufReader<ChildStdout>,
+    frames: Receiver<io::Result<Message>>,
+    reader: Option<std::thread::JoinHandle<()>>,
+    read_timeout: Option<Duration>,
 }
 
 impl ChildTransport {
@@ -142,11 +172,26 @@ impl ChildTransport {
         }
         let mut child = cmd.spawn()?;
         let stdin = child.stdin.take().expect("piped stdin");
-        let stdout = BufReader::new(child.stdout.take().expect("piped stdout"));
+        let stdout = child.stdout.take().expect("piped stdout");
+        let (tx, frames) = mpsc::channel();
+        let reader = std::thread::spawn(move || {
+            let mut stdout = BufReader::new(stdout);
+            loop {
+                let frame = read_message(&mut stdout);
+                let ends_stream = frame.is_err();
+                if tx.send(frame).is_err() || ends_stream {
+                    // Receiver gone, or the pipe itself ended (EOF/error):
+                    // either way the stream is over.
+                    return;
+                }
+            }
+        });
         Ok(ChildTransport {
             child,
             stdin,
-            stdout,
+            frames,
+            reader: Some(reader),
+            read_timeout: None,
         })
     }
 }
@@ -157,11 +202,32 @@ impl Transport for ChildTransport {
     }
 
     fn recv(&mut self) -> io::Result<Message> {
-        read_message(&mut self.stdout)
+        let closed = || io::Error::new(io::ErrorKind::UnexpectedEof, "message channel closed");
+        match self.read_timeout {
+            Some(deadline) => match self.frames.recv_timeout(deadline) {
+                Ok(frame) => frame,
+                Err(RecvTimeoutError::Timeout) => Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("no frame within the {deadline:?} read deadline"),
+                )),
+                Err(RecvTimeoutError::Disconnected) => Err(closed()),
+            },
+            None => self.frames.recv().unwrap_or_else(|_| Err(closed())),
+        }
     }
 
     fn peer(&self) -> String {
         format!("process {}", self.child.id())
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
+        Ok(())
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stdin.write_all(bytes)?;
+        self.stdin.flush()
     }
 }
 
@@ -169,6 +235,11 @@ impl Drop for ChildTransport {
     fn drop(&mut self) {
         let _ = self.child.kill();
         let _ = self.child.wait();
+        // Reaping closed the pipe, so the reader's next read errors out and
+        // the thread exits; the join can only be brief.
+        if let Some(reader) = self.reader.take() {
+            let _ = reader.join();
+        }
     }
 }
 
@@ -208,6 +279,11 @@ impl Transport for StdioTransport {
 
     fn peer(&self) -> String {
         "stdio".to_string()
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
     }
 }
 
@@ -283,6 +359,11 @@ impl Transport for TcpTransport {
     fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
         // reader and writer share one socket, so one setsockopt covers both.
         self.writer.set_read_timeout(timeout)
+    }
+
+    fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.writer.write_all(bytes)?;
+        self.writer.flush()
     }
 }
 
@@ -383,6 +464,13 @@ impl TcpConnector {
             addr: addr.into(),
             connect_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Replaces the per-attempt connect timeout.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
     }
 }
 

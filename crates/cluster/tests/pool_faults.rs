@@ -1,0 +1,472 @@
+//! Scripted-worker tests for the hardened [`WorkerPool`].
+//!
+//! Each test drives the *real* coordinator — handshake, dispatch queue,
+//! deadline handling, blame accounting — against in-memory mock transports
+//! whose behavior is a deterministic per-session script. No processes, no
+//! sockets: assign-deadline recovery, heartbeat keepalive, quarantine,
+//! poison-spec isolation, and speculative dedup are all exercised at the
+//! `Connector`/`Transport` seam the production paths use.
+
+use qismet_cluster::{
+    Assign, ClusterError, Connector, Done, Hello, Message, Outcome, Transport, WorkerPool,
+};
+use serde::Value;
+use std::collections::VecDeque;
+use std::io;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+const FP: u64 = 0x51c2_7a11_feed_f00d;
+
+/// The deterministic record a scripted worker produces for `index` — the
+/// same pure-function-of-the-spec contract real workers honor.
+fn record(index: usize) -> Value {
+    Value::Object(vec![
+        ("index".into(), Value::U64(index as u64)),
+        ("energy".into(), Value::F64(-(index as f64) / 8.0)),
+    ])
+}
+
+fn seed_of(index: usize) -> u64 {
+    0x9e37_79b9 ^ (index as u64).wrapping_mul(0x1000_0001)
+}
+
+fn expected(n: usize) -> Vec<(usize, Value)> {
+    (0..n).map(|i| (i, record(i))).collect()
+}
+
+/// One session's scripted behavior. A connector holds a queue of these;
+/// the last script repeats for every further session.
+#[derive(Clone)]
+enum Script {
+    /// Serve every assignment normally.
+    Solid,
+    /// Serve normally, but sleep this long before each result (straggler).
+    SlowSolid(Duration),
+    /// Send this many heartbeat pings before each result (slow, alive).
+    PingThenSolid(usize),
+    /// Serve `n` results, then fail the channel on the next read.
+    DieAfter(usize),
+    /// Never produce a result: every post-handshake read times out, the
+    /// way a transport deadline surfaces a hung peer.
+    Hang,
+    /// Reset the channel whenever this spec index is next in line.
+    CrashOnSpec(usize),
+    /// Fail the connect itself (worker unreachable).
+    ConnectFail,
+    /// Answer an assignment with a result for a spec that was never
+    /// assigned (protocol violation).
+    Rogue,
+}
+
+/// Counters shared across every scripted session of one pool run.
+#[derive(Default)]
+struct PoolLog {
+    /// `Pong` frames the coordinator sent back to scripted pings.
+    pongs: AtomicUsize,
+    /// Results produced across all sessions (counts speculative twins).
+    dones: AtomicUsize,
+}
+
+struct ScriptedTransport {
+    script: Script,
+    threads: usize,
+    log: Arc<PoolLog>,
+    /// Coordinator `Hello` received and not yet answered.
+    greeted: bool,
+    hello: Option<Hello>,
+    pending: VecDeque<usize>,
+    served: usize,
+    pings_left: usize,
+    deadline: Option<Duration>,
+}
+
+impl Transport for ScriptedTransport {
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        match msg {
+            Message::Hello(h) => {
+                self.hello = Some(h.clone());
+                self.greeted = true;
+            }
+            Message::Assign(Assign { indices }) => self.pending.extend(indices.iter().copied()),
+            Message::Pong => {
+                self.log.pongs.fetch_add(1, Ordering::SeqCst);
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Message> {
+        if self.greeted {
+            self.greeted = false;
+            let theirs = self.hello.as_ref().expect("coordinator hello stored");
+            return Ok(Message::Hello(Hello {
+                worker_id: theirs.worker_id,
+                fingerprint: theirs.fingerprint,
+                spec_count: theirs.spec_count,
+                token: theirs.token.clone(),
+                threads: self.threads,
+            }));
+        }
+        if matches!(self.script, Script::Hang) {
+            assert!(
+                self.deadline.is_some(),
+                "a hung mock without an assign deadline would block the pool forever"
+            );
+            return Err(io::Error::new(
+                io::ErrorKind::TimedOut,
+                "scripted hang: read deadline expired",
+            ));
+        }
+        let Some(&next) = self.pending.front() else {
+            return Err(io::ErrorKind::UnexpectedEof.into());
+        };
+        match self.script {
+            Script::DieAfter(n) if self.served >= n => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    "scripted channel death",
+                ));
+            }
+            Script::CrashOnSpec(bad) if next == bad => {
+                return Err(io::Error::new(
+                    io::ErrorKind::ConnectionReset,
+                    format!("scripted crash on spec {bad}"),
+                ));
+            }
+            Script::SlowSolid(pause) => std::thread::sleep(pause),
+            Script::PingThenSolid(n) => {
+                if self.pings_left > 0 {
+                    self.pings_left -= 1;
+                    return Ok(Message::Ping);
+                }
+                self.pings_left = n;
+            }
+            Script::Rogue => {
+                return Ok(Message::Done(Done {
+                    index: next + 999,
+                    seed: 0,
+                    outcome: Outcome::Record(record(next + 999)),
+                }));
+            }
+            _ => {}
+        }
+        self.pending.pop_front();
+        self.served += 1;
+        self.log.dones.fetch_add(1, Ordering::SeqCst);
+        Ok(Message::Done(Done {
+            index: next,
+            seed: seed_of(next),
+            outcome: Outcome::Record(record(next)),
+        }))
+    }
+
+    fn peer(&self) -> String {
+        "scripted".into()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.deadline = timeout;
+        Ok(())
+    }
+}
+
+struct ScriptedConnector {
+    scripts: Mutex<VecDeque<Script>>,
+    threads: usize,
+    log: Arc<PoolLog>,
+}
+
+impl ScriptedConnector {
+    fn slot(scripts: &[Script], threads: usize, log: &Arc<PoolLog>) -> Box<dyn Connector> {
+        assert!(!scripts.is_empty(), "a slot needs at least one script");
+        Box::new(ScriptedConnector {
+            scripts: Mutex::new(scripts.iter().cloned().collect()),
+            threads,
+            log: Arc::clone(log),
+        })
+    }
+}
+
+impl Connector for ScriptedConnector {
+    fn connect(&self, _worker: usize) -> io::Result<Box<dyn Transport>> {
+        let script = {
+            let mut scripts = self.scripts.lock().expect("script queue poisoned");
+            if scripts.len() > 1 {
+                scripts.pop_front().expect("non-empty script queue")
+            } else {
+                scripts.front().expect("non-empty script queue").clone()
+            }
+        };
+        if matches!(script, Script::ConnectFail) {
+            return Err(io::Error::new(
+                io::ErrorKind::ConnectionRefused,
+                "scripted connect failure",
+            ));
+        }
+        let pings_left = match script {
+            Script::PingThenSolid(n) => n,
+            _ => 0,
+        };
+        Ok(Box::new(ScriptedTransport {
+            script,
+            threads: self.threads,
+            log: Arc::clone(&self.log),
+            greeted: false,
+            hello: None,
+            pending: VecDeque::new(),
+            served: 0,
+            pings_left,
+            deadline: None,
+        }))
+    }
+
+    fn describe(&self) -> String {
+        "scripted worker".into()
+    }
+}
+
+/// Runs a pool over `n` specs, collecting sink entries as (index, seed).
+fn run_pool(
+    pool: &WorkerPool,
+    n: usize,
+) -> (
+    Result<qismet_cluster::ClusterOutcome, ClusterError>,
+    Vec<(usize, u64)>,
+) {
+    let pending: Vec<usize> = (0..n).collect();
+    let sunk = Mutex::new(Vec::new());
+    let result = pool.run(FP, n, &pending, |entry| {
+        sunk.lock()
+            .expect("sink log poisoned")
+            .push((entry.index, entry.seed));
+        Ok(())
+    });
+    let sunk = sunk.into_inner().expect("sink log poisoned");
+    (result, sunk)
+}
+
+#[test]
+fn hung_session_hits_the_deadline_and_the_respawn_completes_the_work() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::Hang, Script::Solid],
+        2,
+        &log,
+    )])
+    .with_assign_timeout(Some(Duration::from_millis(50)));
+    let (result, _) = run_pool(&pool, 4);
+    let outcome = result.expect("the respawned session must finish the campaign");
+    assert_eq!(outcome.records, expected(4));
+    assert_eq!(outcome.respawns, 1, "exactly one deadline-driven respawn");
+    assert_eq!(outcome.lost_workers, 0);
+}
+
+#[test]
+fn heartbeats_are_answered_and_keep_a_slow_session_alive() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::PingThenSolid(2)],
+        1,
+        &log,
+    )])
+    .with_assign_timeout(Some(Duration::from_millis(50)));
+    let (result, _) = run_pool(&pool, 3);
+    let outcome = result.expect("a pinging worker must never be torn down");
+    assert_eq!(outcome.records, expected(3));
+    assert_eq!(outcome.respawns, 0, "heartbeats must not count as losses");
+    // Two pings per result, each answered with a coordinator Pong.
+    assert_eq!(log.pongs.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn respawn_budget_exhaustion_loses_the_worker_with_a_typed_error() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::DieAfter(0)],
+        2,
+        &log,
+    )])
+    .with_max_respawns(1);
+    let (result, sunk) = run_pool(&pool, 4);
+    match result.expect_err("a worker dying before any result must be lost") {
+        ClusterError::WorkerLost {
+            worker, respawns, ..
+        } => {
+            assert_eq!(worker, 0);
+            assert_eq!(respawns, 1);
+        }
+        other => panic!("expected WorkerLost, got {other}"),
+    }
+    assert!(sunk.is_empty(), "no result ever flowed");
+}
+
+#[test]
+fn unreachable_worker_consumes_the_budget_like_a_channel_loss() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::ConnectFail],
+        2,
+        &log,
+    )])
+    .with_max_respawns(0);
+    let (result, _) = run_pool(&pool, 2);
+    assert!(
+        matches!(
+            result.expect_err("an unreachable worker must surface as lost"),
+            ClusterError::WorkerLost { worker: 0, .. }
+        ),
+        "connect failures share the worker-lost path"
+    );
+}
+
+#[test]
+fn lost_slot_work_is_redispatched_to_the_surviving_worker() {
+    let log = Arc::new(PoolLog::default());
+    // Slot 0 dies before every first result and exhausts one respawn; its
+    // batches land back in the queue for the slow-but-solid survivor.
+    let pool = WorkerPool::new(vec![
+        ScriptedConnector::slot(&[Script::DieAfter(0)], 1, &log),
+        ScriptedConnector::slot(&[Script::SlowSolid(Duration::from_millis(40))], 1, &log),
+    ])
+    .with_max_respawns(1);
+    let (result, _) = run_pool(&pool, 8);
+    let outcome = result.expect("the survivor must absorb the lost slot's work");
+    assert_eq!(outcome.records, expected(8));
+    assert_eq!(outcome.lost_workers, 1);
+    assert_eq!(outcome.quarantined_workers, 0);
+}
+
+#[test]
+fn lifetime_strikes_quarantine_a_flaky_worker() {
+    let log = Arc::new(PoolLog::default());
+    // Each session is productive (one result), so the consecutive-failure
+    // respawn budget refills forever — only the lifetime strike counter
+    // catches a worker limping like this.
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::DieAfter(1)],
+        1,
+        &log,
+    )])
+    .with_max_respawns(10)
+    .with_quarantine_after(Some(2));
+    let (result, sunk) = run_pool(&pool, 6);
+    match result.expect_err("the only worker got quarantined mid-campaign") {
+        ClusterError::WorkerQuarantined {
+            worker, strikes, ..
+        } => {
+            assert_eq!(worker, 0);
+            assert_eq!(strikes, 2);
+        }
+        other => panic!("expected WorkerQuarantined, got {other}"),
+    }
+    assert_eq!(sunk.len(), 2, "one result per session reached the sink");
+}
+
+#[test]
+fn quarantined_slot_work_is_redispatched_to_the_surviving_worker() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![
+        ScriptedConnector::slot(&[Script::DieAfter(1)], 1, &log),
+        ScriptedConnector::slot(&[Script::SlowSolid(Duration::from_millis(40))], 1, &log),
+    ])
+    .with_max_respawns(10)
+    .with_quarantine_after(Some(2));
+    let (result, _) = run_pool(&pool, 8);
+    let outcome = result.expect("the survivor must absorb the quarantined slot's work");
+    assert_eq!(outcome.records, expected(8));
+    assert_eq!(outcome.quarantined_workers, 1);
+    assert_eq!(outcome.lost_workers, 0);
+}
+
+#[test]
+fn a_spec_that_keeps_killing_workers_is_poisoned_and_reported() {
+    let log = Arc::new(PoolLog::default());
+    // Every session of the only worker dies the moment spec 2 is next in
+    // line. Blamed crashes do not charge the respawn budget, so the default
+    // budget of 2 survives the repeated re-dispatch; after two precise
+    // strikes the spec is isolated and everything else completes.
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(
+        &[Script::CrashOnSpec(2)],
+        4,
+        &log,
+    )]);
+    let (result, mut sunk) = run_pool(&pool, 4);
+    match result.expect_err("spec 2 must be poisoned") {
+        ClusterError::PoisonedSpecs { indices, completed } => {
+            assert_eq!(indices, vec![2]);
+            assert_eq!(completed, 3);
+        }
+        other => panic!("expected PoisonedSpecs, got {other}"),
+    }
+    sunk.sort_unstable();
+    let survivors: Vec<usize> = sunk.iter().map(|&(index, _)| index).collect();
+    assert_eq!(
+        survivors,
+        vec![0, 1, 3],
+        "every non-poisoned spec must reach the durable sink"
+    );
+    assert!(sunk.iter().all(|&(index, seed)| seed == seed_of(index)));
+}
+
+#[test]
+fn speculation_duplicates_a_straggler_and_dedups_first_result_wins() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![
+        ScriptedConnector::slot(&[Script::SlowSolid(Duration::from_millis(500))], 1, &log),
+        ScriptedConnector::slot(&[Script::Solid], 1, &log),
+    ])
+    .with_speculative(true);
+    let (result, sunk) = run_pool(&pool, 4);
+    let outcome = result.expect("speculative execution must not change the result");
+    assert_eq!(outcome.records, expected(4));
+    assert_eq!(outcome.respawns, 0);
+    // The fast worker finished the queue, then mirrored the straggler's
+    // in-flight spec: one more result was produced than specs exist, and
+    // the duplicate was dropped before the sink/merge.
+    assert_eq!(log.dones.load(Ordering::SeqCst), 5);
+    assert_eq!(sunk.len(), 4, "the speculative twin must not re-journal");
+}
+
+#[test]
+fn rogue_results_for_unassigned_specs_are_a_fatal_protocol_error() {
+    let log = Arc::new(PoolLog::default());
+    let pool = WorkerPool::new(vec![ScriptedConnector::slot(&[Script::Rogue], 2, &log)]);
+    let (result, _) = run_pool(&pool, 2);
+    assert!(
+        matches!(
+            result.expect_err("an unassigned result must not be merged"),
+            ClusterError::Protocol { worker: 0, .. }
+        ),
+        "rogue results are protocol violations, not channel losses"
+    );
+}
+
+#[test]
+fn nonsense_pool_configuration_is_rejected_before_any_session() {
+    let log = Arc::new(PoolLog::default());
+    let cases: [Box<dyn Fn(WorkerPool) -> WorkerPool>; 4] = [
+        Box::new(|p| p.with_assign_timeout(Some(Duration::ZERO))),
+        Box::new(|p| p.with_handshake_timeout(Duration::ZERO)),
+        Box::new(|p| p.with_quarantine_after(Some(0))),
+        Box::new(|p| p.with_poison_after(0)),
+    ];
+    for misconfigure in cases {
+        let pool = misconfigure(WorkerPool::new(vec![ScriptedConnector::slot(
+            &[Script::Solid],
+            1,
+            &log,
+        )]));
+        let (result, sunk) = run_pool(&pool, 2);
+        assert!(
+            matches!(
+                result.expect_err("zero durations/thresholds are nonsense"),
+                ClusterError::Config(_)
+            ),
+            "misconfiguration must surface as ClusterError::Config"
+        );
+        assert!(sunk.is_empty(), "validation must run before any dispatch");
+    }
+}

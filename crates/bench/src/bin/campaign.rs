@@ -41,6 +41,8 @@ use qismet_cluster::{FaultPlan, TcpTransportListener, WorkerLaunch};
 use qismet_qnoise::Machine;
 use qismet_vqa::AppSpec;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "\
@@ -109,6 +111,17 @@ RESILIENCE & CHAOS OPTIONS:
     --chaos-plan <file>        Execute a JSON fault plan on the workers
                                (deterministic fault injection for testing)
     --chaos-seed <n>           Generate and execute a seeded random fault plan
+
+OBSERVABILITY OPTIONS:
+    --metrics-out <file>  Write a JSON metrics document (build provenance,
+                          counters/gauges/histograms, structured events,
+                          per-slot fleet health) when the campaign completes
+    --trace-out <file>    Write a Chrome trace_event JSON file (open in
+                          chrome://tracing or https://ui.perfetto.dev)
+    --progress            Live progress line on stderr: done/total, rate,
+                          ETA, queue depth, per-worker health
+                          Telemetry never changes results: reports are
+                          byte-identical with these flags on or off
     -h, --help            Print this help
 ";
 
@@ -163,6 +176,9 @@ struct Args {
     chaos_plan: Option<PathBuf>,
     chaos_seed: Option<u64>,
     chaos_json: Option<String>,
+    metrics_out: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    progress: bool,
 }
 
 /// Flags (with a value) that configure the coordinator only and must not be
@@ -184,6 +200,8 @@ const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--quarantine-after",
     "--chaos-plan",
     "--chaos-seed",
+    "--metrics-out",
+    "--trace-out",
 ];
 
 /// Parses a duration flag as seconds; zero, negative, and non-numeric
@@ -230,6 +248,9 @@ fn parse_args(argv: &[String]) -> Args {
         chaos_plan: None,
         chaos_seed: None,
         chaos_json: None,
+        metrics_out: None,
+        trace_out: None,
+        progress: false,
     };
     let mut i = 0;
     while i < argv.len() {
@@ -252,6 +273,11 @@ fn parse_args(argv: &[String]) -> Args {
             }
             "--worker" => {
                 args.worker_mode = true;
+                i += 1;
+                continue;
+            }
+            "--progress" => {
+                args.progress = true;
                 i += 1;
                 continue;
             }
@@ -385,6 +411,12 @@ fn parse_args(argv: &[String]) -> Args {
             "--chaos-json" => {
                 args.chaos_json = Some(value.clone());
             }
+            "--metrics-out" => {
+                args.metrics_out = Some(PathBuf::from(value));
+            }
+            "--trace-out" => {
+                args.trace_out = Some(PathBuf::from(value));
+            }
             "--name" => {
                 args.name = value.clone();
             }
@@ -443,6 +475,13 @@ fn parse_args(argv: &[String]) -> Args {
             die("--heartbeat must be shorter than --assign-timeout");
         }
     }
+    if args.serve.is_some()
+        && (args.metrics_out.is_some() || args.trace_out.is_some() || args.progress)
+    {
+        // A daemon never "completes": there is no natural point to write
+        // artifacts, and its stdout belongs to operators' scripts.
+        die("--metrics-out/--trace-out/--progress belong on the coordinator, not --serve");
+    }
     if args.chaos_plan.is_some() && args.chaos_seed.is_some() {
         die("--chaos-plan and --chaos-seed are mutually exclusive");
     }
@@ -488,6 +527,7 @@ fn worker_argv(argv: &[String], chaos_json: Option<&str>) -> Vec<String> {
             || flag == "--summary-only"
             || flag == "--worker"
             || flag == "--speculative"
+            || flag == "--progress"
         {
             i += 1;
         } else {
@@ -582,6 +622,17 @@ fn main() {
 
     let n = campaign.len();
     let distributed = args.workers > 0 || !args.connect.is_empty();
+    // Observability gates: metric recording is a runtime switch, so the
+    // same binary runs with telemetry on or off (byte-identical reports
+    // either way). Worker processes switch themselves on in serve_worker.
+    let observing = args.metrics_out.is_some() || args.trace_out.is_some() || args.progress;
+    if observing {
+        qismet_telemetry::set_enabled(true);
+    }
+    if args.trace_out.is_some() {
+        qismet_telemetry::set_trace_enabled(true);
+    }
+    let progress = args.progress.then(|| start_progress(n, distributed));
     let report = if distributed {
         // Explicit chaos flags resolve to ONE concrete plan here and travel
         // to spawned workers as `--chaos-json`, so a seeded plan is
@@ -687,6 +738,30 @@ fn main() {
         }
         report
     };
+
+    if let Some((stop, handle)) = progress {
+        stop.store(true, Ordering::Relaxed);
+        let _ = handle.join();
+    }
+    // Per-slot fleet health prints after every distributed campaign —
+    // respawns, strikes, quarantines, and poisoned-spec blame stay visible
+    // even without --metrics-out.
+    if distributed {
+        print_fleet_summary();
+    }
+    if let Some(path) = &args.metrics_out {
+        let build = qismet_telemetry::BuildInfo::current(cfg!(feature = "parallel"));
+        std::fs::write(path, qismet_telemetry::metrics_json(&build))
+            .unwrap_or_else(|e| die(&format!("cannot write metrics `{}`: {e}", path.display())));
+        println!("[metrics] wrote {}", path.display());
+    }
+    if let Some(path) = &args.trace_out {
+        let json = qismet_telemetry::drain_trace_json()
+            .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string());
+        std::fs::write(path, json)
+            .unwrap_or_else(|e| die(&format!("cannot write trace `{}`: {e}", path.display())));
+        println!("[trace] wrote {}", path.display());
+    }
 
     // Per-run summary table (series live in the JSON artifact).
     let rows: Vec<Vec<String>> = report
@@ -824,6 +899,118 @@ fn print_paired_tests(campaign: &qismet_bench::Campaign, report: &CampaignReport
             "pairs",
             "mean_diff",
             "p_value",
+        ],
+        &rows,
+    );
+}
+
+/// Spawns the `--progress` status-line thread: twice a second it rewrites
+/// one stderr line with done/total, completion rate, ETA, the live queue
+/// depth, and (distributed) per-slot fleet health. Reads only telemetry
+/// counters and the fleet table — it can never perturb the campaign.
+fn start_progress(
+    total: usize,
+    distributed: bool,
+) -> (Arc<AtomicBool>, std::thread::JoinHandle<()>) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let handle = std::thread::spawn(move || {
+        let started = std::time::Instant::now();
+        loop {
+            if flag.load(Ordering::Relaxed) {
+                break;
+            }
+            let (done, queue) = if distributed {
+                (
+                    qismet_telemetry::counter!("cluster.specs_done").get(),
+                    qismet_telemetry::gauge!("cluster.queue_depth").get(),
+                )
+            } else {
+                (
+                    qismet_telemetry::counter!("sweep.specs_done").get(),
+                    qismet_telemetry::gauge!("sweep.queue_depth").get(),
+                )
+            };
+            let elapsed = started.elapsed().as_secs_f64();
+            let rate = if elapsed > 0.0 {
+                done as f64 / elapsed
+            } else {
+                0.0
+            };
+            let eta = if done > 0 && rate > 0.0 {
+                format!("{:.0}s", (total as f64 - done as f64).max(0.0) / rate)
+            } else {
+                "?".to_string()
+            };
+            let mut line =
+                format!("[progress] {done}/{total} runs, {rate:.2}/s, eta {eta}, queue {queue}");
+            if distributed {
+                for (slot, h) in qismet_telemetry::fleet_snapshot() {
+                    line.push_str(&format!(" | w{slot}: {}", h.done));
+                    if h.respawns > 0 {
+                        line.push_str(&format!(" ({}r)", h.respawns));
+                    }
+                    if h.quarantined {
+                        line.push_str(" [q]");
+                    }
+                }
+            }
+            // \x1b[2K clears the previous (possibly longer) line.
+            eprint!("\r\x1b[2K{line}");
+            std::thread::sleep(Duration::from_millis(500));
+        }
+        eprint!("\r\x1b[2K");
+    });
+    (stop, handle)
+}
+
+/// Per-slot fleet summary table: dispatch accounting, failure history, and
+/// the worker-reported totals piggybacked on `Done` frames. Printed after
+/// every distributed campaign (satellite of the telemetry PR: respawn /
+/// quarantine / poison outcomes used to vanish into stderr noise).
+fn print_fleet_summary() {
+    let fleet = qismet_telemetry::fleet_snapshot();
+    if fleet.is_empty() {
+        return;
+    }
+    let rows: Vec<Vec<String>> = fleet
+        .iter()
+        .map(|(slot, h)| {
+            vec![
+                format!("w{slot}"),
+                h.assigned.to_string(),
+                h.done.to_string(),
+                h.worker_specs_done.to_string(),
+                h.respawns.to_string(),
+                h.strikes.to_string(),
+                if h.quarantined { "yes" } else { "no" }.to_string(),
+                h.speculative_won.to_string(),
+                h.duplicates_lost.to_string(),
+                h.pings.to_string(),
+                if h.rtt_count > 0 {
+                    format!("{:.1}", h.rtt_ns_mean() as f64 / 1e6)
+                } else {
+                    "-".to_string()
+                },
+                h.last_error.clone().unwrap_or_else(|| "-".to_string()),
+            ]
+        })
+        .collect();
+    print_table(
+        "fleet health (per worker slot)",
+        &[
+            "slot",
+            "assigned",
+            "done",
+            "reported",
+            "respawns",
+            "strikes",
+            "quarantined",
+            "spec_won",
+            "dup_lost",
+            "pings",
+            "rtt_ms",
+            "last_error",
         ],
         &rows,
     );

@@ -23,20 +23,21 @@
 //! derive identically, so the wire carries only indices and records.
 
 use crate::executor::try_run_one;
-use crate::report::{CampaignReport, RunRecord, RunsJsonlWriter};
+use crate::report::{CampaignReport, ReportMeta, RunRecord, RunsJsonlWriter};
 use crate::scenario::{Campaign, RunSpec};
 use crate::SweepExecutor;
 use qismet_cluster::{
-    load_journal, CheckpointEntry, ClusterError, Connector, Done, FaultListener, FaultPlan,
-    FaultTransport, Hello, JournalWriter, Listener, Message, Outcome, ProcessConnector,
-    StdioTransport, TcpConnector, Transport, WorkerLaunch, WorkerPool, WORKER_ID_ENV,
+    load_journal, BuildStamp, CheckpointEntry, ClusterError, Connector, Done, FaultListener,
+    FaultPlan, FaultTransport, Hello, JournalWriter, Listener, Message, Outcome, ProcessConnector,
+    StdioTransport, TcpConnector, Transport, WorkerLaunch, WorkerPool, WorkerStats, WORKER_ID_ENV,
 };
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
+use std::collections::VecDeque;
 use std::io;
 use std::path::PathBuf;
 use std::sync::{mpsc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 // The legacy fault-injection env hooks now live on the chaos seam
 // (`FaultPlan::from_env` translates them); re-exported here so existing
@@ -234,7 +235,8 @@ pub fn run_campaign_distributed(
         .with_token(opts.token.clone())
         .with_assign_timeout(opts.assign_timeout)
         .with_speculative(opts.speculative)
-        .with_quarantine_after(opts.quarantine_after);
+        .with_quarantine_after(opts.quarantine_after)
+        .with_build(BuildStamp::local(cfg!(feature = "parallel")));
     if let Some(timeout) = opts.handshake_timeout {
         pool = pool.with_handshake_timeout(timeout);
     }
@@ -281,6 +283,7 @@ pub fn run_campaign_distributed(
     let report = CampaignReport {
         name: campaign.name.clone(),
         seed: campaign.seed,
+        meta: ReportMeta::current(),
         records,
     };
     let stats = DistributedStats {
@@ -382,6 +385,70 @@ fn channel_end(op: &str, e: io::Error) -> Result<SessionOutcome, ClusterError> {
     }
 }
 
+/// Worker-side telemetry bookkeeping for the `Done.stats` piggyback:
+/// samples the process-global sweep / plan-cache counters and ships the
+/// **delta** since this session's previous `Done`, so the coordinator
+/// aggregates by plain addition — arithmetic that survives respawns and
+/// daemon session reuse without baseline bookkeeping. Also matches
+/// keepalive `Ping` sends to their `Pong` replies (FIFO) to measure
+/// control-plane round-trip time. Inert while telemetry is disabled:
+/// every `Done` then carries `stats: None`.
+#[derive(Default)]
+struct StatsTracker {
+    last: [u64; 4],
+    pending_pings: VecDeque<Instant>,
+    rtt_count: u64,
+    rtt_ns_sum: u64,
+    rtt_ns_max: u64,
+}
+
+impl StatsTracker {
+    /// Outstanding-ping cap: a coordinator that never answers keeps at
+    /// most this many send timestamps alive.
+    const MAX_PENDING_PINGS: usize = 64;
+
+    fn ping_sent(&mut self) {
+        if !qismet_telemetry::enabled() {
+            return;
+        }
+        if self.pending_pings.len() < Self::MAX_PENDING_PINGS {
+            self.pending_pings.push_back(Instant::now());
+        }
+    }
+
+    fn pong_received(&mut self) {
+        if let Some(sent) = self.pending_pings.pop_front() {
+            let ns = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.rtt_count += 1;
+            self.rtt_ns_sum = self.rtt_ns_sum.saturating_add(ns);
+            self.rtt_ns_max = self.rtt_ns_max.max(ns);
+        }
+    }
+
+    fn next_delta(&mut self) -> Option<WorkerStats> {
+        if !qismet_telemetry::enabled() {
+            return None;
+        }
+        let now = [
+            qismet_telemetry::counter!("sweep.specs_done").get(),
+            qismet_telemetry::counter!("sweep.eval_ns").get(),
+            qismet_telemetry::counter!("qsim.plan_cache.hits").get(),
+            qismet_telemetry::counter!("qsim.plan_cache.misses").get(),
+        ];
+        let delta = WorkerStats {
+            specs_done: now[0].saturating_sub(self.last[0]),
+            eval_ns: now[1].saturating_sub(self.last[1]),
+            plan_hits: now[2].saturating_sub(self.last[2]),
+            plan_misses: now[3].saturating_sub(self.last[3]),
+            rtt_count: std::mem::take(&mut self.rtt_count),
+            rtt_ns_sum: std::mem::take(&mut self.rtt_ns_sum),
+            rtt_ns_max: std::mem::take(&mut self.rtt_ns_max),
+        };
+        self.last = now;
+        Some(delta)
+    }
+}
+
 /// Serves one coordinator session over `transport`: mutual handshake, then
 /// batched `Assign` -> `Done` streaming until `Shutdown` or disconnect.
 ///
@@ -421,8 +488,10 @@ pub fn serve_session(
             spec_count: specs.len(),
             token: opts.token.clone(),
             threads,
+            build: BuildStamp::local(cfg!(feature = "parallel")),
         }))
         .map_err(|e| ClusterError::Io(format!("hello reply failed: {e}")))?;
+    let mut stats = StatsTracker::default();
     // Handshake deadline (if the caller set one) no longer applies: an
     // authenticated coordinator may legitimately idle between batches.
     let _ = transport.set_read_timeout(None);
@@ -489,6 +558,8 @@ pub fn serve_session(
                                     Err(mpsc::RecvTimeoutError::Timeout) => {
                                         if let Err(e) = transport.send(&Message::Ping) {
                                             session_end = Some(channel_end("ping", e));
+                                        } else {
+                                            stats.ping_sent();
                                         }
                                     }
                                     Err(mpsc::RecvTimeoutError::Disconnected) => {
@@ -509,6 +580,7 @@ pub fn serve_session(
                             index,
                             seed,
                             outcome,
+                            stats: stats.next_delta(),
                         })) {
                             session_end = Some(channel_end("done", e));
                             continue;
@@ -520,8 +592,14 @@ pub fn serve_session(
                 }
             }
             // The coordinator answers our keepalive `Ping`s; replies may
-            // queue up behind a batch and surface here. Not actionable.
-            Message::Pong => continue,
+            // queue up behind a batch and surface here (so the measured
+            // round-trip is an upper bound: wire time plus however long
+            // this worker computed before reading). Matched FIFO against
+            // the outstanding ping sends.
+            Message::Pong => {
+                stats.pong_received();
+                continue;
+            }
             Message::Shutdown => return Ok(SessionOutcome::Shutdown),
             other => {
                 return Err(ClusterError::Protocol {
@@ -544,6 +622,10 @@ pub fn serve_session(
 /// Returns a [`ClusterError`] on protocol violations or channel I/O
 /// failures. A cleanly closed stdin is a normal shutdown, not an error.
 pub fn serve_worker(campaign: &Campaign, opts: &WorkerOptions) -> Result<(), ClusterError> {
+    // Worker processes always run with telemetry on so every `Done` can
+    // piggyback stats; the gate never changes computed records, so the
+    // coordinator-side on/off byte-identity guarantee is unaffected.
+    qismet_telemetry::set_enabled(true);
     let specs = campaign.expand();
     let stdio = Box::new(StdioTransport::new());
     let mut transport: Box<dyn Transport> = match &opts.plan {
@@ -578,6 +660,8 @@ pub fn serve_campaign(
     listener: Box<dyn Listener>,
     opts: &WorkerOptions,
 ) -> Result<usize, ClusterError> {
+    // Daemon workers run with telemetry on, like `serve_worker`.
+    qismet_telemetry::set_enabled(true);
     let specs = campaign.expand();
     let max_sessions = opts.plan.as_ref().and_then(|p| p.max_sessions);
     let mut listener: Box<dyn Listener> = match &opts.plan {

@@ -10,7 +10,7 @@
 //! same order as a sequential run — wall clock is bounded by cores, not by
 //! the longest sequential loop.
 
-use crate::report::{CampaignReport, RunRecord};
+use crate::report::{CampaignReport, ReportMeta, RunRecord};
 use crate::scenario::{Campaign, RunKind, RunSpec};
 use crate::{
     lockstep_capable, run_kalman_instance, run_scheme, run_scheme_lockstep, SchemeOutcome,
@@ -182,6 +182,7 @@ impl SweepExecutor {
         Ok(CampaignReport {
             name: campaign.name.clone(),
             seed: campaign.seed,
+            meta: ReportMeta::current(),
             records,
         })
     }
@@ -245,7 +246,10 @@ impl SweepExecutor {
             return specs
                 .iter()
                 .enumerate()
-                .map(|(i, s)| catch_run(i, || run(s)))
+                .map(|(i, s)| {
+                    qismet_telemetry::gauge!("sweep.queue_depth").set((specs.len() - i) as i64);
+                    catch_run(i, || run(s))
+                })
                 .collect();
         }
         self.try_run_specs_parallel(specs, &run, workers)
@@ -285,6 +289,8 @@ impl SweepExecutor {
                         if i >= specs.len() {
                             break;
                         }
+                        qismet_telemetry::gauge!("sweep.queue_depth")
+                            .set(specs.len().saturating_sub(i + 1) as i64);
                         match catch_run(i, || run(&specs[i])) {
                             Ok(r) => local.push((i, r)),
                             Err(e) => {
@@ -372,6 +378,7 @@ pub fn try_run_one(spec: &RunSpec) -> Result<RunRecord, ExecutorError> {
 /// Runs one fully-resolved spec through the scheme runners and packages the
 /// outcome as a [`RunRecord`].
 pub fn run_one(spec: &RunSpec) -> RunRecord {
+    let t0 = qismet_telemetry::enabled().then(std::time::Instant::now);
     let outcome = match &spec.kind {
         RunKind::Scheme(s) => run_scheme(&spec.app, *s, spec.iterations, spec.magnitude, spec.seed),
         RunKind::Kalman(k) => run_kalman_instance(
@@ -382,7 +389,22 @@ pub fn run_one(spec: &RunSpec) -> RunRecord {
             spec.seed,
         ),
     };
+    if let Some(t0) = t0 {
+        record_sweep_done(t0.elapsed(), 1);
+    }
     record_from_outcome(spec, outcome)
+}
+
+/// Books `n` finished specs taking `elapsed` wall time (combined) into the
+/// sweep counters and the per-spec latency histogram.
+fn record_sweep_done(elapsed: std::time::Duration, n: u64) {
+    let total_ns = elapsed.as_nanos() as u64;
+    qismet_telemetry::counter!("sweep.specs_done").add(n);
+    qismet_telemetry::counter!("sweep.eval_ns").add(total_ns);
+    let per_spec = total_ns / n.max(1);
+    for _ in 0..n {
+        qismet_telemetry::histogram!("sweep.spec_ns").record(per_spec);
+    }
 }
 
 fn record_from_outcome(spec: &RunSpec, outcome: SchemeOutcome) -> RunRecord {
@@ -442,7 +464,11 @@ fn run_group(specs: &[RunSpec], group: Range<usize>) -> Vec<RunRecord> {
         RunKind::Kalman(_) => unreachable!("kalman specs are never grouped"),
     };
     let seeds: Vec<u64> = specs[group.clone()].iter().map(|s| s.seed).collect();
+    let t0 = qismet_telemetry::enabled().then(std::time::Instant::now);
     let outcomes = run_scheme_lockstep(&lead.app, scheme, lead.iterations, lead.magnitude, &seeds);
+    if let Some(t0) = t0 {
+        record_sweep_done(t0.elapsed(), seeds.len() as u64);
+    }
     specs[group]
         .iter()
         .zip(outcomes)

@@ -46,6 +46,34 @@ pub struct RunRecord {
     pub series: Vec<f64>,
 }
 
+/// Build provenance stamped into every report so archived artifacts record
+/// what produced them. Deterministic for a given binary — reports from
+/// different topologies of the same build stay byte-identical.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportMeta {
+    /// Workspace crate version.
+    pub version: String,
+    /// Short git commit hash at compile time (`"unknown"` outside git).
+    pub git_hash: String,
+    /// Enabled codegen target features (e.g. from `-C target-cpu=native`).
+    pub target_features: String,
+    /// Whether the harness was built with the `parallel` feature.
+    pub parallel: bool,
+}
+
+impl ReportMeta {
+    /// The stamp for this build of the bench harness.
+    pub fn current() -> Self {
+        let b = qismet_telemetry::BuildInfo::current(cfg!(feature = "parallel"));
+        Self {
+            version: b.version,
+            git_hash: b.git_hash,
+            target_features: b.target_features,
+            parallel: b.parallel,
+        }
+    }
+}
+
 /// A campaign's complete result set, in grid-expansion order.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CampaignReport {
@@ -53,6 +81,8 @@ pub struct CampaignReport {
     pub name: String,
     /// Campaign master seed.
     pub seed: u64,
+    /// Build provenance of the producing harness.
+    pub meta: ReportMeta,
     /// One record per expanded run, in expansion order.
     pub records: Vec<RunRecord>,
 }
@@ -447,6 +477,7 @@ pub fn reaggregate_runs_jsonl(path: &Path, name: &str, seed: u64) -> io::Result<
     Ok(CampaignReport {
         name: name.to_string(),
         seed,
+        meta: ReportMeta::current(),
         records,
     })
 }
@@ -552,6 +583,7 @@ mod tests {
         let report = CampaignReport {
             name: "t".into(),
             seed: 1,
+            meta: ReportMeta::current(),
             records: vec![record(0, 0, -4.0), record(0, 1, -6.0), record(1, 0, -5.0)],
         };
         assert_eq!(report.scenario(0).len(), 2);
@@ -565,6 +597,7 @@ mod tests {
         let report = CampaignReport {
             name: "t".into(),
             seed: u64::MAX - 5,
+            meta: ReportMeta::current(),
             records: vec![record(0, 0, -4.125), record(2, 3, 0.1 + 0.2)],
         };
         let json = serde_json::to_string(&report).unwrap();
@@ -581,6 +614,7 @@ mod tests {
         let report = CampaignReport {
             name: format!("roundtrip-{}", std::process::id()),
             seed: 0xfeed,
+            meta: ReportMeta::current(),
             records: vec![record(0, 0, 0.1 + 0.2), record(1, 0, -7.25)],
         };
         let path = report.write_json(None);
@@ -621,6 +655,7 @@ mod tests {
         let report = CampaignReport {
             name: "ci".into(),
             seed: 1,
+            meta: ReportMeta::current(),
             records: vec![
                 record(0, 0, -4.0),
                 record(0, 1, -6.0),
@@ -698,6 +733,7 @@ mod tests {
         let report = CampaignReport {
             name: "p".into(),
             seed: 1,
+            meta: ReportMeta::current(),
             records: vec![
                 record(0, 0, -4.0),
                 record(0, 1, -4.2),

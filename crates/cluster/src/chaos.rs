@@ -340,11 +340,19 @@ impl FaultTransport {
                 FaultKind::SlowFrames(millis) => self.slow_millis = millis,
                 FaultKind::TruncateFrame => self.garble = Some(Garble::Truncate),
                 FaultKind::CorruptFrame => self.garble = Some(Garble::Corrupt),
-                FaultKind::CrashProcess => std::process::exit(CRASH_EXIT_CODE),
+                FaultKind::CrashProcess => {
+                    qismet_telemetry::counter!("chaos.faults_fired").inc();
+                    std::process::exit(CRASH_EXIT_CODE)
+                }
                 // Spec-addressed faults trigger on Assign contents, not here.
                 FaultKind::CrashOnSpec(_) | FaultKind::PoisonSpec(_) => continue,
             }
             self.fired[i] = true;
+            qismet_telemetry::counter!("chaos.faults_fired").inc();
+            qismet_telemetry::event(
+                "chaos_fault",
+                format!("{:?} fired on slot {:?}", fault.kind, self.slot),
+            );
         }
     }
 
@@ -376,9 +384,19 @@ impl FaultTransport {
                 FaultKind::CrashOnSpec(spec)
                     if indices.contains(&spec) && self.shared.consume(i) =>
                 {
+                    qismet_telemetry::counter!("chaos.faults_fired").inc();
+                    qismet_telemetry::event(
+                        "chaos_fault",
+                        format!("CrashOnSpec({spec}) fired on slot {:?}", self.slot),
+                    );
                     return true;
                 }
                 FaultKind::PoisonSpec(spec) if indices.contains(&spec) => {
+                    qismet_telemetry::counter!("chaos.faults_fired").inc();
+                    qismet_telemetry::event(
+                        "chaos_fault",
+                        format!("PoisonSpec({spec}) fired on slot {:?}", self.slot),
+                    );
                     return true;
                 }
                 _ => {}
@@ -595,6 +613,7 @@ mod tests {
             index,
             seed: index as u64,
             outcome: Outcome::Record(Value::U64(index as u64)),
+            stats: None,
         })
     }
 
@@ -714,6 +733,7 @@ mod tests {
             spec_count: 4,
             token: String::new(),
             threads: 0,
+            build: crate::protocol::BuildStamp::local(false),
         })]);
         let mut t = FaultTransport::new(mock, plan(FaultKind::Disconnect, Some(1), 0), None);
         // Slot unknown: the slot-1 fault cannot apply yet, so the Hello

@@ -51,8 +51,9 @@
 //! **byte-identical** to a sequential in-process run: results are keyed by
 //! spec index and every record is a pure function of its pure spec.
 
-use crate::protocol::{Assign, CheckpointEntry, Done, Hello, Message, Outcome};
+use crate::protocol::{Assign, BuildStamp, CheckpointEntry, Done, Hello, Message, Outcome};
 use crate::transport::{Connector, Transport};
+use qismet_telemetry::{counter, event, fleet_update, gauge};
 use serde::Value;
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::fmt;
@@ -261,6 +262,7 @@ pub struct WorkerPool {
     speculative: bool,
     quarantine_after: Option<usize>,
     poison_after: usize,
+    build: BuildStamp,
 }
 
 impl WorkerPool {
@@ -283,6 +285,7 @@ impl WorkerPool {
             speculative: false,
             quarantine_after: None,
             poison_after: DEFAULT_POISON_AFTER,
+            build: BuildStamp::local(false),
         }
     }
 
@@ -347,6 +350,16 @@ impl WorkerPool {
     #[must_use]
     pub fn with_poison_after(mut self, strikes: usize) -> Self {
         self.poison_after = strikes;
+        self
+    }
+
+    /// Replaces the build stamp announced in the coordinator's `Hello`.
+    /// The default stamp carries this crate's provenance with
+    /// `parallel: false`; the bench harness passes its own so the
+    /// advertised feature flag matches the binary actually running.
+    #[must_use]
+    pub fn with_build(mut self, build: BuildStamp) -> Self {
+        self.build = build;
         self
     }
 
@@ -592,10 +605,20 @@ impl WorkerPool {
                 attempts = 0;
             }
             strikes += 1;
+            fleet_update(worker as u64, |s| {
+                s.strikes += 1;
+                s.last_error = Some(loss.detail.clone());
+            });
             if let Some(limit) = self.quarantine_after {
                 if strikes >= limit {
                     // The slot's unfinished work is already back in the
                     // shared queue for the surviving workers.
+                    fleet_update(worker as u64, |s| s.quarantined = true);
+                    event(
+                        "quarantine",
+                        format!("slot {worker} after {strikes} strikes: {}", loss.detail),
+                    );
+                    counter!("cluster.workers_quarantined").inc();
                     return WorkerEnd::Quarantined(ClusterError::WorkerQuarantined {
                         worker,
                         strikes,
@@ -611,6 +634,14 @@ impl WorkerPool {
             if respawns_left == 0 {
                 // The slot is lost; its unfinished work is already back in
                 // the shared queue for the surviving workers.
+                event(
+                    "worker_lost",
+                    format!(
+                        "slot {worker} exhausted its respawn budget: {}",
+                        loss.detail
+                    ),
+                );
+                counter!("cluster.workers_lost").inc();
                 return WorkerEnd::Lost(ClusterError::WorkerLost {
                     worker,
                     respawns: self.max_respawns,
@@ -619,6 +650,9 @@ impl WorkerPool {
             }
             respawns_left -= 1;
             respawns.fetch_add(1, Ordering::Relaxed);
+            fleet_update(worker as u64, |s| s.respawns += 1);
+            event("respawn", format!("slot {worker}: {}", loss.detail));
+            counter!("cluster.respawns").inc();
         }
     }
 
@@ -679,6 +713,7 @@ impl WorkerPool {
             spec_count: total,
             token: self.token.clone(),
             threads: 0,
+            build: self.build.clone(),
         });
         if let Err(e) = transport.send(&ours) {
             return Err(SessionEnd::lost(format!("handshake send failed: {e}")));
@@ -709,6 +744,17 @@ impl WorkerPool {
                         ours: total,
                         theirs: hello.spec_count,
                     }));
+                }
+                if hello.build != self.build {
+                    // Advisory only: fingerprint/token checks gate the
+                    // session, but a mixed-build fleet is worth a record.
+                    event(
+                        "build_mismatch",
+                        format!(
+                            "slot {worker}: worker build {:?} differs from coordinator {:?}",
+                            hello.build, self.build
+                        ),
+                    );
                 }
                 Ok(hello.threads.max(1))
             }
@@ -764,12 +810,16 @@ impl WorkerPool {
                 format!("assigning batch {indices:?} failed: {e}"),
             ));
         }
+        fleet_update(worker as u64, |s| s.assigned += batch.indices.len() as u64);
+        counter!("cluster.specs_assigned").add(batch.indices.len() as u64);
         while !outstanding.is_empty() {
             let done = match transport.recv() {
                 Ok(Message::Done(done)) => done,
                 Ok(Message::Ping) => {
                     // The worker is alive, just still computing: answer and
                     // keep waiting (the read deadline restarts per frame).
+                    fleet_update(worker as u64, |s| s.pings += 1);
+                    counter!("cluster.pings").inc();
                     if let Err(e) = transport.send(&Message::Pong) {
                         return Err(lose(
                             dispatch,
@@ -800,7 +850,21 @@ impl WorkerPool {
                 index,
                 seed,
                 outcome,
+                stats,
             } = done;
+            if let Some(stats) = &stats {
+                // Worker-side deltas: plain addition aggregates correctly
+                // across respawns and reused daemon sessions.
+                fleet_update(worker as u64, |s| {
+                    s.worker_specs_done += stats.specs_done;
+                    s.worker_eval_ns += stats.eval_ns;
+                    s.worker_plan_hits += stats.plan_hits;
+                    s.worker_plan_misses += stats.plan_misses;
+                    s.rtt_count += stats.rtt_count;
+                    s.rtt_ns_sum += stats.rtt_ns_sum;
+                    s.rtt_ns_max = s.rtt_ns_max.max(stats.rtt_ns_max);
+                });
+            }
             let Some(pos) = outstanding.iter().position(|&i| i == index) else {
                 dispatch.settle_loss(&outstanding, false);
                 return Err(SessionEnd::Fatal(ClusterError::Protocol {
@@ -816,7 +880,19 @@ impl WorkerPool {
                         // A speculative twin finished first; this duplicate
                         // is byte-identical by construction, so drop it
                         // without re-journaling.
+                        fleet_update(worker as u64, |s| s.duplicates_lost += 1);
+                        counter!("cluster.speculative.duplicates_lost").inc();
                         continue;
+                    }
+                    fleet_update(worker as u64, |s| {
+                        s.done += 1;
+                        if batch.speculative {
+                            s.speculative_won += 1;
+                        }
+                    });
+                    counter!("cluster.specs_done").inc();
+                    if batch.speculative {
+                        counter!("cluster.speculative.won").inc();
                     }
                     let mut entry = CheckpointEntry {
                         fingerprint,
@@ -923,6 +999,9 @@ struct Batch {
     /// Suspect batches are crash-implicated singletons: a further loss
     /// while one is outstanding is a precise blame strike on that spec.
     suspect: bool,
+    /// Whether this batch duplicates in-flight work (tail speculation);
+    /// an accepted result from it is a speculation win for this slot.
+    speculative: bool,
 }
 
 /// The shared dispatch queue, guarded by one mutex/condvar pair so idle
@@ -1009,6 +1088,7 @@ impl Dispatch {
                 return Some(Batch {
                     indices: vec![front],
                     suspect: true,
+                    speculative: false,
                 });
             }
             let mut batch = Vec::new();
@@ -1024,9 +1104,11 @@ impl Dispatch {
                 for &index in &batch {
                     *state.holders.entry(index).or_insert(0) += 1;
                 }
+                gauge!("cluster.queue_depth").set(state.queue.len() as i64);
                 return Some(Batch {
                     indices: batch,
                     suspect: false,
+                    speculative: false,
                 });
             }
             if state.is_finished() {
@@ -1046,9 +1128,11 @@ impl Dispatch {
                     for &index in &dups {
                         *state.holders.entry(index).or_insert(0) += 1;
                     }
+                    counter!("cluster.speculative.dispatched").add(dups.len() as u64);
                     return Some(Batch {
                         indices: dups,
                         suspect: false,
+                        speculative: true,
                     });
                 }
             }
@@ -1099,11 +1183,19 @@ impl Dispatch {
                 continue;
             }
             if was_suspect {
-                let strikes = state.blame.entry(index).or_insert(0);
-                *strikes += 1;
+                let strikes = {
+                    let s = state.blame.entry(index).or_insert(0);
+                    *s += 1;
+                    *s
+                };
                 blamed = true;
-                if *strikes >= self.poison_after {
+                if strikes >= self.poison_after {
                     state.poisoned.insert(index);
+                    event(
+                        "poison",
+                        format!("spec {index} isolated after {strikes} attributed crashes"),
+                    );
+                    counter!("cluster.specs_poisoned").inc();
                     continue;
                 }
             }

@@ -55,7 +55,8 @@ pub use chaos::{
 pub use coordinator::{ClusterError, ClusterOutcome, WorkerPool};
 pub use journal::{load_journal, JournalWriter, LoadedJournal};
 pub use protocol::{
-    read_message, write_message, Assign, CheckpointEntry, Done, Hello, Message, Outcome,
+    read_message, write_message, Assign, BuildStamp, CheckpointEntry, Done, Hello, Message,
+    Outcome, WorkerStats,
 };
 pub use shard::{merge_indexed, shard_round_robin, MergeError};
 pub use transport::{

@@ -48,6 +48,69 @@ use std::io::{self, BufRead, Write};
 /// corrupted length header into a giant allocation).
 const MAX_FRAME_BYTES: usize = 1 << 30;
 
+/// Build provenance carried by the [`Hello`] handshake so mismatched
+/// binaries (different commit, different ISA features, different feature
+/// flags) are visible at connection time and recorded in fleet telemetry.
+/// Advisory only: the fingerprint/token checks remain the gate.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStamp {
+    /// Workspace crate version.
+    pub version: String,
+    /// Short git commit hash at compile time (`"unknown"` outside git).
+    pub git_hash: String,
+    /// Enabled codegen target features of the sender's binary.
+    pub target_features: String,
+    /// Whether the sender was built with the `parallel` feature.
+    pub parallel: bool,
+}
+
+impl BuildStamp {
+    /// The stamp for the current binary. `parallel` is supplied by the
+    /// caller because cargo features are per-crate: only the embedding
+    /// crate knows whether its own `parallel` feature is on.
+    pub fn local(parallel: bool) -> Self {
+        qismet_telemetry::BuildInfo::current(parallel).into()
+    }
+}
+
+impl From<qismet_telemetry::BuildInfo> for BuildStamp {
+    fn from(b: qismet_telemetry::BuildInfo) -> Self {
+        Self {
+            version: b.version,
+            git_hash: b.git_hash,
+            target_features: b.target_features,
+            parallel: b.parallel,
+        }
+    }
+}
+
+/// Compact worker-side telemetry delta piggybacked on [`Done`] frames.
+///
+/// Each `Done` carries the tallies accrued *since the previous `Done` of
+/// the same session* (the first carries everything since session start),
+/// so the coordinator aggregates fleet-wide metrics by plain addition and
+/// the arithmetic survives respawns and daemon session reuse without any
+/// baseline bookkeeping. All durations are nanoseconds.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerStats {
+    /// Specs completed (successfully or not).
+    pub specs_done: u64,
+    /// Wall time spent executing specs.
+    pub eval_ns: u64,
+    /// Compiled-plan cache hits in the worker's qsim backends.
+    pub plan_hits: u64,
+    /// Compiled-plan cache misses (compilations).
+    pub plan_misses: u64,
+    /// Heartbeat round trips newly matched (ping send -> pong read; pong
+    /// reads are deferred to batch boundaries, so this upper-bounds wire
+    /// RTT — see the coordinator docs).
+    pub rtt_count: u64,
+    /// Sum of those round trips.
+    pub rtt_ns_sum: u64,
+    /// Largest of those round trips.
+    pub rtt_ns_max: u64,
+}
+
 /// Handshake message, sent by both sides (coordinator first).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hello {
@@ -66,6 +129,8 @@ pub struct Hello {
     /// advertise it so the coordinator sizes [`Assign`] batches; the
     /// coordinator sends 0).
     pub threads: usize,
+    /// Build provenance of the sender's binary.
+    pub build: BuildStamp,
 }
 
 /// Coordinator order: execute a batch of spec indices.
@@ -94,6 +159,10 @@ pub struct Done {
     pub seed: u64,
     /// Record or failure.
     pub outcome: Outcome,
+    /// Telemetry delta since this session's previous `Done` (see
+    /// [`WorkerStats`]); `None` from workers predating telemetry or with
+    /// collection disabled.
+    pub stats: Option<WorkerStats>,
 }
 
 /// One durably-completed run, as appended to the checkpoint journal.
@@ -219,6 +288,7 @@ mod tests {
                 spec_count: 96,
                 token: "s3cret".into(),
                 threads: 4,
+                build: qismet_telemetry::BuildInfo::current(false).into(),
             }),
             Message::Reject("token mismatch".into()),
             Message::Assign(Assign {
@@ -228,11 +298,21 @@ mod tests {
                 index: 17,
                 seed: 0x5eed,
                 outcome: Outcome::Record(record.clone()),
+                stats: Some(WorkerStats {
+                    specs_done: 1,
+                    eval_ns: 12_345,
+                    plan_hits: 7,
+                    plan_misses: 1,
+                    rtt_count: 2,
+                    rtt_ns_sum: 900,
+                    rtt_ns_max: 600,
+                }),
             }),
             Message::Done(Done {
                 index: 18,
                 seed: 0x5eee,
                 outcome: Outcome::Failed("run panicked: boom".into()),
+                stats: None,
             }),
             Message::Checkpoint(CheckpointEntry {
                 fingerprint: 1,

@@ -499,6 +499,7 @@ mod tests {
             spec_count: 9,
             token: "t".into(),
             threads: 2,
+            build: crate::protocol::BuildStamp::local(false),
         })
     }
 

@@ -108,6 +108,7 @@ impl Transport for ScriptedTransport {
                 spec_count: theirs.spec_count,
                 token: theirs.token.clone(),
                 threads: self.threads,
+                build: theirs.build.clone(),
             }));
         }
         if matches!(self.script, Script::Hang) {
@@ -149,6 +150,7 @@ impl Transport for ScriptedTransport {
                     index: next + 999,
                     seed: 0,
                     outcome: Outcome::Record(record(next + 999)),
+                    stats: None,
                 }));
             }
             _ => {}
@@ -160,6 +162,7 @@ impl Transport for ScriptedTransport {
             index: next,
             seed: seed_of(next),
             outcome: Outcome::Record(record(next)),
+            stats: None,
         }))
     }
 

@@ -165,8 +165,14 @@ impl PlanCache {
         // Extract angles first so unbound circuits error before any caching.
         CompiledCircuit::extract_angles(circuit, &mut self.angles)?;
         let idx = match self.plans.iter().position(|p| p.matches_structure(circuit)) {
-            Some(i) => i,
+            Some(i) => {
+                qismet_telemetry::counter!("qsim.plan_cache.hits").inc();
+                i
+            }
             None => {
+                // The miss is booked by the compile itself (see
+                // `CompiledCircuit::lower`), keeping one taxonomy: a hit is
+                // a compiled plan reused, a miss is a plan built.
                 if self.plans.len() >= PLAN_CACHE_CAP {
                     self.plans.remove(0);
                 }
@@ -301,6 +307,24 @@ impl CachedStatevectorBackend {
     }
 }
 
+/// Adds `times` executions of `plan`'s per-kernel-class op counts to the
+/// `qsim.ops.*` counters. One relaxed load and early-out when telemetry is
+/// off; when on, eight atomic adds per (batched) execution.
+fn record_op_classes(plan: &CompiledCircuit, times: u64) {
+    if !qismet_telemetry::enabled() {
+        return;
+    }
+    let counts = plan.op_class_counts();
+    qismet_telemetry::counter!("qsim.ops.one_q").add(counts[0] * times);
+    qismet_telemetry::counter!("qsim.ops.one_q_real").add(counts[1] * times);
+    qismet_telemetry::counter!("qsim.ops.cx").add(counts[2] * times);
+    qismet_telemetry::counter!("qsim.ops.cz").add(counts[3] * times);
+    qismet_telemetry::counter!("qsim.ops.swap").add(counts[4] * times);
+    qismet_telemetry::counter!("qsim.ops.rzz").add(counts[5] * times);
+    qismet_telemetry::counter!("qsim.ops.superop").add(counts[6] * times);
+    qismet_telemetry::counter!("qsim.ops.table").add(counts[7] * times);
+}
+
 /// Runs a bound plan on the scratch state (reset by the plan run itself,
 /// which lets real-amplitude plans take their `f64` fast path) and
 /// evaluates the compiled observable, honoring the in-state thread fan-out.
@@ -312,6 +336,7 @@ fn execute(
     scratch: &mut StateVector,
     inner_threads: usize,
 ) -> Result<f64, GateError> {
+    record_op_classes(plan, 1);
     #[cfg(feature = "parallel")]
     if inner_threads > 1 {
         plan.run_threaded(scratch, inner_threads)?;
@@ -360,8 +385,10 @@ impl BatchScratch {
             Some(k) => {
                 let (bc, bsv) = &mut self.slots[k];
                 if bc.matches(plan) {
+                    qismet_telemetry::counter!("qsim.batch.rebinds").inc();
                     bc.rebind(plan, chunk)?;
                 } else {
+                    qismet_telemetry::counter!("qsim.batch.binds").inc();
                     *bc = BatchedCircuit::bind(plan, chunk)?;
                     if bsv.n_qubits() != n {
                         *bsv = BatchStateVector::new(n, lanes);
@@ -370,6 +397,7 @@ impl BatchScratch {
                 k
             }
             None => {
+                qismet_telemetry::counter!("qsim.batch.binds").inc();
                 let bc = BatchedCircuit::bind(plan, chunk)?;
                 self.slots.push((bc, BatchStateVector::new(n, lanes)));
                 self.slots.len() - 1
@@ -397,6 +425,9 @@ fn lane_batch_into(
     out: &mut [Result<f64, GateError>],
 ) {
     debug_assert_eq!(points.len(), out.len());
+    qismet_telemetry::counter!("qsim.batch.points").add(points.len() as u64);
+    // Every batched point evaluates a plan compiled earlier: plan reuse.
+    qismet_telemetry::counter!("qsim.plan_cache.hits").add(points.len() as u64);
     let n = plan.n_qubits();
     fn scalar(
         plan: &mut CompiledCircuit,
@@ -422,13 +453,20 @@ fn lane_batch_into(
             1
         };
         if lanes == 1 {
+            qismet_telemetry::counter!("qsim.batch.chunks_lane1").inc();
             out[i] = scalar(plan, &points[i], observable, scratch, inner_threads);
             i += 1;
             continue;
         }
+        if lanes == MAX_LANES {
+            qismet_telemetry::counter!("qsim.batch.chunks_lane8").inc();
+        } else {
+            qismet_telemetry::counter!("qsim.batch.chunks_lane4").inc();
+        }
         let chunk = &points[i..i + lanes];
         match batch.bind(plan, chunk) {
             Ok((batched, bsv)) => {
+                record_op_classes(plan, lanes as u64);
                 let mut vals = [0.0f64; MAX_LANES];
                 batched.run_expectation_only(bsv, observable, &mut vals);
                 for (slot, v) in out[i..i + lanes].iter_mut().zip(vals) {
@@ -497,6 +535,8 @@ impl Backend for CachedStatevectorBackend {
         params: &[f64],
         observable: &CompiledObservable,
     ) -> Result<f64, GateError> {
+        let _span = qismet_telemetry::span!("qsim.evaluate_plan");
+        qismet_telemetry::counter!("qsim.plan_cache.hits").inc();
         plan.rebind(params)?;
         let scratch = scratch_for(&mut self.scratch, plan.n_qubits());
         execute(plan, observable, scratch, self.inner_threads)

@@ -992,7 +992,34 @@ impl CompiledCircuit {
         Self::lower(circuit, true)
     }
 
+    /// Per-kernel-class op counts for this plan, in a fixed order:
+    /// `[one_q, one_q_real, cx, cz, swap, rzz, super, table]`. Feeds the
+    /// `qsim.ops.*` telemetry counters; only called on the enabled path.
+    pub(crate) fn op_class_counts(&self) -> [u64; 8] {
+        let mut c = [0u64; 8];
+        for op in &self.ops {
+            let k = match op {
+                PlanOp::OneQ { .. } => 0,
+                PlanOp::OneQReal { .. } => 1,
+                PlanOp::Cx { .. } => 2,
+                PlanOp::Cz { .. } => 3,
+                PlanOp::Swap { .. } => 4,
+                PlanOp::Rzz { .. } => 5,
+                PlanOp::Super { .. } => 6,
+                PlanOp::Table { .. } => 7,
+            };
+            c[k] += 1;
+        }
+        c
+    }
+
     fn lower(circuit: &Circuit, template: bool) -> Self {
+        // One taxonomy across every evaluation path: compiling a plan is
+        // the plan-cache *miss*; evaluating a previously compiled plan
+        // (structure-cache match, batch rebind, or `evaluate_plan` on an
+        // externally held plan) is the *hit*.
+        qismet_telemetry::counter!("qsim.plans_compiled").inc();
+        qismet_telemetry::counter!("qsim.plan_cache.misses").inc();
         let n = circuit.n_qubits();
         let mut key = Vec::with_capacity(circuit.len());
         let mut next_slot = 0usize;

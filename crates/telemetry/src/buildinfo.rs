@@ -1,0 +1,50 @@
+//! Build provenance stamped by `build.rs`: which crate version, commit,
+//! and ISA feature set produced a given artifact. Deterministic for a
+//! given binary, so embedding it in reports preserves the cluster
+//! byte-identity contract (every topology runs the same build).
+
+/// Short git commit hash of the workspace at compile time, or `"unknown"`
+/// outside a git checkout.
+pub const GIT_HASH: &str = env!("QISMET_GIT_HASH");
+
+/// Comma-separated enabled target features (e.g. `avx2,fma,...` under
+/// `-C target-cpu=native`).
+pub const TARGET_FEATURES: &str = env!("QISMET_TARGET_FEATURES");
+
+/// Workspace crate version.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+/// Provenance record for reports and the cluster handshake.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BuildInfo {
+    pub version: String,
+    pub git_hash: String,
+    pub target_features: String,
+    /// Whether the embedding binary was built with its `parallel` feature.
+    /// Features are per-crate, so the caller supplies this
+    /// (`cfg!(feature = "parallel")` evaluated where it means something).
+    pub parallel: bool,
+}
+
+impl BuildInfo {
+    pub fn current(parallel: bool) -> Self {
+        Self {
+            version: VERSION.to_string(),
+            git_hash: GIT_HASH.to_string(),
+            target_features: TARGET_FEATURES.to_string(),
+            parallel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stamp_is_populated() {
+        let b = BuildInfo::current(false);
+        assert!(!b.version.is_empty());
+        assert!(!b.git_hash.is_empty());
+    }
+}

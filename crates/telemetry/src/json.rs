@@ -1,0 +1,155 @@
+//! Minimal JSON emission helpers.
+//!
+//! The telemetry crate is dependency-free by contract, so metrics and trace
+//! export build their JSON with this small writer instead of the vendored
+//! serde stack. Output is deterministic: object keys are emitted in the
+//! order the callers push them (callers sort where determinism matters).
+
+/// Append `s` to `out` as a JSON string literal, escaping per RFC 8259.
+pub fn push_str_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental writer for one JSON object/array tree. Tracks whether a
+/// separator comma is needed; the caller supplies structure via
+/// `begin_*`/`end_*` and leaf values via the typed `field_*` helpers.
+#[derive(Default)]
+pub struct JsonWriter {
+    buf: String,
+    needs_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sep(&mut self) {
+        if let Some(top) = self.needs_comma.last_mut() {
+            if *top {
+                self.buf.push(',');
+            }
+            *top = true;
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        self.sep();
+        push_str_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn begin_object(&mut self, key: Option<&str>) {
+        match key {
+            Some(k) => self.key(k),
+            None => self.sep(),
+        }
+        self.buf.push('{');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push('}');
+    }
+
+    pub fn begin_array(&mut self, key: Option<&str>) {
+        match key {
+            Some(k) => self.key(k),
+            None => self.sep(),
+        }
+        self.buf.push('[');
+        self.needs_comma.push(false);
+    }
+
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.buf.push(']');
+    }
+
+    pub fn field_str(&mut self, key: &str, v: &str) {
+        self.key(key);
+        push_str_escaped(&mut self.buf, v);
+    }
+
+    pub fn field_u64(&mut self, key: &str, v: u64) {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn field_i64(&mut self, key: &str, v: i64) {
+        self.key(key);
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn field_bool(&mut self, key: &str, v: bool) {
+        self.key(key);
+        self.buf.push_str(if v { "true" } else { "false" });
+    }
+
+    /// Finite floats only; emitted via Rust's shortest-roundtrip formatter.
+    pub fn field_f64(&mut self, key: &str, v: f64) {
+        self.key(key);
+        if v.is_finite() {
+            self.buf.push_str(&v.to_string());
+        } else {
+            self.buf.push_str("null");
+        }
+    }
+
+    pub fn elem_u64(&mut self, v: u64) {
+        self.sep();
+        self.buf.push_str(&v.to_string());
+    }
+
+    pub fn into_string(mut self) -> String {
+        self.needs_comma.clear();
+        std::mem::take(&mut self.buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_and_nests() {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("a\"b", "line\nbreak\t\\");
+        w.begin_array(Some("xs"));
+        w.elem_u64(1);
+        w.elem_u64(2);
+        w.end_array();
+        w.begin_object(Some("o"));
+        w.field_bool("t", true);
+        w.field_i64("n", -3);
+        w.end_object();
+        w.end_object();
+        assert_eq!(
+            w.into_string(),
+            "{\"a\\\"b\":\"line\\nbreak\\t\\\\\",\"xs\":[1,2],\"o\":{\"t\":true,\"n\":-3}}"
+        );
+    }
+
+    #[test]
+    fn control_chars_use_unicode_escapes() {
+        let mut out = String::new();
+        push_str_escaped(&mut out, "\u{1}");
+        assert_eq!(out, "\"\\u0001\"");
+    }
+}

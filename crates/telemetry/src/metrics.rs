@@ -1,0 +1,529 @@
+//! Counters, gauges, fixed-bucket log2 histograms, structured events, and
+//! the global registry with deterministic JSON snapshot export.
+//!
+//! Handles are `&'static`: registration leaks one small allocation per
+//! distinct metric name for the life of the process, which is what lets the
+//! hot path touch a metric with a single atomic RMW and no lock. The
+//! [`crate::counter!`]/[`crate::gauge!`]/[`crate::histogram!`] macros cache
+//! the handle in a call-site `OnceLock` so the registry mutex is taken once
+//! per call site, ever.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::json::JsonWriter;
+
+/// Monotonic event counter.
+#[derive(Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if crate::enabled() {
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Instantaneous signed level (queue depths, active workers).
+#[derive(Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if crate::enabled() {
+            self.value.store(v, Ordering::Relaxed);
+        }
+    }
+
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if crate::enabled() {
+            self.value.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Number of log2 buckets. Bucket `b` counts samples whose bit length is
+/// `b` — i.e. values in `[2^(b-1), 2^b)` — with bucket 0 holding exactly
+/// the zero samples and the last bucket absorbing everything `>= 2^62`.
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Lock-free fixed-bucket log2 histogram of `u64` samples (nanoseconds, by
+/// convention, for latency metrics). Concurrent `record` calls race only on
+/// relaxed adds, so a snapshot taken mid-record may be momentarily
+/// inconsistent between `count` and `sum`; campaign exports snapshot after
+/// all workers join, where totals are exact.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Bucket index of a sample: its bit length, clamped to the top bucket.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    ((64 - v.leading_zeros()) as usize).min(HISTOGRAM_BUCKETS - 1)
+}
+
+impl Histogram {
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum.store(0, Ordering::Relaxed);
+        self.max.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Owned copy of a histogram's state. Merging is bucketwise addition, so it
+/// is associative and commutative with the empty snapshot as identity —
+/// fleet-wide histograms can be folded from per-worker snapshots in any
+/// order (pinned by unit tests below).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self {
+            buckets: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let n = self.buckets.len().max(other.buckets.len());
+        let mut buckets = vec![0u64; n];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets.get(i).copied().unwrap_or(0)
+                + other.buckets.get(i).copied().unwrap_or(0);
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            max: self.max.max(other.max),
+        }
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile sample
+    /// (`q` in `[0, 1]`), i.e. a power-of-two upper bound on the quantile.
+    pub fn quantile_upper_bound(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i.min(63) };
+            }
+        }
+        u64::MAX
+    }
+
+    fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+/// One structured event (respawn, quarantine, poison, chaos fault, ...).
+#[derive(Debug, Clone)]
+pub struct EventRecord {
+    /// Process-wide sequence number (order across kinds).
+    pub seq: u64,
+    pub kind: &'static str,
+    pub detail: String,
+}
+
+const MAX_EVENTS: usize = 16_384;
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<&'static str, &'static Counter>,
+    gauges: BTreeMap<&'static str, &'static Gauge>,
+    histograms: BTreeMap<&'static str, &'static Histogram>,
+    events: Vec<EventRecord>,
+    event_seq: u64,
+    events_dropped: u64,
+}
+
+static REGISTRY: Mutex<Option<Registry>> = Mutex::new(None);
+
+fn with_registry<T>(f: impl FnOnce(&mut Registry) -> T) -> T {
+    let mut guard = REGISTRY.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(Registry::default))
+}
+
+/// Register (or look up) the counter named `name`. Prefer the
+/// [`crate::counter!`] macro, which caches the returned handle.
+pub fn counter(name: &'static str) -> &'static Counter {
+    with_registry(|r| {
+        *r.counters
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::default()))
+    })
+}
+
+/// Register (or look up) the gauge named `name`.
+pub fn gauge(name: &'static str) -> &'static Gauge {
+    with_registry(|r| {
+        *r.gauges
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::default()))
+    })
+}
+
+/// Register (or look up) the histogram named `name`.
+pub fn histogram(name: &'static str) -> &'static Histogram {
+    with_registry(|r| {
+        *r.histograms
+            .entry(name)
+            .or_insert_with(|| Box::leak(Box::default()))
+    })
+}
+
+pub(crate) fn record_event(kind: &'static str, detail: String) {
+    with_registry(|r| {
+        r.event_seq += 1;
+        if r.events.len() >= MAX_EVENTS {
+            r.events_dropped += 1;
+            return;
+        }
+        let seq = r.event_seq;
+        r.events.push(EventRecord { seq, kind, detail });
+    });
+}
+
+pub(crate) fn reset_metrics() {
+    with_registry(|r| {
+        for c in r.counters.values() {
+            c.reset();
+        }
+        for g in r.gauges.values() {
+            g.reset();
+        }
+        for h in r.histograms.values() {
+            h.reset();
+        }
+        r.events.clear();
+        r.event_seq = 0;
+        r.events_dropped = 0;
+    });
+}
+
+/// Owned, name-sorted copy of every registered metric plus the event log.
+/// Zero-valued metrics are omitted from both the snapshot and its JSON so
+/// exports only mention subsystems that actually ran.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    pub counters: Vec<(String, u64)>,
+    pub gauges: Vec<(String, i64)>,
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    pub events: Vec<EventRecord>,
+    pub events_dropped: u64,
+}
+
+impl MetricsSnapshot {
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Serialize to a deterministic JSON object (keys sorted by metric
+    /// name; histograms exported as count/sum/max/mean plus the non-empty
+    /// tail-trimmed bucket vector).
+    pub fn write_json(&self, w: &mut JsonWriter) {
+        w.begin_object(Some("counters"));
+        for (name, v) in &self.counters {
+            w.field_u64(name, *v);
+        }
+        w.end_object();
+        w.begin_object(Some("gauges"));
+        for (name, v) in &self.gauges {
+            w.field_i64(name, *v);
+        }
+        w.end_object();
+        w.begin_object(Some("histograms"));
+        for (name, h) in &self.histograms {
+            w.begin_object(Some(name));
+            w.field_u64("count", h.count);
+            w.field_u64("sum", h.sum);
+            w.field_u64("max", h.max);
+            w.field_f64("mean", h.mean());
+            w.field_u64("p99_upper_bound", h.quantile_upper_bound(0.99));
+            let last = h
+                .buckets
+                .iter()
+                .rposition(|&b| b != 0)
+                .map(|i| i + 1)
+                .unwrap_or(0);
+            w.begin_array(Some("log2_buckets"));
+            for &b in &h.buckets[..last] {
+                w.elem_u64(b);
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+        w.begin_array(Some("events"));
+        for e in &self.events {
+            w.begin_object(None);
+            w.field_u64("seq", e.seq);
+            w.field_str("kind", e.kind);
+            w.field_str("detail", &e.detail);
+            w.end_object();
+        }
+        w.end_array();
+        if self.events_dropped > 0 {
+            w.field_u64("events_dropped", self.events_dropped);
+        }
+    }
+}
+
+/// Take a consistent-enough snapshot of the whole registry. See
+/// [`Histogram::snapshot`] for the (benign) concurrency caveat.
+pub fn snapshot() -> MetricsSnapshot {
+    with_registry(|r| MetricsSnapshot {
+        counters: r
+            .counters
+            .iter()
+            .map(|(n, c)| (n.to_string(), c.get()))
+            .filter(|(_, v)| *v != 0)
+            .collect(),
+        gauges: r
+            .gauges
+            .iter()
+            .map(|(n, g)| (n.to_string(), g.get()))
+            .filter(|(_, v)| *v != 0)
+            .collect(),
+        histograms: r
+            .histograms
+            .iter()
+            .map(|(n, h)| (n.to_string(), h.snapshot()))
+            .filter(|(_, h)| !h.is_empty())
+            .collect(),
+        events: r.events.clone(),
+        events_dropped: r.events_dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::TEST_GATE_LOCK;
+
+    fn with_enabled<T>(f: impl FnOnce() -> T) -> T {
+        let _guard = TEST_GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(true);
+        let out = f();
+        crate::set_enabled(false);
+        out
+    }
+
+    #[test]
+    fn disabled_records_nothing() {
+        let _guard = TEST_GATE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        crate::set_enabled(false);
+        let c = counter("test.disabled.counter");
+        let h = histogram("test.disabled.hist");
+        c.add(5);
+        h.record(123);
+        assert_eq!(c.get(), 0);
+        assert_eq!(h.snapshot().count, 0);
+    }
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        with_enabled(|| {
+            let h = histogram("test.hist.basic");
+            h.record(0);
+            h.record(1);
+            h.record(900);
+            h.record(1100);
+            let s = h.snapshot();
+            assert_eq!(s.count, 4);
+            assert_eq!(s.sum, 2001);
+            assert_eq!(s.max, 1100);
+            assert_eq!(s.buckets[0], 1);
+            assert_eq!(s.buckets[1], 1);
+            assert_eq!(s.buckets[10], 1);
+            assert_eq!(s.buckets[11], 1);
+            assert!((s.mean() - 500.25).abs() < 1e-12);
+            // p99 falls in the top occupied bucket: upper bound 2^11.
+            assert_eq!(s.quantile_upper_bound(0.99), 2048);
+            h.reset();
+            assert_eq!(h.snapshot().count, 0);
+        });
+    }
+
+    fn arb_snapshot(seed: u64) -> HistogramSnapshot {
+        // Small deterministic LCG; keeps this crate dependency-free.
+        let mut x = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let mut next = || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x >> 33
+        };
+        let mut s = HistogramSnapshot::default();
+        for _ in 0..32 {
+            let v = next() % 100_000;
+            s.buckets[bucket_index(v)] += 1;
+            s.count += 1;
+            s.sum += v;
+            s.max = s.max.max(v);
+        }
+        s
+    }
+
+    #[test]
+    fn merge_is_commutative() {
+        for seed in 0..16u64 {
+            let a = arb_snapshot(seed);
+            let b = arb_snapshot(seed.wrapping_add(101));
+            assert_eq!(a.merge(&b), b.merge(&a));
+        }
+    }
+
+    #[test]
+    fn merge_is_associative() {
+        for seed in 0..16u64 {
+            let a = arb_snapshot(seed);
+            let b = arb_snapshot(seed.wrapping_add(101));
+            let c = arb_snapshot(seed.wrapping_add(202));
+            assert_eq!(a.merge(&b).merge(&c), a.merge(&b.merge(&c)));
+        }
+    }
+
+    #[test]
+    fn merge_identity_is_empty() {
+        let a = arb_snapshot(7);
+        let id = HistogramSnapshot::default();
+        assert_eq!(a.merge(&id), a);
+        assert_eq!(id.merge(&a), a);
+    }
+
+    #[test]
+    fn events_capped_not_lost_silently() {
+        with_enabled(|| {
+            record_event("test.evt", "x".into());
+            let snap = snapshot();
+            assert!(snap.events.iter().any(|e| e.kind == "test.evt"));
+        });
+    }
+}

@@ -1,0 +1,224 @@
+//! RAII span timers and the Chrome `trace_event` buffer.
+//!
+//! Spans always feed their latency histogram when metrics are enabled;
+//! they additionally append a complete (`"ph":"X"`) event to the trace
+//! buffer when tracing is enabled. The buffer serializes to the Chrome
+//! JSON Array Format understood by `chrome://tracing` and
+//! [Perfetto](https://ui.perfetto.dev): open the file written by
+//! `campaign --trace-out trace.json` directly in either viewer.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::JsonWriter;
+use crate::metrics::Histogram;
+
+static TRACE_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether trace-event capture is on (independent of the metrics gate, so
+/// `--metrics-out` alone never pays the trace buffer lock).
+#[inline(always)]
+pub fn trace_enabled() -> bool {
+    TRACE_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn trace-event capture on or off.
+pub fn set_trace_enabled(on: bool) {
+    TRACE_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Shared epoch for trace timestamps: all `ts` fields are microseconds
+/// since the first event recorded after process start (or trace reset).
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Small stable integer id for the current thread (Chrome's `tid`).
+fn thread_tid() -> u64 {
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+    thread_local! {
+        static TID: u64 = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+    }
+    TID.with(|t| *t)
+}
+
+struct TraceEvent {
+    name: &'static str,
+    /// Microseconds since [`epoch`].
+    ts_us: u64,
+    /// Duration in microseconds; `None` renders an instant event.
+    dur_us: Option<u64>,
+    tid: u64,
+}
+
+const MAX_TRACE_EVENTS: usize = 262_144;
+
+#[derive(Default)]
+struct TraceBuffer {
+    events: Vec<TraceEvent>,
+    dropped: u64,
+}
+
+static TRACE: Mutex<Option<TraceBuffer>> = Mutex::new(None);
+
+fn with_trace<T>(f: impl FnOnce(&mut TraceBuffer) -> T) -> T {
+    let mut guard = TRACE.lock().unwrap_or_else(|e| e.into_inner());
+    f(guard.get_or_insert_with(TraceBuffer::default))
+}
+
+fn push_event(ev: TraceEvent) {
+    with_trace(|t| {
+        if t.events.len() >= MAX_TRACE_EVENTS {
+            t.dropped += 1;
+        } else {
+            t.events.push(ev);
+        }
+    });
+}
+
+/// Record an instant event (e.g. a fault injection or a worker respawn) at
+/// the current time on the current thread.
+pub fn instant(name: &'static str) {
+    if !trace_enabled() {
+        return;
+    }
+    push_event(TraceEvent {
+        name,
+        ts_us: epoch().elapsed().as_micros() as u64,
+        dur_us: None,
+        tid: thread_tid(),
+    });
+}
+
+pub(crate) fn reset_trace() {
+    with_trace(|t| {
+        t.events.clear();
+        t.dropped = 0;
+    });
+}
+
+/// Serialize and clear the trace buffer as a Chrome JSON-object-format
+/// trace (`{"traceEvents": [...]}`); returns `None` when nothing was
+/// captured. All events share `pid` 1 — process attribution for cluster
+/// runs comes from worker-side stats instead, since workers do not ship
+/// trace buffers over the wire.
+pub fn drain_trace_json() -> Option<String> {
+    let (events, dropped) = with_trace(|t| {
+        (
+            std::mem::take(&mut t.events),
+            std::mem::replace(&mut t.dropped, 0),
+        )
+    });
+    if events.is_empty() {
+        return None;
+    }
+    let mut w = JsonWriter::new();
+    w.begin_object(None);
+    w.begin_array(Some("traceEvents"));
+    for ev in &events {
+        w.begin_object(None);
+        w.field_str("name", ev.name);
+        w.field_str("cat", ev.name.split('.').next().unwrap_or("main"));
+        match ev.dur_us {
+            Some(dur) => {
+                w.field_str("ph", "X");
+                w.field_u64("ts", ev.ts_us);
+                w.field_u64("dur", dur);
+            }
+            None => {
+                w.field_str("ph", "i");
+                w.field_u64("ts", ev.ts_us);
+                w.field_str("s", "t");
+            }
+        }
+        w.field_u64("pid", 1);
+        w.field_u64("tid", ev.tid);
+        w.end_object();
+    }
+    w.end_array();
+    if dropped > 0 {
+        w.field_u64("droppedEvents", dropped);
+    }
+    w.end_object();
+    Some(w.into_string())
+}
+
+/// RAII timer handle; see [`crate::span!`]. When neither metrics nor
+/// tracing is enabled the span is inert and never reads the clock.
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    hist: &'static Histogram,
+}
+
+/// Start a span. Prefer the [`crate::span!`] macro, which caches the
+/// histogram handle at the call site.
+#[inline]
+pub fn span_start(name: &'static str, hist: &'static Histogram) -> Span {
+    let active = crate::enabled() || trace_enabled();
+    Span {
+        name,
+        start: active.then(Instant::now),
+        hist,
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed = start.elapsed();
+        self.hist.record(elapsed.as_nanos() as u64);
+        if trace_enabled() {
+            let end_us = epoch().elapsed().as_micros() as u64;
+            let dur_us = elapsed.as_micros() as u64;
+            push_event(TraceEvent {
+                name: self.name,
+                ts_us: end_us.saturating_sub(dur_us),
+                dur_us: Some(dur_us),
+                tid: thread_tid(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_trace_event() {
+        let _guard = crate::TEST_GATE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        set_trace_enabled(true);
+        {
+            let _s = crate::span!("test.trace.span");
+            std::thread::yield_now();
+        }
+        instant("test.trace.instant");
+        set_trace_enabled(false);
+        let json = drain_trace_json().expect("events captured");
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"name\":\"test.trace.span\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"test.trace.instant\""));
+        assert!(json.contains("\"ph\":\"i\""));
+        // Drained: a second call sees nothing new.
+        assert!(drain_trace_json().is_none());
+    }
+
+    #[test]
+    fn inert_span_is_free() {
+        let _guard = crate::TEST_GATE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        // Neither gate enabled: the span must not capture a start time.
+        let s = span_start(
+            "test.trace.inert",
+            crate::metrics::histogram("test.trace.inert"),
+        );
+        assert!(s.start.is_none());
+    }
+}

@@ -15,6 +15,11 @@
 //! cross-scheme significance tests when scenarios have multiple trials)
 //! and writes JSON + CSV artifacts under `target/paper_results/`.
 //!
+//! On top of the one-shot pool sits **service mode**: `--daemon <addr>`
+//! runs a long-lived multi-tenant campaign service, `--register <addr>`
+//! joins its elastic worker fleet, and the `submit`/`status`/`cancel`/
+//! `drain` verbs talk to it over the same framed protocol.
+//!
 //! ```text
 //! # worker daemon on each machine (same grid flags + a bind address):
 //! cargo run --release -p qismet-bench --bin campaign -- \
@@ -26,21 +31,30 @@
 //!     --apps 2 --schemes baseline,qismet --iterations 300 --trials 2 \
 //!     --seed 42 --connect hostA:7401,hostB:7401 --token s3cret \
 //!     --workers 2 --checkpoint campaign.ckpt.jsonl
+//!
+//! # campaign service: daemon + elastic workers + tenanted submissions:
+//! campaign --daemon 0.0.0.0:7500 --token fleet --tenants alice=a1,bob=b2
+//! campaign --register host:7500 --token fleet --worker-name w1 --threads 4
+//! campaign submit --to host:7500 --token a1 --apps 2 --schemes qismet
+//! campaign status --to host:7500 --token a1
+//! campaign drain  --to host:7500 --token fleet
 //! ```
 //!
 //! The hidden `--worker` flag re-invokes this binary as a cluster worker
 //! serving spec indices over stdin/stdout; it is appended automatically by
 //! the coordinator and never needed by hand.
 
-use qismet_bench::{
-    f2, f4, parse_scheme, parse_threshold, print_table, run_campaign_distributed, scaled,
-    serve_campaign, serve_worker, CampaignGrid, CampaignReport, DistributedOptions,
-    RunsJsonlWriter, Scheme, SweepExecutor, WorkerOptions,
+use qismet_bench::cli::{
+    exit_code_for, exit_code_for_service, parse_args, Args, CliError, ClientVerb, EXIT_USAGE,
+    EXIT_WORKER,
 };
-use qismet_cluster::{FaultPlan, TcpTransportListener, WorkerLaunch};
-use qismet_qnoise::Machine;
-use qismet_vqa::AppSpec;
-use std::path::PathBuf;
+use qismet_bench::{
+    cancel_job, drain_service, f2, f4, job_status, print_table, register_worker, results_dir,
+    run_campaign_distributed, scheme_cli_name, serve_campaign, serve_worker, submit_job,
+    CampaignGrid, CampaignPlanner, CampaignReport, DistributedOptions, GridSpec, RegisterOptions,
+    RunsJsonlWriter, ServiceError, SweepExecutor, WorkerOptions,
+};
+use qismet_cluster::{FaultPlan, ServiceConfig, TcpTransportListener, WorkerLaunch};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -50,6 +64,7 @@ campaign — declarative QISMET sweep runner
 
 USAGE:
     campaign [OPTIONS]
+    campaign submit|status|cancel|drain --to <addr> --token <str> [OPTIONS]
 
 GRID OPTIONS:
     --apps <ids>          Comma-separated Table 1 app ids (default: 2)
@@ -93,6 +108,29 @@ EXECUTION OPTIONS:
     --summary-only        Drop per-run series from the merged report once streamed
                           (requires --jsonl; series stay in the JSONL)
 
+SERVICE MODE (campaign-as-a-service):
+    --daemon <addr>       Run a long-lived multi-tenant campaign service bound
+                          to <addr>. Clients submit grids as jobs; registered
+                          workers serve them. --token is the fleet/admin token
+    --tenants <pairs>     Daemon: tenant credentials, name=token[,name=token...]
+    --state-dir <dir>     Daemon: persistent queue + per-job journals; restart
+                          with the same dir to resume every interrupted job
+    --report-dir <dir>    Daemon: where settled jobs write <name>.json reports
+                          (default: target/paper_results)
+    --register <addr>     Join a daemon's worker fleet (elastic: join/leave any
+                          time; grid flags are ignored — jobs arrive over the
+                          wire). --max-respawns bounds reconnect attempts
+    --worker-name <str>   Registered worker identity; quarantine strikes follow
+                          the name across sessions (default: worker-<pid>)
+    --deregister-after <n> Voluntarily leave the fleet after <n> batches
+    submit                Enqueue the grid flags as a job (--to, --token,
+                          --priority; prints the assigned job id)
+    status                Print jobs visible to the token + the worker fleet
+    cancel --job <id>     Cancel a queued/running job
+    drain                 Finish all jobs, refuse new ones, stop the daemon
+    --to <addr>           Client verbs: daemon address to talk to
+    --priority <n>        submit: higher priorities run first (default: 0)
+
 RESILIENCE & CHAOS OPTIONS:
     --assign-timeout <secs>    Coordinator read deadline per assignment: a worker
                                silent for this long (no Done, no Ping keepalive)
@@ -106,8 +144,9 @@ RESILIENCE & CHAOS OPTIONS:
     --speculative              Duplicate in-flight work onto idle workers near
                                the campaign tail; first result wins, reports
                                stay bitwise-identical
-    --quarantine-after <n>     Retire a worker slot for good after <n> failed
-                               sessions across its lifetime (default: off)
+    --quarantine-after <n>     Retire a worker slot (or, with --daemon, a worker
+                               *name*) for good after <n> failed sessions
+                               (default: off)
     --chaos-plan <file>        Execute a JSON fault plan on the workers
                                (deterministic fault injection for testing)
     --chaos-seed <n>           Generate and execute a seeded random fault plan
@@ -122,63 +161,18 @@ OBSERVABILITY OPTIONS:
                           ETA, queue depth, per-worker health
                           Telemetry never changes results: reports are
                           byte-identical with these flags on or off
+
+EXIT CODES:
+    0 success   2 usage/flag conflict   3 worker/serve/register failure
+    4 poisoned specs (crash-looping inputs)   5 rejected handshake/bad token
+    1 any other failure
+
     -h, --help            Print this help
 ";
 
-fn parse_list<T>(value: &str, what: &str, parse: impl Fn(&str) -> Option<T>) -> Vec<T> {
-    value
-        .split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| parse(s.trim()).unwrap_or_else(|| die(&format!("invalid {what}: `{s}`"))))
-        .collect()
-}
-
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}\n\n{USAGE}");
-    std::process::exit(2);
-}
-
-fn machine_by_name(name: &str) -> Option<Machine> {
-    Machine::ALL
-        .into_iter()
-        .find(|m| m.name().eq_ignore_ascii_case(name))
-}
-
-struct Args {
-    apps: Vec<AppSpec>,
-    machines: Vec<Machine>,
-    schemes: Vec<Scheme>,
-    thresholds: Vec<u32>,
-    magnitudes: Vec<f64>,
-    iterations: usize,
-    trials: usize,
-    seed: u64,
-    threads: Option<usize>,
-    inner_threads: usize,
-    batch_lanes: usize,
-    name: String,
-    workers: usize,
-    connect: Vec<String>,
-    serve: Option<String>,
-    token: String,
-    checkpoint: Option<PathBuf>,
-    resume: bool,
-    max_respawns: usize,
-    jsonl: Option<PathBuf>,
-    summary_only: bool,
-    worker_mode: bool,
-    assign_timeout: Option<Duration>,
-    heartbeat: Option<Duration>,
-    handshake_timeout: Option<Duration>,
-    connect_timeout: Option<Duration>,
-    speculative: bool,
-    quarantine_after: Option<usize>,
-    chaos_plan: Option<PathBuf>,
-    chaos_seed: Option<u64>,
-    chaos_json: Option<String>,
-    metrics_out: Option<PathBuf>,
-    trace_out: Option<PathBuf>,
-    progress: bool,
+    std::process::exit(EXIT_USAGE);
 }
 
 /// Flags (with a value) that configure the coordinator only and must not be
@@ -203,295 +197,6 @@ const COORDINATOR_VALUE_FLAGS: &[&str] = &[
     "--metrics-out",
     "--trace-out",
 ];
-
-/// Parses a duration flag as seconds; zero, negative, and non-numeric
-/// values are configuration errors, not clamps.
-fn parse_secs(flag: &str, value: &str) -> Duration {
-    match value.parse::<f64>() {
-        Ok(secs) if secs.is_finite() && secs > 0.0 => Duration::from_secs_f64(secs),
-        _ => die(&format!(
-            "invalid {flag} `{value}`: must be a positive number of seconds"
-        )),
-    }
-}
-
-fn parse_args(argv: &[String]) -> Args {
-    let mut args = Args {
-        apps: vec![AppSpec::by_id(2).expect("App2")],
-        machines: Vec::new(),
-        schemes: vec![Scheme::Baseline, Scheme::Qismet],
-        thresholds: Vec::new(),
-        magnitudes: Vec::new(),
-        iterations: scaled(500),
-        trials: 1,
-        seed: 7,
-        threads: None,
-        inner_threads: 1,
-        batch_lanes: 1,
-        name: "campaign".to_string(),
-        workers: 0,
-        connect: Vec::new(),
-        serve: None,
-        token: String::new(),
-        checkpoint: None,
-        resume: false,
-        max_respawns: 2,
-        jsonl: None,
-        summary_only: false,
-        worker_mode: false,
-        assign_timeout: None,
-        heartbeat: None,
-        handshake_timeout: None,
-        connect_timeout: None,
-        speculative: false,
-        quarantine_after: None,
-        chaos_plan: None,
-        chaos_seed: None,
-        chaos_json: None,
-        metrics_out: None,
-        trace_out: None,
-        progress: false,
-    };
-    let mut i = 0;
-    while i < argv.len() {
-        let flag = argv[i].as_str();
-        match flag {
-            "-h" | "--help" => {
-                println!("{USAGE}");
-                std::process::exit(0);
-            }
-            // Boolean flags.
-            "--resume" => {
-                args.resume = true;
-                i += 1;
-                continue;
-            }
-            "--summary-only" => {
-                args.summary_only = true;
-                i += 1;
-                continue;
-            }
-            "--worker" => {
-                args.worker_mode = true;
-                i += 1;
-                continue;
-            }
-            "--progress" => {
-                args.progress = true;
-                i += 1;
-                continue;
-            }
-            "--speculative" => {
-                args.speculative = true;
-                i += 1;
-                continue;
-            }
-            _ => {}
-        }
-        let value = argv
-            .get(i + 1)
-            .unwrap_or_else(|| die(&format!("missing value for `{flag}`")));
-        match flag {
-            "--apps" => {
-                args.apps = parse_list(value, "app id", |s| {
-                    s.parse::<u8>().ok().and_then(AppSpec::by_id)
-                });
-            }
-            "--machines" => {
-                args.machines = parse_list(value, "machine", machine_by_name);
-            }
-            "--schemes" => {
-                args.schemes = parse_list(value, "scheme", parse_scheme);
-            }
-            "--thresholds" => {
-                args.thresholds = parse_list(value, "threshold percentile", parse_threshold);
-            }
-            "--magnitudes" => {
-                args.magnitudes = parse_list(value, "magnitude", |s| s.parse::<f64>().ok());
-            }
-            "--iterations" => {
-                args.iterations = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid iteration count `{value}`")));
-            }
-            "--trials" => {
-                args.trials = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid trial count `{value}`")));
-            }
-            "--seed" => {
-                args.seed = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid seed `{value}`")));
-            }
-            "--threads" => {
-                args.threads = Some(
-                    value
-                        .parse()
-                        .unwrap_or_else(|_| die(&format!("invalid thread count `{value}`"))),
-                );
-            }
-            "--inner-threads" => {
-                args.inner_threads = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid inner-thread count `{value}`")));
-            }
-            "--batch-lanes" => {
-                // The SoA engine is built for lane widths 4 and 8 (half and
-                // full register); anything else silently degrades, so it is
-                // a hard error rather than a clamp.
-                args.batch_lanes = match value.parse::<usize>() {
-                    Ok(n @ (1 | 4 | 8)) => n,
-                    _ => die(&format!(
-                        "invalid --batch-lanes `{value}`: must be 1, 4, or 8"
-                    )),
-                };
-            }
-            "--workers" => {
-                args.workers = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid worker count `{value}`")));
-            }
-            "--connect" => {
-                args.connect = value
-                    .split(',')
-                    .filter(|s| !s.is_empty())
-                    .map(|s| s.trim().to_string())
-                    .collect();
-            }
-            "--serve" => {
-                args.serve = Some(value.clone());
-            }
-            "--token" => {
-                args.token = value.clone();
-            }
-            "--checkpoint" => {
-                args.checkpoint = Some(PathBuf::from(value));
-            }
-            "--max-respawns" => {
-                args.max_respawns = value
-                    .parse()
-                    .unwrap_or_else(|_| die(&format!("invalid respawn budget `{value}`")));
-            }
-            "--jsonl" => {
-                args.jsonl = Some(PathBuf::from(value));
-            }
-            "--assign-timeout" => {
-                args.assign_timeout = Some(parse_secs(flag, value));
-            }
-            "--heartbeat" => {
-                args.heartbeat = Some(parse_secs(flag, value));
-            }
-            "--handshake-timeout" => {
-                args.handshake_timeout = Some(parse_secs(flag, value));
-            }
-            "--connect-timeout" => {
-                args.connect_timeout = Some(parse_secs(flag, value));
-            }
-            "--quarantine-after" => {
-                args.quarantine_after = match value.parse::<usize>() {
-                    Ok(n) if n >= 1 => Some(n),
-                    _ => die(&format!(
-                        "invalid --quarantine-after `{value}`: must be a positive strike count"
-                    )),
-                };
-            }
-            "--chaos-plan" => {
-                args.chaos_plan = Some(PathBuf::from(value));
-            }
-            "--chaos-seed" => {
-                args.chaos_seed = Some(
-                    value
-                        .parse()
-                        .unwrap_or_else(|_| die(&format!("invalid chaos seed `{value}`"))),
-                );
-            }
-            // Hidden: a concrete fault plan the coordinator resolved and
-            // forwarded to its spawned workers (never needed by hand).
-            "--chaos-json" => {
-                args.chaos_json = Some(value.clone());
-            }
-            "--metrics-out" => {
-                args.metrics_out = Some(PathBuf::from(value));
-            }
-            "--trace-out" => {
-                args.trace_out = Some(PathBuf::from(value));
-            }
-            "--name" => {
-                args.name = value.clone();
-            }
-            other => die(&format!("unknown flag `{other}`")),
-        }
-        i += 2;
-    }
-    if args.apps.is_empty() || (args.schemes.is_empty() && args.thresholds.is_empty()) {
-        die("need at least one app and one scheme (or threshold percentile)");
-    }
-    let distributed = args.workers > 0 || !args.connect.is_empty();
-    if args.serve.is_some() && (distributed || args.worker_mode) {
-        die("--serve is a worker daemon mode; it cannot combine with --workers/--connect/--worker");
-    }
-    if args.serve.is_some()
-        && (args.checkpoint.is_some() || args.resume || args.jsonl.is_some() || args.summary_only)
-    {
-        // Journaling and streaming live on the coordinator; a daemon that
-        // silently ignored them would fake durability.
-        die("--checkpoint/--resume/--jsonl/--summary-only belong on the coordinator, not --serve");
-    }
-    if args.resume && args.checkpoint.is_none() {
-        die("--resume requires --checkpoint <path>");
-    }
-    if !distributed && !args.worker_mode && args.serve.is_none() {
-        if args.checkpoint.is_some() || args.resume {
-            // Only the sharded coordinator journals; refusing beats silently
-            // running an unresumable campaign.
-            die("--checkpoint/--resume need sharded execution: add --workers <n> or --connect <addrs>");
-        }
-        if args.summary_only {
-            die("--summary-only needs sharded execution: add --workers <n> or --connect <addrs>");
-        }
-    }
-    if args.summary_only && args.jsonl.is_none() {
-        die("--summary-only requires --jsonl <path> (the series live in the stream)");
-    }
-    if args.batch_lanes > 1 && (distributed || args.serve.is_some() || args.worker_mode) {
-        // Cluster workers execute arbitrary spec subsets one at a time, so
-        // lane grouping cannot apply there; refusing beats silently running
-        // without the requested batching.
-        die("--batch-lanes applies to in-process execution; drop --workers/--connect/--serve");
-    }
-    if args.serve.is_some()
-        && (args.assign_timeout.is_some()
-            || args.connect_timeout.is_some()
-            || args.speculative
-            || args.quarantine_after.is_some())
-    {
-        die("--assign-timeout/--connect-timeout/--speculative/--quarantine-after belong on the coordinator, not --serve");
-    }
-    if let (Some(heartbeat), Some(deadline)) = (args.heartbeat, args.assign_timeout) {
-        if heartbeat >= deadline {
-            // A keepalive slower than the deadline can never land in time,
-            // so every slow batch would be misread as a hang.
-            die("--heartbeat must be shorter than --assign-timeout");
-        }
-    }
-    if args.serve.is_some()
-        && (args.metrics_out.is_some() || args.trace_out.is_some() || args.progress)
-    {
-        // A daemon never "completes": there is no natural point to write
-        // artifacts, and its stdout belongs to operators' scripts.
-        die("--metrics-out/--trace-out/--progress belong on the coordinator, not --serve");
-    }
-    if args.chaos_plan.is_some() && args.chaos_seed.is_some() {
-        die("--chaos-plan and --chaos-seed are mutually exclusive");
-    }
-    let chaos_requested =
-        args.chaos_plan.is_some() || args.chaos_seed.is_some() || args.chaos_json.is_some();
-    if chaos_requested && !distributed && args.serve.is_none() && !args.worker_mode {
-        die("--chaos-plan/--chaos-seed inject faults into workers: add --workers/--connect or --serve");
-    }
-    args
-}
 
 /// Resolves the fault plan this invocation should execute (worker/serve
 /// side) or forward (coordinator side). Precedence: a concrete forwarded
@@ -543,9 +248,215 @@ fn worker_argv(argv: &[String], chaos_json: Option<&str>) -> Vec<String> {
     out
 }
 
+/// The grid flags as a wire payload for `submit`.
+fn grid_spec_from(args: &Args) -> GridSpec {
+    GridSpec {
+        name: args.name.clone(),
+        seed: args.seed,
+        apps: args.apps.iter().map(|a| a.id).collect(),
+        machines: args.machines.iter().map(|m| m.name().to_string()).collect(),
+        schemes: args.schemes.iter().map(|s| scheme_cli_name(*s)).collect(),
+        thresholds: args.thresholds.clone(),
+        magnitudes: args.magnitudes.clone(),
+        iterations: args.iterations,
+        trials: args.trials,
+    }
+}
+
+/// Runs a service-client verb; returns the process exit code.
+fn run_client(verb: ClientVerb, args: &Args) -> i32 {
+    let addr = args
+        .to
+        .as_deref()
+        .expect("validated: client verbs carry --to");
+    let outcome: Result<(), ServiceError> = match verb {
+        ClientVerb::Submit => {
+            let grid = grid_spec_from(args);
+            submit_job(addr, &args.token, &grid, args.priority).map(|submitted| {
+                println!(
+                    "submitted job {} `{}` (fingerprint {:#018x}, priority {})",
+                    submitted.job_id, grid.name, submitted.fingerprint, args.priority
+                );
+            })
+        }
+        ClientVerb::Status => job_status(addr, &args.token).map(|reply| {
+            let rows: Vec<Vec<String>> = reply
+                .jobs
+                .iter()
+                .map(|j| {
+                    vec![
+                        j.job_id.to_string(),
+                        j.name.clone(),
+                        j.tenant.clone(),
+                        j.priority.to_string(),
+                        j.phase.clone(),
+                        format!("{}/{}", j.done, j.total),
+                        j.detail.clone().unwrap_or_else(|| "-".into()),
+                    ]
+                })
+                .collect();
+            print_table(
+                if reply.draining {
+                    "jobs (daemon draining)"
+                } else {
+                    "jobs"
+                },
+                &[
+                    "job", "name", "tenant", "priority", "phase", "done", "detail",
+                ],
+                &rows,
+            );
+            let rows: Vec<Vec<String>> = reply
+                .workers
+                .iter()
+                .map(|w| {
+                    vec![
+                        format!("s{}", w.slot),
+                        w.name.clone(),
+                        if w.active { "yes" } else { "no" }.to_string(),
+                        w.done.to_string(),
+                        w.strikes.to_string(),
+                        if w.quarantined { "yes" } else { "no" }.to_string(),
+                        w.job.map(|j| j.to_string()).unwrap_or_else(|| "-".into()),
+                    ]
+                })
+                .collect();
+            print_table(
+                "workers",
+                &[
+                    "slot",
+                    "name",
+                    "active",
+                    "done",
+                    "strikes",
+                    "quarantined",
+                    "job",
+                ],
+                &rows,
+            );
+        }),
+        ClientVerb::Cancel => {
+            let job_id = args.job.expect("validated: cancel carries --job");
+            cancel_job(addr, &args.token, job_id).map(|id| println!("cancelled job {id}"))
+        }
+        ClientVerb::Drain => drain_service(addr, &args.token).map(|ok| {
+            println!(
+                "drained: {} job(s) completed, {} failed/cancelled",
+                ok.jobs_completed, ok.jobs_failed
+            );
+        }),
+    };
+    match outcome {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("error: {e}");
+            exit_code_for_service(&e)
+        }
+    }
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = parse_args(&argv);
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(CliError::Help) => {
+            println!("{USAGE}");
+            return;
+        }
+        Err(e) => die(&e.to_string()),
+    };
+
+    // Service-client verbs: one short authenticated session, no grid
+    // expansion (submit serializes the grid flags instead of running them).
+    if let Some(verb) = args.command {
+        std::process::exit(run_client(verb, &args));
+    }
+
+    // Service daemon: jobs arrive over the wire; the grid flags are unused.
+    if let Some(addr) = &args.daemon {
+        let listener = TcpTransportListener::bind(addr)
+            .unwrap_or_else(|e| die(&format!("cannot bind `{addr}`: {e}")));
+        let bound = listener
+            .socket_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_else(|_| addr.clone());
+        let mut config = ServiceConfig::new(args.token.clone());
+        config.tenants = args.tenants.clone();
+        config.state_dir = args.state_dir.clone();
+        config.quarantine_after = args.quarantine_after;
+        config.assign_timeout = args.assign_timeout;
+        if let Some(timeout) = args.handshake_timeout {
+            config.handshake_timeout = timeout;
+        }
+        config.build = qismet_cluster::BuildStamp::local(cfg!(feature = "parallel"));
+        let planner = CampaignPlanner {
+            report_dir: args.report_dir.clone().unwrap_or_else(results_dir),
+        };
+        println!(
+            "campaign service on {bound}: {} tenant(s), state {}, reports under {}",
+            config.tenants.len(),
+            config
+                .state_dir
+                .as_ref()
+                .map(|d| d.display().to_string())
+                .unwrap_or_else(|| "(ephemeral)".into()),
+            planner.report_dir.display(),
+        );
+        // Readiness marker for scripts tailing a redirected stdout (the
+        // listener is already bound, so connecting is safe from here on).
+        use std::io::Write as _;
+        let _ = std::io::stdout().flush();
+        match qismet_bench::service::serve(Box::new(listener), &planner, &config) {
+            Ok(summary) => {
+                println!(
+                    "service drained: {} job(s) completed, {} failed/cancelled, {} session(s)",
+                    summary.jobs_completed, summary.jobs_failed, summary.sessions
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("daemon error: {e}");
+                std::process::exit(EXIT_WORKER);
+            }
+        }
+    }
+
+    // Elastic fleet worker: jobs (and their grids) arrive over the wire.
+    if let Some(addr) = &args.register {
+        let mut opts = RegisterOptions {
+            name: args
+                .worker_name
+                .clone()
+                .unwrap_or_else(|| format!("worker-{}", std::process::id())),
+            token: args.token.clone(),
+            threads: args.threads.unwrap_or(1),
+            inner_threads: args.inner_threads,
+            max_reconnects: args.max_respawns,
+            deregister_after: args.deregister_after,
+            ..RegisterOptions::default()
+        };
+        if let Some(heartbeat) = args.heartbeat {
+            opts.heartbeat = Some(heartbeat);
+        }
+        if let Some(timeout) = args.connect_timeout {
+            opts.connect_timeout = timeout;
+        }
+        match register_worker(addr, &opts) {
+            Ok(stats) => {
+                println!(
+                    "worker `{}` retired: {} batch(es) across {} job(s), {} session(s)",
+                    opts.name, stats.batches, stats.jobs, stats.sessions
+                );
+                return;
+            }
+            Err(e) => {
+                eprintln!("register error: {e}");
+                let code = exit_code_for_service(&e);
+                std::process::exit(if code == 1 { EXIT_WORKER } else { code });
+            }
+        }
+    }
+
     let grid = CampaignGrid {
         apps: args.apps.clone(),
         machines: args.machines.clone(),
@@ -583,7 +494,7 @@ fn main() {
         let opts = worker_opts(resolve_chaos_plan(&args, 0, campaign.len()));
         if let Err(e) = serve_worker(&campaign, &opts) {
             eprintln!("worker error: {e}");
-            std::process::exit(3);
+            std::process::exit(EXIT_WORKER);
         }
         return;
     }
@@ -615,7 +526,7 @@ fn main() {
             }
             Err(e) => {
                 eprintln!("serve error: {e}");
-                std::process::exit(3);
+                std::process::exit(EXIT_WORKER);
             }
         }
     }
@@ -699,7 +610,9 @@ fn main() {
                 if args.checkpoint.is_some() {
                     eprintln!("completed runs are checkpointed; re-run with --resume to continue");
                 }
-                std::process::exit(1);
+                // Typed exits: scripts branch on poisoned specs (4) and
+                // rejected handshakes (5) without parsing stderr.
+                std::process::exit(exit_code_for(&e));
             }
         }
     } else {

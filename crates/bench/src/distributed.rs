@@ -373,7 +373,7 @@ pub enum SessionOutcome {
 
 /// Classifies a channel I/O failure: clean closes and connection cuts are
 /// normal session ends for a worker; anything else is a real error.
-fn channel_end(op: &str, e: io::Error) -> Result<SessionOutcome, ClusterError> {
+pub(crate) fn channel_end(op: &str, e: io::Error) -> Result<SessionOutcome, ClusterError> {
     match e.kind() {
         io::ErrorKind::UnexpectedEof | io::ErrorKind::BrokenPipe => {
             Ok(SessionOutcome::CoordinatorGone)
@@ -394,7 +394,7 @@ fn channel_end(op: &str, e: io::Error) -> Result<SessionOutcome, ClusterError> {
 /// control-plane round-trip time. Inert while telemetry is disabled:
 /// every `Done` then carries `stats: None`.
 #[derive(Default)]
-struct StatsTracker {
+pub(crate) struct StatsTracker {
     last: [u64; 4],
     pending_pings: VecDeque<Instant>,
     rtt_count: u64,
@@ -407,7 +407,7 @@ impl StatsTracker {
     /// most this many send timestamps alive.
     const MAX_PENDING_PINGS: usize = 64;
 
-    fn ping_sent(&mut self) {
+    pub(crate) fn ping_sent(&mut self) {
         if !qismet_telemetry::enabled() {
             return;
         }
@@ -416,7 +416,7 @@ impl StatsTracker {
         }
     }
 
-    fn pong_received(&mut self) {
+    pub(crate) fn pong_received(&mut self) {
         if let Some(sent) = self.pending_pings.pop_front() {
             let ns = u64::try_from(sent.elapsed().as_nanos()).unwrap_or(u64::MAX);
             self.rtt_count += 1;
@@ -446,6 +446,105 @@ impl StatsTracker {
         };
         self.last = now;
         Some(delta)
+    }
+}
+
+/// Executes one `Assign` batch and streams its `Done`s — the worker-side
+/// inner loop shared by the one-shot session protocol ([`serve_session`])
+/// and the service-registration protocol
+/// ([`register_worker`](crate::service::register_worker)).
+///
+/// The whole batch fans across the executor's threads; panics come back
+/// as per-spec typed errors, so one poisoned spec fails its index, not
+/// the session. Each `Done` streams out the moment its spec completes
+/// (not when the whole batch does), so the coordinator journals finished
+/// work at single-run granularity even when a threaded worker dies
+/// mid-batch. While the batch computes, a `Ping` goes out per quiet
+/// heartbeat interval so a coordinator assign deadline fires on hung
+/// workers, not slow ones.
+///
+/// Returns `Ok(None)` when the batch was fully acknowledged and
+/// `Ok(Some(end))` when the channel ended mid-batch (the executor is
+/// still drained so no run is left dangling).
+pub(crate) fn run_assignment(
+    executor: &SweepExecutor,
+    specs: &[RunSpec],
+    worker_id: usize,
+    indices: &[usize],
+    transport: &mut dyn Transport,
+    heartbeat: Option<Duration>,
+    stats: &mut StatsTracker,
+) -> Result<Option<SessionOutcome>, ClusterError> {
+    let batch: Vec<&RunSpec> = indices
+        .iter()
+        .map(|&index| {
+            specs.get(index).ok_or_else(|| ClusterError::Protocol {
+                worker: worker_id,
+                detail: format!("assigned index {index} beyond spec count {}", specs.len()),
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let (tx, rx) = mpsc::channel::<(usize, u64, Outcome)>();
+    // The executor shares the closure across its threads, so the
+    // (per-thread) sender lives behind a mutex.
+    let tx = Mutex::new(tx);
+    let mut session_end: Option<Result<SessionOutcome, ClusterError>> = None;
+    std::thread::scope(|scope| {
+        let batch = &batch;
+        scope.spawn(move || {
+            executor.run_specs(batch, |spec| {
+                let outcome = match try_run_one(spec) {
+                    Ok(record) => Outcome::Record(record.to_value()),
+                    Err(e) => Outcome::Failed(e.to_string()),
+                };
+                let sent = tx
+                    .lock()
+                    .expect("done channel mutex poisoned")
+                    .send((spec.index, spec.seed, outcome));
+                // A failed send means the receiver is gone (session
+                // already ending): discard.
+                let _ = sent;
+            });
+        });
+        for _ in 0..batch.len() {
+            let (index, seed, outcome) = loop {
+                match heartbeat.filter(|_| session_end.is_none()) {
+                    Some(interval) => match rx.recv_timeout(interval) {
+                        Ok(result) => break result,
+                        Err(mpsc::RecvTimeoutError::Timeout) => {
+                            if let Err(e) = transport.send(&Message::Ping) {
+                                session_end = Some(channel_end("ping", e));
+                            } else {
+                                stats.ping_sent();
+                            }
+                        }
+                        Err(mpsc::RecvTimeoutError::Disconnected) => {
+                            panic!("executor thread closed the channel")
+                        }
+                    },
+                    None => break rx.recv().expect("executor thread closed the channel"),
+                }
+            };
+            if session_end.is_some() {
+                // Already ending (channel cut mid-batch): drain the
+                // executor without acknowledging.
+                continue;
+            }
+            if let Err(e) = transport.send(&Message::Done(Done {
+                index,
+                seed,
+                outcome,
+                stats: stats.next_delta(),
+            })) {
+                session_end = Some(channel_end("done", e));
+                continue;
+            }
+        }
+    });
+    match session_end {
+        None => Ok(None),
+        Some(Ok(end)) => Ok(Some(end)),
+        Some(Err(e)) => Err(e),
     }
 }
 
@@ -504,91 +603,16 @@ pub fn serve_session(
         };
         match message {
             Message::Assign(assign) => {
-                let batch: Vec<&RunSpec> = assign
-                    .indices
-                    .iter()
-                    .map(|&index| {
-                        specs.get(index).ok_or_else(|| ClusterError::Protocol {
-                            worker: worker_id,
-                            detail: format!(
-                                "assigned index {index} beyond spec count {}",
-                                specs.len()
-                            ),
-                        })
-                    })
-                    .collect::<Result<_, _>>()?;
-                // The whole batch fans across this worker's executor
-                // threads; panics come back as per-spec typed errors, so
-                // one poisoned spec fails its index, not the session. Each
-                // `Done` streams out the moment its spec completes (not
-                // when the whole batch does), so the coordinator journals
-                // finished work at single-run granularity even when a
-                // threaded worker dies mid-batch.
-                let (tx, rx) = mpsc::channel::<(usize, u64, Outcome)>();
-                // The executor shares the closure across its threads, so
-                // the (per-thread) sender lives behind a mutex.
-                let tx = Mutex::new(tx);
-                let mut session_end: Option<Result<SessionOutcome, ClusterError>> = None;
-                std::thread::scope(|scope| {
-                    let batch = &batch;
-                    scope.spawn(move || {
-                        executor.run_specs(batch, |spec| {
-                            let outcome = match try_run_one(spec) {
-                                Ok(record) => Outcome::Record(record.to_value()),
-                                Err(e) => Outcome::Failed(e.to_string()),
-                            };
-                            let sent = tx
-                                .lock()
-                                .expect("done channel mutex poisoned")
-                                .send((spec.index, spec.seed, outcome));
-                            // A failed send means the receiver is gone
-                            // (session already ending): discard.
-                            let _ = sent;
-                        });
-                    });
-                    for _ in 0..batch.len() {
-                        let (index, seed, outcome) = loop {
-                            // Keepalive while the batch computes: a `Ping`
-                            // per quiet heartbeat interval keeps frames
-                            // flowing, so a coordinator assign deadline
-                            // fires on hung workers, not slow ones.
-                            match opts.heartbeat.filter(|_| session_end.is_none()) {
-                                Some(interval) => match rx.recv_timeout(interval) {
-                                    Ok(result) => break result,
-                                    Err(mpsc::RecvTimeoutError::Timeout) => {
-                                        if let Err(e) = transport.send(&Message::Ping) {
-                                            session_end = Some(channel_end("ping", e));
-                                        } else {
-                                            stats.ping_sent();
-                                        }
-                                    }
-                                    Err(mpsc::RecvTimeoutError::Disconnected) => {
-                                        panic!("executor thread closed the channel")
-                                    }
-                                },
-                                None => {
-                                    break rx.recv().expect("executor thread closed the channel")
-                                }
-                            }
-                        };
-                        if session_end.is_some() {
-                            // Already ending (channel cut mid-batch): drain
-                            // the executor without acknowledging.
-                            continue;
-                        }
-                        if let Err(e) = transport.send(&Message::Done(Done {
-                            index,
-                            seed,
-                            outcome,
-                            stats: stats.next_delta(),
-                        })) {
-                            session_end = Some(channel_end("done", e));
-                            continue;
-                        }
-                    }
-                });
-                if let Some(end) = session_end {
-                    return end;
+                if let Some(end) = run_assignment(
+                    &executor,
+                    specs,
+                    worker_id,
+                    &assign.indices,
+                    transport,
+                    opts.heartbeat,
+                    &mut stats,
+                )? {
+                    return Ok(end);
                 }
             }
             // The coordinator answers our keepalive `Ping`s; replies may

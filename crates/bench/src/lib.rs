@@ -8,10 +8,12 @@
 //! scheme runners, and the iteration-scale control (`QISMET_BENCH_SCALE`)
 //! for quick smoke runs.
 
+pub mod cli;
 pub mod distributed;
 pub mod executor;
 pub mod report;
 pub mod scenario;
+pub mod service;
 
 pub use distributed::{
     run_campaign_distributed, serve_campaign, serve_session, serve_worker, DistributedOptions,
@@ -27,6 +29,10 @@ pub use report::{
 pub use scenario::{
     parse_scheme, parse_threshold, run_seed, Campaign, CampaignGrid, RunKind, RunSpec,
     ScenarioSpec, SeedSpec,
+};
+pub use service::{
+    cancel_job, drain_service, job_status, machine_by_name, register_worker, scheme_cli_name,
+    submit_job, CampaignPlanner, GridSpec, RegisterOptions, RegisterStats, ServiceError,
 };
 
 use qismet::{

@@ -196,14 +196,35 @@ impl CampaignReport {
     /// Writes the full report (series included) as pretty JSON under
     /// [`results_dir`], named `<name>.json` unless overridden.
     pub fn write_json(&self, file_name: Option<&str>) -> PathBuf {
+        let path = self
+            .write_json_in(&results_dir(), file_name)
+            .expect("write json report");
+        println!("[json] wrote {}", path.display());
+        path
+    }
+
+    /// Writes the full report as pretty JSON into `dir` (created if
+    /// missing), named `<name>.json` unless overridden. The fallible form
+    /// behind [`CampaignReport::write_json`], used directly by the service
+    /// daemon so a bad report directory fails the *job*, not the process.
+    /// Byte-for-byte the same artifact whichever entry point writes it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file-write failures.
+    pub fn write_json_in(
+        &self,
+        dir: &std::path::Path,
+        file_name: Option<&str>,
+    ) -> std::io::Result<PathBuf> {
+        std::fs::create_dir_all(dir)?;
         let name = file_name
             .map(str::to_string)
             .unwrap_or_else(|| format!("{}.json", self.name));
-        let path = results_dir().join(name);
+        let path = dir.join(name);
         let json = serde_json::to_string_pretty(self).expect("serialize report");
-        std::fs::write(&path, json).expect("write json report");
-        println!("[json] wrote {}", path.display());
-        path
+        std::fs::write(&path, json)?;
+        Ok(path)
     }
 
     /// Writes one summary row per record (no series) as CSV under

@@ -280,3 +280,149 @@ fn observability_flags_are_refused_on_serve_daemons() {
         );
     }
 }
+
+/// Validation conflicts — whatever the flag combination — exit with the
+/// usage code and a named conflict, never a partial run.
+#[test]
+fn typed_conflicts_exit_with_usage_code() {
+    for (args, needle) in [
+        (&["--resume"][..], "--resume requires --checkpoint"),
+        (
+            &["--daemon", "127.0.0.1:0", "--workers", "2"][..],
+            "--daemon is a service mode",
+        ),
+        (
+            &["cancel", "--to", "127.0.0.1:1"][..],
+            "cancel requires --job",
+        ),
+        (
+            &["--to", "127.0.0.1:1"][..],
+            "submit/status/cancel/drain require --to",
+        ),
+    ] {
+        let (code, stderr) = run_campaign_cli(args);
+        assert_eq!(code, 2, "{args:?} must exit 2; stderr: {stderr}");
+        assert!(stderr.contains(needle), "{args:?} stderr: {stderr}");
+    }
+}
+
+/// A campaign whose spec repeatedly kills its workers ends with the
+/// poisoned-spec exit code (4), distinct from generic failure.
+#[test]
+fn poisoned_specs_exit_with_their_own_code() {
+    let plan_path = std::env::temp_dir().join(format!(
+        "qismet-cli-poison-plan-{}.json",
+        std::process::id()
+    ));
+    std::fs::write(
+        &plan_path,
+        r#"{"faults":[{"worker":null,"after_dones":0,"kind":{"PoisonSpec":0}}],"max_sessions":null}"#,
+    )
+    .expect("plan written");
+    let (code, stderr) = run_campaign_cli(&[
+        "--apps",
+        "1",
+        "--schemes",
+        "baseline",
+        "--iterations",
+        "20",
+        "--trials",
+        "4",
+        "--workers",
+        "2",
+        "--chaos-plan",
+        plan_path.to_str().unwrap(),
+        "--name",
+        "cli-poison-exit",
+    ]);
+    assert_eq!(code, 4, "stderr: {stderr}");
+    assert!(
+        stderr.contains("poisoned/isolated"),
+        "stderr must name the poisoned specs: {stderr}"
+    );
+    let _ = std::fs::remove_file(&plan_path);
+}
+
+/// Rejected service handshakes exit 5; authorized status/drain verbs round
+/// trip against a live daemon, which then drains to a clean exit 0.
+#[test]
+fn rejected_service_token_exits_5_and_drain_round_trips() {
+    use std::io::BufRead as _;
+    let mut daemon = Command::new(CAMPAIGN_BIN)
+        .args([
+            "--daemon",
+            "127.0.0.1:0",
+            "--token",
+            "fleet",
+            "--tenants",
+            "alice=a-token",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    // The readiness line carries the bound address (the port was 0).
+    let mut stdout = std::io::BufReader::new(daemon.stdout.take().expect("piped stdout"));
+    let mut ready = String::new();
+    stdout.read_line(&mut ready).expect("readiness line");
+    let addr = ready
+        .strip_prefix("campaign service on ")
+        .and_then(|rest| rest.split_once(": "))
+        .map(|(addr, _)| addr.to_string())
+        .unwrap_or_else(|| panic!("unexpected readiness line: {ready:?}"));
+
+    // A wrong tenant token is a typed rejection: exit 5, nothing queued.
+    let (code, stderr) = run_campaign_cli(&[
+        "submit",
+        "--to",
+        &addr,
+        "--token",
+        "wrong",
+        "--apps",
+        "1",
+        "--schemes",
+        "baseline",
+        "--iterations",
+        "20",
+        "--name",
+        "cli-rejected",
+    ]);
+    assert_eq!(code, 5, "stderr: {stderr}");
+    assert!(stderr.contains("BadToken"), "stderr: {stderr}");
+
+    // So is cancelling a job that does not exist — but with the generic
+    // failure code: the session authenticated fine.
+    let (code, stderr) = run_campaign_cli(&[
+        "cancel", "--to", &addr, "--token", "a-token", "--job", "999",
+    ]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("UnknownJob"), "stderr: {stderr}");
+
+    // Authorized status and drain round trip, and the daemon exits 0.
+    let out = Command::new(CAMPAIGN_BIN)
+        .args(["status", "--to", &addr, "--token", "a-token"])
+        .output()
+        .expect("status runs");
+    assert_eq!(out.status.code(), Some(0));
+    let out = Command::new(CAMPAIGN_BIN)
+        .args(["drain", "--to", &addr, "--token", "fleet"])
+        .output()
+        .expect("drain runs");
+    assert_eq!(out.status.code(), Some(0));
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("drained: 0 job(s) completed, 0 failed"),
+        "drain stdout: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let status = daemon.wait().expect("daemon exits");
+    assert_eq!(
+        status.code(),
+        Some(0),
+        "daemon must exit cleanly after drain"
+    );
+    let mut rest = String::new();
+    stdout.read_line(&mut rest).expect("drain summary line");
+    assert!(
+        rest.contains("service drained: 0 job(s) completed"),
+        "daemon stdout: {rest:?}"
+    );
+}

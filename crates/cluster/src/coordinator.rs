@@ -51,14 +51,15 @@
 //! **byte-identical** to a sequential in-process run: results are keyed by
 //! spec index and every record is a pure function of its pure spec.
 
+use crate::dispatch::{Batch, Dispatch};
 use crate::protocol::{Assign, BuildStamp, CheckpointEntry, Done, Hello, Message, Outcome};
 use crate::transport::{Connector, Transport};
-use qismet_telemetry::{counter, event, fleet_update, gauge};
+use qismet_telemetry::{counter, event, fleet_update};
 use serde::Value;
-use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::collections::VecDeque;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Duration;
 
 /// Everything that can go wrong while coordinating a pool.
@@ -990,246 +991,5 @@ impl SessionEnd {
             productive: false,
             spec_blamed: false,
         })
-    }
-}
-
-/// One assignment handed to a session.
-struct Batch {
-    indices: Vec<usize>,
-    /// Suspect batches are crash-implicated singletons: a further loss
-    /// while one is outstanding is a precise blame strike on that spec.
-    suspect: bool,
-    /// Whether this batch duplicates in-flight work (tail speculation);
-    /// an accepted result from it is a speculation win for this slot.
-    speculative: bool,
-}
-
-/// The shared dispatch queue, guarded by one mutex/condvar pair so idle
-/// workers can wait for work that a dying peer might hand back.
-///
-/// Fresh work flows through `queue` in batches; crash-implicated work
-/// flows through `suspects` one index at a time (so repeated crashes are
-/// attributable to a single spec, feeding the poison counter). `holders`
-/// tracks how many live sessions are computing each index — normally one,
-/// two when speculation duplicates a straggler's assignment.
-struct Dispatch {
-    state: Mutex<DispatchState>,
-    wake: Condvar,
-    aborted: AtomicBool,
-    speculative: bool,
-    poison_after: usize,
-}
-
-struct DispatchState {
-    /// Never-dispatched (or cleanly returned) work, in dispatch order.
-    queue: VecDeque<usize>,
-    /// Crash-implicated work, re-dispatched as singletons.
-    suspects: VecDeque<usize>,
-    /// index -> live sessions currently computing it.
-    holders: BTreeMap<usize, usize>,
-    /// Indices whose first result has been accepted.
-    completed: BTreeSet<usize>,
-    /// index -> precise crash strikes (suspect-singleton losses only).
-    blame: BTreeMap<usize, usize>,
-    /// Indices isolated after reaching the poison threshold.
-    poisoned: BTreeSet<usize>,
-    /// Total indices this run must settle (completed + poisoned).
-    target: usize,
-}
-
-impl DispatchState {
-    fn is_finished(&self) -> bool {
-        self.completed.len() + self.poisoned.len() >= self.target
-    }
-
-    fn is_settled(&self, index: usize) -> bool {
-        self.completed.contains(&index) || self.poisoned.contains(&index)
-    }
-}
-
-impl Dispatch {
-    fn new(pending: &[usize], speculative: bool, poison_after: usize) -> Self {
-        Dispatch {
-            state: Mutex::new(DispatchState {
-                queue: pending.iter().copied().collect(),
-                suspects: VecDeque::new(),
-                holders: BTreeMap::new(),
-                completed: BTreeSet::new(),
-                blame: BTreeMap::new(),
-                poisoned: BTreeSet::new(),
-                target: pending.len(),
-            }),
-            wake: Condvar::new(),
-            aborted: AtomicBool::new(false),
-            speculative,
-            poison_after,
-        }
-    }
-
-    /// Pops the next assignment: a suspect singleton first, else up to `k`
-    /// fresh indices, else (with speculation) duplicates of in-flight
-    /// work. Waits while other workers still hold in-flight work (a dying
-    /// peer may hand it back); returns `None` once every index is settled
-    /// or the pool aborted.
-    fn pop_batch(&self, k: usize) -> Option<Batch> {
-        let k = k.max(1);
-        let mut state = self.state.lock().expect("dispatch mutex poisoned");
-        loop {
-            if self.is_aborted() {
-                return None;
-            }
-            while let Some(&front) = state.suspects.front() {
-                if state.is_settled(front) {
-                    state.suspects.pop_front();
-                    continue;
-                }
-                state.suspects.pop_front();
-                *state.holders.entry(front).or_insert(0) += 1;
-                return Some(Batch {
-                    indices: vec![front],
-                    suspect: true,
-                    speculative: false,
-                });
-            }
-            let mut batch = Vec::new();
-            while batch.len() < k {
-                let Some(index) = state.queue.pop_front() else {
-                    break;
-                };
-                if !state.is_settled(index) {
-                    batch.push(index);
-                }
-            }
-            if !batch.is_empty() {
-                for &index in &batch {
-                    *state.holders.entry(index).or_insert(0) += 1;
-                }
-                gauge!("cluster.queue_depth").set(state.queue.len() as i64);
-                return Some(Batch {
-                    indices: batch,
-                    suspect: false,
-                    speculative: false,
-                });
-            }
-            if state.is_finished() {
-                return None;
-            }
-            if self.speculative {
-                // Tail speculation: mirror in-flight work not already
-                // duplicated, so one straggler cannot stall the campaign.
-                let dups: Vec<usize> = state
-                    .holders
-                    .iter()
-                    .filter(|&(&index, &holders)| holders == 1 && !state.is_settled(index))
-                    .map(|(&index, _)| index)
-                    .take(k)
-                    .collect();
-                if !dups.is_empty() {
-                    for &index in &dups {
-                        *state.holders.entry(index).or_insert(0) += 1;
-                    }
-                    counter!("cluster.speculative.dispatched").add(dups.len() as u64);
-                    return Some(Batch {
-                        indices: dups,
-                        suspect: false,
-                        speculative: true,
-                    });
-                }
-            }
-            state = self.wake.wait(state).expect("dispatch mutex poisoned");
-        }
-    }
-
-    /// Records an accepted result for `index`. Returns `true` if it is the
-    /// first (the caller sinks and keeps it), `false` for a speculative
-    /// duplicate (the caller drops it).
-    fn complete(&self, index: usize) -> bool {
-        let mut state = self.state.lock().expect("dispatch mutex poisoned");
-        if let Some(holders) = state.holders.get_mut(&index) {
-            *holders -= 1;
-            if *holders == 0 {
-                state.holders.remove(&index);
-            }
-        }
-        let first = state.completed.insert(index);
-        drop(state);
-        self.wake.notify_all();
-        first
-    }
-
-    /// Settles a lost session's outstanding indices: anything no other
-    /// live session holds goes back as a suspect, and — when the lost
-    /// batch was itself a suspect singleton — earns a precise blame strike
-    /// that can poison the spec. Returns whether blame was assigned (a
-    /// blamed loss does not charge the worker's respawn budget).
-    fn settle_loss(&self, outstanding: &VecDeque<usize>, was_suspect: bool) -> bool {
-        if outstanding.is_empty() {
-            // In-flight already settled; still wake waiters so idle-exit
-            // conditions re-evaluate.
-            self.wake.notify_all();
-            return false;
-        }
-        let mut state = self.state.lock().expect("dispatch mutex poisoned");
-        let mut blamed = false;
-        for &index in outstanding {
-            if let Some(holders) = state.holders.get_mut(&index) {
-                *holders -= 1;
-                if *holders == 0 {
-                    state.holders.remove(&index);
-                }
-            }
-            if state.is_settled(index) || state.holders.contains_key(&index) {
-                // Completed, already poisoned, or a twin is still on it.
-                continue;
-            }
-            if was_suspect {
-                let strikes = {
-                    let s = state.blame.entry(index).or_insert(0);
-                    *s += 1;
-                    *s
-                };
-                blamed = true;
-                if strikes >= self.poison_after {
-                    state.poisoned.insert(index);
-                    event(
-                        "poison",
-                        format!("spec {index} isolated after {strikes} attributed crashes"),
-                    );
-                    counter!("cluster.specs_poisoned").inc();
-                    continue;
-                }
-            }
-            state.suspects.push_back(index);
-        }
-        drop(state);
-        self.wake.notify_all();
-        blamed
-    }
-
-    /// Fatal-error broadcast: waiters wake and bail.
-    fn abort(&self) {
-        self.aborted.store(true, Ordering::Relaxed);
-        self.wake.notify_all();
-    }
-
-    fn is_aborted(&self) -> bool {
-        self.aborted.load(Ordering::Relaxed)
-    }
-
-    /// Wakes waiters when a slot is lost (so survivors re-check the queue).
-    fn worker_gone(&self) {
-        self.wake.notify_all();
-    }
-
-    /// Whether every index is settled (completed or poisoned).
-    fn is_finished(&self) -> bool {
-        let state = self.state.lock().expect("dispatch mutex poisoned");
-        state.is_finished()
-    }
-
-    /// The poisoned indices, sorted.
-    fn poisoned_indices(&self) -> Vec<usize> {
-        let state = self.state.lock().expect("dispatch mutex poisoned");
-        state.poisoned.iter().copied().collect()
     }
 }

@@ -1,0 +1,353 @@
+//! The shared spec-dispatch queue.
+//!
+//! Extracted from the coordinator so both the static [`WorkerPool`]
+//! (one queue for the whole run) and the service daemon (one queue per
+//! queued job) share the same crash-blame/poison/speculation semantics.
+//! [`Dispatch::pop_batch`] is the blocking form used by the pool's
+//! dedicated slot threads; [`Dispatch::try_pop_batch`] is the
+//! non-blocking form the daemon uses to pick work across many jobs
+//! without parking a session thread on one job's condvar.
+//!
+//! [`WorkerPool`]: crate::coordinator::WorkerPool
+
+use qismet_telemetry::{counter, event, gauge};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// One assignment handed to a session.
+pub(crate) struct Batch {
+    pub(crate) indices: Vec<usize>,
+    /// Suspect batches are crash-implicated singletons: a further loss
+    /// while one is outstanding is a precise blame strike on that spec.
+    pub(crate) suspect: bool,
+    /// Whether this batch duplicates in-flight work (tail speculation);
+    /// an accepted result from it is a speculation win for this slot.
+    pub(crate) speculative: bool,
+}
+
+/// The shared dispatch queue, guarded by one mutex/condvar pair so idle
+/// workers can wait for work that a dying peer might hand back.
+///
+/// Fresh work flows through `queue` in batches; crash-implicated work
+/// flows through `suspects` one index at a time (so repeated crashes are
+/// attributable to a single spec, feeding the poison counter). `holders`
+/// tracks how many live sessions are computing each index — normally one,
+/// two when speculation duplicates a straggler's assignment.
+pub(crate) struct Dispatch {
+    state: Mutex<DispatchState>,
+    wake: Condvar,
+    aborted: AtomicBool,
+    speculative: bool,
+    poison_after: usize,
+}
+
+struct DispatchState {
+    /// Never-dispatched (or cleanly returned) work, in dispatch order.
+    queue: VecDeque<usize>,
+    /// Crash-implicated work, re-dispatched as singletons.
+    suspects: VecDeque<usize>,
+    /// index -> live sessions currently computing it.
+    holders: BTreeMap<usize, usize>,
+    /// Indices whose first result has been accepted.
+    completed: BTreeSet<usize>,
+    /// index -> precise crash strikes (suspect-singleton losses only).
+    blame: BTreeMap<usize, usize>,
+    /// Indices isolated after reaching the poison threshold.
+    poisoned: BTreeSet<usize>,
+    /// Total indices this run must settle (completed + poisoned).
+    target: usize,
+}
+
+impl DispatchState {
+    fn is_finished(&self) -> bool {
+        self.completed.len() + self.poisoned.len() >= self.target
+    }
+
+    fn is_settled(&self, index: usize) -> bool {
+        self.completed.contains(&index) || self.poisoned.contains(&index)
+    }
+
+    /// Pops the next assignment without waiting: a suspect singleton
+    /// first, else up to `k` fresh indices, else (with speculation)
+    /// duplicates of in-flight work.
+    fn pop_ready(&mut self, k: usize, speculative: bool) -> Option<Batch> {
+        while let Some(&front) = self.suspects.front() {
+            if self.is_settled(front) {
+                self.suspects.pop_front();
+                continue;
+            }
+            self.suspects.pop_front();
+            *self.holders.entry(front).or_insert(0) += 1;
+            return Some(Batch {
+                indices: vec![front],
+                suspect: true,
+                speculative: false,
+            });
+        }
+        let mut batch = Vec::new();
+        while batch.len() < k {
+            let Some(index) = self.queue.pop_front() else {
+                break;
+            };
+            if !self.is_settled(index) {
+                batch.push(index);
+            }
+        }
+        if !batch.is_empty() {
+            for &index in &batch {
+                *self.holders.entry(index).or_insert(0) += 1;
+            }
+            gauge!("cluster.queue_depth").set(self.queue.len() as i64);
+            return Some(Batch {
+                indices: batch,
+                suspect: false,
+                speculative: false,
+            });
+        }
+        if speculative && !self.is_finished() {
+            // Tail speculation: mirror in-flight work not already
+            // duplicated, so one straggler cannot stall the campaign.
+            let dups: Vec<usize> = self
+                .holders
+                .iter()
+                .filter(|&(&index, &holders)| holders == 1 && !self.is_settled(index))
+                .map(|(&index, _)| index)
+                .take(k)
+                .collect();
+            if !dups.is_empty() {
+                for &index in &dups {
+                    *self.holders.entry(index).or_insert(0) += 1;
+                }
+                counter!("cluster.speculative.dispatched").add(dups.len() as u64);
+                return Some(Batch {
+                    indices: dups,
+                    suspect: false,
+                    speculative: true,
+                });
+            }
+        }
+        None
+    }
+}
+
+impl Dispatch {
+    pub(crate) fn new(pending: &[usize], speculative: bool, poison_after: usize) -> Self {
+        Dispatch {
+            state: Mutex::new(DispatchState {
+                queue: pending.iter().copied().collect(),
+                suspects: VecDeque::new(),
+                holders: BTreeMap::new(),
+                completed: BTreeSet::new(),
+                blame: BTreeMap::new(),
+                poisoned: BTreeSet::new(),
+                target: pending.len(),
+            }),
+            wake: Condvar::new(),
+            aborted: AtomicBool::new(false),
+            speculative,
+            poison_after,
+        }
+    }
+
+    /// Pops the next assignment: a suspect singleton first, else up to `k`
+    /// fresh indices, else (with speculation) duplicates of in-flight
+    /// work. Waits while other workers still hold in-flight work (a dying
+    /// peer may hand it back); returns `None` once every index is settled
+    /// or the pool aborted.
+    pub(crate) fn pop_batch(&self, k: usize) -> Option<Batch> {
+        let k = k.max(1);
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        loop {
+            if self.is_aborted() {
+                return None;
+            }
+            if let Some(batch) = state.pop_ready(k, self.speculative) {
+                return Some(batch);
+            }
+            if state.is_finished() {
+                return None;
+            }
+            state = self.wake.wait(state).expect("dispatch mutex poisoned");
+        }
+    }
+
+    /// Non-blocking [`Dispatch::pop_batch`]: returns `None` immediately
+    /// when nothing is claimable right now (in-flight work may still hand
+    /// back later). The daemon uses this to scan across jobs instead of
+    /// parking on one job's queue.
+    pub(crate) fn try_pop_batch(&self, k: usize) -> Option<Batch> {
+        if self.is_aborted() {
+            return None;
+        }
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        state.pop_ready(k.max(1), self.speculative)
+    }
+
+    /// Records an accepted result for `index`. Returns `true` if it is the
+    /// first (the caller sinks and keeps it), `false` for a speculative
+    /// duplicate (the caller drops it).
+    pub(crate) fn complete(&self, index: usize) -> bool {
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        if let Some(holders) = state.holders.get_mut(&index) {
+            *holders -= 1;
+            if *holders == 0 {
+                state.holders.remove(&index);
+            }
+        }
+        let first = state.completed.insert(index);
+        drop(state);
+        self.wake.notify_all();
+        first
+    }
+
+    /// Settles a lost session's outstanding indices: anything no other
+    /// live session holds goes back as a suspect, and — when the lost
+    /// batch was itself a suspect singleton — earns a precise blame strike
+    /// that can poison the spec. Returns whether blame was assigned (a
+    /// blamed loss does not charge the worker's respawn budget).
+    pub(crate) fn settle_loss(&self, outstanding: &VecDeque<usize>, was_suspect: bool) -> bool {
+        if outstanding.is_empty() {
+            // In-flight already settled; still wake waiters so idle-exit
+            // conditions re-evaluate.
+            self.wake.notify_all();
+            return false;
+        }
+        let mut state = self.state.lock().expect("dispatch mutex poisoned");
+        let mut blamed = false;
+        for &index in outstanding {
+            if let Some(holders) = state.holders.get_mut(&index) {
+                *holders -= 1;
+                if *holders == 0 {
+                    state.holders.remove(&index);
+                }
+            }
+            if state.is_settled(index) || state.holders.contains_key(&index) {
+                // Completed, already poisoned, or a twin is still on it.
+                continue;
+            }
+            if was_suspect {
+                let strikes = {
+                    let s = state.blame.entry(index).or_insert(0);
+                    *s += 1;
+                    *s
+                };
+                blamed = true;
+                if strikes >= self.poison_after {
+                    state.poisoned.insert(index);
+                    event(
+                        "poison",
+                        format!("spec {index} isolated after {strikes} attributed crashes"),
+                    );
+                    counter!("cluster.specs_poisoned").inc();
+                    continue;
+                }
+            }
+            state.suspects.push_back(index);
+        }
+        drop(state);
+        self.wake.notify_all();
+        blamed
+    }
+
+    /// Fatal-error broadcast: waiters wake and bail.
+    pub(crate) fn abort(&self) {
+        self.aborted.store(true, Ordering::Relaxed);
+        self.wake.notify_all();
+    }
+
+    pub(crate) fn is_aborted(&self) -> bool {
+        self.aborted.load(Ordering::Relaxed)
+    }
+
+    /// Wakes waiters when a slot is lost (so survivors re-check the queue).
+    pub(crate) fn worker_gone(&self) {
+        self.wake.notify_all();
+    }
+
+    /// Whether every index is settled (completed or poisoned).
+    pub(crate) fn is_finished(&self) -> bool {
+        let state = self.state.lock().expect("dispatch mutex poisoned");
+        state.is_finished()
+    }
+
+    /// Indices whose first result has been accepted.
+    pub(crate) fn completed_count(&self) -> usize {
+        let state = self.state.lock().expect("dispatch mutex poisoned");
+        state.completed.len()
+    }
+
+    /// The poisoned indices, sorted.
+    pub(crate) fn poisoned_indices(&self) -> Vec<usize> {
+        let state = self.state.lock().expect("dispatch mutex poisoned");
+        state.poisoned.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn try_pop_never_blocks_and_respects_settled_state() {
+        let d = Dispatch::new(&[0, 1, 2, 3], false, 2);
+        let b = d.try_pop_batch(3).expect("fresh work is claimable");
+        assert_eq!(b.indices, vec![0, 1, 2]);
+        assert!(!b.suspect);
+        // Remaining index 3 is claimable; in-flight work is not.
+        let b2 = d.try_pop_batch(3).expect("index 3 still queued");
+        assert_eq!(b2.indices, vec![3]);
+        assert!(d.try_pop_batch(3).is_none(), "everything is in flight");
+        for i in 0..4 {
+            assert!(d.complete(i));
+        }
+        assert!(d.is_finished());
+        assert!(d.try_pop_batch(3).is_none());
+    }
+
+    #[test]
+    fn try_pop_returns_suspects_as_singletons_after_a_loss() {
+        let d = Dispatch::new(&[0, 1], false, 2);
+        let b = d.try_pop_batch(2).expect("fresh batch");
+        assert_eq!(b.indices, vec![0, 1]);
+        let outstanding: VecDeque<usize> = b.indices.iter().copied().collect();
+        assert!(
+            !d.settle_loss(&outstanding, false),
+            "fresh loss is unblamed"
+        );
+        let s1 = d.try_pop_batch(2).expect("suspect singleton");
+        assert_eq!(s1.indices, vec![0]);
+        assert!(s1.suspect);
+        let s2 = d.try_pop_batch(2).expect("second suspect singleton");
+        assert_eq!(s2.indices, vec![1]);
+        assert!(s2.suspect);
+    }
+
+    #[test]
+    fn suspect_losses_blame_and_poison_the_spec() {
+        let d = Dispatch::new(&[7], false, 2);
+        for round in 0..2 {
+            let b = d.try_pop_batch(4).expect("claimable");
+            let was_suspect = b.suspect;
+            assert_eq!(was_suspect, round > 0);
+            let outstanding: VecDeque<usize> = b.indices.iter().copied().collect();
+            let blamed = d.settle_loss(&outstanding, was_suspect);
+            assert_eq!(blamed, was_suspect);
+        }
+        // Second suspect loss reached poison_after = 2.
+        let b = d.try_pop_batch(4).expect("first suspect retry");
+        let outstanding: VecDeque<usize> = b.indices.iter().copied().collect();
+        assert!(d.settle_loss(&outstanding, true));
+        assert_eq!(d.poisoned_indices(), vec![7]);
+        assert!(d.is_finished());
+        assert!(d.try_pop_batch(4).is_none());
+    }
+
+    #[test]
+    fn aborted_dispatch_hands_out_nothing() {
+        let d = Dispatch::new(&[0, 1], false, 2);
+        d.abort();
+        assert!(d.try_pop_batch(2).is_none());
+        assert!(d.pop_batch(2).is_none());
+    }
+}

@@ -109,8 +109,9 @@ pub struct LoadedJournal {
     pub mismatched: usize,
 }
 
-/// FNV-1a over the JSON body of one journal line.
-fn line_checksum(body: &str) -> u64 {
+/// FNV-1a over the JSON body of one journal line. Shared with the job
+/// queue's event log, which uses the same `<checksum> <json>` discipline.
+pub(crate) fn line_checksum(body: &str) -> u64 {
     let mut hash = Fingerprint::new();
     hash.update(body.as_bytes());
     hash.finish()
@@ -119,7 +120,7 @@ fn line_checksum(body: &str) -> u64 {
 /// Splits a `<16-hex-digit checksum> <json>` line. Returns `None` for
 /// legacy (bare JSON) lines, `Some(Err(()))` for a checksum mismatch, and
 /// `Some(Ok(body))` when the checksum verifies.
-fn split_checksummed(line: &str) -> Option<Result<&str, ()>> {
+pub(crate) fn split_checksummed(line: &str) -> Option<Result<&str, ()>> {
     let (prefix, body) = line.split_at_checked(16)?;
     let body = body.strip_prefix(' ')?;
     let stored = u64::from_str_radix(prefix, 16).ok()?;

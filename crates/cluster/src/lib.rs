@@ -3,7 +3,7 @@
 //! The sweep engine in `qismet-bench` runs a campaign's independent,
 //! pre-seeded grid points across threads; this crate is the step from
 //! "bounded by cores" to "bounded by cluster". It knows nothing about VQAs —
-//! run payloads travel as [`serde::Value`] trees — and splits into five
+//! run payloads travel as [`serde::Value`] trees — and splits into these
 //! layers:
 //!
 //! * [`protocol`] — the six length-framed serde-JSON messages
@@ -33,6 +33,22 @@
 //!   [`chaos::FaultPlan`] executed by transport wrappers, so every fault
 //!   the coordinator must survive is reproducible on demand.
 //!
+//! On top of the one-shot pool sits the **campaign service**: a
+//! long-running daemon serving many campaigns to an elastic fleet.
+//!
+//! * [`registry`] — the dynamic worker slot table. Workers *register* at
+//!   the daemon's rendezvous address instead of being dialed; quarantine
+//!   strikes follow the worker's operator-chosen *name* across sessions.
+//! * [`queue`] — the persistent, priority-ordered, multi-tenant job
+//!   queue: submissions and phase transitions append to a checksummed
+//!   event log, each job journals checkpoints into its own file, and an
+//!   interrupted daemon resumes every job on restart.
+//! * [`daemon`] — [`daemon::serve`]: the accept loop that classifies
+//!   connections into worker registrations and one-command client
+//!   sessions (`submit`/`status`/`cancel`/`drain`), schedules batches
+//!   across concurrent jobs, and settles each into its report artifact
+//!   via a [`daemon::JobPlanner`].
+//!
 //! The merged result is **bit-identical** to a sequential in-process run —
 //! whatever the worker topology: every record is produced by the same pure
 //! function of the same pure spec, and the JSON layer (`serde_json` shim)
@@ -43,8 +59,12 @@
 
 pub mod chaos;
 pub mod coordinator;
+pub mod daemon;
+mod dispatch;
 pub mod journal;
 pub mod protocol;
+pub mod queue;
+pub mod registry;
 pub mod shard;
 pub mod transport;
 
@@ -53,11 +73,15 @@ pub use chaos::{
     MAX_SESSIONS_ENV,
 };
 pub use coordinator::{ClusterError, ClusterOutcome, WorkerPool};
+pub use daemon::{serve, JobPlan, JobPlanner, ServiceConfig, ServiceSummary};
 pub use journal::{load_journal, JournalWriter, LoadedJournal};
 pub use protocol::{
-    read_message, write_message, Assign, BuildStamp, CheckpointEntry, Done, Hello, Message,
-    Outcome, WorkerStats,
+    read_message, write_message, Assign, BuildStamp, CheckpointEntry, Done, DrainOk, Hello,
+    JobOpen, JobReady, JobStatusInfo, Message, Outcome, Register, ServiceErr, ServiceErrKind,
+    SlotStatusInfo, StatusReply, Submit, Submitted, WorkerStats,
 };
+pub use queue::{JobPhase, JobQueue, JobSpec, JobState, QueueError};
+pub use registry::{RegisterRefusal, RegisteredWorker, WorkerRegistry};
 pub use shard::{merge_indexed, shard_round_robin, MergeError};
 pub use transport::{
     ChildTransport, Connector, Listener, ProcessConnector, StdioTransport, TcpConnector,

@@ -34,6 +34,30 @@
 //! * [`Shutdown`](Message::Shutdown) (coordinator -> worker): drain and
 //!   end the session.
 //!
+//! ## Service frames
+//!
+//! The long-running daemon ([`crate::daemon`]) speaks the same framing
+//! with an extended vocabulary:
+//!
+//! * [`Register`] / [`RegisterAck`](Message::RegisterAck): an elastic
+//!   worker joins the fleet by *dialing the daemon* (inverting the static
+//!   pool's connect direction) and is assigned a dynamic slot id.
+//!   [`Deregister`](Message::Deregister) leaves voluntarily — no strike.
+//! * [`Ready`](Message::Ready) (worker -> daemon): the worker is idle and
+//!   pulls its next assignment. The daemon answers with [`JobOpen`] when
+//!   the next batch belongs to a job the worker has not expanded yet
+//!   (the worker replies [`JobReady`] after verifying the fingerprint),
+//!   then a plain [`Assign`]; or `Shutdown` when the service drains.
+//! * [`Submit`] / [`Submitted`](Message::Submitted),
+//!   [`Status`](Message::Status) / [`StatusReply`],
+//!   [`Cancel`] / [`CancelOk`](Message::CancelOk),
+//!   [`Drain`](Message::Drain) / [`DrainOk`]: the client API. Clients
+//!   authenticate with the same mutual `Hello` exchange (per-tenant
+//!   tokens), then issue exactly one command per connection.
+//! * [`ServiceErr`]: the daemon's typed refusal ([`ServiceErrKind`] — bad
+//!   token, unknown job, duplicate fingerprint, ...), so scripted clients
+//!   can branch on the failure class instead of parsing prose.
+//!
 //! Framing is `<decimal byte length>\n<json body>\n`. The explicit length
 //! makes truncated or interleaved writes detectable instead of silently
 //! re-synchronizing mid-stream, and the trailing newline keeps the stream
@@ -182,6 +206,178 @@ pub struct CheckpointEntry {
     pub record: Value,
 }
 
+/// An elastic worker's request to join a service daemon's fleet.
+///
+/// Unlike the static pool's [`Hello`] (where the coordinator knows the
+/// campaign and dials the worker), a registering worker knows nothing
+/// about the jobs it will serve — campaigns are shipped later via
+/// [`JobOpen`]. The token is the fleet-side shared secret, distinct from
+/// the per-tenant submission tokens.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Register {
+    /// Stable worker name chosen by the operator. Quarantine strikes
+    /// accrue to the *name* across sessions, so a crashy worker cannot
+    /// launder its record by reconnecting.
+    pub name: String,
+    /// Fleet authentication token.
+    pub token: String,
+    /// Executor threads the worker runs assignments on (sizes batches).
+    pub threads: usize,
+    /// Build provenance of the worker's binary.
+    pub build: BuildStamp,
+}
+
+/// Daemon -> worker: ships one job's campaign payload so the worker can
+/// expand and verify it before any of its indices are assigned.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobOpen {
+    /// Queue-assigned job id; subsequent [`Assign`] batches belong to the
+    /// most recently opened job.
+    pub job_id: u64,
+    /// Planner-specific campaign description (the same payload the
+    /// submitting client sent).
+    pub payload: String,
+    /// The daemon's fingerprint of the expanded campaign.
+    pub fingerprint: u64,
+    /// How many specs the daemon's expansion produced.
+    pub spec_count: usize,
+}
+
+/// Worker -> daemon: the worker expanded a [`JobOpen`] payload and echoes
+/// its own fingerprint/spec count (a mismatch means divergent binaries and
+/// cuts the session before any result could contaminate the job).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReady {
+    /// The job this verification answers.
+    pub job_id: u64,
+    /// The worker's own fingerprint of the expanded campaign.
+    pub fingerprint: u64,
+    /// How many specs the worker's expansion produced.
+    pub spec_count: usize,
+}
+
+/// Client -> daemon: enqueue one campaign as a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Submit {
+    /// Job display name (also names the report artifact).
+    pub name: String,
+    /// Queue priority; higher runs first among runnable jobs.
+    pub priority: i64,
+    /// Planner-specific campaign description, shipped verbatim to
+    /// workers via [`JobOpen`].
+    pub payload: String,
+}
+
+/// Daemon -> client: a [`Submit`] was accepted and enqueued.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Submitted {
+    /// Queue-assigned job id (the handle for `status`/`cancel`).
+    pub job_id: u64,
+    /// The daemon's fingerprint of the expanded campaign.
+    pub fingerprint: u64,
+}
+
+/// One job's public state, as reported by [`StatusReply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatusInfo {
+    /// Queue-assigned job id.
+    pub job_id: u64,
+    /// Job display name.
+    pub name: String,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Queue priority.
+    pub priority: i64,
+    /// Lifecycle phase name (`queued`, `running`, `completed`, `failed`,
+    /// `cancelled`).
+    pub phase: String,
+    /// Specs completed so far (resumed + freshly executed).
+    pub done: usize,
+    /// Total specs in the expansion.
+    pub total: usize,
+    /// Phase detail: the report path for completed jobs, the failure for
+    /// failed ones.
+    pub detail: Option<String>,
+}
+
+/// One registered worker slot's public state, as reported by
+/// [`StatusReply`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlotStatusInfo {
+    /// Dynamic slot id (monotonic across the daemon's lifetime).
+    pub slot: u64,
+    /// Operator-chosen worker name.
+    pub name: String,
+    /// Whether the session is still connected.
+    pub active: bool,
+    /// Results this slot has delivered.
+    pub done: u64,
+    /// Lifetime channel strikes accrued to the worker's *name*.
+    pub strikes: usize,
+    /// Whether the name is quarantined (future registrations refused).
+    pub quarantined: bool,
+    /// The job the slot is currently serving, if any.
+    pub job: Option<u64>,
+}
+
+/// Daemon -> client: answer to [`Status`](Message::Status). Tenants see
+/// their own jobs; the fleet token sees everything.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StatusReply {
+    /// Visible jobs, in id order.
+    pub jobs: Vec<JobStatusInfo>,
+    /// Registered worker slots, in slot order.
+    pub workers: Vec<SlotStatusInfo>,
+    /// Whether the daemon is draining (refusing new submissions).
+    pub draining: bool,
+}
+
+/// Client -> daemon: cancel one job (queued jobs die immediately; running
+/// jobs stop at the next assignment boundary, their journal intact).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cancel {
+    /// The job to cancel.
+    pub job_id: u64,
+}
+
+/// Daemon -> client: answer to [`Drain`](Message::Drain), sent once every
+/// job has reached a terminal phase and the daemon is about to exit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DrainOk {
+    /// Jobs that completed successfully over the daemon's lifetime.
+    pub jobs_completed: usize,
+    /// Jobs that failed or were cancelled.
+    pub jobs_failed: usize,
+}
+
+/// Failure classes a service daemon reports to clients and registering
+/// workers, so scripted callers can branch without parsing prose.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ServiceErrKind {
+    /// The presented token matches no tenant (and not the fleet token).
+    BadToken,
+    /// The job id names no job visible to this principal.
+    UnknownJob,
+    /// A non-terminal job with the same campaign fingerprint already
+    /// exists (double submission would race two writers on one journal).
+    DuplicateFingerprint,
+    /// The campaign payload did not expand (parse error, unknown app...).
+    BadPayload,
+    /// The daemon is draining and refuses new submissions.
+    Draining,
+    /// The worker name is quarantined; register under a fresh name.
+    Quarantined,
+}
+
+/// A typed refusal from the service daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceErr {
+    /// The failure class.
+    pub kind: ServiceErrKind,
+    /// Human-readable context.
+    pub detail: String,
+}
+
 /// Every message that crosses a worker channel or a journal line.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Message {
@@ -201,6 +397,38 @@ pub enum Message {
     Pong,
     /// Drain and end the session.
     Shutdown,
+    /// An elastic worker joins a service daemon's fleet.
+    Register(Register),
+    /// Daemon -> worker: registration accepted; carries the dynamic slot id.
+    RegisterAck(u64),
+    /// Worker -> daemon: leave the fleet voluntarily (no strike). The
+    /// daemon answers [`Shutdown`](Message::Shutdown).
+    Deregister,
+    /// Worker -> daemon: idle, pull the next assignment.
+    Ready,
+    /// Daemon -> worker: expand this job before its first assignment.
+    JobOpen(JobOpen),
+    /// Worker -> daemon: job expanded and verified.
+    JobReady(JobReady),
+    /// Client -> daemon: enqueue a campaign.
+    Submit(Submit),
+    /// Daemon -> client: submission accepted.
+    Submitted(Submitted),
+    /// Client -> daemon: report queue and fleet state.
+    Status,
+    /// Daemon -> client: answer to [`Status`](Message::Status).
+    StatusReply(StatusReply),
+    /// Client -> daemon: cancel one job.
+    Cancel(Cancel),
+    /// Daemon -> client: the job was cancelled.
+    CancelOk(u64),
+    /// Client -> daemon: refuse new submissions, wait for every job to
+    /// settle, then exit.
+    Drain,
+    /// Daemon -> client: drain finished; the daemon is exiting.
+    DrainOk(DrainOk),
+    /// Daemon -> client/worker: typed refusal.
+    ServiceErr(ServiceErr),
 }
 
 /// Writes one length-framed message and flushes.
@@ -323,6 +551,69 @@ mod tests {
             Message::Ping,
             Message::Pong,
             Message::Shutdown,
+            Message::Register(Register {
+                name: "node-7".into(),
+                token: "fleet-key".into(),
+                threads: 8,
+                build: qismet_telemetry::BuildInfo::current(true).into(),
+            }),
+            Message::RegisterAck(41),
+            Message::Deregister,
+            Message::Ready,
+            Message::JobOpen(JobOpen {
+                job_id: 3,
+                payload: "{\"apps\":[2]}".into(),
+                fingerprint: 0x0123_4567_89ab_cdef,
+                spec_count: 12,
+            }),
+            Message::JobReady(JobReady {
+                job_id: 3,
+                fingerprint: 0x0123_4567_89ab_cdef,
+                spec_count: 12,
+            }),
+            Message::Submit(Submit {
+                name: "fig9".into(),
+                priority: -2,
+                payload: "{\"apps\":[1,2]}".into(),
+            }),
+            Message::Submitted(Submitted {
+                job_id: 3,
+                fingerprint: 0x0123_4567_89ab_cdef,
+            }),
+            Message::Status,
+            Message::StatusReply(StatusReply {
+                jobs: vec![JobStatusInfo {
+                    job_id: 3,
+                    name: "fig9".into(),
+                    tenant: "alice".into(),
+                    priority: -2,
+                    phase: "running".into(),
+                    done: 4,
+                    total: 12,
+                    detail: None,
+                }],
+                workers: vec![SlotStatusInfo {
+                    slot: 41,
+                    name: "node-7".into(),
+                    active: true,
+                    done: 4,
+                    strikes: 1,
+                    quarantined: false,
+                    job: Some(3),
+                }],
+                draining: true,
+            }),
+            Message::Cancel(Cancel { job_id: 3 }),
+            Message::CancelOk(3),
+            Message::Drain,
+            Message::DrainOk(DrainOk {
+                jobs_completed: 5,
+                jobs_failed: 1,
+            }),
+            Message::ServiceErr(ServiceErr {
+                kind: ServiceErrKind::DuplicateFingerprint,
+                detail: "job 3 already holds this campaign".into(),
+            }),
         ];
         for msg in &messages {
             assert_eq!(&roundtrip(msg), msg);

@@ -447,6 +447,614 @@ fn rogue_results_for_unassigned_specs_are_a_fatal_protocol_error() {
     );
 }
 
+// ===========================================================================
+// Campaign-service tests: the same scripted-worker idea pointed at the
+// dynamic registry and service daemon instead of the static pool. Workers
+// here *register* over in-memory duplex channels, join late, leave
+// voluntarily, or crash to accrue name-keyed strikes — and every settled
+// job's finalize payload must equal the sequential reference, whatever the
+// fleet did.
+// ===========================================================================
+
+use qismet_cluster::daemon::{serve, JobPlan, JobPlanner, ServiceConfig};
+use qismet_cluster::protocol::{Cancel, JobReady, Register, Submit};
+use qismet_cluster::queue::JobSpec;
+use qismet_cluster::{BuildStamp, DrainOk, Fingerprint, Listener, ServiceErrKind, StatusReply};
+use std::sync::mpsc;
+use std::time::Instant;
+
+/// In-memory bidirectional channel: two [`Transport`] ends over shared
+/// message queues. Dropping one end surfaces as a channel loss on the
+/// other — exactly how the daemon experiences a crashed worker.
+struct DuplexState {
+    /// Inbound queue per side.
+    queues: [VecDeque<Message>; 2],
+    closed: [bool; 2],
+}
+
+struct DuplexEnd {
+    state: Arc<(Mutex<DuplexState>, std::sync::Condvar)>,
+    side: usize,
+    timeout: Option<Duration>,
+}
+
+impl std::fmt::Debug for DuplexEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DuplexEnd")
+            .field("side", &self.side)
+            .finish()
+    }
+}
+
+fn duplex() -> (DuplexEnd, DuplexEnd) {
+    let state = Arc::new((
+        Mutex::new(DuplexState {
+            queues: [VecDeque::new(), VecDeque::new()],
+            closed: [false, false],
+        }),
+        std::sync::Condvar::new(),
+    ));
+    (
+        DuplexEnd {
+            state: Arc::clone(&state),
+            side: 0,
+            timeout: None,
+        },
+        DuplexEnd {
+            state,
+            side: 1,
+            timeout: None,
+        },
+    )
+}
+
+impl Transport for DuplexEnd {
+    fn send(&mut self, msg: &Message) -> io::Result<()> {
+        let (lock, condvar) = &*self.state;
+        let mut state = lock.lock().expect("duplex poisoned");
+        if state.closed[1 - self.side] {
+            return Err(io::Error::new(io::ErrorKind::BrokenPipe, "peer closed"));
+        }
+        state.queues[1 - self.side].push_back(msg.clone());
+        condvar.notify_all();
+        Ok(())
+    }
+
+    fn recv(&mut self) -> io::Result<Message> {
+        let (lock, condvar) = &*self.state;
+        let mut state = lock.lock().expect("duplex poisoned");
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        loop {
+            if let Some(msg) = state.queues[self.side].pop_front() {
+                return Ok(msg);
+            }
+            if state.closed[1 - self.side] {
+                return Err(io::ErrorKind::UnexpectedEof.into());
+            }
+            state = match deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(io::Error::new(
+                            io::ErrorKind::TimedOut,
+                            "duplex read deadline expired",
+                        ));
+                    }
+                    condvar
+                        .wait_timeout(state, deadline - now)
+                        .expect("duplex poisoned")
+                        .0
+                }
+                None => condvar.wait(state).expect("duplex poisoned"),
+            };
+        }
+    }
+
+    fn peer(&self) -> String {
+        "duplex".into()
+    }
+
+    fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.timeout = timeout;
+        Ok(())
+    }
+}
+
+impl Drop for DuplexEnd {
+    fn drop(&mut self) {
+        let (lock, condvar) = &*self.state;
+        lock.lock().expect("duplex poisoned").closed[self.side] = true;
+        condvar.notify_all();
+    }
+}
+
+/// A [`Listener`] fed by a channel of pre-built transports. Accept fails
+/// once the feeding side closes — which the daemon treats as a clean end
+/// while stopping, an I/O error under a live service.
+struct ChannelListener {
+    rx: mpsc::Receiver<Box<dyn Transport>>,
+}
+
+impl Listener for ChannelListener {
+    fn accept(&mut self) -> io::Result<Box<dyn Transport>> {
+        self.rx.recv().map_err(|_| {
+            // DrainOk is written before the daemon flips its stopping flag,
+            // so a test may close the feeder inside that window. Give stop()
+            // a beat to land so the disconnect reads as a clean shutdown.
+            std::thread::sleep(Duration::from_millis(200));
+            io::Error::new(io::ErrorKind::BrokenPipe, "connection feeder closed")
+        })
+    }
+
+    fn local_addr(&self) -> io::Result<String> {
+        Err(io::Error::new(io::ErrorKind::Unsupported, "in-memory"))
+    }
+}
+
+/// Toy campaign semantics: a payload `label:count` expands to `count`
+/// specs with the shared scripted seeds/records, and finalize renders the
+/// full record set into a deterministic string — the byte-identity probe.
+#[derive(Default)]
+struct ToyPlanner {
+    finals: Mutex<Vec<(u64, String)>>,
+}
+
+fn toy_count(payload: &str) -> Result<usize, String> {
+    payload
+        .rsplit(':')
+        .next()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("payload `{payload}` is not label:count"))
+}
+
+fn toy_fingerprint(payload: &str) -> u64 {
+    let mut fp = Fingerprint::new();
+    fp.update_str(payload);
+    fp.finish()
+}
+
+/// The detail string a job's finalize renders — computable directly from
+/// the payload, which is what makes it a sequential reference.
+fn reference_detail(payload: &str) -> String {
+    let count = toy_count(payload).expect("reference payload expands");
+    let mut out = format!("{payload}=>");
+    for index in 0..count {
+        out.push_str(&format!("{index}:{:?};", record(index)));
+    }
+    out
+}
+
+impl JobPlanner for ToyPlanner {
+    fn open(&self, payload: &str) -> Result<JobPlan, String> {
+        let count = toy_count(payload)?;
+        Ok(JobPlan {
+            fingerprint: toy_fingerprint(payload),
+            spec_count: count,
+            seeds: (0..count).map(seed_of).collect(),
+        })
+    }
+
+    fn finalize(&self, spec: &JobSpec, records: Vec<(usize, Value)>) -> Result<String, String> {
+        let mut out = format!("{}=>", spec.payload);
+        for (index, value) in &records {
+            out.push_str(&format!("{index}:{value:?};"));
+        }
+        self.finals
+            .lock()
+            .expect("finals poisoned")
+            .push((spec.id, out.clone()));
+        Ok(out)
+    }
+}
+
+/// A running in-memory service daemon plus the feeder used to connect
+/// scripted workers and clients to it.
+struct ServiceHarness {
+    tx: mpsc::Sender<Box<dyn Transport>>,
+    handle: std::thread::JoinHandle<Result<qismet_cluster::ServiceSummary, ClusterError>>,
+    planner: &'static ToyPlanner,
+}
+
+impl ServiceHarness {
+    fn start(config: ServiceConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        // Tests leak one planner each so `serve` can borrow it across the
+        // daemon thread; the finals log stays inspectable afterwards.
+        let planner: &'static ToyPlanner = Box::leak(Box::new(ToyPlanner::default()));
+        let handle =
+            std::thread::spawn(move || serve(Box::new(ChannelListener { rx }), planner, &config));
+        ServiceHarness {
+            tx,
+            handle,
+            planner,
+        }
+    }
+
+    /// Opens a fresh connection to the daemon.
+    fn connect(&self) -> DuplexEnd {
+        let (ours, theirs) = duplex();
+        self.tx
+            .send(Box::new(theirs))
+            .expect("daemon accept loop alive");
+        ours
+    }
+
+    /// Closes the feeder and collects the daemon's summary.
+    fn finish(self) -> qismet_cluster::ServiceSummary {
+        drop(self.tx);
+        self.handle
+            .join()
+            .expect("daemon thread panicked")
+            .expect("daemon must drain cleanly")
+    }
+
+    fn finals(&self) -> Vec<(u64, String)> {
+        self.planner.finals.lock().expect("finals poisoned").clone()
+    }
+}
+
+fn service_config() -> ServiceConfig {
+    let mut config = ServiceConfig::new("fleet");
+    config.tenants = vec![
+        ("alice".to_string(), "a-token".to_string()),
+        ("bob".to_string(), "b-token".to_string()),
+    ];
+    config.handshake_timeout = Duration::from_secs(5);
+    config
+}
+
+/// How a scripted *service* worker behaves across its registered session.
+#[derive(Clone, Copy)]
+enum FleetScript {
+    /// Serve batches until the daemon says `Shutdown`.
+    Serve,
+    /// Voluntarily deregister after this many completed batches.
+    DeregisterAfter(usize),
+    /// Drop the channel (mid-batch) after this many results.
+    DieAfterResults(usize),
+}
+
+/// Registers at the daemon and follows the script. Returns the batches
+/// served, or the typed refusal the registration got.
+fn fleet_worker(
+    harness: &ServiceHarness,
+    name: &str,
+    token: &str,
+    threads: usize,
+    script: FleetScript,
+) -> std::thread::JoinHandle<Result<usize, (ServiceErrKind, String)>> {
+    let mut transport = harness.connect();
+    let name = name.to_string();
+    let token = token.to_string();
+    std::thread::spawn(move || {
+        transport
+            .send(&Message::Register(Register {
+                name,
+                token,
+                threads,
+                build: BuildStamp::local(false),
+            }))
+            .expect("registration frame sends");
+        match transport.recv().expect("registration reply arrives") {
+            Message::RegisterAck(_) => {}
+            Message::ServiceErr(err) => return Err((err.kind, err.detail)),
+            other => panic!("expected RegisterAck, got {other:?}"),
+        }
+        let mut batches = 0usize;
+        let mut results = 0usize;
+        loop {
+            if matches!(script, FleetScript::DeregisterAfter(limit) if batches >= limit) {
+                transport
+                    .send(&Message::Deregister)
+                    .expect("deregister sends");
+                let _ = transport.recv();
+                return Ok(batches);
+            }
+            if transport.send(&Message::Ready).is_err() {
+                return Ok(batches);
+            }
+            let assign = match transport.recv().expect("daemon stays responsive") {
+                Message::Shutdown => return Ok(batches),
+                Message::JobOpen(open) => {
+                    // Honest re-expansion: fingerprint derived from the
+                    // payload, exactly like the real worker.
+                    let count = toy_count(&open.payload).expect("toy payload expands");
+                    transport
+                        .send(&Message::JobReady(JobReady {
+                            job_id: open.job_id,
+                            fingerprint: toy_fingerprint(&open.payload),
+                            spec_count: count,
+                        }))
+                        .expect("job-ready sends");
+                    match transport.recv().expect("assignment follows job-ready") {
+                        Message::Assign(assign) => assign,
+                        Message::Shutdown => return Ok(batches),
+                        other => panic!("expected Assign, got {other:?}"),
+                    }
+                }
+                Message::Assign(assign) => assign,
+                other => panic!("expected JobOpen/Assign/Shutdown, got {other:?}"),
+            };
+            for index in assign.indices {
+                if matches!(script, FleetScript::DieAfterResults(limit) if results >= limit) {
+                    // Dropping the transport mid-batch is the crash.
+                    return Ok(batches);
+                }
+                transport
+                    .send(&Message::Done(Done {
+                        index,
+                        seed: seed_of(index),
+                        outcome: Outcome::Record(record(index)),
+                        stats: None,
+                    }))
+                    .expect("result frame sends");
+                results += 1;
+            }
+            batches += 1;
+        }
+    })
+}
+
+/// Opens an authenticated client session (one command per connection).
+fn client_session(
+    harness: &ServiceHarness,
+    token: &str,
+) -> Result<DuplexEnd, (ServiceErrKind, String)> {
+    let mut transport = harness.connect();
+    transport
+        .send(&Message::Hello(Hello {
+            worker_id: 0,
+            fingerprint: 0,
+            spec_count: 0,
+            token: token.to_string(),
+            threads: 0,
+            build: BuildStamp::local(false),
+        }))
+        .expect("client hello sends");
+    match transport.recv().expect("handshake reply arrives") {
+        Message::Hello(_) => Ok(transport),
+        Message::ServiceErr(err) => Err((err.kind, err.detail)),
+        other => panic!("expected Hello or ServiceErr, got {other:?}"),
+    }
+}
+
+fn submit(
+    harness: &ServiceHarness,
+    token: &str,
+    name: &str,
+    priority: i64,
+    payload: &str,
+) -> Result<u64, (ServiceErrKind, String)> {
+    let mut transport = client_session(harness, token)?;
+    transport
+        .send(&Message::Submit(Submit {
+            name: name.to_string(),
+            priority,
+            payload: payload.to_string(),
+        }))
+        .expect("submit sends");
+    match transport.recv().expect("submit reply arrives") {
+        Message::Submitted(submitted) => Ok(submitted.job_id),
+        Message::ServiceErr(err) => Err((err.kind, err.detail)),
+        other => panic!("expected Submitted, got {other:?}"),
+    }
+}
+
+fn status(harness: &ServiceHarness, token: &str) -> StatusReply {
+    let mut transport = client_session(harness, token).expect("status handshake accepted");
+    transport.send(&Message::Status).expect("status sends");
+    match transport.recv().expect("status reply arrives") {
+        Message::StatusReply(reply) => reply,
+        other => panic!("expected StatusReply, got {other:?}"),
+    }
+}
+
+fn cancel(
+    harness: &ServiceHarness,
+    token: &str,
+    job_id: u64,
+) -> Result<u64, (ServiceErrKind, String)> {
+    let mut transport = client_session(harness, token)?;
+    transport
+        .send(&Message::Cancel(Cancel { job_id }))
+        .expect("cancel sends");
+    match transport.recv().expect("cancel reply arrives") {
+        Message::CancelOk(id) => Ok(id),
+        Message::ServiceErr(err) => Err((err.kind, err.detail)),
+        other => panic!("expected CancelOk, got {other:?}"),
+    }
+}
+
+fn drain(harness: &ServiceHarness, token: &str) -> DrainOk {
+    let mut transport = client_session(harness, token).expect("drain handshake accepted");
+    transport.set_read_timeout(None).expect("clear deadline");
+    transport.send(&Message::Drain).expect("drain sends");
+    match transport.recv().expect("drain reply arrives") {
+        Message::DrainOk(ok) => ok,
+        other => panic!("expected DrainOk, got {other:?}"),
+    }
+}
+
+fn wait_until(mut cond: impl FnMut() -> bool, what: &str) {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while !cond() {
+        assert!(Instant::now() < deadline, "timed out waiting for {what}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn elastic_fleet_serves_two_tenants_and_settles_reference_identical_reports() {
+    let harness = ServiceHarness::start(service_config());
+    let job_a = submit(&harness, "a-token", "alpha", 1, "alpha:12").expect("alice submits");
+    let job_b = submit(&harness, "b-token", "beta", 0, "beta:9").expect("bob submits");
+    // Tenant isolation in status: alice sees only her job, fleet sees both.
+    let alice_view = status(&harness, "a-token");
+    assert_eq!(alice_view.jobs.len(), 1);
+    assert_eq!(alice_view.jobs[0].job_id, job_a);
+    assert_eq!(alice_view.jobs[0].tenant, "alice");
+    assert_eq!(status(&harness, "fleet").jobs.len(), 2);
+    // Elastic fleet: one steady worker, one that leaves after two batches,
+    // one that joins late — all while both jobs are in flight.
+    let steady = fleet_worker(&harness, "steady", "fleet", 2, FleetScript::Serve);
+    let transient = fleet_worker(
+        &harness,
+        "transient",
+        "fleet",
+        2,
+        FleetScript::DeregisterAfter(2),
+    );
+    std::thread::sleep(Duration::from_millis(50));
+    let late = fleet_worker(&harness, "late", "fleet", 3, FleetScript::Serve);
+    let drained = drain(&harness, "fleet");
+    assert_eq!(drained.jobs_completed, 2);
+    assert_eq!(drained.jobs_failed, 0);
+    assert_eq!(
+        transient.join().expect("transient exits").expect("served"),
+        2
+    );
+    steady.join().expect("steady exits").expect("served");
+    late.join().expect("late exits").expect("served");
+    let finals = harness.finals();
+    let summary = harness.finish();
+    assert_eq!(summary.jobs_completed, 2);
+    assert_eq!(summary.jobs_failed, 0);
+    // Byte-identity: each job's finalize payload equals the sequential
+    // reference of its own campaign, however the three workers interleaved.
+    assert_eq!(finals.len(), 2);
+    let by_id: std::collections::BTreeMap<u64, String> = finals.into_iter().collect();
+    assert_eq!(by_id[&job_a], reference_detail("alpha:12"));
+    assert_eq!(by_id[&job_b], reference_detail("beta:9"));
+}
+
+#[test]
+fn voluntary_deregister_takes_no_strike_and_the_name_can_rejoin() {
+    // Quarantine after a single strike: if a voluntary leave were blamed,
+    // the rejoin below would be refused.
+    let mut config = service_config();
+    config.quarantine_after = Some(1);
+    let harness = ServiceHarness::start(config);
+    let job = submit(&harness, "a-token", "gamma", 0, "gamma:6").expect("submit accepted");
+    let polite = fleet_worker(
+        &harness,
+        "polite",
+        "fleet",
+        1,
+        FleetScript::DeregisterAfter(1),
+    );
+    assert_eq!(polite.join().expect("exits").expect("one batch"), 1);
+    // Same name registers again — no strike accrued, so it must be let in —
+    // and finishes the job alongside nobody else.
+    let rejoined = fleet_worker(&harness, "polite", "fleet", 2, FleetScript::Serve);
+    let drained = drain(&harness, "fleet");
+    assert_eq!(drained.jobs_completed, 1);
+    rejoined
+        .join()
+        .expect("exits")
+        .expect("accepted and served");
+    let strikes: usize = status_strikes(&harness);
+    assert_eq!(strikes, 0, "voluntary deregistration must not be blamed");
+    let finals = harness.finals();
+    assert_eq!(finals, vec![(job, reference_detail("gamma:6"))]);
+    harness.finish();
+}
+
+/// Total strikes across the fleet, per the status API.
+fn status_strikes(harness: &ServiceHarness) -> usize {
+    status(harness, "fleet")
+        .workers
+        .iter()
+        .map(|w| w.strikes)
+        .sum()
+}
+
+#[test]
+fn strikes_follow_the_name_and_a_quarantined_name_is_refused() {
+    let mut config = service_config();
+    config.quarantine_after = Some(2);
+    let harness = ServiceHarness::start(config);
+    let job = submit(&harness, "b-token", "delta", 0, "delta:8").expect("submit accepted");
+    // Two crashy sessions under the same name: one strike each.
+    for strikes in 1..=2usize {
+        let flaky = fleet_worker(
+            &harness,
+            "flaky",
+            "fleet",
+            2,
+            FleetScript::DieAfterResults(1),
+        );
+        flaky.join().expect("exits").expect("registered");
+        wait_until(
+            || status_strikes(&harness) >= strikes,
+            "the crash to be blamed on the name",
+        );
+    }
+    // The name is now quarantined: a third session is refused with a typed
+    // error even though every slot it held is long gone.
+    let refused = fleet_worker(&harness, "flaky", "fleet", 2, FleetScript::Serve)
+        .join()
+        .expect("exits")
+        .expect_err("quarantined name must be refused");
+    assert_eq!(refused.0, ServiceErrKind::Quarantined);
+    // A fresh name starts clean and completes the job — including the work
+    // the crashy sessions dropped mid-batch.
+    let fresh = fleet_worker(&harness, "fresh", "fleet", 2, FleetScript::Serve);
+    let drained = drain(&harness, "fleet");
+    assert_eq!(drained.jobs_completed, 1);
+    fresh.join().expect("exits").expect("served");
+    let finals = harness.finals();
+    assert_eq!(finals, vec![(job, reference_detail("delta:8"))]);
+    harness.finish();
+}
+
+#[test]
+fn service_errors_are_typed() {
+    let harness = ServiceHarness::start(service_config());
+    // Registration under a wrong fleet token.
+    let bad_register = fleet_worker(&harness, "w", "wrong", 1, FleetScript::Serve)
+        .join()
+        .expect("exits")
+        .expect_err("wrong fleet token must be refused");
+    assert_eq!(bad_register.0, ServiceErrKind::BadToken);
+    // Client handshake under an unknown token.
+    let bad_client = client_session(&harness, "nope").expect_err("unknown token refused");
+    assert_eq!(bad_client.0, ServiceErrKind::BadToken);
+    // Unparseable submission payload.
+    let bad_payload =
+        submit(&harness, "a-token", "x", 0, "not-a-count").expect_err("bad payload refused");
+    assert_eq!(bad_payload.0, ServiceErrKind::BadPayload);
+    // Duplicate fingerprint while the first job is still live.
+    let job = submit(&harness, "a-token", "x", 0, "epsilon:5").expect("first submit accepted");
+    let duplicate = submit(&harness, "b-token", "x2", 3, "epsilon:5")
+        .expect_err("same campaign cannot be queued twice");
+    assert_eq!(duplicate.0, ServiceErrKind::DuplicateFingerprint);
+    // Cancel: unknown id, foreign tenant (indistinguishable from unknown),
+    // then the owner really cancels.
+    assert_eq!(
+        cancel(&harness, "a-token", 999).expect_err("unknown job").0,
+        ServiceErrKind::UnknownJob
+    );
+    assert_eq!(
+        cancel(&harness, "b-token", job)
+            .expect_err("foreign job hidden")
+            .0,
+        ServiceErrKind::UnknownJob
+    );
+    cancel(&harness, "a-token", job).expect("owner cancels");
+    // A settled job cannot be cancelled again.
+    assert_eq!(
+        cancel(&harness, "a-token", job)
+            .expect_err("already settled")
+            .0,
+        ServiceErrKind::UnknownJob
+    );
+    let drained = drain(&harness, "fleet");
+    assert_eq!(drained.jobs_completed, 0);
+    assert_eq!(drained.jobs_failed, 1, "the cancelled job counts as failed");
+    harness.finish();
+}
+
 #[test]
 fn nonsense_pool_configuration_is_rejected_before_any_session() {
     let log = Arc::new(PoolLog::default());
